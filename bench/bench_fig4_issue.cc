@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 4: dual and single issue performance vs. cost for the three
+ * machine models at 17- and 35-cycle secondary latencies (12
+ * configurations). Prints, per configuration, the RBE cost and the
+ * min/average/max CPI over the SPECint92 suite — the quantities the
+ * figure plots as capped vertical bars.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace aurora;
+    using namespace aurora::core;
+    namespace tr = aurora::trace;
+
+    bench::banner("Figure 4 - issue width vs cost vs latency");
+
+    const auto suite = tr::integerSuite();
+    for (Cycle latency : {Cycle{17}, Cycle{35}}) {
+        Table t({"Model", "Issue", "Cost (RBE)", "CPI min",
+                 "CPI avg", "CPI max"});
+        for (const auto &base : studyModels()) {
+            for (unsigned width : {1u, 2u}) {
+                const auto m =
+                    base.withIssueWidth(width).withLatency(latency);
+                const auto res =
+                    runSuite(m, suite, bench::runInsts());
+                const auto acc = res.cpiStats();
+                t.row()
+                    .cell(m.name)
+                    .cell(std::uint64_t{width})
+                    .cell(m.rbeCost(), 0)
+                    .cell(acc.min(), 3)
+                    .cell(acc.mean(), 3)
+                    .cell(acc.max(), 3);
+            }
+        }
+        t.print(std::cout,
+                "Figure 4 data, " + std::to_string(latency) +
+                    "-cycle secondary latency");
+    }
+
+    // The headline §5 statistics for the baseline model.
+    const auto base = runSuite(baselineModel(), suite,
+                               bench::runInsts());
+    Accumulator ic, dc;
+    for (const auto &r : base.runs) {
+        ic.add(r.icache_hit_pct);
+        dc.add(r.dcache_hit_pct);
+    }
+    std::cout << "Baseline I-cache hit rate: "
+              << formatFixed(ic.mean(), 1)
+              << "%  (paper: 96.5%)\nBaseline D-cache hit rate: "
+              << formatFixed(dc.mean(), 1) << "%  (paper: 95.4%)\n";
+    return 0;
+}

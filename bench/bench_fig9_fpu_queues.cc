@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 9 (a), (b), (c): FPU memory-resource cost studies — CPI as
+ * a function of instruction queue depth (1-5), load data queue depth
+ * (1-5), and FPU reorder buffer size (3-11), under the single-issue
+ * out-of-order-completion policy the paper uses for these sweeps.
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+
+double
+fpSuiteCpi(const MachineConfig &m)
+{
+    Accumulator acc;
+    for (const auto &p : trace::floatSuite())
+        acc.add(simulate(m, p, aurora::bench::runInsts()).cpi());
+    return acc.mean();
+}
+
+MachineConfig
+singleIssueFpu()
+{
+    auto m = baselineModel();
+    m.fpu.policy = fpu::IssuePolicy::OutOfOrderSingle;
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace aurora;
+    using namespace aurora::core;
+
+    bench::banner("Figure 9a-c - FPU queue and ROB sizing");
+
+    Table a({"instruction queue entries", "CPI single issue",
+             "CPI dual issue"});
+    for (unsigned q : {1u, 2u, 3u, 4u, 5u, 7u}) {
+        auto single = singleIssueFpu();
+        single.fpu.inst_queue = q;
+        auto dual = baselineModel();
+        dual.fpu.inst_queue = q;
+        a.row()
+            .cell(std::uint64_t{q})
+            .cell(fpSuiteCpi(single), 3)
+            .cell(fpSuiteCpi(dual), 3);
+    }
+    a.print(std::cout, "Figure 9(a): instruction queue size");
+    std::cout << "(paper: flattens by 3 entries for single issue; "
+                 "dual issue places greater demand and wants 5 — the "
+                 "'simulations not shown' of S5.9)\n\n";
+
+    Table b({"load data queue entries", "CPI avg"});
+    for (unsigned q : {1u, 2u, 3u, 4u, 5u}) {
+        auto m = singleIssueFpu();
+        m.fpu.load_queue = q;
+        b.row().cell(std::uint64_t{q}).cell(fpSuiteCpi(m), 3);
+    }
+    b.print(std::cout, "Figure 9(b): load data queue size");
+    std::cout << "(paper: two entries needed — double precision "
+                 "operands arrive as two 32-bit loads)\n\n";
+
+    Table c({"FPU reorder buffer entries", "CPI avg"});
+    for (unsigned q : {3u, 5u, 7u, 9u, 11u}) {
+        auto m = singleIssueFpu();
+        m.fpu.rob_entries = q;
+        c.row().cell(std::uint64_t{q}).cell(fpSuiteCpi(m), 3);
+    }
+    c.print(std::cout, "Figure 9(c): reorder buffer size");
+    std::cout << "(paper: sensitivity disappears above ~6 entries)\n";
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: trace
+ * generation rate, component costs, and end-to-end simulation
+ * throughput. These guard against performance regressions in the
+ * library (the table/figure harness runs millions of instructions).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/simulator.hh"
+#include "mem/cache.hh"
+#include "mem/write_cache.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic_workload.hh"
+
+namespace
+{
+
+using namespace aurora;
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    trace::SyntheticWorkload w(trace::espresso());
+    trace::Inst inst;
+    for (auto _ : state) {
+        w.next(inst);
+        benchmark::DoNotOptimize(inst);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::DirectMappedCache cache(32 * 1024, 32);
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr));
+        cache.fill(addr);
+        addr += 36; // mixes hits and conflicts
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_WriteCacheStore(benchmark::State &state)
+{
+    mem::Biu biu(mem::BiuConfig{});
+    mem::WriteCache wc(mem::WriteCacheConfig{}, biu);
+    Addr addr = 0x1000;
+    Cycle now = 0;
+    for (auto _ : state) {
+        wc.store(addr, 4, now++);
+        addr = (addr + 68) & 0xffff;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WriteCacheStore);
+
+void
+BM_EndToEndSimulation(benchmark::State &state)
+{
+    const auto machine = core::baselineModel();
+    const auto profile = trace::espresso();
+    const auto insts = static_cast<Count>(state.range(0));
+    for (auto _ : state) {
+        const auto r = core::simulate(machine, profile, insts);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(insts) *
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EndToEndSimulation)->Arg(50000)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_FpSimulation(benchmark::State &state)
+{
+    const auto machine = core::baselineModel();
+    const auto profile = trace::nasa7();
+    for (auto _ : state) {
+        const auto r = core::simulate(machine, profile, 50000);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(50000 *
+                            static_cast<std::int64_t>(
+                                state.iterations()));
+}
+BENCHMARK(BM_FpSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

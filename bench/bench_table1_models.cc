@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table 1: the three machine models and their associated resources,
+ * plus the RBE cost the rest of the study prices them at.
+ */
+
+#include "bench_common.hh"
+
+#include "core/machine_config.hh"
+
+int
+main()
+{
+    using namespace aurora;
+    using namespace aurora::core;
+
+    bench::banner("Table 1 - machine models");
+
+    Table t({"Model", "I Cache", "D Cache", "Write Cache",
+             "ROB Entries", "Prefetch Buffers", "MSHR Entries",
+             "RBE (dual issue)"});
+    for (const auto &m : studyModels()) {
+        t.row()
+            .cell(m.name)
+            .cell(std::to_string(m.ifu.icache_bytes / 1024) + " KB")
+            .cell(std::to_string(m.lsu.dcache_bytes / 1024) + " KB")
+            .cell(std::to_string(m.write_cache.lines) + " lines")
+            .cell(std::uint64_t{m.rob_entries})
+            .cell(std::uint64_t{m.prefetch.num_buffers})
+            .cell(std::uint64_t{m.lsu.mshr_entries})
+            .cell(m.rbeCost(), 0);
+    }
+    t.print(std::cout, "Table 1: The Three Machine Models");
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * FPU tuning walkthrough: reproduces the §5.7-§5.11 decision process
+ * that led to the recommended FPU — pick an issue policy, size the
+ * decoupling queues and reorder buffer, then trade functional-unit
+ * latency against area — and prints the final recommendation.
+ *
+ *   ./fpu_tuning [instructions-per-run]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/simulator.hh"
+#include "cost/rbe.hh"
+#include "trace/spec_profiles.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+
+Count g_insts = 120'000;
+
+double
+fpCpi(const MachineConfig &m)
+{
+    Accumulator acc;
+    for (const auto &p : trace::floatSuite())
+        acc.add(simulate(m, p, g_insts).cpi());
+    return acc.mean();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1)
+        g_insts = std::strtoull(argv[1], nullptr, 10);
+
+    std::cout << "Step 1: issue policy (S5.8)\n";
+    {
+        Table t({"policy", "CPI avg"});
+        for (auto pol : {fpu::IssuePolicy::InOrderComplete,
+                         fpu::IssuePolicy::OutOfOrderSingle,
+                         fpu::IssuePolicy::OutOfOrderDual}) {
+            auto m = baselineModel();
+            m.fpu.policy = pol;
+            t.row().cell(fpu::issuePolicyName(pol)).cell(fpCpi(m), 3);
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "Step 2: queue depths under dual issue (S5.9)\n";
+    {
+        Table t({"instruction queue", "CPI avg"});
+        for (unsigned q : {1u, 3u, 5u, 7u}) {
+            auto m = baselineModel();
+            m.fpu.inst_queue = q;
+            t.row().cell(std::uint64_t{q}).cell(fpCpi(m), 3);
+        }
+        t.print(std::cout);
+        std::cout << "-> 5 entries: deeper buys nothing.\n\n";
+    }
+
+    std::cout << "Step 3: functional unit latency vs area (S5.10)\n";
+    {
+        Table t({"add latency", "CPI avg", "add area RBE",
+                 "CPI*area (lower=better)"});
+        for (Cycle lat = 2; lat <= 4; ++lat) {
+            auto m = baselineModel();
+            m.fpu.add.latency = lat;
+            const double cpi = fpCpi(m);
+            const double area = cost::fpAddRbe(lat, true);
+            t.row()
+                .cell(std::uint64_t{lat})
+                .cell(cpi, 3)
+                .cell(area, 0)
+                .cell(cpi * area / 1000.0, 1);
+        }
+        t.print(std::cout);
+        std::cout << "-> a 2-cycle add gains ~2% over 3 cycles but "
+                     "costs ~20% more area: pick 3.\n\n";
+    }
+
+    std::cout << "Recommended FPU (S5.11):\n";
+    {
+        const fpu::FpuConfig rec; // defaults are the recommendation
+        std::cout << "  policy:             "
+                  << fpu::issuePolicyName(rec.policy) << "\n"
+                  << "  instruction queue:  " << rec.inst_queue
+                  << " entries\n"
+                  << "  load data queue:    " << rec.load_queue
+                  << " entries\n"
+                  << "  reorder buffer:     " << rec.rob_entries
+                  << " entries\n"
+                  << "  add unit:           " << rec.add.latency
+                  << " cycles\n"
+                  << "  multiply unit:      " << rec.mul.latency
+                  << " cycles\n"
+                  << "  divide unit:        " << rec.div.latency
+                  << " cycles\n"
+                  << "  result busses:      " << rec.result_buses
+                  << "\n"
+                  << "  total FPU area:     "
+                  << formatFixed(cost::fpuRbe(rec), 0) << " RBE\n";
+        const double cpi = fpCpi(baselineModel());
+        std::cout << "  SPECfp92 CPI:       " << formatFixed(cpi, 3)
+                  << "\n";
+    }
+    return 0;
+}

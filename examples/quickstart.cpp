@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: simulate one benchmark on the baseline Aurora III and
+ * print the headline statistics.
+ *
+ *   ./quickstart [benchmark] [instructions]
+ *
+ * e.g. ./quickstart espresso 500000
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/simulator.hh"
+#include "trace/spec_profiles.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace aurora;
+    using namespace aurora::core;
+
+    const std::string bench = argc > 1 ? argv[1] : "espresso";
+    const Count insts =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 400'000;
+
+    // 1. Pick a workload: one of the 15 SPEC92 benchmark profiles.
+    const auto profile = trace::profileByName(bench);
+
+    // 2. Pick a machine: Table 1's baseline (2K I$, 32K D$, 4-line
+    //    write cache, 6-entry ROB, 4 stream buffers, 2 MSHRs, dual
+    //    issue, 17-cycle secondary latency).
+    const auto machine = baselineModel();
+
+    // 3. Run.
+    const RunResult r = simulate(machine, profile, insts);
+
+    std::cout << "Aurora III baseline running " << bench << "\n"
+              << "  instructions      " << r.instructions << "\n"
+              << "  cycles            " << r.cycles << "\n"
+              << "  CPI               " << formatFixed(r.cpi(), 3)
+              << "\n"
+              << "  I-cache hit       "
+              << formatFixed(r.icache_hit_pct, 1) << "%\n"
+              << "  D-cache hit       "
+              << formatFixed(r.dcache_hit_pct, 1) << "%\n"
+              << "  I-prefetch hit    "
+              << formatFixed(r.iprefetch_hit_pct, 1) << "%\n"
+              << "  D-prefetch hit    "
+              << formatFixed(r.dprefetch_hit_pct, 1) << "%\n"
+              << "  write-cache hit   "
+              << formatFixed(r.write_cache_hit_pct, 1) << "%\n"
+              << "  store traffic     "
+              << formatFixed(r.storeTrafficPct(), 1)
+              << "% of stores\n"
+              << "  IPU cost          " << formatFixed(r.rbe_cost, 0)
+              << " RBE\n\n"
+              << "stall breakdown (CPI):\n";
+    for (std::size_t c = 0; c < NUM_STALL_CAUSES; ++c) {
+        const auto cause = static_cast<StallCause>(c);
+        std::cout << "  " << stallCauseName(cause) << ": "
+                  << formatFixed(r.stallCpi(cause), 3) << "\n";
+    }
+    return 0;
+}

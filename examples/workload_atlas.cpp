@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Workload atlas: characterizes all 15 synthetic SPEC92 workloads —
+ * instruction mix, footprints, sequentiality — and optionally writes
+ * a benchmark's trace to a file for external tools.
+ *
+ *   ./workload_atlas                    # print the atlas
+ *   ./workload_atlas dump gcc gcc.aur3  # capture 200k instructions
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic_workload.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace aurora;
+    using namespace aurora::trace;
+
+    if (argc == 4 && std::string(argv[1]) == "dump") {
+        SyntheticWorkload w(profileByName(argv[2]));
+        writeTrace(argv[3], collect(w, 200'000));
+        std::cout << "wrote 200000 instructions of " << argv[2]
+                  << " to " << argv[3] << "\n";
+        return 0;
+    }
+
+    constexpr Count N = 200'000;
+    Table t({"benchmark", "alu%", "load%", "store%", "fp%", "ctl%",
+             "code KB", "data KB", "seq-data%"});
+    auto atlas_row = [&](const WorkloadProfile &p) {
+        SyntheticWorkload w(p);
+        const TraceStats s = analyze(w, N);
+        const double fp = s.frac(OpClass::FpAdd) +
+                          s.frac(OpClass::FpMul) +
+                          s.frac(OpClass::FpDiv) +
+                          s.frac(OpClass::FpCvt) +
+                          s.frac(OpClass::FpLoad) +
+                          s.frac(OpClass::FpStore);
+        const double ctl =
+            s.frac(OpClass::Branch) + s.frac(OpClass::Jump);
+        const double seq =
+            s.data_refs
+                ? 100.0 * static_cast<double>(s.seq_data_refs) /
+                      static_cast<double>(s.data_refs)
+                : 0.0;
+        t.row()
+            .cell(p.name)
+            .cell(100.0 * s.frac(OpClass::IntAlu), 1)
+            .cell(100.0 * s.frac(OpClass::Load), 1)
+            .cell(100.0 * s.frac(OpClass::Store), 1)
+            .cell(100.0 * fp, 1)
+            .cell(100.0 * ctl, 1)
+            .cell(static_cast<double>(s.unique_code_lines) * 32 /
+                      1024.0,
+                  1)
+            .cell(static_cast<double>(s.unique_data_lines) * 32 /
+                      1024.0,
+                  1)
+            .cell(seq, 1);
+    };
+    for (const auto &p : integerSuite())
+        atlas_row(p);
+    for (const auto &p : floatSuite())
+        atlas_row(p);
+    t.print(std::cout,
+            "Synthetic SPEC92 workload atlas (200k instructions)");
+    return 0;
+}

@@ -1,0 +1,239 @@
+#include "config_io.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace aurora::core
+{
+
+namespace
+{
+
+std::uint64_t
+parseUnsigned(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        const std::uint64_t v = std::stoull(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        AURORA_FATAL("bad numeric value '", value, "' for key ", key);
+    }
+}
+
+double
+parseReal(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        AURORA_FATAL("bad real value '", value, "' for key ", key);
+    }
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    if (value == "on" || value == "true" || value == "1")
+        return true;
+    if (value == "off" || value == "false" || value == "0")
+        return false;
+    AURORA_FATAL("bad boolean '", value, "' for key ", key,
+                 " (use on/off)");
+}
+
+fpu::IssuePolicy
+parsePolicy(const std::string &value)
+{
+    if (value == "inorder")
+        return fpu::IssuePolicy::InOrderComplete;
+    if (value == "single")
+        return fpu::IssuePolicy::OutOfOrderSingle;
+    if (value == "dual")
+        return fpu::IssuePolicy::OutOfOrderDual;
+    AURORA_FATAL("unknown fp_policy '", value,
+                 "' (inorder|single|dual)");
+}
+
+const char *
+policyToken(fpu::IssuePolicy policy)
+{
+    switch (policy) {
+      case fpu::IssuePolicy::InOrderComplete: return "inorder";
+      case fpu::IssuePolicy::OutOfOrderSingle: return "single";
+      case fpu::IssuePolicy::OutOfOrderDual: return "dual";
+      default:
+        AURORA_PANIC("invalid policy");
+    }
+}
+
+} // namespace
+
+void
+applyOverride(MachineConfig &config, const std::string &key,
+              const std::string &value)
+{
+    if (key == "model") {
+        if (value == "small")
+            config = smallModel();
+        else if (value == "baseline")
+            config = baselineModel();
+        else if (value == "large")
+            config = largeModel();
+        else if (value == "recommended")
+            config = recommendedModel();
+        else
+            AURORA_FATAL("unknown model '", value, "'");
+    } else if (key == "name") {
+        config.name = value;
+    } else if (key == "issue") {
+        const auto width =
+            static_cast<unsigned>(parseUnsigned(key, value));
+        if (width < 1 || width > 2)
+            AURORA_FATAL("issue width must be 1 or 2");
+        config.issue_width = width;
+        config.ifu.fetch_width = width;
+    } else if (key == "icache") {
+        config.ifu.icache_bytes =
+            static_cast<std::uint32_t>(parseUnsigned(key, value));
+    } else if (key == "dcache") {
+        config.lsu.dcache_bytes =
+            static_cast<std::uint32_t>(parseUnsigned(key, value));
+    } else if (key == "wc_lines") {
+        config.write_cache.lines =
+            static_cast<unsigned>(parseUnsigned(key, value));
+    } else if (key == "rob") {
+        config.rob_entries =
+            static_cast<unsigned>(parseUnsigned(key, value));
+    } else if (key == "mshr") {
+        config.lsu.mshr_entries =
+            static_cast<unsigned>(parseUnsigned(key, value));
+    } else if (key == "latency") {
+        config.biu.latency = parseUnsigned(key, value);
+    } else if (key == "collisions") {
+        config.biu.model_collisions = parseBool(key, value);
+    } else if (key == "prefetch") {
+        config.prefetch.enabled = parseBool(key, value);
+    } else if (key == "pf_buffers") {
+        config.prefetch.num_buffers =
+            static_cast<unsigned>(parseUnsigned(key, value));
+    } else if (key == "pf_depth") {
+        config.prefetch.depth =
+            static_cast<unsigned>(parseUnsigned(key, value));
+    } else if (key == "folding") {
+        config.ifu.branch_folding = parseBool(key, value);
+    } else if (key == "victim_lines") {
+        config.lsu.victim_lines =
+            static_cast<unsigned>(parseUnsigned(key, value));
+    } else if (key == "validate_writes") {
+        config.write_cache.validate_writes = parseBool(key, value);
+    } else if (key == "retire") {
+        config.retire_width =
+            static_cast<unsigned>(parseUnsigned(key, value));
+    } else if (key == "alu_lat") {
+        config.alu_latency =
+            static_cast<unsigned>(parseUnsigned(key, value));
+    } else if (key == "fp_policy") {
+        config.fpu.policy = parsePolicy(value);
+    } else if (key == "fp_instq") {
+        config.fpu.inst_queue =
+            static_cast<unsigned>(parseUnsigned(key, value));
+    } else if (key == "fp_loadq") {
+        config.fpu.load_queue =
+            static_cast<unsigned>(parseUnsigned(key, value));
+    } else if (key == "fp_storeq") {
+        config.fpu.store_queue =
+            static_cast<unsigned>(parseUnsigned(key, value));
+    } else if (key == "fp_rob") {
+        config.fpu.rob_entries =
+            static_cast<unsigned>(parseUnsigned(key, value));
+    } else if (key == "fp_buses") {
+        config.fpu.result_buses =
+            static_cast<unsigned>(parseUnsigned(key, value));
+    } else if (key == "fp_add_lat") {
+        config.fpu.add.latency = parseUnsigned(key, value);
+    } else if (key == "fp_mul_lat") {
+        config.fpu.mul.latency = parseUnsigned(key, value);
+    } else if (key == "fp_div_lat") {
+        config.fpu.div.latency = parseUnsigned(key, value);
+    } else if (key == "fp_cvt_lat") {
+        config.fpu.cvt.latency = parseUnsigned(key, value);
+    } else if (key == "fp_add_piped") {
+        config.fpu.add.pipelined = parseBool(key, value);
+    } else if (key == "fp_mul_piped") {
+        config.fpu.mul.pipelined = parseBool(key, value);
+    } else if (key == "fp_precise") {
+        config.fpu.precise_exceptions = parseBool(key, value);
+    } else if (key == "fp_safe_frac") {
+        config.fpu.provably_safe_frac = parseReal(key, value);
+    } else {
+        AURORA_FATAL("unknown configuration key '", key, "'");
+    }
+}
+
+MachineConfig
+parseMachineSpec(const std::string &spec)
+{
+    MachineConfig config = baselineModel();
+    std::istringstream in(spec);
+    std::string token;
+    while (in >> token) {
+        const auto eq = token.find('=');
+        if (eq == std::string::npos || eq == 0)
+            AURORA_FATAL("expected key=value, got '", token, "'");
+        applyOverride(config, token.substr(0, eq),
+                      token.substr(eq + 1));
+    }
+    return config;
+}
+
+std::string
+describe(const MachineConfig &config)
+{
+    std::ostringstream os;
+    os << "name=" << config.name
+       << " issue=" << config.issue_width
+       << " retire=" << config.retire_width
+       << " alu_lat=" << config.alu_latency
+       << " icache=" << config.ifu.icache_bytes
+       << " dcache=" << config.lsu.dcache_bytes
+       << " wc_lines=" << config.write_cache.lines
+       << " rob=" << config.rob_entries
+       << " mshr=" << config.lsu.mshr_entries
+       << " latency=" << config.biu.latency
+       << " collisions="
+       << (config.biu.model_collisions ? "on" : "off")
+       << " prefetch=" << (config.prefetch.enabled ? "on" : "off")
+       << " pf_buffers=" << config.prefetch.num_buffers
+       << " pf_depth=" << config.prefetch.depth
+       << " folding=" << (config.ifu.branch_folding ? "on" : "off")
+       << " victim_lines=" << config.lsu.victim_lines
+       << " validate_writes="
+       << (config.write_cache.validate_writes ? "on" : "off")
+       << " fp_policy=" << policyToken(config.fpu.policy)
+       << " fp_instq=" << config.fpu.inst_queue
+       << " fp_loadq=" << config.fpu.load_queue
+       << " fp_storeq=" << config.fpu.store_queue
+       << " fp_rob=" << config.fpu.rob_entries
+       << " fp_buses=" << config.fpu.result_buses
+       << " fp_add_lat=" << config.fpu.add.latency
+       << " fp_mul_lat=" << config.fpu.mul.latency
+       << " fp_div_lat=" << config.fpu.div.latency
+       << " fp_cvt_lat=" << config.fpu.cvt.latency
+       << " fp_add_piped="
+       << (config.fpu.add.pipelined ? "on" : "off")
+       << " fp_mul_piped="
+       << (config.fpu.mul.pipelined ? "on" : "off")
+       << " fp_precise="
+       << (config.fpu.precise_exceptions ? "on" : "off");
+    return os.str();
+}
+
+} // namespace aurora::core

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Textual machine-configuration parsing and serialization.
+ *
+ * Experiments are scripted with `key=value` override strings applied
+ * on top of a named base model, e.g.
+ *
+ *   "model=baseline icache=4096 mshr=4 latency=35 fp_policy=single"
+ *
+ * which is exactly the §5.6 point-E machine at the long latency with
+ * a single-issue FPU. describe() serializes a configuration back to
+ * the same syntax, and parse(describe(m)) reproduces m.
+ */
+
+#ifndef AURORA_CORE_CONFIG_IO_HH
+#define AURORA_CORE_CONFIG_IO_HH
+
+#include <string>
+
+#include "machine_config.hh"
+
+namespace aurora::core
+{
+
+/**
+ * Apply a single `key=value` override to @p config.
+ * Unknown keys and malformed values are user errors (fatal).
+ */
+void applyOverride(MachineConfig &config, const std::string &key,
+                   const std::string &value);
+
+/**
+ * Build a configuration from a whitespace-separated override
+ * string. A `model=` token (small/baseline/large/recommended)
+ * selects the base; later overrides mutate it. The base defaults to
+ * the Table 1 baseline.
+ */
+MachineConfig parseMachineSpec(const std::string &spec);
+
+/** Serialize every knob as a parseable override string. */
+std::string describe(const MachineConfig &config);
+
+} // namespace aurora::core
+
+#endif // AURORA_CORE_CONFIG_IO_HH

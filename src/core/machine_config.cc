@@ -1,0 +1,159 @@
+#include "machine_config.hh"
+
+#include "util/logging.hh"
+
+namespace aurora::core
+{
+
+void
+MachineConfig::validate() const
+{
+    if (issue_width < 1 || issue_width > 2)
+        AURORA_FATAL("issue width must be 1 or 2, got ",
+                     issue_width);
+    if (ifu.fetch_width != issue_width)
+        AURORA_FATAL("fetch width (", ifu.fetch_width,
+                     ") must equal issue width (", issue_width, ")");
+    if (retire_width < issue_width)
+        AURORA_FATAL("retire width (", retire_width,
+                     ") below issue width would leak ROB entries");
+    if (ifu.line_bytes != lsu.line_bytes ||
+        ifu.line_bytes != prefetch.line_bytes ||
+        ifu.line_bytes != write_cache.line_bytes)
+        AURORA_FATAL("cache line sizes disagree: icache ",
+                     ifu.line_bytes, ", dcache ", lsu.line_bytes,
+                     ", prefetch ", prefetch.line_bytes,
+                     ", write cache ", write_cache.line_bytes);
+    if (rob_entries == 0)
+        AURORA_FATAL("reorder buffer needs at least one entry");
+    if (alu_latency < 1)
+        AURORA_FATAL("ALU latency must be at least one cycle");
+    if (lsu.mshr_entries == 0)
+        AURORA_FATAL("the LSU needs at least one MSHR");
+    if (prefetch.enabled && prefetch.num_buffers == 0)
+        AURORA_FATAL("enabled prefetch unit needs buffers");
+    if (fpu.provably_safe_frac < 0.0 ||
+        fpu.provably_safe_frac > 1.0)
+        AURORA_FATAL("fp_safe_frac must lie in [0,1]");
+}
+
+cost::IpuResources
+MachineConfig::ipuResources() const
+{
+    cost::IpuResources res;
+    res.icache_bytes = ifu.icache_bytes;
+    res.write_cache_lines = write_cache.lines;
+    res.prefetch_buffers = prefetch.enabled ? prefetch.num_buffers : 0;
+    res.prefetch_depth = prefetch.depth;
+    res.rob_entries = rob_entries;
+    res.mshr_entries = lsu.mshr_entries;
+    res.pipelines = issue_width;
+    return res;
+}
+
+double
+MachineConfig::rbeCost() const
+{
+    return cost::ipuRbe(ipuResources());
+}
+
+MachineConfig
+MachineConfig::withIssueWidth(unsigned width) const
+{
+    MachineConfig c = *this;
+    c.issue_width = width;
+    c.ifu.fetch_width = width;
+    return c;
+}
+
+MachineConfig
+MachineConfig::withLatency(Cycle latency) const
+{
+    MachineConfig c = *this;
+    c.biu.latency = latency;
+    return c;
+}
+
+MachineConfig
+MachineConfig::withPrefetch(bool enabled) const
+{
+    MachineConfig c = *this;
+    c.prefetch.enabled = enabled;
+    return c;
+}
+
+MachineConfig
+MachineConfig::withMshrs(unsigned entries) const
+{
+    MachineConfig c = *this;
+    c.lsu.mshr_entries = entries;
+    return c;
+}
+
+MachineConfig
+MachineConfig::withName(std::string new_name) const
+{
+    MachineConfig c = *this;
+    c.name = std::move(new_name);
+    return c;
+}
+
+MachineConfig
+smallModel()
+{
+    MachineConfig c;
+    c.name = "small";
+    c.rob_entries = 2;
+    c.ifu.icache_bytes = 1024;
+    c.lsu.dcache_bytes = 16 * 1024;
+    c.lsu.mshr_entries = 1;
+    c.write_cache.lines = 2;
+    c.prefetch.num_buffers = 2;
+    return c;
+}
+
+MachineConfig
+baselineModel()
+{
+    MachineConfig c;
+    c.name = "baseline";
+    c.rob_entries = 6;
+    c.ifu.icache_bytes = 2048;
+    c.lsu.dcache_bytes = 32 * 1024;
+    c.lsu.mshr_entries = 2;
+    c.write_cache.lines = 4;
+    c.prefetch.num_buffers = 4;
+    return c;
+}
+
+MachineConfig
+largeModel()
+{
+    MachineConfig c;
+    c.name = "large";
+    c.rob_entries = 8;
+    c.ifu.icache_bytes = 4096;
+    c.lsu.dcache_bytes = 64 * 1024;
+    c.lsu.mshr_entries = 4;
+    c.write_cache.lines = 8;
+    c.prefetch.num_buffers = 8;
+    return c;
+}
+
+MachineConfig
+recommendedModel()
+{
+    MachineConfig c = baselineModel();
+    c.name = "recommended";
+    c.ifu.icache_bytes = 4096;
+    c.lsu.mshr_entries = 4;
+    return c;
+}
+
+std::vector<MachineConfig>
+studyModels()
+{
+    return {smallModel(), baselineModel(), largeModel()};
+}
+
+} // namespace aurora::core

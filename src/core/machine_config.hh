@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Complete machine configuration — every knob §5 varies.
+ *
+ * The three Table 1 models are provided as factories; the benchmark
+ * harness derives the remaining configurations (issue width, secondary
+ * latency, prefetch removal, MSHR variations, FPU sweeps) by mutating
+ * fields, which is exactly the design space Figure 8 enumerates.
+ */
+
+#ifndef AURORA_CORE_MACHINE_CONFIG_HH
+#define AURORA_CORE_MACHINE_CONFIG_HH
+
+#include <string>
+
+#include "cost/rbe.hh"
+#include "fpu/fpu_config.hh"
+#include "ipu/ifu.hh"
+#include "ipu/lsu.hh"
+#include "mem/biu.hh"
+#include "mem/stream_buffer.hh"
+#include "mem/write_cache.hh"
+
+namespace aurora::core
+{
+
+/** Everything needed to instantiate a Processor. */
+struct MachineConfig
+{
+    /** Model name for reports ("small", "baseline", "large", ...). */
+    std::string name = "baseline";
+    /** Instructions issued per cycle (1 or 2). */
+    unsigned issue_width = 2;
+    /** IPU reorder buffer entries (Table 1: 2/6/8). */
+    unsigned rob_entries = 6;
+    /** Retirements per cycle. */
+    unsigned retire_width = 2;
+    /**
+     * Cycles before an ALU result can feed a dependent instruction.
+     * 1 = the Aurora III design: short four-stage pipelines with
+     * full forwarding (§2.1). Larger values model the deep-pipeline
+     * alternative whose latch/forwarding area consumed half the
+     * execution pipeline of the earlier prototypes.
+     */
+    unsigned alu_latency = 1;
+
+    ipu::IfuConfig ifu;
+    ipu::LsuConfig lsu;
+    mem::WriteCacheConfig write_cache;
+    mem::PrefetchConfig prefetch;
+    mem::BiuConfig biu;
+    fpu::FpuConfig fpu;
+
+    /** IPU resource bundle for the cost model. */
+    cost::IpuResources ipuResources() const;
+
+    /** IPU implementation cost in RBE (Fig. 4/8 x-axis). */
+    double rbeCost() const;
+
+    /**
+     * Check cross-component consistency (line sizes shared by the
+     * caches / prefetch unit / write cache, issue vs fetch vs retire
+     * widths). Fatal on an inconsistent configuration — these are
+     * user errors, and the Processor constructor calls this.
+     */
+    void validate() const;
+
+    /// @name Fluent helpers for deriving experiment variants
+    /// @{
+    MachineConfig withIssueWidth(unsigned width) const;
+    MachineConfig withLatency(Cycle latency) const;
+    MachineConfig withPrefetch(bool enabled) const;
+    MachineConfig withMshrs(unsigned entries) const;
+    MachineConfig withName(std::string new_name) const;
+    /// @}
+};
+
+/** Table 1 "small" model: 1K I$, 16K D$, 2-line WC, 2 ROB, 2 PF, 1 MSHR. */
+MachineConfig smallModel();
+
+/** Table 1 "baseline": 2K I$, 32K D$, 4-line WC, 6 ROB, 4 PF, 2 MSHR. */
+MachineConfig baselineModel();
+
+/** Table 1 "large": 4K I$, 64K D$, 8-line WC, 8 ROB, 8 PF, 4 MSHR. */
+MachineConfig largeModel();
+
+/**
+ * §5.6 point "E": the recommended machine — the baseline upgraded to
+ * a 4 KB I-cache and 4 MSHRs only.
+ */
+MachineConfig recommendedModel();
+
+/** The three study models in Table 1 order. */
+std::vector<MachineConfig> studyModels();
+
+} // namespace aurora::core
+
+#endif // AURORA_CORE_MACHINE_CONFIG_HH

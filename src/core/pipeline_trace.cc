@@ -1,0 +1,49 @@
+#include "pipeline_trace.hh"
+
+#include <iomanip>
+#include <ostream>
+
+#include "isa/encoding.hh"
+
+namespace aurora::core
+{
+
+PipelineTracer::PipelineTracer(std::ostream &os, Cycle max_cycles)
+    : os_(os), maxCycles_(max_cycles)
+{
+}
+
+void
+PipelineTracer::onIssue(Cycle now, const trace::Inst &inst,
+                        unsigned slot)
+{
+    if (!active(now))
+        return;
+    os_ << std::setw(8) << now << "  issue[" << slot << "] pc=0x"
+        << std::hex << inst.pc << std::dec << "  "
+        << isa::disassemble(isa::encode(inst));
+    if (trace::isMem(inst.op))
+        os_ << "  @0x" << std::hex << inst.eff_addr << std::dec;
+    if (inst.redirectsFetch())
+        os_ << "  (taken)";
+    os_ << '\n';
+}
+
+void
+PipelineTracer::onStall(Cycle now, StallCause cause)
+{
+    if (!active(now))
+        return;
+    os_ << std::setw(8) << now << "  stall    "
+        << stallCauseName(cause) << '\n';
+}
+
+void
+PipelineTracer::onRetire(Cycle now, unsigned count)
+{
+    if (!active(now) || count == 0)
+        return;
+    os_ << std::setw(8) << now << "  retire   x" << count << '\n';
+}
+
+} // namespace aurora::core

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Pipeline observability: per-cycle event hooks and a text tracer.
+ *
+ * A PipelineObserver attached to a Processor receives issue, stall
+ * and retire events as they happen — the facility used to debug the
+ * pipeline model and to teach what the machine is doing cycle by
+ * cycle (aurora_sim --pipeline-trace N). Observation is optional and
+ * free when absent.
+ */
+
+#ifndef AURORA_CORE_PIPELINE_TRACE_HH
+#define AURORA_CORE_PIPELINE_TRACE_HH
+
+#include <iosfwd>
+
+#include "stall.hh"
+#include "trace/inst.hh"
+#include "util/types.hh"
+
+namespace aurora::core
+{
+
+/** Receives pipeline events; default implementations ignore them. */
+class PipelineObserver
+{
+  public:
+    virtual ~PipelineObserver() = default;
+
+    /** @p inst issued in slot @p slot (0 = first of the pair). */
+    virtual void
+    onIssue(Cycle now, const trace::Inst &inst, unsigned slot)
+    {
+        (void)now;
+        (void)inst;
+        (void)slot;
+    }
+
+    /** The issue stage made no progress, charged to @p cause. */
+    virtual void
+    onStall(Cycle now, StallCause cause)
+    {
+        (void)now;
+        (void)cause;
+    }
+
+    /** @p count instructions retired from the reorder buffer. */
+    virtual void
+    onRetire(Cycle now, unsigned count)
+    {
+        (void)now;
+        (void)count;
+    }
+};
+
+/**
+ * Textual tracer: one line per event, MIPS disassembly included.
+ * Stops emitting after @p max_cycles (the stream would otherwise be
+ * enormous); counting continues so statistics stay exact.
+ */
+class PipelineTracer : public PipelineObserver
+{
+  public:
+    PipelineTracer(std::ostream &os, Cycle max_cycles);
+
+    void onIssue(Cycle now, const trace::Inst &inst,
+                 unsigned slot) override;
+    void onStall(Cycle now, StallCause cause) override;
+    void onRetire(Cycle now, unsigned count) override;
+
+  private:
+    bool active(Cycle now) const { return now < maxCycles_; }
+
+    std::ostream &os_;
+    Cycle maxCycles_;
+};
+
+} // namespace aurora::core
+
+#endif // AURORA_CORE_PIPELINE_TRACE_HH

@@ -1,0 +1,236 @@
+#include "processor.hh"
+
+#include "isa/predecode.hh"
+#include "util/logging.hh"
+
+namespace aurora::core
+{
+
+using trace::Inst;
+using trace::OpClass;
+
+Processor::Processor(const MachineConfig &config,
+                     trace::TraceSource &source)
+    // Validate before any component is built from the fields.
+    : config_((config.validate(), config)), biu_(config.biu),
+      prefetch_(config.prefetch, biu_),
+      ifu_(config.ifu, source, prefetch_),
+      lsu_(config.lsu, config.write_cache, biu_, prefetch_),
+      fpu_(config.fpu), rob_(config.rob_entries, config.retire_width)
+{
+    config_.validate();
+}
+
+bool
+Processor::done() const
+{
+    return ifu_.exhausted() && rob_.empty() && fpu_.idle();
+}
+
+std::optional<StallCause>
+Processor::issueCheck(const Inst &inst) const
+{
+    // Structural hazard at the LSU interface is detected before
+    // operand readiness: a memory instruction with no MSHR or with
+    // the cache busses filling cannot even enter the LSU pipeline.
+    // With a single MSHR this makes LSU-Busy the dominant stall of
+    // the small model, as in Figure 6.
+    if (trace::isMem(inst.op) && !lsu_.canAccept(now_))
+        return StallCause::LsuBusy;
+
+    // Integer operand readiness: forwarding hides ALU latencies, so
+    // in practice only outstanding loads block here (Figure 6
+    // "Load" stalls).
+    if (!scoreboard_.ready(inst.src_a, now_) ||
+        !scoreboard_.ready(inst.src_b, now_))
+        return StallCause::Load;
+
+    if (inst.op == OpClass::FpLoad && !fpu_.canAcceptLoad())
+        return StallCause::FpQueue;
+    if (inst.op == OpClass::FpStore && !fpu_.canAcceptStore())
+        return StallCause::FpQueue;
+    if (trace::isFpArith(inst.op)) {
+        if (!fpu_.canAcceptArith())
+            return StallCause::FpQueue;
+        // §3.1 precise mode: an op that might fault may not be
+        // transferred while older FP work is in flight.
+        if (config_.fpu.precise_exceptions &&
+            !provablySafe(inst) && !fpu_.quiescent())
+            return StallCause::FpQueue;
+    }
+
+    if (rob_.full())
+        return StallCause::RobFull;
+
+    return std::nullopt;
+}
+
+void
+Processor::doIssue(const Inst &inst)
+{
+    switch (inst.op) {
+      case OpClass::IntAlu: {
+        scoreboard_.setWriter(inst.dst, now_ + config_.alu_latency,
+                              /*is_load=*/false);
+        rob_.allocate(now_ + config_.alu_latency);
+        break;
+      }
+      case OpClass::Branch:
+      case OpClass::Jump:
+      case OpClass::Nop:
+      case OpClass::FpMove: {
+        rob_.allocate(now_ + 1);
+        break;
+      }
+      case OpClass::Load: {
+        const Cycle ready = lsu_.load(inst.eff_addr, inst.size, now_);
+        scoreboard_.setWriter(inst.dst, ready, /*is_load=*/true);
+        rob_.allocate(ready);
+        break;
+      }
+      case OpClass::Store: {
+        lsu_.store(inst.eff_addr, inst.size, now_);
+        rob_.allocate(now_ + 1);
+        break;
+      }
+      case OpClass::FpLoad: {
+        const Cycle ready = lsu_.load(inst.eff_addr, inst.size, now_);
+        fpu_.dispatchLoad(inst.fdst, ready, now_);
+        rob_.allocate(now_ + 1);
+        ++fpDispatched_;
+        break;
+      }
+      case OpClass::FpStore: {
+        lsu_.store(inst.eff_addr, inst.size, now_);
+        fpu_.dispatchStore(inst.fsrc_a, now_);
+        rob_.allocate(now_ + 1);
+        ++fpDispatched_;
+        break;
+      }
+      case OpClass::FpAdd:
+      case OpClass::FpMul:
+      case OpClass::FpDiv:
+      case OpClass::FpCvt: {
+        fpu_.dispatchArith(inst, now_);
+        rob_.allocate(now_ + 1);
+        ++fpDispatched_;
+        break;
+      }
+      default:
+        AURORA_PANIC("unhandled op class ",
+                     static_cast<int>(inst.op));
+    }
+    ++instructions_;
+}
+
+bool
+Processor::provablySafe(const Inst &inst) const
+{
+    // Deterministic stand-in for the exponent/flag examination of
+    // §3.1: a fixed fraction of static FP operations is provably
+    // unable to raise an exception.
+    const std::uint32_t hash = inst.pc * 2654435761u;
+    const double u =
+        static_cast<double>(hash >> 8) / static_cast<double>(1u << 24);
+    return u < config_.fpu.provably_safe_frac;
+}
+
+bool
+Processor::pairOk(const Inst &first, const Inst &second) const
+{
+    // The Figure 3 predecode rules (alignment, DI bit, single memory
+    // access per cycle) live in the ISA layer.
+    return isa::dualIssueAllowed(first, second);
+}
+
+void
+Processor::issueStage()
+{
+    unsigned issued = 0;
+    Inst first{};
+    StallCause cause = StallCause::ICache;
+
+    while (issued < config_.issue_width) {
+        if (ifu_.empty()) {
+            // Buffer empty: an I-cache miss, a fetch bubble, or the
+            // end of the trace.
+            break;
+        }
+        const Inst &inst = ifu_.peek(0);
+        if (issued == 1 && !pairOk(first, inst))
+            break;
+        if (const auto blocked = issueCheck(inst)) {
+            if (issued == 0)
+                cause = *blocked;
+            break;
+        }
+        doIssue(inst);
+        if (observer_)
+            observer_->onIssue(now_, inst, issued);
+        if (issued == 0)
+            first = inst;
+        ifu_.pop();
+        ++issued;
+    }
+
+    if (issued > 0) {
+        ++issuingCycles_;
+    } else if (ifu_.exhausted()) {
+        ++tailCycles_;
+    } else {
+        ++stalls_[static_cast<std::size_t>(cause)];
+        if (observer_)
+            observer_->onStall(now_, cause);
+    }
+    ++issueWidthCycles_[issued];
+}
+
+void
+Processor::step()
+{
+    lsu_.tick(now_);
+    fpu_.tick(now_);
+    const unsigned retired = rob_.retire(now_);
+    if (observer_ && retired)
+        observer_->onRetire(now_, retired);
+    issueStage();
+    ifu_.tick(now_);
+    robOccupancy_.add(static_cast<double>(rob_.size()));
+    mshrOccupancy_.add(static_cast<double>(lsu_.mshrs().inUse()));
+    ++now_;
+}
+
+RunResult
+Processor::run()
+{
+    while (!done())
+        step();
+    if (!drained_) {
+        lsu_.drain(now_);
+        drained_ = true;
+    }
+
+    RunResult res;
+    res.model = config_.name;
+    res.instructions = instructions_;
+    res.cycles = now_;
+    res.issuing_cycles = issuingCycles_;
+    res.tail_cycles = tailCycles_;
+    res.stalls = stalls_;
+    res.icache_hit_pct = ifu_.icache().hitRate().percent();
+    res.dcache_hit_pct = lsu_.dcache().hitRate().percent();
+    res.iprefetch_hit_pct = prefetch_.instHitRate().percent();
+    res.dprefetch_hit_pct = prefetch_.dataHitRate().percent();
+    res.write_cache_hit_pct = lsu_.writeCache().hitRate().percent();
+    res.stores = lsu_.writeCache().stores();
+    res.store_transactions = lsu_.writeCache().storeTransactions();
+    res.fp_dispatched = fpDispatched_;
+    res.fpu = fpu_.stats();
+    res.rbe_cost = config_.rbeCost();
+    res.issue_width_cycles = issueWidthCycles_;
+    res.avg_rob_occupancy = robOccupancy_.mean();
+    res.avg_mshr_occupancy = mshrOccupancy_.mean();
+    return res;
+}
+
+} // namespace aurora::core

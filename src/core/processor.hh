@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The Aurora III processor model: IFU, IEU issue logic, LSU, reorder
+ * buffer, scoreboard and the decoupled FPU, advanced one clock per
+ * tick.
+ *
+ * Issue is in order, up to issue_width per cycle, from the IFU's
+ * fetch buffer. Dual issue obeys the §2 constraints: the two
+ * instructions must form an aligned EVEN/ODD pair, must not carry a
+ * true dependency (the predecoded DI bit), and may contain at most
+ * one memory access. Every non-issuing cycle is charged to a single
+ * StallCause with the priority order ICache > Load > LSU-Busy >
+ * FP-Queue > ROB-Full (matching the paper's observation that load-use
+ * waits are charged before reorder-buffer pressure).
+ */
+
+#ifndef AURORA_CORE_PROCESSOR_HH
+#define AURORA_CORE_PROCESSOR_HH
+
+#include <optional>
+#include <string>
+
+#include "fpu/fpu.hh"
+#include "util/stats.hh"
+#include "ipu/ifu.hh"
+#include "ipu/lsu.hh"
+#include "ipu/rob.hh"
+#include "ipu/scoreboard.hh"
+#include "machine_config.hh"
+#include "mem/biu.hh"
+#include "mem/stream_buffer.hh"
+#include "pipeline_trace.hh"
+#include "stall.hh"
+#include "trace/trace_source.hh"
+
+namespace aurora::core
+{
+
+/** Everything a benchmark harness needs from one simulation. */
+struct RunResult
+{
+    std::string model;
+    std::string benchmark;
+
+    Count instructions = 0;
+    Cycle cycles = 0;
+    /** Cycles where at least one instruction issued. */
+    Cycle issuing_cycles = 0;
+    /** Post-trace drain cycles (excluded from stall accounting). */
+    Cycle tail_cycles = 0;
+    StallCycles stalls{};
+
+    double icache_hit_pct = 0.0;
+    double dcache_hit_pct = 0.0;
+    double iprefetch_hit_pct = 0.0;
+    double dprefetch_hit_pct = 0.0;
+    double write_cache_hit_pct = 0.0;
+    Count stores = 0;
+    Count store_transactions = 0;
+
+    Count fp_dispatched = 0;
+    fpu::FpuStats fpu;
+
+    double rbe_cost = 0.0;
+
+    /** Cycles that issued 0 / 1 / 2 instructions. */
+    std::array<Cycle, 3> issue_width_cycles{};
+    /** Mean reorder-buffer occupancy (sampled every cycle). */
+    double avg_rob_occupancy = 0.0;
+    /** Mean MSHR occupancy (sampled every cycle). */
+    double avg_mshr_occupancy = 0.0;
+
+    /** Fraction of cycles that issued exactly @p width. */
+    double
+    issueWidthFrac(unsigned width) const
+    {
+        return cycles ? static_cast<double>(
+                            issue_width_cycles[width]) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Cycles per instruction. */
+    double
+    cpi() const
+    {
+        return instructions
+                   ? static_cast<double>(cycles) /
+                         static_cast<double>(instructions)
+                   : 0.0;
+    }
+
+    /** CPI penalty attributable to @p cause (Figure 6 bars). */
+    double
+    stallCpi(StallCause cause) const
+    {
+        return instructions
+                   ? static_cast<double>(
+                         stalls[static_cast<std::size_t>(cause)]) /
+                         static_cast<double>(instructions)
+                   : 0.0;
+    }
+
+    /** Store traffic leaving the chip, % of store instructions. */
+    double
+    storeTrafficPct() const
+    {
+        return stores ? 100.0 * static_cast<double>(store_transactions) /
+                            static_cast<double>(stores)
+                      : 0.0;
+    }
+};
+
+/** One instantiated machine bound to one instruction stream. */
+class Processor
+{
+  public:
+    Processor(const MachineConfig &config, trace::TraceSource &source);
+
+    /**
+     * Run until the trace is exhausted and the machine drains.
+     * @return aggregated statistics.
+     */
+    RunResult run();
+
+    /** Advance a single cycle (exposed for unit tests). */
+    void step();
+
+    /** Machine fully drained? */
+    bool done() const;
+
+    /// @name Component access (tests and reports)
+    /// @{
+    const ipu::Ifu &ifu() const { return ifu_; }
+    const ipu::Lsu &lsu() const { return lsu_; }
+    const fpu::Fpu &fpu() const { return fpu_; }
+    const mem::Biu &biu() const { return biu_; }
+    const mem::PrefetchUnit &prefetch() const { return prefetch_; }
+    const ipu::ReorderBuffer &rob() const { return rob_; }
+    /// @}
+
+    /**
+     * Attach an event observer (nullptr detaches). The observer must
+     * outlive the processor's run.
+     */
+    void setObserver(PipelineObserver *observer)
+    {
+        observer_ = observer;
+    }
+
+    Cycle now() const { return now_; }
+    Count instructions() const { return instructions_; }
+    const StallCycles &stalls() const { return stalls_; }
+    Cycle issuingCycles() const { return issuingCycles_; }
+    Cycle tailCycles() const { return tailCycles_; }
+
+  private:
+    /** Resource/operand check; nullopt means issuable. */
+    std::optional<StallCause> issueCheck(const trace::Inst &inst) const;
+
+    /** Commit one instruction to the pipeline model. */
+    void doIssue(const trace::Inst &inst);
+
+    /** May @p second co-issue after @p first this cycle? */
+    bool pairOk(const trace::Inst &first,
+                const trace::Inst &second) const;
+
+    /** §3.1: is @p inst provably unable to raise an FP exception? */
+    bool provablySafe(const trace::Inst &inst) const;
+
+    /** The issue stage for the current cycle. */
+    void issueStage();
+
+    MachineConfig config_;
+    mem::Biu biu_;
+    mem::PrefetchUnit prefetch_;
+    ipu::Ifu ifu_;
+    ipu::Lsu lsu_;
+    fpu::Fpu fpu_;
+    ipu::ReorderBuffer rob_;
+    ipu::Scoreboard scoreboard_;
+
+    Cycle now_ = 0;
+    Count instructions_ = 0;
+    Count fpDispatched_ = 0;
+    Cycle issuingCycles_ = 0;
+    Cycle tailCycles_ = 0;
+    StallCycles stalls_{};
+    std::array<Cycle, 3> issueWidthCycles_{};
+    Accumulator robOccupancy_;
+    Accumulator mshrOccupancy_;
+    PipelineObserver *observer_ = nullptr;
+    bool drained_ = false;
+};
+
+} // namespace aurora::core
+
+#endif // AURORA_CORE_PROCESSOR_HH

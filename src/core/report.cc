@@ -1,0 +1,124 @@
+#include "report.hh"
+
+#include <sstream>
+
+namespace aurora::core
+{
+
+std::string
+runReport(const RunResult &result)
+{
+    std::ostringstream os;
+    os << result.model << " running " << result.benchmark << "\n"
+       << "  instructions     " << result.instructions << "\n"
+       << "  cycles           " << result.cycles << "\n"
+       << "  CPI              " << formatFixed(result.cpi(), 3)
+       << "\n"
+       << "  issue widths     0/1/2 = "
+       << formatFixed(100 * result.issueWidthFrac(0), 1) << "% / "
+       << formatFixed(100 * result.issueWidthFrac(1), 1) << "% / "
+       << formatFixed(100 * result.issueWidthFrac(2), 1) << "%\n"
+       << "  I-cache hit      "
+       << formatFixed(result.icache_hit_pct, 1) << "%\n"
+       << "  D-cache hit      "
+       << formatFixed(result.dcache_hit_pct, 1) << "%\n"
+       << "  I-prefetch hit   "
+       << formatFixed(result.iprefetch_hit_pct, 1) << "%\n"
+       << "  D-prefetch hit   "
+       << formatFixed(result.dprefetch_hit_pct, 1) << "%\n"
+       << "  write-cache hit  "
+       << formatFixed(result.write_cache_hit_pct, 1) << "%\n"
+       << "  store traffic    "
+       << formatFixed(result.storeTrafficPct(), 1)
+       << "% of stores\n"
+       << "  ROB occupancy    "
+       << formatFixed(result.avg_rob_occupancy, 2) << " avg\n"
+       << "  MSHR occupancy   "
+       << formatFixed(result.avg_mshr_occupancy, 2) << " avg\n"
+       << "  IPU cost         " << formatFixed(result.rbe_cost, 0)
+       << " RBE\n"
+       << "  stall CPI        ";
+    for (std::size_t c = 0; c < NUM_STALL_CAUSES; ++c) {
+        const auto cause = static_cast<StallCause>(c);
+        os << stallCauseName(cause) << "="
+           << formatFixed(result.stallCpi(cause), 3)
+           << (c + 1 < NUM_STALL_CAUSES ? " " : "\n");
+    }
+    return os.str();
+}
+
+Table
+suiteTable(const SuiteResult &suite)
+{
+    Table t({"benchmark", "CPI", "i$%", "d$%", "ipf%", "dpf%",
+             "wc%", "traffic%"});
+    for (const RunResult &r : suite.runs) {
+        t.row()
+            .cell(r.benchmark)
+            .cell(r.cpi(), 3)
+            .cell(r.icache_hit_pct, 1)
+            .cell(r.dcache_hit_pct, 1)
+            .cell(r.iprefetch_hit_pct, 1)
+            .cell(r.dprefetch_hit_pct, 1)
+            .cell(r.write_cache_hit_pct, 1)
+            .cell(r.storeTrafficPct(), 1);
+    }
+    return t;
+}
+
+Table
+stallTable(const SuiteResult &suite)
+{
+    std::vector<std::string> headers = {"benchmark"};
+    for (std::size_t c = 0; c < NUM_STALL_CAUSES; ++c)
+        headers.emplace_back(
+            stallCauseName(static_cast<StallCause>(c)));
+    headers.emplace_back("CPI");
+    Table t(headers);
+    for (const RunResult &r : suite.runs) {
+        auto &row = t.row().cell(r.benchmark);
+        for (std::size_t c = 0; c < NUM_STALL_CAUSES; ++c)
+            row.cell(r.stallCpi(static_cast<StallCause>(c)), 3);
+        row.cell(r.cpi(), 3);
+    }
+    return t;
+}
+
+Table
+comparisonTable(const std::vector<SuiteResult> &suites)
+{
+    Table t({"machine", "cost RBE", "CPI min", "CPI avg", "CPI max",
+             "i$%", "d$%", "wc%"});
+    for (const SuiteResult &s : suites) {
+        const auto acc = s.cpiStats();
+        Accumulator ic, dc, wc;
+        for (const RunResult &r : s.runs) {
+            ic.add(r.icache_hit_pct);
+            dc.add(r.dcache_hit_pct);
+            wc.add(r.write_cache_hit_pct);
+        }
+        t.row()
+            .cell(s.machine.name)
+            .cell(s.machine.rbeCost(), 0)
+            .cell(acc.min(), 3)
+            .cell(acc.mean(), 3)
+            .cell(acc.max(), 3)
+            .cell(ic.mean(), 1)
+            .cell(dc.mean(), 1)
+            .cell(wc.mean(), 1);
+    }
+    return t;
+}
+
+std::string
+scatterCsv(const std::vector<SuiteResult> &suites)
+{
+    std::ostringstream os;
+    os << "machine,cost_rbe,cpi_avg\n";
+    for (const SuiteResult &s : suites)
+        os << s.machine.name << ',' << formatFixed(s.machine.rbeCost(), 0)
+           << ',' << formatFixed(s.avgCpi(), 4) << '\n';
+    return os.str();
+}
+
+} // namespace aurora::core

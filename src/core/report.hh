@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Report formatting for simulation results.
+ *
+ * Turns RunResult / SuiteResult into the tables the study reports:
+ * per-run detail, per-suite summaries, Figure 6 stall breakdowns, and
+ * side-by-side machine comparisons. Used by the benchmark harness,
+ * the examples, and the CLI driver.
+ */
+
+#ifndef AURORA_CORE_REPORT_HH
+#define AURORA_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "simulator.hh"
+#include "util/table.hh"
+
+namespace aurora::core
+{
+
+/** Multi-line human-readable report for a single run. */
+std::string runReport(const RunResult &result);
+
+/** Per-benchmark summary rows for one machine. */
+Table suiteTable(const SuiteResult &suite);
+
+/** Figure 6-style stall breakdown, one row per benchmark. */
+Table stallTable(const SuiteResult &suite);
+
+/**
+ * Side-by-side comparison of several machines over the same suite:
+ * one row per machine with cost, CPI statistics, and headline rates.
+ */
+Table comparisonTable(const std::vector<SuiteResult> &suites);
+
+/** CSV of (name, cost, cpi) scatter points for external plotting. */
+std::string scatterCsv(const std::vector<SuiteResult> &suites);
+
+} // namespace aurora::core
+
+#endif // AURORA_CORE_REPORT_HH

@@ -1,0 +1,57 @@
+#include "simulator.hh"
+
+#include "trace/synthetic_workload.hh"
+
+namespace aurora::core
+{
+
+RunResult
+simulate(const MachineConfig &machine,
+         const trace::WorkloadProfile &profile, Count instructions)
+{
+    trace::SyntheticWorkload workload(profile);
+    trace::LimitedTraceSource limited(workload, instructions);
+    Processor cpu(machine, limited);
+    RunResult res = cpu.run();
+    res.benchmark = profile.name;
+    return res;
+}
+
+Accumulator
+SuiteResult::cpiStats() const
+{
+    Accumulator acc;
+    for (const RunResult &run : runs)
+        acc.add(run.cpi());
+    return acc;
+}
+
+double
+SuiteResult::avgCpi() const
+{
+    return cpiStats().mean();
+}
+
+double
+SuiteResult::avgStallCpi(StallCause cause) const
+{
+    Accumulator acc;
+    for (const RunResult &run : runs)
+        acc.add(run.stallCpi(cause));
+    return acc.mean();
+}
+
+SuiteResult
+runSuite(const MachineConfig &machine,
+         const std::vector<trace::WorkloadProfile> &suite,
+         Count instructions)
+{
+    SuiteResult result;
+    result.machine = machine;
+    result.runs.reserve(suite.size());
+    for (const auto &profile : suite)
+        result.runs.push_back(simulate(machine, profile, instructions));
+    return result;
+}
+
+} // namespace aurora::core

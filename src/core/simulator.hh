@@ -1,0 +1,55 @@
+/**
+ * @file
+ * High-level simulation facade — the library's main entry point.
+ *
+ * Wraps workload construction, trace limiting, processor
+ * instantiation, and suite-level aggregation so an experiment is one
+ * call: simulate(machine, benchmark, instructions).
+ */
+
+#ifndef AURORA_CORE_SIMULATOR_HH
+#define AURORA_CORE_SIMULATOR_HH
+
+#include <vector>
+
+#include "machine_config.hh"
+#include "processor.hh"
+#include "trace/workload_profile.hh"
+#include "util/stats.hh"
+
+namespace aurora::core
+{
+
+/** Default instruction budget per benchmark run. */
+inline constexpr Count DEFAULT_RUN_INSTS = 400'000;
+
+/**
+ * Run @p profile on @p machine for @p instructions dynamic
+ * instructions (the paper truncates benchmarks the same way, §4.1).
+ */
+RunResult simulate(const MachineConfig &machine,
+                   const trace::WorkloadProfile &profile,
+                   Count instructions = DEFAULT_RUN_INSTS);
+
+/** A full benchmark-suite sweep on one machine. */
+struct SuiteResult
+{
+    MachineConfig machine;
+    std::vector<RunResult> runs;
+
+    /** CPI summary across the suite (Figure 4 error bars). */
+    Accumulator cpiStats() const;
+    /** Arithmetic-mean CPI across benchmarks. */
+    double avgCpi() const;
+    /** Mean CPI penalty for @p cause across benchmarks. */
+    double avgStallCpi(StallCause cause) const;
+};
+
+/** Run every profile in @p suite on @p machine. */
+SuiteResult runSuite(const MachineConfig &machine,
+                     const std::vector<trace::WorkloadProfile> &suite,
+                     Count instructions = DEFAULT_RUN_INSTS);
+
+} // namespace aurora::core
+
+#endif // AURORA_CORE_SIMULATOR_HH

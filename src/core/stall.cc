@@ -1,0 +1,22 @@
+#include "stall.hh"
+
+#include "util/logging.hh"
+
+namespace aurora::core
+{
+
+std::string_view
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::ICache:  return "ICache";
+      case StallCause::Load:    return "Load";
+      case StallCause::LsuBusy: return "LSU-Busy";
+      case StallCause::RobFull: return "ROB-Full";
+      case StallCause::FpQueue: return "FP-Queue";
+      default:
+        AURORA_PANIC("invalid stall cause");
+    }
+}
+
+} // namespace aurora::core

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Issue-stall classification (Figure 6).
+ *
+ * Each cycle in which the IPU issues no instruction is charged to
+ * exactly one cause, so the stall stacks sum to the difference between
+ * measured cycles and issuing cycles by construction (a property the
+ * test suite enforces). The first four categories are the paper's;
+ * FpQueue covers decoupling-queue back-pressure, which only occurs in
+ * floating point workloads.
+ */
+
+#ifndef AURORA_CORE_STALL_HH
+#define AURORA_CORE_STALL_HH
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace aurora::core
+{
+
+/** Why the issue stage made no progress this cycle. */
+enum class StallCause : std::size_t
+{
+    ICache,   ///< fetch buffer empty: I-miss or fetch bubble
+    Load,     ///< source register awaits an outstanding load
+    LsuBusy,  ///< LSU full (no MSHR) or cache busses filling
+    RobFull,  ///< no reorder buffer entry
+    FpQueue,  ///< FPU decoupling queue full
+    NumCauses
+};
+
+/** Number of stall categories. */
+inline constexpr std::size_t NUM_STALL_CAUSES =
+    static_cast<std::size_t>(StallCause::NumCauses);
+
+/** Display name for reports. */
+std::string_view stallCauseName(StallCause cause);
+
+/** Per-cause cycle counters. */
+using StallCycles = std::array<std::uint64_t, NUM_STALL_CAUSES>;
+
+} // namespace aurora::core
+
+#endif // AURORA_CORE_STALL_HH

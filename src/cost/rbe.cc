@@ -1,0 +1,137 @@
+#include "rbe.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace aurora::cost
+{
+
+double
+icacheRbe(std::uint32_t bytes)
+{
+    AURORA_ASSERT(bytes >= 512, "I-cache below the model's range");
+    // Exact published points.
+    if (bytes == 1024)
+        return RBE_ICACHE_1K;
+    if (bytes == 2048)
+        return RBE_ICACHE_2K;
+    if (bytes == 4096)
+        return RBE_ICACHE_4K;
+    // Log-linear through the published points: doubling capacity
+    // multiplies area by ~1.55 (12000/8000, 20000/12000 average).
+    const double lg = std::log2(static_cast<double>(bytes) / 1024.0);
+    if (lg <= 1.0) {
+        // interpolate 1K..2K
+        return RBE_ICACHE_1K *
+               std::pow(RBE_ICACHE_2K / RBE_ICACHE_1K, lg);
+    }
+    // interpolate/extrapolate from 2K upward
+    return RBE_ICACHE_2K *
+           std::pow(RBE_ICACHE_4K / RBE_ICACHE_2K, lg - 1.0);
+}
+
+double
+writeCacheRbe(unsigned lines)
+{
+    return RBE_WRITE_CACHE_LINE * lines;
+}
+
+double
+prefetchRbe(unsigned buffers, unsigned depth)
+{
+    return RBE_PREFETCH_LINE * buffers * depth;
+}
+
+double
+robRbe(unsigned entries)
+{
+    return RBE_ROB_ENTRY * entries;
+}
+
+double
+mshrRbe(unsigned entries)
+{
+    return RBE_MSHR_ENTRY * entries;
+}
+
+double
+pipelineRbe(unsigned pipelines)
+{
+    return RBE_INT_PIPELINE * pipelines;
+}
+
+double
+ipuRbe(const IpuResources &res)
+{
+    // Interconnect overhead is assumed to scale with the sum of the
+    // component areas (§4.2), so a plain sum prices the system.
+    return icacheRbe(res.icache_bytes) +
+           writeCacheRbe(res.write_cache_lines) +
+           prefetchRbe(res.prefetch_buffers, res.prefetch_depth) +
+           robRbe(res.rob_entries) + mshrRbe(res.mshr_entries) +
+           pipelineRbe(res.pipelines);
+}
+
+namespace
+{
+
+/** Linear interpolation of unit cost over its latency range. */
+double
+unitCost(Cycle latency, Cycle lat_fast, Cycle lat_slow,
+         double rbe_fast, double rbe_slow)
+{
+    AURORA_ASSERT(latency >= lat_fast && latency <= lat_slow,
+                  "latency outside the published cost range");
+    const double t = static_cast<double>(latency - lat_fast) /
+                     static_cast<double>(lat_slow - lat_fast);
+    return rbe_fast + t * (rbe_slow - rbe_fast);
+}
+
+} // namespace
+
+double
+fpAddRbe(Cycle latency, bool pipelined)
+{
+    const double base =
+        unitCost(latency, 1, 5, RBE_FP_ADD_FAST, RBE_FP_ADD_SLOW);
+    return pipelined ? base : base * (1.0 - FP_PIPELINE_LATCH_FRACTION);
+}
+
+double
+fpMulRbe(Cycle latency, bool pipelined)
+{
+    const double base =
+        unitCost(latency, 1, 5, RBE_FP_MUL_FAST, RBE_FP_MUL_SLOW);
+    return pipelined ? base : base * (1.0 - FP_PIPELINE_LATCH_FRACTION);
+}
+
+double
+fpDivRbe(Cycle latency)
+{
+    return unitCost(latency, 10, 30, RBE_FP_DIV_FAST, RBE_FP_DIV_SLOW);
+}
+
+double
+fpCvtRbe(Cycle latency)
+{
+    return unitCost(latency, 1, 5, RBE_FP_CVT_FAST, RBE_FP_CVT_SLOW);
+}
+
+double
+fpuRbe(const fpu::FpuConfig &config)
+{
+    // The reorder buffer entry cost is taken from the IPU column of
+    // Table 2 (the paper prices only one kind of reorder entry).
+    return RBE_FPU_DATA_BLOCK +
+           RBE_FP_INST_QUEUE_ENTRY * config.inst_queue +
+           RBE_FP_DATA_QUEUE_ENTRY *
+               (config.load_queue + config.store_queue) +
+           RBE_ROB_ENTRY * config.rob_entries +
+           fpAddRbe(config.add.latency, config.add.pipelined) +
+           fpMulRbe(config.mul.latency, config.mul.pipelined) +
+           fpDivRbe(config.div.latency) +
+           fpCvtRbe(config.cvt.latency);
+}
+
+} // namespace aurora::cost

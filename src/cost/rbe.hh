@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Register-Bit-Equivalent (RBE) area model (§4.2, Table 2).
+ *
+ * Mulder's RBE model [11] normalizes the area of microarchitectural
+ * structures to the area of a 1-bit static latch (for the Aurora III
+ * GaAs DCFL process: ~16 transistors, ~3600 um^2). The paper's Table 2
+ * prices each element from actual layout; those constants are encoded
+ * here verbatim. Latency-dependent functional unit costs are linearly
+ * interpolated between the published endpoints, and removing pipeline
+ * latches from the add/multiply units saves ~25% of the unit area
+ * (§5.10).
+ *
+ * The external data cache is deliberately *excluded* from system cost,
+ * exactly as in the paper (it lives on separate SRAM chips).
+ */
+
+#ifndef AURORA_COST_RBE_HH
+#define AURORA_COST_RBE_HH
+
+#include <cstdint>
+
+#include "fpu/fpu_config.hh"
+#include "util/types.hh"
+
+namespace aurora::cost
+{
+
+/// @name Table 2 constants (RBE units)
+/// @{
+inline constexpr double RBE_ICACHE_1K = 8000.0;
+inline constexpr double RBE_ICACHE_2K = 12000.0;
+inline constexpr double RBE_ICACHE_4K = 20000.0;
+inline constexpr double RBE_WRITE_CACHE_LINE = 320.0;
+inline constexpr double RBE_PREFETCH_LINE = 320.0;
+inline constexpr double RBE_ROB_ENTRY = 200.0;
+inline constexpr double RBE_MSHR_ENTRY = 50.0;
+inline constexpr double RBE_INT_PIPELINE = 8192.0;
+
+inline constexpr double RBE_FPU_DATA_BLOCK = 4000.0; ///< RF + scoreboard
+inline constexpr double RBE_FP_INST_QUEUE_ENTRY = 50.0;
+inline constexpr double RBE_FP_DATA_QUEUE_ENTRY = 80.0;
+/// Add unit: 1 cycle -> 5000 RBE, 5 cycles -> 1250 RBE.
+inline constexpr double RBE_FP_ADD_FAST = 5000.0;
+inline constexpr double RBE_FP_ADD_SLOW = 1250.0;
+/// Multiply unit: 1 cycle -> 6875 RBE, 5 cycles -> 2500 RBE.
+inline constexpr double RBE_FP_MUL_FAST = 6875.0;
+inline constexpr double RBE_FP_MUL_SLOW = 2500.0;
+/// Divide unit: 10 cycles -> 2500 RBE, 30 cycles -> 625 RBE.
+inline constexpr double RBE_FP_DIV_FAST = 2500.0;
+inline constexpr double RBE_FP_DIV_SLOW = 625.0;
+/// Conversion unit: 1 cycle -> 2500 RBE, 5 cycles -> 1250 RBE.
+inline constexpr double RBE_FP_CVT_FAST = 2500.0;
+inline constexpr double RBE_FP_CVT_SLOW = 1250.0;
+/// Fraction of add/multiply unit area spent on pipeline latches.
+inline constexpr double FP_PIPELINE_LATCH_FRACTION = 0.25;
+/// @}
+
+/** IPU resource bundle priced by ipuRbe(). */
+struct IpuResources
+{
+    std::uint32_t icache_bytes = 2048;
+    unsigned write_cache_lines = 4;
+    unsigned prefetch_buffers = 4;
+    unsigned prefetch_depth = 2;
+    unsigned rob_entries = 6;
+    unsigned mshr_entries = 2;
+    unsigned pipelines = 2;
+};
+
+/**
+ * Instruction cache cost. Exact at the published 1/2/4 KB points,
+ * log-linear interpolation elsewhere (RAM area grows sublinearly
+ * because decode/sense overhead amortizes, §4.2).
+ */
+double icacheRbe(std::uint32_t bytes);
+
+/** Write cache cost: lines of eight words. */
+double writeCacheRbe(unsigned lines);
+
+/** Prefetch unit cost: buffers x lines-per-buffer. */
+double prefetchRbe(unsigned buffers, unsigned depth);
+
+/** Reorder buffer cost. */
+double robRbe(unsigned entries);
+
+/** MSHR file cost. */
+double mshrRbe(unsigned entries);
+
+/** Integer execution pipeline cost. */
+double pipelineRbe(unsigned pipelines);
+
+/** Total IPU cost (the Figure 4 / Figure 8 x-axis). */
+double ipuRbe(const IpuResources &res);
+
+/// @name FPU element costs (Figure 9d-g trade-offs)
+/// @{
+double fpAddRbe(Cycle latency, bool pipelined);
+double fpMulRbe(Cycle latency, bool pipelined);
+double fpDivRbe(Cycle latency);
+double fpCvtRbe(Cycle latency);
+/// @}
+
+/** Total FPU cost for a configuration. */
+double fpuRbe(const fpu::FpuConfig &config);
+
+} // namespace aurora::cost
+
+#endif // AURORA_COST_RBE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Floating point unit configuration (§3, §5.7-§5.11).
+ *
+ * Every FPU knob the paper sweeps is here: the decoupling queue
+ * depths, reorder buffer size, issue policy, result bus count, and
+ * per-functional-unit latency/pipelining (Figure 9 varies add/mul/cvt
+ * over 1-5 cycles, divide over 10-30, and ablates pipelining).
+ */
+
+#ifndef AURORA_FPU_FPU_CONFIG_HH
+#define AURORA_FPU_FPU_CONFIG_HH
+
+#include "util/types.hh"
+
+namespace aurora::fpu
+{
+
+/** FP instruction issue policies of §5.8. */
+enum class IssuePolicy
+{
+    /** In-order issue, in-order completion: one instruction active. */
+    InOrderComplete,
+    /** In-order issue, out-of-order completion, one per cycle. */
+    OutOfOrderSingle,
+    /** In-order issue, out-of-order completion, up to two per cycle. */
+    OutOfOrderDual,
+};
+
+/** Short display name of a policy. */
+const char *issuePolicyName(IssuePolicy policy);
+
+/** One functional unit's implementation choice. */
+struct FpUnitConfig
+{
+    /** Result latency in cycles. */
+    Cycle latency = 3;
+    /** Pipelined (new op every cycle) vs. iterative (busy). */
+    bool pipelined = true;
+};
+
+/** Complete FPU configuration; defaults are §5.11's recommendation. */
+struct FpuConfig
+{
+    IssuePolicy policy = IssuePolicy::OutOfOrderDual;
+    /** Decoupling instruction queue entries (Fig 9a; rec: 5). */
+    unsigned inst_queue = 5;
+    /** Load data queue entries (Fig 9b; rec: 2). */
+    unsigned load_queue = 2;
+    /** Store/move-to-IPU result queue entries. */
+    unsigned store_queue = 3;
+    /** FPU reorder buffer entries (Fig 9c; rec: 6). */
+    unsigned rob_entries = 6;
+    /** Result busses shared by the functional units (rec: 2). */
+    unsigned result_buses = 2;
+    /** Add unit: pipelined, 3 cycles (rec). */
+    FpUnitConfig add{3, true};
+    /**
+     * Multiply unit: 5 cycles, pipelined in the base simulations;
+     * §5.10 ablates pipelining (the iterative small-array multiplier)
+     * at a < 5% performance cost.
+     */
+    FpUnitConfig mul{5, true};
+    /** Divide unit: SRT, iterative, 19 cycles (rec). */
+    FpUnitConfig div{19, false};
+    /** Conversion unit: pipelined, 2 cycles. */
+    FpUnitConfig cvt{2, true};
+
+    /**
+     * §3.1 precise exception mode: an FP instruction that cannot be
+     * proven exception-free (by examining operand exponents and the
+     * exception flags) is not transferred to the FPU until every
+     * older FP instruction has completed. Off = the higher
+     * performance imprecise mode the study uses.
+     */
+    bool precise_exceptions = false;
+    /**
+     * Fraction of FP operations the exponent-examination hardware
+     * can prove safe (they transfer without draining the FPU).
+     */
+    double provably_safe_frac = 0.70;
+};
+
+} // namespace aurora::fpu
+
+#endif // AURORA_FPU_FPU_CONFIG_HH

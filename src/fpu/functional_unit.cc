@@ -1,0 +1,34 @@
+#include "functional_unit.hh"
+
+#include "util/logging.hh"
+
+namespace aurora::fpu
+{
+
+FunctionalUnit::FunctionalUnit(const FpUnitConfig &config,
+                               std::string name)
+    : config_(config), name_(std::move(name))
+{
+    AURORA_ASSERT(config_.latency >= 1,
+                  "functional unit latency must be >= 1");
+}
+
+bool
+FunctionalUnit::canIssue(Cycle now) const
+{
+    if (config_.pipelined)
+        return lastIssue_ == NEVER || lastIssue_ < now;
+    return busyUntil_ <= now;
+}
+
+Cycle
+FunctionalUnit::issue(Cycle now)
+{
+    AURORA_ASSERT(canIssue(now), "issue to busy unit ", name_);
+    ++ops_;
+    lastIssue_ = now;
+    busyUntil_ = now + config_.latency;
+    return now + config_.latency;
+}
+
+} // namespace aurora::fpu

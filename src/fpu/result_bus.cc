@@ -1,0 +1,40 @@
+#include "result_bus.hh"
+
+#include "util/logging.hh"
+
+namespace aurora::fpu
+{
+
+ResultBusSchedule::ResultBusSchedule(unsigned buses)
+    : buses_(buses)
+{
+    AURORA_ASSERT(buses_ > 0, "need at least one result bus");
+}
+
+void
+ResultBusSchedule::advance(Cycle now)
+{
+    // Clear every slot that fell out of the past.
+    while (horizon_ < now) {
+        counts_[horizon_ % WINDOW] = 0;
+        ++horizon_;
+    }
+}
+
+bool
+ResultBusSchedule::canReserve(Cycle when) const
+{
+    AURORA_ASSERT(when >= horizon_, "reservation in the past");
+    AURORA_ASSERT(when < horizon_ + WINDOW,
+                  "reservation beyond the scheduling window");
+    return counts_[when % WINDOW] < buses_;
+}
+
+void
+ResultBusSchedule::reserve(Cycle when)
+{
+    AURORA_ASSERT(canReserve(when), "result bus overcommitted");
+    ++counts_[when % WINDOW];
+}
+
+} // namespace aurora::fpu

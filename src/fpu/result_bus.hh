@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Result bus scheduler.
+ *
+ * The FPU writes functional-unit results to the reorder buffer over a
+ * small number of shared result busses (two in the recommended
+ * configuration). An instruction may only issue if a bus slot is free
+ * at its completion cycle; conflicts are one of the dual-issue
+ * constraints listed in §5.8.
+ */
+
+#ifndef AURORA_FPU_RESULT_BUS_HH
+#define AURORA_FPU_RESULT_BUS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace aurora::fpu
+{
+
+/** Sliding-window reservation table for the result busses. */
+class ResultBusSchedule
+{
+  public:
+    /** Longest schedulable distance into the future, cycles. */
+    static constexpr std::size_t WINDOW = 256;
+
+    explicit ResultBusSchedule(unsigned buses);
+
+    /** Release reservations for cycles before @p now. */
+    void advance(Cycle now);
+
+    /** Is a bus free at cycle @p when? */
+    bool canReserve(Cycle when) const;
+
+    /** Claim a bus at cycle @p when (canReserve must hold). */
+    void reserve(Cycle when);
+
+    unsigned buses() const { return buses_; }
+
+  private:
+    unsigned buses_;
+    std::array<std::uint8_t, WINDOW> counts_{};
+    Cycle horizon_ = 0; ///< slots below horizon_ are cleared
+};
+
+} // namespace aurora::fpu
+
+#endif // AURORA_FPU_RESULT_BUS_HH

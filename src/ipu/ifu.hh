@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Instruction Fetch Unit with the pre-decoded instruction cache (§2).
+ *
+ * The IFU walks the dynamic instruction stream, modelling the on-chip
+ * instruction cache and the Figure 3 predecode machinery:
+ *
+ *  - instructions are grouped into aligned EVEN/ODD pairs; at most one
+ *    pair is fetched per cycle, and a lone ODD instruction (e.g. a
+ *    branch target at an odd slot) fills only one issue slot;
+ *  - with branch folding enabled the NEXT field supplies the target's
+ *    cache index, so taken control transfers cost no fetch bubble;
+ *    with folding disabled each taken transfer costs one cycle;
+ *  - I-cache misses stall fetching (the "front of the IEU pipeline"
+ *    stalls) while the LSU and reorder buffer continue; missing lines
+ *    are looked up in the shared prefetch stream buffers before a
+ *    demand fetch is issued.
+ */
+
+#ifndef AURORA_IPU_IFU_HH
+#define AURORA_IPU_IFU_HH
+
+#include "mem/biu.hh"
+#include "mem/cache.hh"
+#include "mem/stream_buffer.hh"
+#include "trace/trace_source.hh"
+#include "util/bounded_queue.hh"
+#include "util/types.hh"
+
+namespace aurora::ipu
+{
+
+/** Front-end configuration. */
+struct IfuConfig
+{
+    /** On-chip I-cache capacity (Table 1: 1/2/4 KB). */
+    std::uint32_t icache_bytes = 2048;
+    /** Cache line size. */
+    std::uint32_t line_bytes = 32;
+    /** Instructions fetched per cycle (the pair width). */
+    unsigned fetch_width = 2;
+    /** Branch folding via the predecoded NEXT field (Figure 3). */
+    bool branch_folding = true;
+    /**
+     * Fetch buffer entries between fetch and issue. Two pairs: the
+     * machine issues almost directly from the decoded cache, so a
+     * taken-branch fetch bubble (folding disabled) is visible to the
+     * issue stage rather than absorbed by a deep buffer.
+     */
+    unsigned buffer_entries = 4;
+};
+
+/** Front end: fetch from the trace through the I-cache model. */
+class Ifu
+{
+  public:
+    Ifu(const IfuConfig &config, trace::TraceSource &source,
+        mem::PrefetchUnit &prefetch);
+
+    /** Fetch up to fetch_width instructions into the buffer. */
+    void tick(Cycle now);
+
+    /// @name Issue-stage interface
+    /// @{
+    bool empty() const { return buffer_.empty(); }
+    std::size_t available() const { return buffer_.size(); }
+    /** Instruction at buffer position @p idx (0 = next to issue). */
+    const trace::Inst &peek(std::size_t idx) const
+    {
+        return buffer_.at(idx);
+    }
+    /** Consume the next instruction. */
+    trace::Inst pop() { return buffer_.pop(); }
+    /// @}
+
+    /** Is fetch currently stalled on an I-cache miss? */
+    bool missStalled(Cycle now) const
+    {
+        return missStall_ && now < resumeAt_;
+    }
+
+    /** True when the trace ended and the buffer has drained. */
+    bool exhausted() const { return done_ && buffer_.empty(); }
+
+    /** I-cache statistics. */
+    const mem::DirectMappedCache &icache() const { return icache_; }
+
+    const IfuConfig &config() const { return config_; }
+
+  private:
+    /** Refill nextInst_ from the source. */
+    void pump();
+
+    IfuConfig config_;
+    trace::TraceSource &source_;
+    mem::PrefetchUnit &prefetch_;
+    mem::DirectMappedCache icache_;
+    BoundedQueue<trace::Inst> buffer_;
+
+    trace::Inst nextInst_{};
+    bool haveNext_ = false;
+    bool done_ = false;
+
+    Cycle resumeAt_ = 0;    ///< fetch blocked before this cycle
+    bool missStall_ = false; ///< current block is an I-miss
+};
+
+} // namespace aurora::ipu
+
+#endif // AURORA_IPU_IFU_HH

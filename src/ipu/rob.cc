@@ -1,0 +1,34 @@
+#include "rob.hh"
+
+#include "util/logging.hh"
+
+namespace aurora::ipu
+{
+
+ReorderBuffer::ReorderBuffer(unsigned entries, unsigned retire_width)
+    : slots_(entries), retireWidth_(retire_width)
+{
+    AURORA_ASSERT(retire_width > 0, "retire width must be positive");
+}
+
+void
+ReorderBuffer::allocate(Cycle completes_at)
+{
+    AURORA_ASSERT(!slots_.full(), "ROB allocate when full");
+    slots_.push(completes_at);
+}
+
+unsigned
+ReorderBuffer::retire(Cycle now)
+{
+    unsigned n = 0;
+    while (n < retireWidth_ && !slots_.empty() &&
+           slots_.front() <= now) {
+        slots_.pop();
+        ++n;
+        ++retired_;
+    }
+    return n;
+}
+
+} // namespace aurora::ipu

@@ -1,0 +1,55 @@
+#include "scoreboard.hh"
+
+#include "util/logging.hh"
+
+namespace aurora::ipu
+{
+
+Scoreboard::Scoreboard()
+{
+    reset();
+}
+
+bool
+Scoreboard::ready(RegIndex reg, Cycle now) const
+{
+    if (reg == NO_REG || reg == 0)
+        return true;
+    AURORA_ASSERT(reg < 32, "register index out of range");
+    return regs_[reg].ready <= now;
+}
+
+bool
+Scoreboard::pendingLoad(RegIndex reg, Cycle now) const
+{
+    if (reg == NO_REG || reg == 0)
+        return false;
+    AURORA_ASSERT(reg < 32, "register index out of range");
+    return regs_[reg].ready > now && regs_[reg].is_load;
+}
+
+void
+Scoreboard::setWriter(RegIndex reg, Cycle ready_at, bool is_load)
+{
+    if (reg == NO_REG || reg == 0)
+        return;
+    AURORA_ASSERT(reg < 32, "register index out of range");
+    regs_[reg] = {ready_at, is_load};
+}
+
+Cycle
+Scoreboard::readyAt(RegIndex reg) const
+{
+    if (reg == NO_REG || reg == 0)
+        return 0;
+    AURORA_ASSERT(reg < 32, "register index out of range");
+    return regs_[reg].ready;
+}
+
+void
+Scoreboard::reset()
+{
+    regs_.fill(EntryState{});
+}
+
+} // namespace aurora::ipu

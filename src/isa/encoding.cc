@@ -1,0 +1,242 @@
+#include "encoding.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace aurora::isa
+{
+
+using trace::Inst;
+using trace::OpClass;
+
+namespace
+{
+
+/** 5-bit register field, mapping NO_REG to $0. */
+Word
+regField(RegIndex reg)
+{
+    return reg == NO_REG ? 0u : (reg & 0x1fu);
+}
+
+Word
+rtype(Word funct, RegIndex rs, RegIndex rt, RegIndex rd)
+{
+    return (OP_SPECIAL << 26) | (regField(rs) << 21) |
+           (regField(rt) << 16) | (regField(rd) << 11) | funct;
+}
+
+Word
+itype(Word opcode, RegIndex rs, RegIndex rt, std::uint16_t imm)
+{
+    return (opcode << 26) | (regField(rs) << 21) |
+           (regField(rt) << 16) | imm;
+}
+
+Word
+cop1(Word funct, RegIndex fs, RegIndex ft, RegIndex fd)
+{
+    return (OP_COP1 << 26) | (COP1_FMT_D << 21) |
+           (regField(ft) << 16) | (regField(fs) << 11) |
+           (regField(fd) << 6) | funct;
+}
+
+const char *
+regName(RegIndex reg)
+{
+    static const char *names[32] = {
+        "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+        "$t0",   "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+        "$s0",   "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+        "$t8",   "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra"};
+    return names[reg & 0x1f];
+}
+
+} // namespace
+
+Word
+encode(const Inst &inst)
+{
+    switch (inst.op) {
+      case OpClass::IntAlu:
+        return rtype(FUNCT_ADDU, inst.src_a, inst.src_b, inst.dst);
+      case OpClass::Load:
+        return itype(OP_LW, inst.src_a, inst.dst, 0);
+      case OpClass::Store:
+        return itype(OP_SW, inst.src_a, inst.src_b, 0);
+      case OpClass::Branch:
+        return itype(OP_BNE, inst.src_a, inst.src_b, 0);
+      case OpClass::Jump:
+        return OP_J << 26;
+      case OpClass::FpAdd:
+        return cop1(FUNCT_FADD, inst.fsrc_a, inst.fsrc_b, inst.fdst);
+      case OpClass::FpMul:
+        return cop1(FUNCT_FMUL, inst.fsrc_a, inst.fsrc_b, inst.fdst);
+      case OpClass::FpDiv:
+        return cop1(FUNCT_FDIV, inst.fsrc_a, inst.fsrc_b, inst.fdst);
+      case OpClass::FpCvt:
+        return cop1(FUNCT_CVT_D_W, inst.fsrc_a, NO_REG, inst.fdst);
+      case OpClass::FpLoad:
+        return itype(OP_LWC1, inst.src_a, inst.fdst, 0);
+      case OpClass::FpStore:
+        return itype(OP_SWC1, inst.src_a, inst.fsrc_a, 0);
+      case OpClass::FpMove:
+        // mfc1 rt, fs: COP1 with rs field 0.
+        return (OP_COP1 << 26) | (regField(inst.dst) << 16) |
+               (regField(inst.fsrc_a) << 11);
+      case OpClass::Nop:
+        return rtype(FUNCT_SLL, 0, 0, 0);
+      default:
+        AURORA_PANIC("cannot encode op class ",
+                     static_cast<int>(inst.op));
+    }
+}
+
+Decoded
+decode(Word word)
+{
+    Decoded out;
+    const Word opcode = word >> 26;
+    const auto rs = static_cast<RegIndex>((word >> 21) & 0x1f);
+    const auto rt = static_cast<RegIndex>((word >> 16) & 0x1f);
+    const auto rd = static_cast<RegIndex>((word >> 11) & 0x1f);
+    out.imm = static_cast<std::int16_t>(word & 0xffff);
+
+    switch (opcode) {
+      case OP_SPECIAL:
+        if ((word & 0x3f) == FUNCT_SLL && rd == 0) {
+            out.op = OpClass::Nop;
+        } else {
+            out.op = OpClass::IntAlu;
+            out.rs = rs;
+            out.rt = rt;
+            out.rd = rd;
+        }
+        return out;
+      case OP_J:
+      case OP_JAL:
+        out.op = OpClass::Jump;
+        return out;
+      case OP_BEQ:
+      case OP_BNE:
+        out.op = OpClass::Branch;
+        out.rs = rs;
+        out.rt = rt;
+        return out;
+      case OP_ADDIU:
+        out.op = OpClass::IntAlu;
+        out.rs = rs;
+        out.rt = rt;
+        return out;
+      case OP_LW:
+        out.op = OpClass::Load;
+        out.rs = rs;
+        out.rt = rt;
+        return out;
+      case OP_SW:
+        out.op = OpClass::Store;
+        out.rs = rs;
+        out.rt = rt;
+        return out;
+      case OP_LWC1:
+        out.op = OpClass::FpLoad;
+        out.rs = rs;
+        out.ft = rt;
+        return out;
+      case OP_SWC1:
+        out.op = OpClass::FpStore;
+        out.rs = rs;
+        out.ft = rt;
+        return out;
+      case OP_COP1: {
+        if (rs == 0) {
+            out.op = OpClass::FpMove;
+            out.rt = rt;
+            out.fs = rd;
+            return out;
+        }
+        const Word funct = word & 0x3f;
+        out.ft = rt;
+        out.fs = rd;
+        out.fd = static_cast<RegIndex>((word >> 6) & 0x1f);
+        switch (funct) {
+          case FUNCT_FADD: out.op = OpClass::FpAdd; break;
+          case FUNCT_FMUL: out.op = OpClass::FpMul; break;
+          case FUNCT_FDIV: out.op = OpClass::FpDiv; break;
+          case FUNCT_CVT_D_W: out.op = OpClass::FpCvt; break;
+          default:
+            AURORA_PANIC("unknown COP1 funct ", funct);
+        }
+        return out;
+      }
+      default:
+        AURORA_PANIC("cannot decode opcode ", opcode);
+    }
+}
+
+std::string
+disassemble(Word word)
+{
+    const Decoded d = decode(word);
+    std::ostringstream os;
+    switch (d.op) {
+      case OpClass::Nop:
+        os << "nop";
+        break;
+      case OpClass::IntAlu:
+        if ((word >> 26) == OP_ADDIU)
+            os << "addiu " << regName(d.rt) << ", " << regName(d.rs)
+               << ", " << d.imm;
+        else
+            os << "addu " << regName(d.rd) << ", " << regName(d.rs)
+               << ", " << regName(d.rt);
+        break;
+      case OpClass::Load:
+        os << "lw " << regName(d.rt) << ", " << d.imm << "("
+           << regName(d.rs) << ")";
+        break;
+      case OpClass::Store:
+        os << "sw " << regName(d.rt) << ", " << d.imm << "("
+           << regName(d.rs) << ")";
+        break;
+      case OpClass::Branch:
+        os << "bne " << regName(d.rs) << ", " << regName(d.rt)
+           << ", " << d.imm;
+        break;
+      case OpClass::Jump:
+        os << "j";
+        break;
+      case OpClass::FpAdd:
+        os << "add.d $f" << int(d.fd) << ", $f" << int(d.fs)
+           << ", $f" << int(d.ft);
+        break;
+      case OpClass::FpMul:
+        os << "mul.d $f" << int(d.fd) << ", $f" << int(d.fs)
+           << ", $f" << int(d.ft);
+        break;
+      case OpClass::FpDiv:
+        os << "div.d $f" << int(d.fd) << ", $f" << int(d.fs)
+           << ", $f" << int(d.ft);
+        break;
+      case OpClass::FpCvt:
+        os << "cvt.d.w $f" << int(d.fd) << ", $f" << int(d.fs);
+        break;
+      case OpClass::FpLoad:
+        os << "lwc1 $f" << int(d.ft) << ", " << d.imm << "("
+           << regName(d.rs) << ")";
+        break;
+      case OpClass::FpStore:
+        os << "swc1 $f" << int(d.ft) << ", " << d.imm << "("
+           << regName(d.rs) << ")";
+        break;
+      case OpClass::FpMove:
+        os << "mfc1 " << regName(d.rt) << ", $f" << int(d.fs);
+        break;
+      default:
+        os << "<unknown>";
+    }
+    return os.str();
+}
+
+} // namespace aurora::isa

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * MIPS-I subset instruction encodings.
+ *
+ * The Aurora III executes the MIPS R3000 ISA (§1). The simulator
+ * proper is trace-driven and does not interpret machine words, but
+ * the pre-decoded instruction cache of Figure 3 is defined in terms
+ * of real instruction bits, so the library carries a faithful
+ * encoder/decoder for the subset of the ISA the operation classes
+ * cover. It is used by the predecode unit, the disassembler, and the
+ * tests that pin down the Figure 3 field semantics.
+ */
+
+#ifndef AURORA_ISA_ENCODING_HH
+#define AURORA_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/inst.hh"
+
+namespace aurora::isa
+{
+
+/** A 32-bit MIPS machine word. */
+using Word = std::uint32_t;
+
+/// @name Primary opcodes (bits 31..26)
+/// @{
+inline constexpr Word OP_SPECIAL = 0x00; ///< R-type ALU
+inline constexpr Word OP_J = 0x02;
+inline constexpr Word OP_JAL = 0x03;
+inline constexpr Word OP_BEQ = 0x04;
+inline constexpr Word OP_BNE = 0x05;
+inline constexpr Word OP_ADDIU = 0x09;
+inline constexpr Word OP_COP1 = 0x11;    ///< FP operate / moves
+inline constexpr Word OP_LW = 0x23;
+inline constexpr Word OP_SW = 0x2b;
+inline constexpr Word OP_LWC1 = 0x31;    ///< load word to FP reg
+inline constexpr Word OP_SWC1 = 0x39;    ///< store word from FP reg
+/// @}
+
+/// @name SPECIAL function codes (bits 5..0)
+/// @{
+inline constexpr Word FUNCT_SLL = 0x00;  ///< sll r0,r0,0 == nop
+inline constexpr Word FUNCT_ADDU = 0x21;
+/// @}
+
+/// @name COP1 double-format function codes
+/// @{
+inline constexpr Word COP1_FMT_D = 0x11; ///< double precision
+inline constexpr Word FUNCT_FADD = 0x00;
+inline constexpr Word FUNCT_FMUL = 0x02;
+inline constexpr Word FUNCT_FDIV = 0x03;
+inline constexpr Word FUNCT_CVT_D_W = 0x21;
+/// @}
+
+/** Fields recovered from a machine word. */
+struct Decoded
+{
+    trace::OpClass op = trace::OpClass::Nop;
+    RegIndex rs = NO_REG;   ///< integer source A / base register
+    RegIndex rt = NO_REG;   ///< integer source B / target
+    RegIndex rd = NO_REG;   ///< integer destination
+    RegIndex fs = NO_REG;   ///< FP source A
+    RegIndex ft = NO_REG;   ///< FP source B / FP store data
+    RegIndex fd = NO_REG;   ///< FP destination
+    std::int16_t imm = 0;   ///< sign-extended immediate
+};
+
+/**
+ * Encode a dynamic instruction into a representative machine word.
+ *
+ * The encoding preserves the operation class and every register
+ * operand the pipeline model uses; memory displacements are encoded
+ * as zero (the trace carries effective addresses directly).
+ */
+Word encode(const trace::Inst &inst);
+
+/** Decode a machine word back into its fields. */
+Decoded decode(Word word);
+
+/** Human-readable disassembly of a machine word. */
+std::string disassemble(Word word);
+
+} // namespace aurora::isa
+
+#endif // AURORA_ISA_ENCODING_HH

@@ -1,0 +1,79 @@
+#include "predecode.hh"
+
+#include "util/logging.hh"
+
+namespace aurora::isa
+{
+
+using trace::Inst;
+
+bool
+trueDependency(const Inst &first, const Inst &second)
+{
+    // Integer result feeding an integer source. Register 0 is
+    // hardwired zero on MIPS and never a real dependency.
+    if (first.dst != NO_REG && first.dst != 0 &&
+        (second.src_a == first.dst || second.src_b == first.dst))
+        return true;
+    // FP result feeding an FP source.
+    if (first.fdst != NO_REG &&
+        (second.fsrc_a == first.fdst || second.fsrc_b == first.fdst))
+        return true;
+    return false;
+}
+
+bool
+isAlignedPair(const Inst &even, const Inst &odd)
+{
+    return (even.pc & 0x4u) == 0 && odd.pc == even.pc + 4;
+}
+
+bool
+dualIssueAllowed(const Inst &first, const Inst &second)
+{
+    if (!isAlignedPair(first, second))
+        return false;
+    if (trueDependency(first, second))
+        return false;
+    if (trace::isMem(first.op) && trace::isMem(second.op))
+        return false;
+    return true;
+}
+
+PairFields
+predecodePair(const Inst &even, const Inst &odd, Addr index_mask)
+{
+    AURORA_ASSERT(isAlignedPair(even, odd),
+                  "predecode requires an aligned EVEN/ODD pair");
+    PairFields fields;
+    fields.di = trueDependency(even, odd);
+    fields.dual_mem =
+        trace::isMem(even.op) && trace::isMem(odd.op);
+    // The MIPS ISA prohibits a branch in a branch delay slot, so at
+    // most one slot is control flow (§2).
+    const bool even_ctl = trace::isControl(even.op);
+    const bool odd_ctl = trace::isControl(odd.op);
+    AURORA_ASSERT(!(even_ctl && odd_ctl),
+                  "two control instructions in one pair");
+    fields.cont = even_ctl || odd_ctl;
+    if (fields.cont) {
+        // The branch target's cache index: the delay slot follows
+        // the branch, so the dynamic successor of the *delay slot*
+        // is the folded target.
+        const Inst &ctl = even_ctl ? even : odd;
+        if (ctl.taken) {
+            // For an even-slot branch the delay slot is the odd
+            // slot, whose dynamic successor is the target. For an
+            // odd-slot branch the delay slot lives in the following
+            // pair; the predecoder can only record the delay slot's
+            // address and the fetch unit resolves the target from
+            // its successor chain.
+            const Addr target =
+                even_ctl ? odd.next_pc : ctl.next_pc;
+            fields.next_index = target & index_mask;
+        }
+    }
+    return fields;
+}
+
+} // namespace aurora::isa

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The Figure 3 predecode unit.
+ *
+ * Instructions are pre-decoded before insertion into the instruction
+ * cache: they are grouped into aligned EVEN/ODD pairs, the DI bit
+ * records whether an intra-pair true dependency prohibits dual issue,
+ * the CONT field records whether the pair contains a control flow
+ * instruction, and the NEXT field holds the cache index of the branch
+ * target so that a taken branch can be folded (fetched with no
+ * bubble). This module is the single source of truth for those
+ * semantics: the issue stage consults it for pairing decisions.
+ */
+
+#ifndef AURORA_ISA_PREDECODE_HH
+#define AURORA_ISA_PREDECODE_HH
+
+#include "trace/inst.hh"
+
+namespace aurora::isa
+{
+
+/** Figure 3 fields attached to one decoded EVEN/ODD pair. */
+struct PairFields
+{
+    /** A true dependency prohibits dual issue of the pair. */
+    bool di = false;
+    /** The pair contains a control flow instruction. */
+    bool cont = false;
+    /** Both slots access memory (a second structural DI source). */
+    bool dual_mem = false;
+    /** Cache index of the control target (valid when cont). */
+    Addr next_index = 0;
+};
+
+/** Does @p second read a register written by @p first? */
+bool trueDependency(const trace::Inst &first,
+                    const trace::Inst &second);
+
+/** Is @p even the EVEN slot of an aligned pair completed by @p odd? */
+bool isAlignedPair(const trace::Inst &even, const trace::Inst &odd);
+
+/**
+ * May @p second issue in the same cycle as @p first?
+ *
+ * Encodes the §2 issue constraints: the two instructions must form an
+ * aligned EVEN/ODD pair, must not carry a true dependency (the DI
+ * bit), and only a single memory access instruction can execute per
+ * cycle.
+ */
+bool dualIssueAllowed(const trace::Inst &first,
+                      const trace::Inst &second);
+
+/**
+ * Compute the predecoded fields for a pair.
+ *
+ * @param even        the EVEN-slot instruction.
+ * @param odd         the ODD-slot instruction.
+ * @param index_mask  mask selecting the I-cache index bits for NEXT.
+ */
+PairFields predecodePair(const trace::Inst &even,
+                         const trace::Inst &odd, Addr index_mask);
+
+} // namespace aurora::isa
+
+#endif // AURORA_ISA_PREDECODE_HH

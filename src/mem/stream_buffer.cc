@@ -1,0 +1,92 @@
+#include "stream_buffer.hh"
+
+#include "util/logging.hh"
+
+namespace aurora::mem
+{
+
+PrefetchUnit::PrefetchUnit(const PrefetchConfig &config, Biu &biu)
+    : config_(config), biu_(biu)
+{
+    AURORA_ASSERT(config_.num_buffers > 0,
+                  "prefetch unit needs at least one buffer");
+    AURORA_ASSERT(config_.depth > 0,
+                  "stream buffer depth must be positive");
+    buffers_.resize(config_.num_buffers);
+}
+
+void
+PrefetchUnit::topUp(Buffer &buf, Cycle now)
+{
+    while (buf.entries.size() < config_.depth &&
+           biu_.canAccept(now)) {
+        const Cycle ready = biu_.requestLine(now, /*prefetch=*/true);
+        buf.entries.push_back({buf.next_line, ready});
+        buf.next_line += config_.line_bytes;
+    }
+}
+
+PrefetchUnit::Result
+PrefetchUnit::missLookup(Addr addr, Cycle now, bool is_instruction)
+{
+    const Addr line =
+        addr & ~static_cast<Addr>(config_.line_bytes - 1);
+
+    if (!config_.enabled) {
+        // No buffers: every primary miss is a full demand fetch.
+        return {false, biu_.requestLine(now, /*prefetch=*/false)};
+    }
+
+    // Probe every buffer for the missing line.
+    for (Buffer &buf : buffers_) {
+        if (!buf.active)
+            continue;
+        for (std::size_t i = 0; i < buf.entries.size(); ++i) {
+            if (buf.entries[i].line != line)
+                continue;
+            // Hit: entries ahead of the match are stale (the stream
+            // skipped them) and are shifted out with it.
+            const Cycle ready = buf.entries[i].ready;
+            buf.entries.erase(buf.entries.begin(),
+                              buf.entries.begin() +
+                                  static_cast<std::ptrdiff_t>(i + 1));
+            buf.last_used = now;
+            topUp(buf, now);
+            if (is_instruction)
+                iHits_.record(true);
+            else
+                dHits_.record(true);
+            return {true, ready < now ? now : ready};
+        }
+    }
+
+    // Miss: re-allocate the LRU buffer to this stream. The demand
+    // line itself is fetched by the requester; the buffer starts with
+    // a single-line fetch-ahead (§2.2).
+    Buffer *victim = &buffers_.front();
+    for (Buffer &buf : buffers_) {
+        if (!buf.active) {
+            victim = &buf;
+            break;
+        }
+        if (buf.last_used < victim->last_used)
+            victim = &buf;
+    }
+    victim->entries.clear();
+    victim->active = true;
+    victim->last_used = now;
+    victim->next_line = line + config_.line_bytes;
+    if (biu_.canAccept(now)) {
+        const Cycle ready = biu_.requestLine(now, /*prefetch=*/true);
+        victim->entries.push_back({victim->next_line, ready});
+        victim->next_line += config_.line_bytes;
+    }
+
+    if (is_instruction)
+        iHits_.record(false);
+    else
+        dHits_.record(false);
+    return {false, biu_.requestLine(now, /*prefetch=*/false)};
+}
+
+} // namespace aurora::mem

@@ -1,0 +1,63 @@
+#include "victim_cache.hh"
+
+#include "util/logging.hh"
+
+namespace aurora::mem
+{
+
+VictimCache::VictimCache(unsigned lines, std::uint32_t line_bytes)
+    : lineBytes_(line_bytes)
+{
+    AURORA_ASSERT(line_bytes > 0 &&
+                      (line_bytes & (line_bytes - 1)) == 0,
+                  "line size must be a power of two");
+    lines_.resize(lines);
+}
+
+void
+VictimCache::insert(Addr line_addr, Cycle now)
+{
+    if (!enabled())
+        return;
+    const Addr aligned =
+        line_addr & ~static_cast<Addr>(lineBytes_ - 1);
+    // Refresh if already present.
+    for (Line &line : lines_) {
+        if (line.valid && line.addr == aligned) {
+            line.last_use = now;
+            return;
+        }
+    }
+    Line *victim = &lines_.front();
+    for (Line &line : lines_) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.last_use < victim->last_use)
+            victim = &line;
+    }
+    *victim = {aligned, now, true};
+}
+
+bool
+VictimCache::probe(Addr line_addr, Cycle now)
+{
+    if (!enabled())
+        return false;
+    const Addr aligned =
+        line_addr & ~static_cast<Addr>(lineBytes_ - 1);
+    for (Line &line : lines_) {
+        if (line.valid && line.addr == aligned) {
+            // Swapped back into the primary cache.
+            line.valid = false;
+            hits_.record(true);
+            (void)now;
+            return true;
+        }
+    }
+    hits_.record(false);
+    return false;
+}
+
+} // namespace aurora::mem

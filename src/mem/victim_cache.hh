@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Victim cache (Jouppi [7], the companion mechanism to the stream
+ * buffers the Aurora III adopted).
+ *
+ * A small fully-associative buffer that captures lines evicted from a
+ * direct-mapped cache; a subsequent conflict miss to a recently
+ * evicted line hits here and is serviced on chip. The paper chose
+ * stream buffers for the Aurora III because its dominant misses are
+ * sequential; this module exists for the DESIGN.md §6 ablation that
+ * quantifies that choice.
+ */
+
+#ifndef AURORA_MEM_VICTIM_CACHE_HH
+#define AURORA_MEM_VICTIM_CACHE_HH
+
+#include <vector>
+
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace aurora::mem
+{
+
+/** Fully-associative LRU buffer of evicted lines. */
+class VictimCache
+{
+  public:
+    /**
+     * @param lines      entries (0 disables the victim cache).
+     * @param line_bytes line size, must match the primary cache.
+     */
+    VictimCache(unsigned lines, std::uint32_t line_bytes);
+
+    /** Enabled (non-zero capacity)? */
+    bool enabled() const { return !lines_.empty(); }
+
+    /**
+     * Record a line evicted from the primary cache.
+     * No-op when disabled.
+     */
+    void insert(Addr line_addr, Cycle now);
+
+    /**
+     * Probe on a primary-cache miss; a hit removes the line (it is
+     * swapped back into the primary cache). Records hit statistics
+     * only while enabled.
+     */
+    bool probe(Addr line_addr, Cycle now);
+
+    /** Hit rate over probes. */
+    const Ratio &hitRate() const { return hits_; }
+
+  private:
+    struct Line
+    {
+        Addr addr = 0;
+        Cycle last_use = 0;
+        bool valid = false;
+    };
+
+    std::vector<Line> lines_;
+    std::uint32_t lineBytes_;
+    Ratio hits_;
+};
+
+} // namespace aurora::mem
+
+#endif // AURORA_MEM_VICTIM_CACHE_HH

@@ -1,0 +1,30 @@
+#include "op_class.hh"
+
+#include "util/logging.hh"
+
+namespace aurora::trace
+{
+
+std::string_view
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:  return "alu";
+      case OpClass::Load:    return "load";
+      case OpClass::Store:   return "store";
+      case OpClass::Branch:  return "branch";
+      case OpClass::Jump:    return "jump";
+      case OpClass::FpAdd:   return "fadd";
+      case OpClass::FpMul:   return "fmul";
+      case OpClass::FpDiv:   return "fdiv";
+      case OpClass::FpCvt:   return "fcvt";
+      case OpClass::FpLoad:  return "fload";
+      case OpClass::FpStore: return "fstore";
+      case OpClass::FpMove:  return "fmove";
+      case OpClass::Nop:     return "nop";
+      default:
+        AURORA_PANIC("invalid OpClass ", static_cast<int>(op));
+    }
+}
+
+} // namespace aurora::trace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dynamic instruction operation classes.
+ *
+ * The study models the MIPS R3000 ISA at the granularity the Aurora III
+ * pipeline cares about: integer ALU work, memory references, control
+ * flow, and the floating point classes the decoupled FPU distinguishes
+ * (add-family, multiply, divide, convert, FP loads/stores/moves).
+ */
+
+#ifndef AURORA_TRACE_OP_CLASS_HH
+#define AURORA_TRACE_OP_CLASS_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace aurora::trace
+{
+
+/** Operation class of a dynamic instruction. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,     ///< integer arithmetic/logic, 1-cycle ALU result
+    Load,       ///< integer load (goes to the LSU)
+    Store,      ///< integer store (write cache candidate)
+    Branch,     ///< conditional branch (compare + PC update)
+    Jump,       ///< unconditional jump / call / return
+    FpAdd,      ///< FP add/sub/compare family (add unit)
+    FpMul,      ///< FP multiply (multiply unit)
+    FpDiv,      ///< FP divide / square root (divide unit)
+    FpCvt,      ///< FP format conversion (conversion unit)
+    FpLoad,     ///< load into the FP register file (via LSU + load queue)
+    FpStore,    ///< store from the FP register file (via store queue)
+    FpMove,     ///< FPU<->IPU register move (store-queue path)
+    Nop,        ///< no-op (delay slot filler)
+    NumOpClasses
+};
+
+/** Number of distinct operation classes. */
+inline constexpr std::size_t NUM_OP_CLASSES =
+    static_cast<std::size_t>(OpClass::NumOpClasses);
+
+/** True for any instruction that references data memory. */
+constexpr bool
+isMem(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store ||
+           op == OpClass::FpLoad || op == OpClass::FpStore;
+}
+
+/** True for loads of either register file. */
+constexpr bool
+isLoad(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::FpLoad;
+}
+
+/** True for stores of either register file. */
+constexpr bool
+isStore(OpClass op)
+{
+    return op == OpClass::Store || op == OpClass::FpStore;
+}
+
+/** True for control-flow instructions (branch folding candidates). */
+constexpr bool
+isControl(OpClass op)
+{
+    return op == OpClass::Branch || op == OpClass::Jump;
+}
+
+/** True for anything the IPU forwards to the FPU. */
+constexpr bool
+isFp(OpClass op)
+{
+    return op == OpClass::FpAdd || op == OpClass::FpMul ||
+           op == OpClass::FpDiv || op == OpClass::FpCvt ||
+           op == OpClass::FpLoad || op == OpClass::FpStore ||
+           op == OpClass::FpMove;
+}
+
+/** True for FP instructions executed by an FPU functional unit. */
+constexpr bool
+isFpArith(OpClass op)
+{
+    return op == OpClass::FpAdd || op == OpClass::FpMul ||
+           op == OpClass::FpDiv || op == OpClass::FpCvt;
+}
+
+/** Short mnemonic for reports and debugging. */
+std::string_view opClassName(OpClass op);
+
+} // namespace aurora::trace
+
+#endif // AURORA_TRACE_OP_CLASS_HH

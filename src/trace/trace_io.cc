@@ -1,0 +1,163 @@
+#include "trace_io.hh"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace aurora::trace
+{
+
+namespace
+{
+
+constexpr std::array<char, 4> MAGIC = {'A', 'U', 'R', '3'};
+constexpr std::size_t RECORD_BYTES = 24;
+
+void
+packU32(unsigned char *p, std::uint32_t v)
+{
+    p[0] = v & 0xff;
+    p[1] = (v >> 8) & 0xff;
+    p[2] = (v >> 16) & 0xff;
+    p[3] = (v >> 24) & 0xff;
+}
+
+std::uint32_t
+unpackU32(const unsigned char *p)
+{
+    return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+           (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+void
+packInst(unsigned char *p, const Inst &in)
+{
+    packU32(p + 0, in.pc);
+    packU32(p + 4, in.next_pc);
+    packU32(p + 8, in.eff_addr);
+    p[12] = static_cast<unsigned char>(in.op);
+    p[13] = in.src_a;
+    p[14] = in.src_b;
+    p[15] = in.dst;
+    p[16] = in.fsrc_a;
+    p[17] = in.fsrc_b;
+    p[18] = in.fdst;
+    p[19] = in.size;
+    p[20] = in.taken ? 1 : 0;
+    p[21] = p[22] = p[23] = 0;
+}
+
+Inst
+unpackInst(const unsigned char *p)
+{
+    Inst out;
+    out.pc = unpackU32(p + 0);
+    out.next_pc = unpackU32(p + 4);
+    out.eff_addr = unpackU32(p + 8);
+    out.op = static_cast<OpClass>(p[12]);
+    AURORA_ASSERT(p[12] < NUM_OP_CLASSES, "corrupt trace record opclass");
+    out.src_a = p[13];
+    out.src_b = p[14];
+    out.dst = p[15];
+    out.fsrc_a = p[16];
+    out.fsrc_b = p[17];
+    out.fdst = p[18];
+    out.size = p[19];
+    out.taken = p[20] != 0;
+    return out;
+}
+
+} // namespace
+
+void
+writeTrace(const std::string &path, const std::vector<Inst> &insts)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        AURORA_FATAL("cannot create trace file ", path);
+
+    unsigned char header[16];
+    std::memcpy(header, MAGIC.data(), 4);
+    packU32(header + 4, TRACE_FORMAT_VERSION);
+    packU32(header + 8, static_cast<std::uint32_t>(insts.size()));
+    packU32(header + 12,
+            static_cast<std::uint32_t>(insts.size() >> 32));
+    if (std::fwrite(header, 1, sizeof(header), f) != sizeof(header)) {
+        std::fclose(f);
+        AURORA_FATAL("short write on trace file ", path);
+    }
+
+    unsigned char rec[RECORD_BYTES];
+    for (const Inst &inst : insts) {
+        packInst(rec, inst);
+        if (std::fwrite(rec, 1, RECORD_BYTES, f) != RECORD_BYTES) {
+            std::fclose(f);
+            AURORA_FATAL("short write on trace file ", path);
+        }
+    }
+    std::fclose(f);
+}
+
+std::vector<Inst>
+readTrace(const std::string &path)
+{
+    FileTraceSource src(path);
+    std::vector<Inst> insts;
+    insts.reserve(src.recordCount());
+    Inst inst;
+    while (src.next(inst))
+        insts.push_back(inst);
+    AURORA_ASSERT(insts.size() == src.recordCount(),
+                  "trace body shorter than header count in ", path);
+    return insts;
+}
+
+struct FileTraceSource::Impl
+{
+    std::FILE *f = nullptr;
+    Count remaining = 0;
+};
+
+FileTraceSource::FileTraceSource(const std::string &path)
+    : impl_(new Impl)
+{
+    impl_->f = std::fopen(path.c_str(), "rb");
+    if (!impl_->f)
+        AURORA_FATAL("cannot open trace file ", path);
+
+    unsigned char header[16];
+    if (std::fread(header, 1, sizeof(header), impl_->f) != sizeof(header))
+        AURORA_PANIC("truncated trace header in ", path);
+    AURORA_ASSERT(std::memcmp(header, MAGIC.data(), 4) == 0,
+                  "bad trace magic in ", path);
+    const std::uint32_t version = unpackU32(header + 4);
+    AURORA_ASSERT(version == TRACE_FORMAT_VERSION,
+                  "unsupported trace version ", version, " in ", path);
+    count_ = Count{unpackU32(header + 8)} |
+             (Count{unpackU32(header + 12)} << 32);
+    impl_->remaining = count_;
+}
+
+FileTraceSource::~FileTraceSource()
+{
+    if (impl_->f)
+        std::fclose(impl_->f);
+    delete impl_;
+}
+
+bool
+FileTraceSource::next(Inst &out)
+{
+    if (impl_->remaining == 0)
+        return false;
+    unsigned char rec[RECORD_BYTES];
+    if (std::fread(rec, 1, RECORD_BYTES, impl_->f) != RECORD_BYTES)
+        return false;
+    out = unpackInst(rec);
+    --impl_->remaining;
+    return true;
+}
+
+} // namespace aurora::trace

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Binary trace file format.
+ *
+ * A compact fixed-record format so captured synthetic traces can be
+ * stored, replayed and shared between tools (the original study
+ * replayed captured MIPS traces the same way). Layout:
+ *
+ *   header: magic "AUR3" | u32 version | u64 record count
+ *   records: packed Inst fields, little-endian, 24 bytes each
+ */
+
+#ifndef AURORA_TRACE_TRACE_IO_HH
+#define AURORA_TRACE_TRACE_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "inst.hh"
+#include "trace_source.hh"
+
+namespace aurora::trace
+{
+
+/** Current trace file format version. */
+inline constexpr std::uint32_t TRACE_FORMAT_VERSION = 1;
+
+/**
+ * Write a trace to @p path.
+ *
+ * Terminates with a fatal error if the file cannot be created (a user
+ * environment problem, not a simulator bug).
+ */
+void writeTrace(const std::string &path, const std::vector<Inst> &insts);
+
+/**
+ * Read a complete trace from @p path.
+ *
+ * Fatal on missing file; panics on a corrupt header or truncated body
+ * (the file contract was violated).
+ */
+std::vector<Inst> readTrace(const std::string &path);
+
+/** TraceSource that streams records from a trace file. */
+class FileTraceSource : public TraceSource
+{
+  public:
+    explicit FileTraceSource(const std::string &path);
+    ~FileTraceSource() override;
+
+    FileTraceSource(const FileTraceSource &) = delete;
+    FileTraceSource &operator=(const FileTraceSource &) = delete;
+
+    bool next(Inst &out) override;
+
+    /** Total records the header promises. */
+    Count recordCount() const { return count_; }
+
+  private:
+    struct Impl;
+    Impl *impl_;
+    Count count_ = 0;
+};
+
+} // namespace aurora::trace
+
+#endif // AURORA_TRACE_TRACE_IO_HH

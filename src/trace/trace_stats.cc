@@ -1,0 +1,69 @@
+#include "trace_stats.hh"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace aurora::trace
+{
+
+namespace
+{
+constexpr Addr LINE_SHIFT = 5; // 32-byte lines
+} // namespace
+
+TraceStats
+analyze(TraceSource &src, Count limit)
+{
+    TraceStats stats;
+    std::unordered_set<Addr> pcs;
+    std::unordered_set<Addr> code_lines;
+    std::unordered_set<Addr> data_lines;
+
+    Inst inst;
+    Addr prev_data_line = 0;
+    bool have_prev_data = false;
+    while (stats.insts < limit && src.next(inst)) {
+        ++stats.insts;
+        ++stats.per_class[static_cast<std::size_t>(inst.op)];
+        pcs.insert(inst.pc);
+        code_lines.insert(inst.pc >> LINE_SHIFT);
+        if (inst.redirectsFetch())
+            ++stats.taken_branches;
+        if (isMem(inst.op)) {
+            ++stats.data_refs;
+            const Addr line = inst.eff_addr >> LINE_SHIFT;
+            data_lines.insert(line);
+            if (have_prev_data &&
+                (line == prev_data_line || line == prev_data_line + 1))
+                ++stats.seq_data_refs;
+            prev_data_line = line;
+            have_prev_data = true;
+        }
+    }
+    stats.unique_pcs = pcs.size();
+    stats.unique_code_lines = code_lines.size();
+    stats.unique_data_lines = data_lines.size();
+    return stats;
+}
+
+std::string
+TraceStats::summary() const
+{
+    std::ostringstream os;
+    os << "instructions: " << insts << '\n';
+    for (std::size_t c = 0; c < NUM_OP_CLASSES; ++c) {
+        const auto op = static_cast<OpClass>(c);
+        if (per_class[c] == 0)
+            continue;
+        os << "  " << opClassName(op) << ": " << per_class[c] << " ("
+           << static_cast<int>(frac(op) * 1000) / 10.0 << "%)\n";
+    }
+    os << "  unique pcs: " << unique_pcs
+       << " code lines: " << unique_code_lines
+       << " data lines: " << unique_data_lines << '\n';
+    os << "  taken transfers: " << taken_branches
+       << " data refs: " << data_refs << '\n';
+    return os.str();
+}
+
+} // namespace aurora::trace

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Offline analysis of instruction streams.
+ *
+ * Computes the structural properties the workload profiles are tuned
+ * against: instruction mix, control-transfer density, unique code/data
+ * footprints, and sequentiality of the reference streams. Used by the
+ * test suite to validate generators and by the workload_atlas example.
+ */
+
+#ifndef AURORA_TRACE_TRACE_STATS_HH
+#define AURORA_TRACE_TRACE_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "inst.hh"
+#include "trace_source.hh"
+
+namespace aurora::trace
+{
+
+/** Aggregated properties of an instruction stream. */
+struct TraceStats
+{
+    Count insts = 0;
+    /** Dynamic count per operation class. */
+    std::array<Count, NUM_OP_CLASSES> per_class{};
+    /** Distinct instruction addresses touched. */
+    Count unique_pcs = 0;
+    /** Distinct 32-byte code lines touched. */
+    Count unique_code_lines = 0;
+    /** Distinct 32-byte data lines touched. */
+    Count unique_data_lines = 0;
+    /** Taken control transfers. */
+    Count taken_branches = 0;
+    /** Data references whose line follows the previous ref's line. */
+    Count seq_data_refs = 0;
+    /** Total data references. */
+    Count data_refs = 0;
+
+    /** Fraction of instructions in class @p op. */
+    double
+    frac(OpClass op) const
+    {
+        return insts ? static_cast<double>(
+                           per_class[static_cast<std::size_t>(op)]) /
+                           static_cast<double>(insts)
+                     : 0.0;
+    }
+
+    /** Dynamic count in class @p op. */
+    Count
+    count(OpClass op) const
+    {
+        return per_class[static_cast<std::size_t>(op)];
+    }
+
+    /** Human-readable multi-line summary. */
+    std::string summary() const;
+};
+
+/** Analyze up to @p limit instructions from @p src. */
+TraceStats analyze(TraceSource &src, Count limit);
+
+} // namespace aurora::trace
+
+#endif // AURORA_TRACE_TRACE_STATS_HH

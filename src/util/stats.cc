@@ -1,0 +1,23 @@
+#include "stats.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace aurora
+{
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+std::string
+formatFixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+} // namespace aurora

@@ -1,0 +1,103 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+
+#include "logging.hh"
+#include "stats.hh"
+
+namespace aurora
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    AURORA_ASSERT(!headers_.empty(), "a table needs at least one column");
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    AURORA_ASSERT(!rows_.empty(), "call row() before cell()");
+    AURORA_ASSERT(rows_.back().size() < headers_.size(),
+                  "row has more cells than headers");
+    rows_.back().push_back(text);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int decimals)
+{
+    return cell(formatFixed(value, decimals));
+}
+
+Table &
+Table::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+std::string
+Table::ascii() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &text =
+                c < cells.size() ? cells[c] : std::string{};
+            os << (c ? "  " : "");
+            os << text;
+            os << std::string(width[c] - text.size(), ' ');
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+Table::csv() const
+{
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << (c ? "," : "") << cells[c];
+        os << '\n';
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os, const std::string &title) const
+{
+    if (!title.empty())
+        os << title << '\n';
+    os << ascii() << '\n';
+}
+
+} // namespace aurora

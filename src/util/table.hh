@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ASCII / CSV table formatting used by the benchmark harness to print
+ * paper-style tables and figure data series.
+ */
+
+#ifndef AURORA_UTIL_TABLE_HH
+#define AURORA_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aurora
+{
+
+/**
+ * Column-aligned text table. Cells are strings; numeric convenience
+ * overloads format with a fixed number of decimals. Rendering pads
+ * every column to its widest cell and right-aligns numeric cells.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Start a new row; subsequent cell() calls append to it. */
+    Table &row();
+
+    /** Append a text cell to the current row. */
+    Table &cell(const std::string &text);
+
+    /** Append a numeric cell formatted with @p decimals places. */
+    Table &cell(double value, int decimals = 2);
+
+    /** Append an integer cell. */
+    Table &cell(std::uint64_t value);
+
+    /** Number of data rows so far. */
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Render as an aligned ASCII table with a header separator. */
+    std::string ascii() const;
+
+    /** Render as CSV (no quoting needed: cells never hold commas). */
+    std::string csv() const;
+
+    /** Print the ASCII rendering to @p os with an optional title. */
+    void print(std::ostream &os, const std::string &title = "") const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace aurora
+
+#endif // AURORA_UTIL_TABLE_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared by every aurora subsystem.
+ *
+ * The simulator models a 32-bit MIPS-R3000-ISA machine, but cycle
+ * counters and instruction counters routinely exceed 2^32 during long
+ * experiments, so all counters are 64 bits wide.
+ */
+
+#ifndef AURORA_UTIL_TYPES_HH
+#define AURORA_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace aurora
+{
+
+/** Byte address in the simulated 32-bit physical address space. */
+using Addr = std::uint32_t;
+
+/** Absolute simulated clock cycle (monotonically increasing). */
+using Cycle = std::uint64_t;
+
+/** Count of instructions, events, or other unbounded tallies. */
+using Count = std::uint64_t;
+
+/** Architectural register index (0..31 for both integer and FP files). */
+using RegIndex = std::uint8_t;
+
+/** Sentinel register index meaning "no register operand". */
+inline constexpr RegIndex NO_REG = 0xff;
+
+/** Sentinel cycle meaning "never" / "not scheduled". */
+inline constexpr Cycle NEVER = ~Cycle{0};
+
+} // namespace aurora
+
+#endif // AURORA_UTIL_TYPES_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the machine configurations (Table 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine_config.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+
+TEST(Config, SmallModelMatchesTable1)
+{
+    const auto m = smallModel();
+    EXPECT_EQ(m.ifu.icache_bytes, 1024u);
+    EXPECT_EQ(m.lsu.dcache_bytes, 16u * 1024);
+    EXPECT_EQ(m.write_cache.lines, 2u);
+    EXPECT_EQ(m.rob_entries, 2u);
+    EXPECT_EQ(m.prefetch.num_buffers, 2u);
+    EXPECT_EQ(m.lsu.mshr_entries, 1u);
+}
+
+TEST(Config, BaselineModelMatchesTable1)
+{
+    const auto m = baselineModel();
+    EXPECT_EQ(m.ifu.icache_bytes, 2048u);
+    EXPECT_EQ(m.lsu.dcache_bytes, 32u * 1024);
+    EXPECT_EQ(m.write_cache.lines, 4u);
+    EXPECT_EQ(m.rob_entries, 6u);
+    EXPECT_EQ(m.prefetch.num_buffers, 4u);
+    EXPECT_EQ(m.lsu.mshr_entries, 2u);
+}
+
+TEST(Config, LargeModelMatchesTable1)
+{
+    const auto m = largeModel();
+    EXPECT_EQ(m.ifu.icache_bytes, 4096u);
+    EXPECT_EQ(m.lsu.dcache_bytes, 64u * 1024);
+    EXPECT_EQ(m.write_cache.lines, 8u);
+    EXPECT_EQ(m.rob_entries, 8u);
+    EXPECT_EQ(m.prefetch.num_buffers, 8u);
+    EXPECT_EQ(m.lsu.mshr_entries, 4u);
+}
+
+TEST(Config, RecommendedModelIsPointE)
+{
+    // §5.6: baseline except a 4 KB I-cache and 4 MSHRs.
+    const auto m = recommendedModel();
+    const auto b = baselineModel();
+    EXPECT_EQ(m.ifu.icache_bytes, 4096u);
+    EXPECT_EQ(m.lsu.mshr_entries, 4u);
+    EXPECT_EQ(m.write_cache.lines, b.write_cache.lines);
+    EXPECT_EQ(m.rob_entries, b.rob_entries);
+    EXPECT_EQ(m.lsu.dcache_bytes, b.lsu.dcache_bytes);
+}
+
+TEST(Config, CostOrderingSmallBaselineLarge)
+{
+    EXPECT_LT(smallModel().rbeCost(), baselineModel().rbeCost());
+    EXPECT_LT(baselineModel().rbeCost(), largeModel().rbeCost());
+}
+
+TEST(Config, SecondPipeCosts8192)
+{
+    const auto dual = baselineModel().withIssueWidth(2);
+    const auto single = baselineModel().withIssueWidth(1);
+    EXPECT_DOUBLE_EQ(dual.rbeCost() - single.rbeCost(), 8192.0);
+}
+
+TEST(Config, RecommendedIsCheaperThanLarge)
+{
+    // The §5.6 point E argument: near-large performance at much
+    // lower cost.
+    EXPECT_LT(recommendedModel().rbeCost(), largeModel().rbeCost());
+}
+
+TEST(Config, FluentHelpersDeriveVariants)
+{
+    const auto base = baselineModel();
+    EXPECT_EQ(base.withLatency(35).biu.latency, 35u);
+    EXPECT_EQ(base.withIssueWidth(1).issue_width, 1u);
+    EXPECT_EQ(base.withIssueWidth(1).ifu.fetch_width, 1u);
+    EXPECT_FALSE(base.withPrefetch(false).prefetch.enabled);
+    EXPECT_EQ(base.withMshrs(4).lsu.mshr_entries, 4u);
+    EXPECT_EQ(base.withName("x").name, "x");
+    // Originals are untouched.
+    EXPECT_EQ(base.biu.latency, 17u);
+    EXPECT_EQ(base.issue_width, 2u);
+}
+
+TEST(Config, DisabledPrefetchCostsNothing)
+{
+    const auto with = baselineModel();
+    const auto without = baselineModel().withPrefetch(false);
+    EXPECT_DOUBLE_EQ(with.rbeCost() - without.rbeCost(),
+                     cost::prefetchRbe(4, with.prefetch.depth));
+}
+
+TEST(Config, StudyModelsAreTheThree)
+{
+    const auto models = studyModels();
+    ASSERT_EQ(models.size(), 3u);
+    EXPECT_EQ(models[0].name, "small");
+    EXPECT_EQ(models[1].name, "baseline");
+    EXPECT_EQ(models[2].name, "large");
+}
+
+TEST(Config, DefaultFpuIsRecommendedConfiguration)
+{
+    // §5.11 recommendation.
+    const auto m = baselineModel();
+    EXPECT_EQ(m.fpu.inst_queue, 5u);
+    EXPECT_EQ(m.fpu.load_queue, 2u);
+    EXPECT_EQ(m.fpu.rob_entries, 6u);
+    EXPECT_EQ(m.fpu.add.latency, 3u);
+    EXPECT_EQ(m.fpu.mul.latency, 5u);
+    EXPECT_EQ(m.fpu.div.latency, 19u);
+    EXPECT_EQ(m.fpu.result_buses, 2u);
+    EXPECT_EQ(m.fpu.policy, fpu::IssuePolicy::OutOfOrderDual);
+}
+
+} // namespace

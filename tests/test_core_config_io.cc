@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for machine-spec parsing and serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config_io.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+
+TEST(ConfigIo, EmptySpecIsBaseline)
+{
+    const auto m = parseMachineSpec("");
+    EXPECT_EQ(m.name, "baseline");
+    EXPECT_EQ(m.ifu.icache_bytes, 2048u);
+}
+
+TEST(ConfigIo, ModelSelectsBase)
+{
+    EXPECT_EQ(parseMachineSpec("model=small").lsu.mshr_entries, 1u);
+    EXPECT_EQ(parseMachineSpec("model=large").rob_entries, 8u);
+    EXPECT_EQ(parseMachineSpec("model=recommended").ifu.icache_bytes,
+              4096u);
+}
+
+TEST(ConfigIo, OverridesApplyInOrder)
+{
+    const auto m =
+        parseMachineSpec("model=small icache=4096 mshr=4 latency=35");
+    EXPECT_EQ(m.ifu.icache_bytes, 4096u);
+    EXPECT_EQ(m.lsu.mshr_entries, 4u);
+    EXPECT_EQ(m.biu.latency, 35u);
+    // untouched small-model fields survive
+    EXPECT_EQ(m.write_cache.lines, 2u);
+}
+
+TEST(ConfigIo, ModelTokenResetsEarlierOverrides)
+{
+    const auto m = parseMachineSpec("mshr=8 model=small");
+    EXPECT_EQ(m.lsu.mshr_entries, 1u)
+        << "model= later in the spec rebuilds from scratch";
+}
+
+TEST(ConfigIo, IssueWidthUpdatesFetchWidth)
+{
+    const auto m = parseMachineSpec("issue=1");
+    EXPECT_EQ(m.issue_width, 1u);
+    EXPECT_EQ(m.ifu.fetch_width, 1u);
+}
+
+TEST(ConfigIo, FpuKeys)
+{
+    const auto m = parseMachineSpec(
+        "fp_policy=inorder fp_instq=3 fp_loadq=4 fp_rob=9 "
+        "fp_add_lat=2 fp_mul_piped=off fp_precise=on "
+        "fp_safe_frac=0.5");
+    EXPECT_EQ(m.fpu.policy, fpu::IssuePolicy::InOrderComplete);
+    EXPECT_EQ(m.fpu.inst_queue, 3u);
+    EXPECT_EQ(m.fpu.load_queue, 4u);
+    EXPECT_EQ(m.fpu.rob_entries, 9u);
+    EXPECT_EQ(m.fpu.add.latency, 2u);
+    EXPECT_FALSE(m.fpu.mul.pipelined);
+    EXPECT_TRUE(m.fpu.precise_exceptions);
+    EXPECT_DOUBLE_EQ(m.fpu.provably_safe_frac, 0.5);
+}
+
+TEST(ConfigIo, BooleanSpellings)
+{
+    EXPECT_FALSE(parseMachineSpec("prefetch=off").prefetch.enabled);
+    EXPECT_FALSE(parseMachineSpec("prefetch=false").prefetch.enabled);
+    EXPECT_FALSE(parseMachineSpec("prefetch=0").prefetch.enabled);
+    EXPECT_TRUE(parseMachineSpec("prefetch=on").prefetch.enabled);
+}
+
+TEST(ConfigIo, DescribeParseRoundTrip)
+{
+    const auto original = parseMachineSpec(
+        "model=large issue=1 latency=35 victim_lines=4 "
+        "fp_policy=single fp_div_lat=25 folding=off");
+    const auto reparsed = parseMachineSpec(describe(original));
+    EXPECT_EQ(describe(reparsed), describe(original));
+    EXPECT_EQ(reparsed.issue_width, original.issue_width);
+    EXPECT_EQ(reparsed.biu.latency, original.biu.latency);
+    EXPECT_EQ(reparsed.lsu.victim_lines, original.lsu.victim_lines);
+    EXPECT_EQ(reparsed.fpu.policy, original.fpu.policy);
+    EXPECT_EQ(reparsed.ifu.branch_folding,
+              original.ifu.branch_folding);
+}
+
+TEST(ConfigIo, DescribeRoundTripsEveryNamedModel)
+{
+    for (const auto &m : studyModels()) {
+        const auto back = parseMachineSpec(describe(m));
+        EXPECT_EQ(describe(back), describe(m)) << m.name;
+        EXPECT_DOUBLE_EQ(back.rbeCost(), m.rbeCost()) << m.name;
+    }
+}
+
+TEST(ConfigIoDeath, UnknownKeyIsFatal)
+{
+    EXPECT_DEATH(parseMachineSpec("warp_drive=on"), "unknown");
+}
+
+TEST(ConfigIoDeath, MalformedTokenIsFatal)
+{
+    EXPECT_DEATH(parseMachineSpec("justakey"), "key=value");
+}
+
+TEST(ConfigIoDeath, BadNumberIsFatal)
+{
+    EXPECT_DEATH(parseMachineSpec("mshr=lots"), "bad numeric");
+}
+
+TEST(ConfigIoDeath, BadIssueWidthIsFatal)
+{
+    EXPECT_DEATH(parseMachineSpec("issue=3"), "1 or 2");
+}
+
+TEST(ConfigIoDeath, BadPolicyIsFatal)
+{
+    EXPECT_DEATH(parseMachineSpec("fp_policy=speculative"),
+                 "fp_policy");
+}
+
+} // namespace

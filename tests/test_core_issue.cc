@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Issue-stage specifics: pair co-issue rules, FP queue back-pressure
+ * classification, and the internal consistency of the issue-width
+ * histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/processor.hh"
+#include "core/machine_config.hh"
+#include "core/simulator.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic_workload.hh"
+#include "trace/trace_source.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+using trace::Inst;
+using trace::OpClass;
+
+Inst
+op(OpClass cls, Addr pc, RegIndex a = NO_REG, RegIndex b = NO_REG,
+   RegIndex d = NO_REG)
+{
+    Inst i;
+    i.op = cls;
+    i.pc = pc;
+    i.next_pc = pc + 4;
+    i.src_a = a;
+    i.src_b = b;
+    i.dst = d;
+    return i;
+}
+
+RunResult
+run(std::vector<Inst> insts, MachineConfig cfg)
+{
+    trace::VectorTraceSource src(std::move(insts));
+    Processor cpu(cfg, src);
+    return cpu.run();
+}
+
+TEST(IssueStage, BranchAndDelaySlotCoIssue)
+{
+    // not-taken branch at EVEN slot + independent ALU delay slot:
+    // every pair dual-issues.
+    std::vector<Inst> v;
+    Addr pc = 0x1000;
+    for (int i = 0; i < 200; ++i) {
+        Inst br = op(OpClass::Branch, pc, 1, 2);
+        br.taken = false;
+        v.push_back(br);
+        pc += 4;
+        v.push_back(op(OpClass::IntAlu, pc, 3, 4,
+                       static_cast<RegIndex>(8 + i % 8)));
+        pc += 4;
+    }
+    auto cfg = baselineModel();
+    cfg.prefetch.depth = 8;
+    const auto r = run(v, cfg);
+    EXPECT_LT(r.cpi(), 0.8) << "branch+slot pairs must co-issue";
+}
+
+TEST(IssueStage, FpArithBackPressureIsFpQueue)
+{
+    // A divide storm with a 1-entry instruction queue: the IPU must
+    // stall on FP-Queue, not anything else.
+    std::vector<Inst> v;
+    Addr pc = 0x1000;
+    for (int i = 0; i < 60; ++i) {
+        Inst f = op(OpClass::FpDiv, pc);
+        f.fsrc_a = 2;
+        f.fsrc_b = 4;
+        f.fdst = static_cast<RegIndex>(6 + 2 * (i % 8));
+        v.push_back(f);
+        pc += 4;
+    }
+    auto cfg = baselineModel();
+    cfg.fpu.inst_queue = 1;
+    const auto r = run(v, cfg);
+    EXPECT_GT(r.stallCpi(StallCause::FpQueue), 5.0)
+        << "19-cycle divides behind a 1-entry queue";
+    EXPECT_DOUBLE_EQ(r.stallCpi(StallCause::RobFull), 0.0);
+}
+
+TEST(IssueStage, FpLoadBackPressureIsFpQueue)
+{
+    std::vector<Inst> v;
+    Addr pc = 0x1000;
+    for (int i = 0; i < 60; ++i) {
+        Inst f = op(OpClass::FpLoad, pc, 1);
+        f.fdst = static_cast<RegIndex>(2 * (i % 16));
+        f.eff_addr = 0x20000000 + 2048u * static_cast<Addr>(i);
+        f.size = 4;
+        v.push_back(f);
+        pc += 4;
+    }
+    auto cfg = baselineModel();
+    cfg.fpu.load_queue = 1;
+    cfg.lsu.mshr_entries = 8; // keep the LSU out of the way
+    const auto r = run(v, cfg);
+    EXPECT_GT(r.stallCpi(StallCause::FpQueue), 1.0)
+        << "load-queue entries held for the full miss latency";
+}
+
+TEST(IssueStage, WidthHistogramIsConsistent)
+{
+    trace::SyntheticWorkload w(trace::espresso());
+    trace::LimitedTraceSource limited(w, 50000);
+    Processor cpu(baselineModel(), limited);
+    const auto r = cpu.run();
+
+    Cycle total_cycles = 0;
+    Count total_insts = 0;
+    for (unsigned width = 0; width < 3; ++width) {
+        total_cycles += r.issue_width_cycles[width];
+        total_insts += width * r.issue_width_cycles[width];
+    }
+    EXPECT_EQ(total_cycles, r.cycles);
+    EXPECT_EQ(total_insts, r.instructions);
+    // Fractions sum to one.
+    EXPECT_NEAR(r.issueWidthFrac(0) + r.issueWidthFrac(1) +
+                    r.issueWidthFrac(2),
+                1.0, 1e-9);
+}
+
+TEST(IssueStage, SingleIssueNeverReportsWidthTwo)
+{
+    trace::SyntheticWorkload w(trace::li());
+    trace::LimitedTraceSource limited(w, 30000);
+    Processor cpu(baselineModel().withIssueWidth(1), limited);
+    const auto r = cpu.run();
+    EXPECT_EQ(r.issue_width_cycles[2], 0u);
+}
+
+TEST(IssueStage, OccupancyStatsAreBounded)
+{
+    const auto r =
+        simulate(baselineModel(), trace::gcc(), 50000);
+    EXPECT_GE(r.avg_rob_occupancy, 0.0);
+    EXPECT_LE(r.avg_rob_occupancy, 6.0);
+    EXPECT_GE(r.avg_mshr_occupancy, 0.0);
+    EXPECT_LE(r.avg_mshr_occupancy, 2.0);
+}
+
+TEST(IssueStage, MshrOccupancyTracksPressure)
+{
+    // More MSHRs => higher average occupancy is *possible*; with one
+    // MSHR occupancy is capped at 1.
+    const auto one = simulate(baselineModel().withMshrs(1),
+                              trace::espresso(), 50000);
+    EXPECT_LE(one.avg_mshr_occupancy, 1.0);
+}
+
+} // namespace

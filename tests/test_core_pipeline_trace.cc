@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the pipeline observer/tracer facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/pipeline_trace.hh"
+#include "core/processor.hh"
+#include "trace/trace_source.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+using trace::Inst;
+using trace::OpClass;
+
+Inst
+alu(Addr pc, RegIndex a, RegIndex b, RegIndex d)
+{
+    Inst i;
+    i.pc = pc;
+    i.next_pc = pc + 4;
+    i.op = OpClass::IntAlu;
+    i.src_a = a;
+    i.src_b = b;
+    i.dst = d;
+    return i;
+}
+
+/** Observer that records every event. */
+struct Recorder : PipelineObserver
+{
+    struct Event
+    {
+        char kind; // 'i', 's', 'r'
+        Cycle cycle;
+        Addr pc = 0;
+        unsigned slot = 0;
+        StallCause cause = StallCause::ICache;
+        unsigned count = 0;
+    };
+    std::vector<Event> events;
+
+    void
+    onIssue(Cycle now, const Inst &inst, unsigned slot) override
+    {
+        events.push_back({'i', now, inst.pc, slot,
+                          StallCause::ICache, 0});
+    }
+    void
+    onStall(Cycle now, StallCause cause) override
+    {
+        events.push_back({'s', now, 0, 0, cause, 0});
+    }
+    void
+    onRetire(Cycle now, unsigned count) override
+    {
+        events.push_back({'r', now, 0, 0, StallCause::ICache,
+                          count});
+    }
+};
+
+TEST(PipelineTrace, ObserverSeesEveryInstruction)
+{
+    std::vector<Inst> insts;
+    for (int i = 0; i < 20; ++i)
+        insts.push_back(alu(0x1000 + 4u * static_cast<Addr>(i), 1, 2,
+                            static_cast<RegIndex>(8 + i % 8)));
+    trace::VectorTraceSource src(insts);
+    Processor cpu(baselineModel(), src);
+    Recorder rec;
+    cpu.setObserver(&rec);
+    const auto r = cpu.run();
+
+    unsigned issues = 0, retires = 0;
+    for (const auto &e : rec.events) {
+        if (e.kind == 'i')
+            ++issues;
+        if (e.kind == 'r')
+            retires += e.count;
+    }
+    EXPECT_EQ(issues, 20u);
+    EXPECT_EQ(retires, 20u);
+    EXPECT_EQ(r.instructions, 20u);
+}
+
+TEST(PipelineTrace, EventsAreInProgramOrderAndMonotonic)
+{
+    std::vector<Inst> insts;
+    for (int i = 0; i < 30; ++i)
+        insts.push_back(alu(0x2000 + 4u * static_cast<Addr>(i), 1, 2,
+                            static_cast<RegIndex>(8 + i % 8)));
+    trace::VectorTraceSource src(insts);
+    Processor cpu(baselineModel(), src);
+    Recorder rec;
+    cpu.setObserver(&rec);
+    cpu.run();
+
+    Addr last_pc = 0;
+    Cycle last_cycle = 0;
+    for (const auto &e : rec.events) {
+        EXPECT_GE(e.cycle, last_cycle);
+        last_cycle = e.cycle;
+        if (e.kind == 'i') {
+            EXPECT_GT(e.pc, last_pc) << "issue must follow pc order";
+            last_pc = e.pc;
+        }
+    }
+}
+
+TEST(PipelineTrace, StallEventsCarryTheCharge)
+{
+    // A load immediately consumed: Load stalls must be observed.
+    std::vector<Inst> insts;
+    Addr pc = 0x1000;
+    for (int i = 0; i < 10; ++i) {
+        Inst ld;
+        ld.pc = pc;
+        ld.next_pc = pc + 4;
+        ld.op = OpClass::Load;
+        ld.src_a = 1;
+        ld.dst = 8;
+        ld.eff_addr = 0x20000000 + 64u * static_cast<Addr>(i % 2);
+        ld.size = 4;
+        insts.push_back(ld);
+        pc += 4;
+        insts.push_back(alu(pc, 8, 2, 9));
+        pc += 4;
+    }
+    trace::VectorTraceSource src(insts);
+    Processor cpu(baselineModel(), src);
+    Recorder rec;
+    cpu.setObserver(&rec);
+    cpu.run();
+
+    bool saw_load_stall = false;
+    for (const auto &e : rec.events)
+        if (e.kind == 's' && e.cause == StallCause::Load)
+            saw_load_stall = true;
+    EXPECT_TRUE(saw_load_stall);
+}
+
+TEST(PipelineTrace, TracerFormatsEvents)
+{
+    std::vector<Inst> insts;
+    for (int i = 0; i < 6; ++i)
+        insts.push_back(alu(0x1000 + 4u * static_cast<Addr>(i), 1, 2,
+                            static_cast<RegIndex>(8 + i)));
+    trace::VectorTraceSource src(insts);
+    Processor cpu(baselineModel(), src);
+    std::ostringstream os;
+    PipelineTracer tracer(os, 1000);
+    cpu.setObserver(&tracer);
+    cpu.run();
+    const std::string text = os.str();
+    EXPECT_NE(text.find("issue[0] pc=0x1000"), std::string::npos);
+    EXPECT_NE(text.find("addu"), std::string::npos);
+    EXPECT_NE(text.find("retire"), std::string::npos);
+    EXPECT_NE(text.find("stall"), std::string::npos)
+        << "the compulsory I-miss must appear";
+}
+
+TEST(PipelineTrace, TracerHonoursCycleLimit)
+{
+    std::vector<Inst> insts;
+    for (int i = 0; i < 100; ++i)
+        insts.push_back(alu(0x1000 + 4u * static_cast<Addr>(i), 1, 2,
+                            static_cast<RegIndex>(8 + i % 8)));
+    trace::VectorTraceSource src(insts);
+    Processor cpu(baselineModel(), src);
+    std::ostringstream os;
+    PipelineTracer tracer(os, 0); // nothing may be printed
+    cpu.setObserver(&tracer);
+    const auto r = cpu.run();
+    EXPECT_TRUE(os.str().empty());
+    EXPECT_EQ(r.instructions, 100u) << "counting is unaffected";
+}
+
+} // namespace

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the §3.1 precise-exception mode: instructions that might
+ * fault are not transferred to the FPU until it is quiescent, at a
+ * measurable performance cost.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+
+constexpr Count N = 60000;
+
+TEST(PreciseFp, PreciseModeIsSlower)
+{
+    for (const char *bench : {"nasa7", "hydro2d", "ear"}) {
+        auto fast = baselineModel();
+        auto precise = baselineModel();
+        precise.fpu.precise_exceptions = true;
+        const double f =
+            simulate(fast, trace::profileByName(bench), N).cpi();
+        const double p =
+            simulate(precise, trace::profileByName(bench), N).cpi();
+        EXPECT_GT(p, f * 1.02) << bench;
+    }
+}
+
+TEST(PreciseFp, IntegerWorkloadsAreUnaffected)
+{
+    auto fast = baselineModel();
+    auto precise = baselineModel();
+    precise.fpu.precise_exceptions = true;
+    const double f = simulate(fast, trace::espresso(), N).cpi();
+    const double p = simulate(precise, trace::espresso(), N).cpi();
+    EXPECT_DOUBLE_EQ(f, p) << "no FP instructions, no difference";
+}
+
+TEST(PreciseFp, SafeFractionControlsTheCost)
+{
+    // The more ops the exponent checker can prove safe, the smaller
+    // the penalty; at 1.0 the machine behaves like imprecise mode.
+    auto all_safe = baselineModel();
+    all_safe.fpu.precise_exceptions = true;
+    all_safe.fpu.provably_safe_frac = 1.0;
+
+    auto none_safe = baselineModel();
+    none_safe.fpu.precise_exceptions = true;
+    none_safe.fpu.provably_safe_frac = 0.0;
+
+    const auto profile = trace::su2cor();
+    const double fast =
+        simulate(baselineModel(), profile, N).cpi();
+    const double safe = simulate(all_safe, profile, N).cpi();
+    const double unsafe = simulate(none_safe, profile, N).cpi();
+
+    EXPECT_DOUBLE_EQ(safe, fast);
+    EXPECT_GT(unsafe, safe * 1.1)
+        << "draining the FPU per op must hurt substantially";
+}
+
+TEST(PreciseFp, PenaltyShowsUpAsFpQueueStalls)
+{
+    auto precise = baselineModel();
+    precise.fpu.precise_exceptions = true;
+    precise.fpu.provably_safe_frac = 0.0;
+    const auto fast_r =
+        simulate(baselineModel(), trace::nasa7(), N);
+    const auto prec_r = simulate(precise, trace::nasa7(), N);
+    EXPECT_GT(prec_r.stallCpi(StallCause::FpQueue),
+              fast_r.stallCpi(StallCause::FpQueue));
+}
+
+} // namespace

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for the processor pipeline on handcrafted traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/processor.hh"
+#include "core/machine_config.hh"
+#include "trace/trace_source.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+using namespace aurora::trace;
+
+Inst
+op(OpClass cls, Addr pc, RegIndex a = NO_REG, RegIndex b = NO_REG,
+   RegIndex d = NO_REG, Addr ea = 0)
+{
+    Inst i;
+    i.op = cls;
+    i.pc = pc;
+    i.next_pc = pc + 4;
+    i.src_a = a;
+    i.src_b = b;
+    i.dst = d;
+    i.eff_addr = ea;
+    if (isMem(cls))
+        i.size = 4;
+    return i;
+}
+
+/** Straight-line independent ALU ops. */
+std::vector<Inst>
+aluRun(Addr pc, int n)
+{
+    std::vector<Inst> v;
+    for (int i = 0; i < n; ++i)
+        v.push_back(op(OpClass::IntAlu, pc + static_cast<Addr>(4 * i),
+                       1, 2, static_cast<RegIndex>(8 + (i % 8))));
+    return v;
+}
+
+RunResult
+runTrace(std::vector<Inst> insts, MachineConfig cfg)
+{
+    VectorTraceSource src(std::move(insts));
+    Processor cpu(cfg, src);
+    return cpu.run();
+}
+
+TEST(Processor, AccountingIdentityHolds)
+{
+    VectorTraceSource src(aluRun(0x1000, 64));
+    Processor cpu(baselineModel(), src);
+    const RunResult r = cpu.run();
+    Cycle stall_sum = 0;
+    for (const auto s : r.stalls)
+        stall_sum += s;
+    EXPECT_EQ(r.cycles, r.issuing_cycles + stall_sum + r.tail_cycles)
+        << "every cycle must be issuing, stalled, or drain";
+    EXPECT_EQ(r.instructions, 64u);
+}
+
+namespace
+{
+
+/** Baseline with fetch-ahead deep enough to hide compulsory
+ *  I-misses on cold straight-line code (these tests exercise the
+ *  issue stage, not the fetch path). */
+aurora::core::MachineConfig
+deepFetchBaseline()
+{
+    auto cfg = aurora::core::baselineModel();
+    cfg.prefetch.depth = 8;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Processor, DualIssueReachesHalfCpiOnIndependentAlus)
+{
+    const auto r = runTrace(aluRun(0x1000, 800), deepFetchBaseline());
+    // Perfect pairs: 0.5 CPI plus cold-start overhead.
+    EXPECT_LT(r.cpi(), 0.75);
+    EXPECT_GT(r.cpi(), 0.45);
+}
+
+TEST(Processor, SingleIssueIsAboutTwiceDualOnAlus)
+{
+    const auto dual =
+        runTrace(aluRun(0x1000, 800), deepFetchBaseline());
+    const auto single = runTrace(
+        aluRun(0x1000, 800), deepFetchBaseline().withIssueWidth(1));
+    EXPECT_GT(single.cpi(), dual.cpi() * 1.5);
+}
+
+TEST(Processor, PairDependencySerializesDualIssue)
+{
+    // Every odd op depends on the even op right before it: the DI
+    // bit forbids every pairing, so dual issue degenerates to 1/cyc.
+    std::vector<Inst> v;
+    for (int i = 0; i < 200; i += 2) {
+        v.push_back(op(OpClass::IntAlu,
+                       0x1000 + static_cast<Addr>(4 * i), 1, 2, 10));
+        v.push_back(op(OpClass::IntAlu,
+                       0x1004 + static_cast<Addr>(4 * i), 10, 2, 11));
+    }
+    const auto r = runTrace(v, baselineModel());
+    EXPECT_GT(r.cpi(), 0.95);
+}
+
+TEST(Processor, LoadUseStallChargedToLoad)
+{
+    // load r8 <- [A]; consumer right behind it. The 3-cycle data
+    // cache latency forces Load stalls even on hits.
+    std::vector<Inst> v;
+    Addr pc = 0x1000;
+    for (int i = 0; i < 100; ++i) {
+        v.push_back(op(OpClass::Load, pc, 1, NO_REG, 8,
+                       0x20000000 + 64u * static_cast<Addr>(i % 4)));
+        pc += 4;
+        v.push_back(op(OpClass::IntAlu, pc, 8, 2, 9));
+        pc += 4;
+    }
+    const auto r = runTrace(v, baselineModel());
+    EXPECT_GT(r.stallCpi(StallCause::Load), 0.3);
+}
+
+TEST(Processor, BlockingCacheChargedToLsu)
+{
+    // Back-to-back independent loads with a single MSHR: the LSU
+    // itself is the bottleneck.
+    std::vector<Inst> v;
+    Addr pc = 0x1000;
+    for (int i = 0; i < 100; ++i) {
+        v.push_back(op(OpClass::Load, pc, 1, NO_REG,
+                       static_cast<RegIndex>(8 + i % 8),
+                       0x20000000 + 32u * static_cast<Addr>(i % 8)));
+        pc += 4;
+        v.push_back(op(OpClass::IntAlu, pc, 1, 2, 20));
+        pc += 4;
+    }
+    const auto r = runTrace(v, baselineModel().withMshrs(1));
+    EXPECT_GT(r.stallCpi(StallCause::LsuBusy), 0.3);
+}
+
+TEST(Processor, TinyRobChargedToRobFull)
+{
+    // A long-latency load miss followed by many independent ALUs:
+    // with a 2-entry ROB the machine cannot run ahead.
+    std::vector<Inst> v;
+    v.push_back(op(OpClass::Load, 0x1000, 1, NO_REG, 8, 0x20000000));
+    auto tail = aluRun(0x1004, 40);
+    v.insert(v.end(), tail.begin(), tail.end());
+    auto cfg = baselineModel();
+    cfg.rob_entries = 2;
+    const auto r = runTrace(v, cfg);
+    EXPECT_GT(r.stalls[static_cast<std::size_t>(StallCause::RobFull)],
+              10u);
+}
+
+TEST(Processor, BigRobHidesTheSameMiss)
+{
+    std::vector<Inst> v;
+    v.push_back(op(OpClass::Load, 0x1000, 1, NO_REG, 8, 0x20000000));
+    auto tail = aluRun(0x1004, 40);
+    v.insert(v.end(), tail.begin(), tail.end());
+    auto cfg = baselineModel();
+    cfg.rob_entries = 64;
+    const auto r = runTrace(v, cfg);
+    EXPECT_EQ(r.stalls[static_cast<std::size_t>(StallCause::RobFull)],
+              0u);
+}
+
+TEST(Processor, MemoryPairConstraint)
+{
+    // Pairs of independent memory ops can never dual issue.
+    std::vector<Inst> v;
+    Addr pc = 0x1000;
+    for (int i = 0; i < 100; ++i) {
+        v.push_back(op(OpClass::Store, pc, 1, 2, NO_REG,
+                       0x7ffe0000 + 4u * static_cast<Addr>(i % 8)));
+        pc += 4;
+        v.push_back(op(OpClass::Store, pc, 1, 2, NO_REG,
+                       0x7ffe0100 + 4u * static_cast<Addr>(i % 8)));
+        pc += 4;
+    }
+    const auto r = runTrace(v, baselineModel());
+    EXPECT_GT(r.cpi(), 0.95)
+        << "one memory access per cycle (§2, issue constraints)";
+}
+
+TEST(Processor, FpOpsFlowThroughFpu)
+{
+    std::vector<Inst> v;
+    Addr pc = 0x1000;
+    for (int i = 0; i < 50; ++i) {
+        Inst f = op(OpClass::FpAdd, pc);
+        f.fsrc_a = 2;
+        f.fsrc_b = 4;
+        f.fdst = static_cast<RegIndex>(6 + 2 * (i % 8));
+        v.push_back(f);
+        pc += 4;
+    }
+    VectorTraceSource src(v);
+    Processor cpu(baselineModel(), src);
+    const auto r = cpu.run();
+    EXPECT_EQ(r.fp_dispatched, 50u);
+    EXPECT_EQ(r.fpu.issued, 50u);
+}
+
+TEST(Processor, DoneDrainsEverything)
+{
+    VectorTraceSource src(aluRun(0x1000, 10));
+    Processor cpu(baselineModel(), src);
+    while (!cpu.done())
+        cpu.step();
+    EXPECT_TRUE(cpu.rob().empty());
+    EXPECT_TRUE(cpu.fpu().idle());
+    EXPECT_TRUE(cpu.ifu().exhausted());
+}
+
+TEST(Processor, ResultSnapshotsComponentStats)
+{
+    VectorTraceSource src(aluRun(0x1000, 100));
+    Processor cpu(baselineModel(), src);
+    const auto r = cpu.run();
+    EXPECT_EQ(r.model, "baseline");
+    EXPECT_GT(r.icache_hit_pct, 50.0);
+    EXPECT_GT(r.rbe_cost, 10000.0);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for configuration validation and the §2.1 / §2 fidelity
+ * knobs (ALU pipeline depth, BIU collision modelling).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config_io.hh"
+#include "core/simulator.hh"
+#include "mem/biu.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+
+TEST(Validate, NamedModelsAreValid)
+{
+    for (const auto &m : studyModels())
+        m.validate(); // must not die
+    recommendedModel().validate();
+}
+
+TEST(ValidateDeath, MismatchedLineSizesAreFatal)
+{
+    auto m = baselineModel();
+    m.lsu.line_bytes = 64;
+    EXPECT_DEATH(m.validate(), "line sizes disagree");
+}
+
+TEST(ValidateDeath, FetchIssueWidthMismatchIsFatal)
+{
+    auto m = baselineModel();
+    m.ifu.fetch_width = 1; // issue width still 2
+    EXPECT_DEATH(m.validate(), "fetch width");
+}
+
+TEST(ValidateDeath, RetireNarrowerThanIssueIsFatal)
+{
+    auto m = baselineModel();
+    m.retire_width = 1;
+    EXPECT_DEATH(m.validate(), "retire width");
+}
+
+TEST(ValidateDeath, ZeroMshrsIsFatal)
+{
+    auto m = baselineModel();
+    m.lsu.mshr_entries = 0;
+    EXPECT_DEATH(m.validate(), "MSHR");
+}
+
+TEST(ValidateDeath, BadSafeFracIsFatal)
+{
+    auto m = baselineModel();
+    m.fpu.provably_safe_frac = 1.5;
+    EXPECT_DEATH(m.validate(), "fp_safe_frac");
+}
+
+TEST(AluLatency, DeeperPipelineCostsCpi)
+{
+    const double fwd =
+        simulate(baselineModel(), trace::espresso(), 60000).cpi();
+    auto deep = baselineModel();
+    deep.alu_latency = 2;
+    const double no_fwd =
+        simulate(deep, trace::espresso(), 60000).cpi();
+    EXPECT_GT(no_fwd, fwd * 1.03)
+        << "losing forwarding must insert dependency bubbles";
+}
+
+TEST(AluLatency, ParsesAndDescribes)
+{
+    const auto m = parseMachineSpec("alu_lat=3");
+    EXPECT_EQ(m.alu_latency, 3u);
+    EXPECT_NE(describe(m).find("alu_lat=3"), std::string::npos);
+}
+
+TEST(BiuCollisions, OverlappingReplyCollides)
+{
+    mem::BiuConfig cfg;
+    cfg.latency = 10;
+    cfg.line_occupancy = 4;
+    cfg.model_collisions = true;
+    cfg.collision_penalty = 2;
+    mem::Biu biu(cfg);
+    // Read issued at 0 replies at 14..; a transmit started at 12
+    // overlaps the landing reply and must retry.
+    const Cycle reply = biu.requestLine(0, false);
+    EXPECT_EQ(reply, 14u);
+    biu.postWrite(12);
+    EXPECT_EQ(biu.collisions(), 1u);
+}
+
+TEST(BiuCollisions, DisjointTrafficDoesNotCollide)
+{
+    mem::BiuConfig cfg;
+    cfg.model_collisions = true;
+    mem::Biu biu(cfg);
+    biu.requestLine(0, false); // reply at 21
+    biu.postWrite(100);
+    EXPECT_EQ(biu.collisions(), 0u);
+}
+
+TEST(BiuCollisions, OffByDefaultAndCalibrationUnchanged)
+{
+    mem::Biu biu(mem::BiuConfig{});
+    biu.requestLine(0, false);
+    biu.postWrite(18);
+    EXPECT_EQ(biu.collisions(), 0u);
+}
+
+TEST(BiuCollisions, EndToEndPenaltyIsSmallButReal)
+{
+    const double base =
+        simulate(baselineModel(), trace::gcc(), 60000).cpi();
+    auto m = baselineModel();
+    m.biu.model_collisions = true;
+    const double with = simulate(m, trace::gcc(), 60000).cpi();
+    EXPECT_GE(with, base) << "collisions can only slow things down";
+    EXPECT_LT(with, base * 1.10) << "but only mildly";
+}
+
+} // namespace

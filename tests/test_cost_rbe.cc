@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the RBE cost model against Table 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cost/rbe.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::cost;
+
+TEST(Rbe, PublishedICachePoints)
+{
+    EXPECT_DOUBLE_EQ(icacheRbe(1024), 8000.0);
+    EXPECT_DOUBLE_EQ(icacheRbe(2048), 12000.0);
+    EXPECT_DOUBLE_EQ(icacheRbe(4096), 20000.0);
+}
+
+TEST(Rbe, ICacheInterpolationIsMonotonic)
+{
+    double prev = 0.0;
+    for (std::uint32_t s = 512; s <= 16 * 1024; s *= 2) {
+        const double c = icacheRbe(s);
+        EXPECT_GT(c, prev) << s;
+        prev = c;
+    }
+}
+
+TEST(Rbe, ICacheInterpolatedPointBetweenNeighbours)
+{
+    const double c3k = icacheRbe(3072);
+    EXPECT_GT(c3k, 12000.0);
+    EXPECT_LT(c3k, 20000.0);
+}
+
+TEST(Rbe, LinearElementCosts)
+{
+    EXPECT_DOUBLE_EQ(writeCacheRbe(4), 4 * 320.0);
+    EXPECT_DOUBLE_EQ(prefetchRbe(4, 2), 8 * 320.0);
+    EXPECT_DOUBLE_EQ(robRbe(6), 1200.0);
+    EXPECT_DOUBLE_EQ(mshrRbe(2), 100.0);
+    EXPECT_DOUBLE_EQ(pipelineRbe(2), 16384.0);
+}
+
+TEST(Rbe, IpuTotalIsSumOfParts)
+{
+    IpuResources res;
+    res.icache_bytes = 2048;
+    res.write_cache_lines = 4;
+    res.prefetch_buffers = 4;
+    res.prefetch_depth = 2;
+    res.rob_entries = 6;
+    res.mshr_entries = 2;
+    res.pipelines = 2;
+    const double expected =
+        12000.0 + 1280.0 + 2560.0 + 1200.0 + 100.0 + 16384.0;
+    EXPECT_DOUBLE_EQ(ipuRbe(res), expected);
+}
+
+TEST(Rbe, BaselinePrefetchIsAboutFifthOfICache)
+{
+    // §5.2: "for the baseline configuration, the prefetch buffers are
+    // only 20% of the instruction cache size."
+    const double pf = prefetchRbe(4, 2);
+    const double ic = icacheRbe(2048);
+    EXPECT_NEAR(pf / ic, 0.21, 0.03);
+}
+
+TEST(Rbe, FpUnitEndpointsMatchTable2)
+{
+    EXPECT_DOUBLE_EQ(fpAddRbe(1, true), 5000.0);
+    EXPECT_DOUBLE_EQ(fpAddRbe(5, true), 1250.0);
+    EXPECT_DOUBLE_EQ(fpMulRbe(1, true), 6875.0);
+    EXPECT_DOUBLE_EQ(fpMulRbe(5, true), 2500.0);
+    EXPECT_DOUBLE_EQ(fpDivRbe(10), 2500.0);
+    EXPECT_DOUBLE_EQ(fpDivRbe(30), 625.0);
+    EXPECT_DOUBLE_EQ(fpCvtRbe(1), 2500.0);
+    EXPECT_DOUBLE_EQ(fpCvtRbe(5), 1250.0);
+}
+
+TEST(Rbe, FpUnitCostFallsWithLatency)
+{
+    for (Cycle lat = 1; lat < 5; ++lat) {
+        EXPECT_GT(fpAddRbe(lat, true), fpAddRbe(lat + 1, true));
+        EXPECT_GT(fpMulRbe(lat, true), fpMulRbe(lat + 1, true));
+        EXPECT_GT(fpCvtRbe(lat), fpCvtRbe(lat + 1));
+    }
+    EXPECT_GT(fpDivRbe(10), fpDivRbe(20));
+}
+
+TEST(Rbe, RemovingPipelineLatchesSavesQuarter)
+{
+    // §5.10: latches are ~25% of the add/multiply unit area.
+    EXPECT_DOUBLE_EQ(fpAddRbe(3, false), fpAddRbe(3, true) * 0.75);
+    EXPECT_DOUBLE_EQ(fpMulRbe(5, false), fpMulRbe(5, true) * 0.75);
+}
+
+TEST(Rbe, FpuTotalForRecommendedConfig)
+{
+    fpu::FpuConfig cfg; // §5.11 defaults
+    const double total = fpuRbe(cfg);
+    EXPECT_GT(total, 4000.0);
+    // Sanity: data block + queues + rob + 4 units.
+    const double expected = 4000.0 + 50.0 * 5 + 80.0 * (2 + 3) +
+                            200.0 * 6 + fpAddRbe(3, true) +
+                            fpMulRbe(5, true) + fpDivRbe(19) +
+                            fpCvtRbe(2);
+    EXPECT_DOUBLE_EQ(total, expected);
+}
+
+TEST(RbeDeath, LatencyOutsideRangePanics)
+{
+    EXPECT_DEATH(fpAddRbe(0, true), "range");
+    EXPECT_DEATH(fpAddRbe(6, true), "range");
+    EXPECT_DEATH(fpDivRbe(9), "range");
+    EXPECT_DEATH(fpDivRbe(31), "range");
+}
+
+} // namespace

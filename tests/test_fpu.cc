@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Unit tests for the decoupled FPU: queues, scoreboarding, the three
+ * issue policies, and dual-issue constraints.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpu/fpu.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::fpu;
+using aurora::trace::Inst;
+using aurora::trace::OpClass;
+
+Inst
+fpOp(OpClass op, RegIndex a, RegIndex b, RegIndex d)
+{
+    Inst i;
+    i.op = op;
+    i.fsrc_a = a;
+    i.fsrc_b = b;
+    i.fdst = d;
+    return i;
+}
+
+FpuConfig
+basicConfig()
+{
+    FpuConfig cfg; // recommended §5.11 configuration
+    return cfg;
+}
+
+/** Run tick() from @p from to @p to inclusive. */
+void
+run(Fpu &fpu, Cycle from, Cycle to)
+{
+    for (Cycle t = from; t <= to; ++t)
+        fpu.tick(t);
+}
+
+TEST(Fpu, StartsIdle)
+{
+    Fpu fpu(basicConfig());
+    EXPECT_TRUE(fpu.idle());
+    EXPECT_TRUE(fpu.canAcceptArith());
+    EXPECT_TRUE(fpu.canAcceptLoad());
+    EXPECT_TRUE(fpu.canAcceptStore());
+}
+
+TEST(Fpu, SingleOpIssuesAndCompletes)
+{
+    Fpu fpu(basicConfig());
+    fpu.dispatchArith(fpOp(OpClass::FpAdd, 2, 4, 6), 0);
+    EXPECT_FALSE(fpu.idle());
+    run(fpu, 0, 10);
+    EXPECT_TRUE(fpu.idle());
+    EXPECT_EQ(fpu.stats().issued, 1u);
+    // 3-cycle add issued at t=0 completes at t=3.
+    EXPECT_EQ(fpu.regReadyAt(6), 3u);
+}
+
+TEST(Fpu, InstructionQueueFillsAndBlocks)
+{
+    auto cfg = basicConfig();
+    cfg.inst_queue = 2;
+    Fpu fpu(cfg);
+    fpu.dispatchArith(fpOp(OpClass::FpDiv, 2, 4, 6), 0);
+    fpu.dispatchArith(fpOp(OpClass::FpDiv, 8, 10, 12), 0);
+    EXPECT_FALSE(fpu.canAcceptArith());
+}
+
+TEST(Fpu, RawDependencyWaitsForProducer)
+{
+    Fpu fpu(basicConfig());
+    fpu.dispatchArith(fpOp(OpClass::FpAdd, 2, 4, 6), 0);
+    fpu.dispatchArith(fpOp(OpClass::FpMul, 6, 8, 10), 0);
+    run(fpu, 0, 1);
+    EXPECT_EQ(fpu.stats().issued, 1u) << "mul waits for f6";
+    run(fpu, 2, 20);
+    EXPECT_EQ(fpu.stats().issued, 2u);
+    // add completes at 3; mul (5 cycles) issues at 3, completes at 8.
+    EXPECT_EQ(fpu.regReadyAt(10), 8u);
+}
+
+TEST(Fpu, LoadDataFeedsDependentOp)
+{
+    Fpu fpu(basicConfig());
+    fpu.dispatchLoad(4, /*data_ready=*/10, 0);
+    fpu.dispatchArith(fpOp(OpClass::FpAdd, 4, 6, 8), 0);
+    run(fpu, 0, 9);
+    EXPECT_EQ(fpu.stats().issued, 0u) << "waiting for load data";
+    run(fpu, 10, 20);
+    EXPECT_EQ(fpu.stats().issued, 1u);
+}
+
+TEST(Fpu, LoadQueueFreesOnArrival)
+{
+    auto cfg = basicConfig();
+    cfg.load_queue = 2;
+    Fpu fpu(cfg);
+    fpu.dispatchLoad(2, 5, 0);
+    fpu.dispatchLoad(4, 7, 0);
+    EXPECT_FALSE(fpu.canAcceptLoad());
+    run(fpu, 0, 5);
+    EXPECT_TRUE(fpu.canAcceptLoad()) << "first entry freed at t=5";
+}
+
+TEST(Fpu, StoreQueueWaitsForPendingWriter)
+{
+    Fpu fpu(basicConfig());
+    // Store of f6, whose producer is still queued behind a divide.
+    fpu.dispatchArith(fpOp(OpClass::FpDiv, 2, 4, 8), 0);
+    fpu.dispatchArith(fpOp(OpClass::FpAdd, 2, 4, 6), 0);
+    fpu.dispatchStore(6, 0);
+    run(fpu, 0, 5);
+    // The add is stuck behind the divide (in-order issue happens,
+    // div issues first at t=0, add at t=1, completes t=4); the store
+    // may only leave after the add's data exists.
+    EXPECT_FALSE(fpu.idle());
+    run(fpu, 6, 30);
+    EXPECT_TRUE(fpu.idle());
+}
+
+TEST(Fpu, StoreOfReadyRegisterDrainsImmediately)
+{
+    auto cfg = basicConfig();
+    cfg.store_queue = 1;
+    Fpu fpu(cfg);
+    fpu.dispatchStore(2, 0);
+    EXPECT_FALSE(fpu.canAcceptStore());
+    run(fpu, 0, 1);
+    EXPECT_TRUE(fpu.canAcceptStore());
+}
+
+TEST(Fpu, InOrderPolicySerializesAcrossUnits)
+{
+    auto cfg = basicConfig();
+    cfg.policy = IssuePolicy::InOrderComplete;
+    Fpu fpu(cfg);
+    // Independent add then mul: must not overlap in different units.
+    fpu.dispatchArith(fpOp(OpClass::FpAdd, 2, 4, 6), 0);
+    fpu.dispatchArith(fpOp(OpClass::FpMul, 8, 10, 12), 0);
+    run(fpu, 0, 2);
+    EXPECT_EQ(fpu.stats().issued, 1u)
+        << "mul may not start while the add is active";
+    run(fpu, 3, 30);
+    EXPECT_EQ(fpu.stats().issued, 2u);
+    EXPECT_EQ(fpu.regReadyAt(12), 8u) << "mul started at add's end";
+}
+
+TEST(Fpu, InOrderPolicyStreamsWithinPipelinedUnit)
+{
+    auto cfg = basicConfig();
+    cfg.policy = IssuePolicy::InOrderComplete;
+    Fpu fpu(cfg);
+    // Back-to-back independent adds share the pipelined add unit and
+    // complete in order, so they may overlap (§5.8).
+    fpu.dispatchArith(fpOp(OpClass::FpAdd, 2, 4, 6), 0);
+    fpu.dispatchArith(fpOp(OpClass::FpAdd, 8, 10, 12), 0);
+    run(fpu, 0, 1);
+    EXPECT_EQ(fpu.stats().issued, 2u);
+}
+
+TEST(Fpu, OutOfOrderSingleIssuesOnePerCycle)
+{
+    auto cfg = basicConfig();
+    cfg.policy = IssuePolicy::OutOfOrderSingle;
+    Fpu fpu(cfg);
+    for (int i = 0; i < 4; ++i)
+        fpu.dispatchArith(
+            fpOp(OpClass::FpAdd, 2, 4,
+                 static_cast<RegIndex>(6 + 2 * i)),
+            0);
+    run(fpu, 0, 1);
+    EXPECT_EQ(fpu.stats().issued, 2u);
+    EXPECT_EQ(fpu.stats().dual_cycles, 0u);
+}
+
+TEST(Fpu, DualIssuesTwoDifferentUnits)
+{
+    Fpu fpu(basicConfig()); // dual policy by default
+    fpu.dispatchArith(fpOp(OpClass::FpAdd, 2, 4, 6), 0);
+    fpu.dispatchArith(fpOp(OpClass::FpMul, 8, 10, 12), 0);
+    fpu.tick(0);
+    EXPECT_EQ(fpu.stats().issued, 2u);
+    EXPECT_EQ(fpu.stats().dual_cycles, 1u);
+}
+
+TEST(Fpu, DualBlockedBySameUnit)
+{
+    Fpu fpu(basicConfig());
+    fpu.dispatchArith(fpOp(OpClass::FpAdd, 2, 4, 6), 0);
+    fpu.dispatchArith(fpOp(OpClass::FpAdd, 8, 10, 12), 0);
+    fpu.tick(0);
+    EXPECT_EQ(fpu.stats().issued, 1u)
+        << "two adds cannot start in one cycle";
+}
+
+TEST(Fpu, DualBlockedByRawDependency)
+{
+    Fpu fpu(basicConfig());
+    fpu.dispatchArith(fpOp(OpClass::FpAdd, 2, 4, 6), 0);
+    fpu.dispatchArith(fpOp(OpClass::FpMul, 6, 8, 10), 0);
+    fpu.tick(0);
+    EXPECT_EQ(fpu.stats().issued, 1u)
+        << "second op reads the first op's destination";
+}
+
+TEST(Fpu, RobFullBlocksIssue)
+{
+    auto cfg = basicConfig();
+    cfg.rob_entries = 1;
+    cfg.policy = IssuePolicy::OutOfOrderSingle;
+    Fpu fpu(cfg);
+    fpu.dispatchArith(fpOp(OpClass::FpDiv, 2, 4, 6), 0);
+    fpu.dispatchArith(fpOp(OpClass::FpAdd, 8, 10, 12), 0);
+    run(fpu, 0, 5);
+    EXPECT_EQ(fpu.stats().issued, 1u);
+    EXPECT_GT(fpu.stats().blocked_rob, 0u);
+    run(fpu, 6, 40);
+    EXPECT_EQ(fpu.stats().issued, 2u);
+}
+
+TEST(Fpu, ResultBusConflictDelaysIssue)
+{
+    auto cfg = basicConfig();
+    cfg.result_buses = 1;
+    cfg.policy = IssuePolicy::OutOfOrderSingle;
+    cfg.add = {3, true};
+    Fpu fpu(cfg);
+    // Two adds complete at t+3 and t+1+3: no conflict with 1 bus.
+    // An add at t=0 (done t=3) and a cvt at t=1 (2 cycles, done t=3)
+    // collide on the single bus.
+    fpu.dispatchArith(fpOp(OpClass::FpAdd, 2, 4, 6), 0);
+    fpu.dispatchArith(fpOp(OpClass::FpCvt, 8, 10, 12), 0);
+    run(fpu, 0, 1);
+    EXPECT_EQ(fpu.stats().issued, 1u);
+    EXPECT_GT(fpu.stats().blocked_bus, 0u);
+    run(fpu, 2, 20);
+    EXPECT_EQ(fpu.stats().issued, 2u);
+}
+
+TEST(Fpu, DivOccupiesIterativeUnit)
+{
+    auto cfg = basicConfig();
+    cfg.policy = IssuePolicy::OutOfOrderSingle;
+    Fpu fpu(cfg);
+    fpu.dispatchArith(fpOp(OpClass::FpDiv, 2, 4, 6), 0);
+    fpu.dispatchArith(fpOp(OpClass::FpDiv, 8, 10, 12), 0);
+    run(fpu, 0, 17);
+    EXPECT_EQ(fpu.stats().issued, 1u);
+    EXPECT_GT(fpu.stats().blocked_unit, 0u);
+    run(fpu, 18, 60);
+    EXPECT_EQ(fpu.stats().issued, 2u);
+}
+
+TEST(FpuDeath, ArithOverrunPanics)
+{
+    auto cfg = basicConfig();
+    cfg.inst_queue = 1;
+    Fpu fpu(cfg);
+    fpu.dispatchArith(fpOp(OpClass::FpAdd, 2, 4, 6), 0);
+    EXPECT_DEATH(fpu.dispatchArith(fpOp(OpClass::FpAdd, 2, 4, 8), 0),
+                 "overrun");
+}
+
+TEST(FpuDeath, NonArithDispatchPanics)
+{
+    Fpu fpu(basicConfig());
+    Inst load;
+    load.op = OpClass::FpLoad;
+    EXPECT_DEATH(fpu.dispatchArith(load, 0), "non-arith");
+}
+
+} // namespace

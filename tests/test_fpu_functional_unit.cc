@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for FPU functional unit timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpu/functional_unit.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::fpu;
+
+TEST(FunctionalUnit, PipelinedAcceptsEveryCycle)
+{
+    FunctionalUnit add({3, true}, "add");
+    EXPECT_TRUE(add.canIssue(0));
+    EXPECT_EQ(add.issue(0), 3u);
+    EXPECT_FALSE(add.canIssue(0)) << "one initiation per cycle";
+    EXPECT_TRUE(add.canIssue(1));
+    EXPECT_EQ(add.issue(1), 4u);
+    EXPECT_EQ(add.ops(), 2u);
+}
+
+TEST(FunctionalUnit, IterativeBlocksForFullLatency)
+{
+    FunctionalUnit div({19, false}, "div");
+    EXPECT_EQ(div.issue(0), 19u);
+    for (Cycle t = 1; t < 19; ++t)
+        EXPECT_FALSE(div.canIssue(t)) << "busy at " << t;
+    EXPECT_TRUE(div.canIssue(19));
+}
+
+TEST(FunctionalUnit, LatencyOnePipelined)
+{
+    FunctionalUnit u({1, true}, "fast");
+    EXPECT_EQ(u.issue(5), 6u);
+    EXPECT_TRUE(u.canIssue(6));
+}
+
+TEST(FunctionalUnit, IterativeAfterIdleGap)
+{
+    FunctionalUnit mul({5, false}, "mul");
+    mul.issue(0);
+    EXPECT_TRUE(mul.canIssue(100));
+    EXPECT_EQ(mul.issue(100), 105u);
+}
+
+TEST(FunctionalUnitDeath, IssueWhileBusyPanics)
+{
+    FunctionalUnit mul({5, false}, "mul");
+    mul.issue(0);
+    EXPECT_DEATH(mul.issue(2), "busy");
+}
+
+TEST(FunctionalUnitDeath, ZeroLatencyPanics)
+{
+    EXPECT_DEATH(FunctionalUnit({0, true}, "bad"), "latency");
+}
+
+} // namespace

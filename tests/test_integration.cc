@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Integration tests: the qualitative findings of the paper's
+ * evaluation section must hold on the reproduced system. Each test
+ * encodes one §5 claim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+
+constexpr Count N = 80000;
+
+double
+suiteCpi(const MachineConfig &m, Count n = N)
+{
+    return runSuite(m, trace::integerSuite(), n).avgCpi();
+}
+
+TEST(Integration, BiggerModelsAreFaster)
+{
+    const double small = suiteCpi(smallModel());
+    const double base = suiteCpi(baselineModel());
+    const double large = suiteCpi(largeModel());
+    EXPECT_GT(small, base);
+    EXPECT_GT(base, large);
+}
+
+TEST(Integration, LongerLatencyHurts)
+{
+    const double fast = suiteCpi(baselineModel().withLatency(17));
+    const double slow = suiteCpi(baselineModel().withLatency(35));
+    EXPECT_GT(slow, fast * 1.1);
+}
+
+TEST(Integration, DualIssueHelpsBaseline)
+{
+    const double dual = suiteCpi(baselineModel().withIssueWidth(2));
+    const double single = suiteCpi(baselineModel().withIssueWidth(1));
+    EXPECT_GT(single, dual * 1.05);
+}
+
+TEST(Integration, DualIssueGainShrinksWithLatency)
+{
+    // §5.1 / conclusion: "large memory latencies reduce the benefit
+    // of superscalar issue."
+    auto gain = [&](Cycle lat) {
+        const double d =
+            suiteCpi(baselineModel().withIssueWidth(2).withLatency(lat));
+        const double s =
+            suiteCpi(baselineModel().withIssueWidth(1).withLatency(lat));
+        return (s - d) / s;
+    };
+    EXPECT_GT(gain(17), gain(35));
+}
+
+TEST(Integration, SingleIssueBaselineBeatsDualIssueSmall)
+{
+    // §5.1: "The single issue base model has a similar cost and much
+    // better performance than the dual issue small model."
+    const auto base1 = baselineModel().withIssueWidth(1);
+    const auto small2 = smallModel().withIssueWidth(2);
+    EXPECT_NEAR(base1.rbeCost(), small2.rbeCost(),
+                0.08 * small2.rbeCost());
+    EXPECT_LT(suiteCpi(base1), suiteCpi(small2) * 0.95);
+}
+
+TEST(Integration, PrefetchHelpsBaselineAndLarge)
+{
+    // §5.2 / Figure 5.
+    const double base_pf = suiteCpi(baselineModel());
+    const double base_no = suiteCpi(baselineModel().withPrefetch(false));
+    EXPECT_GT(base_no, base_pf * 1.03);
+
+    const double large_pf = suiteCpi(largeModel());
+    const double large_no = suiteCpi(largeModel().withPrefetch(false));
+    EXPECT_GT(large_no, large_pf * 1.03);
+}
+
+TEST(Integration, PrefetchHelpsSmallLeast)
+{
+    // §5.2: the small model's two buffers thrash between the I and D
+    // streams, so it benefits far less than the larger models.
+    auto benefit = [&](const MachineConfig &m) {
+        const double with = suiteCpi(m);
+        const double without = suiteCpi(m.withPrefetch(false));
+        return (without - with) / without;
+    };
+    const double small = benefit(smallModel());
+    EXPECT_LT(small, benefit(baselineModel()));
+    EXPECT_LT(small, benefit(largeModel()));
+}
+
+TEST(Integration, PrefetchHelpsMoreAtLongLatency)
+{
+    auto benefit = [&](const MachineConfig &m) {
+        const double with = suiteCpi(m);
+        const double without = suiteCpi(m.withPrefetch(false));
+        return (without - with) / without;
+    };
+    EXPECT_GT(benefit(baselineModel().withLatency(35)),
+              benefit(baselineModel().withLatency(17)));
+}
+
+TEST(Integration, MoreMshrsNeverHurtAndHelpSmall)
+{
+    // §5.4 / Figure 7.
+    const double one = suiteCpi(smallModel().withMshrs(1));
+    const double two = suiteCpi(smallModel().withMshrs(2));
+    const double four = suiteCpi(smallModel().withMshrs(4));
+    EXPECT_GT(one, two * 1.02) << "blocking cache penalty";
+    EXPECT_GE(two * 1.005, four) << "diminishing returns by 4";
+}
+
+TEST(Integration, ReducingLargeModelMshrsHurtsSlightly)
+{
+    const double four = suiteCpi(largeModel());
+    const double one = suiteCpi(largeModel().withMshrs(1));
+    EXPECT_GT(one, four * 1.02);
+}
+
+TEST(Integration, WriteCacheHitRateGrowsWithModel)
+{
+    // Table 5 row ordering.
+    auto wc = [&](const MachineConfig &m) {
+        Accumulator acc;
+        for (const auto &r :
+             runSuite(m, trace::integerSuite(), N).runs)
+            acc.add(r.write_cache_hit_pct);
+        return acc.mean();
+    };
+    const double s = wc(smallModel());
+    const double b = wc(baselineModel());
+    const double l = wc(largeModel());
+    EXPECT_LT(s, b);
+    EXPECT_LT(b, l);
+}
+
+TEST(Integration, StoreTrafficReductionGrowsWithModel)
+{
+    // §5.5: traffic falls to ~44% / 30% / 22% of stores.
+    auto traffic = [&](const MachineConfig &m) {
+        Accumulator acc;
+        for (const auto &r :
+             runSuite(m, trace::integerSuite(), N).runs)
+            acc.add(r.storeTrafficPct());
+        return acc.mean();
+    };
+    const double s = traffic(smallModel());
+    const double b = traffic(baselineModel());
+    const double l = traffic(largeModel());
+    EXPECT_GT(s, b);
+    EXPECT_GT(b, l);
+    EXPECT_LT(s, 70.0) << "small model already halves write traffic";
+}
+
+TEST(Integration, InstructionPrefetchBeatsDataPrefetch)
+{
+    // Tables 3 vs 4: I-stream ~58% average, D-stream ~12%.
+    Accumulator ipf, dpf;
+    for (const auto &r :
+         runSuite(baselineModel(), trace::integerSuite(), N).runs) {
+        ipf.add(r.iprefetch_hit_pct);
+        dpf.add(r.dprefetch_hit_pct);
+    }
+    EXPECT_GT(ipf.mean(), 45.0);
+    EXPECT_LT(ipf.mean(), 80.0);
+    EXPECT_LT(dpf.mean(), ipf.mean());
+}
+
+TEST(Integration, EqntottExtremes)
+{
+    // eqntott: highest I-prefetch hit rate, lowest D-prefetch.
+    const auto res = runSuite(baselineModel(), trace::integerSuite(), N);
+    double eq_ipf = 0, eq_dpf = 0;
+    double max_other_ipf = 0, min_other_dpf = 100;
+    for (const auto &r : res.runs) {
+        if (r.benchmark == "eqntott") {
+            eq_ipf = r.iprefetch_hit_pct;
+            eq_dpf = r.dprefetch_hit_pct;
+        } else {
+            max_other_ipf = std::max(max_other_ipf,
+                                     r.iprefetch_hit_pct);
+            min_other_dpf = std::min(min_other_dpf,
+                                     r.dprefetch_hit_pct);
+        }
+    }
+    EXPECT_GT(eq_ipf, max_other_ipf);
+    EXPECT_LT(eq_dpf, min_other_dpf);
+}
+
+TEST(Integration, SmallModelIsLsuBound)
+{
+    // Figure 6: with one MSHR the LSU dominates the stall mix.
+    const auto res = runSuite(smallModel(), trace::integerSuite(), N);
+    const double lsu = res.avgStallCpi(StallCause::LsuBusy);
+    const double rob = res.avgStallCpi(StallCause::RobFull);
+    const double ic = res.avgStallCpi(StallCause::ICache);
+    EXPECT_GT(lsu, rob);
+    EXPECT_GT(lsu, ic);
+}
+
+TEST(Integration, LargeModelIsLoadLatencyBound)
+{
+    // §5.3: "the large percentage of Load stalls is caused by the
+    // three-cycle latency of the pipelined data cache."
+    const auto res = runSuite(largeModel(), trace::integerSuite(), N);
+    const double load = res.avgStallCpi(StallCause::Load);
+    for (auto cause : {StallCause::ICache, StallCause::LsuBusy,
+                       StallCause::RobFull, StallCause::FpQueue})
+        EXPECT_GT(load, res.avgStallCpi(cause));
+}
+
+TEST(Integration, FpuPolicyOrdering)
+{
+    // Table 6: in-order >= single >= dual CPI, for every benchmark.
+    for (const auto &p : trace::floatSuite()) {
+        auto cpi = [&](fpu::IssuePolicy pol) {
+            auto m = baselineModel();
+            m.fpu.policy = pol;
+            return simulate(m, p, N).cpi();
+        };
+        const double in_order = cpi(fpu::IssuePolicy::InOrderComplete);
+        const double single = cpi(fpu::IssuePolicy::OutOfOrderSingle);
+        const double dual = cpi(fpu::IssuePolicy::OutOfOrderDual);
+        EXPECT_GE(in_order * 1.001, single) << p.name;
+        EXPECT_GE(single * 1.001, dual) << p.name;
+    }
+}
+
+TEST(Integration, RecommendedModelNearLargeAtLowerCost)
+{
+    // §5.6 point E.
+    const double rec = suiteCpi(recommendedModel());
+    const double large = suiteCpi(largeModel());
+    EXPECT_LT(recommendedModel().rbeCost(),
+              0.92 * largeModel().rbeCost());
+    EXPECT_LT(rec, large * 1.12) << "within ~12% of large";
+}
+
+TEST(Integration, BranchFoldingAblation)
+{
+    // The Figure 3 NEXT field: removing folding inserts a fetch
+    // bubble per taken transfer. At baseline CPIs the fetch buffer
+    // hides most of it (the per-bubble effect is proven in the IFU
+    // unit tests), so the aggregate is small but must not be
+    // negative.
+    auto no_fold = baselineModel();
+    no_fold.ifu.branch_folding = false;
+    EXPECT_GT(suiteCpi(no_fold), suiteCpi(baselineModel()));
+}
+
+TEST(Integration, NonPipelinedFpUnitsAreModestlySlower)
+{
+    // §5.10: "the degradation in performance is less than 5%". Our
+    // synthetic FP kernels are denser in FP arithmetic than the
+    // truncated SPECfp runs (a deliberate Table 6 calibration), so
+    // the iterative units hurt somewhat more here; the claim under
+    // test is that the cost is modest, not catastrophic, against a
+    // 25% area saving.
+    auto piped = baselineModel();
+    auto iter = baselineModel();
+    iter.fpu.add.pipelined = false;
+    iter.fpu.mul.pipelined = false;
+    Accumulator degradation;
+    for (const auto &p : trace::floatSuite()) {
+        const double a = simulate(piped, p, N).cpi();
+        const double b = simulate(iter, p, N).cpi();
+        degradation.add((b - a) / a);
+    }
+    EXPECT_LT(degradation.mean(), 0.15);
+    EXPECT_GE(degradation.mean(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the instruction fetch unit: pair fetch, I-cache
+ * stalls, and branch folding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ipu/ifu.hh"
+#include "mem/biu.hh"
+#include "trace/trace_source.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::ipu;
+using namespace aurora::trace;
+
+Inst
+alu(Addr pc)
+{
+    Inst i;
+    i.pc = pc;
+    i.next_pc = pc + 4;
+    i.op = OpClass::IntAlu;
+    i.src_a = 1;
+    i.dst = 2;
+    return i;
+}
+
+Inst
+branch(Addr pc, Addr delay_next, bool taken)
+{
+    Inst i;
+    i.pc = pc;
+    i.next_pc = pc + 4; // delay slot follows
+    i.op = OpClass::Branch;
+    i.taken = taken;
+    (void)delay_next;
+    return i;
+}
+
+/** Straight-line run of @p n ALU ops starting at @p pc. */
+std::vector<Inst>
+straightLine(Addr pc, int n)
+{
+    std::vector<Inst> v;
+    for (int i = 0; i < n; ++i)
+        v.push_back(alu(pc + static_cast<Addr>(4 * i)));
+    return v;
+}
+
+struct Fixture
+{
+    explicit Fixture(std::vector<Inst> insts, IfuConfig cfg = {})
+        : src(std::move(insts)), biu(mem::BiuConfig{17, 4, 8})
+    {
+        mem::PrefetchConfig pcfg;
+        pcfg.num_buffers = 4;
+        pcfg.depth = 2;
+        pfu.emplace(pcfg, biu);
+        ifu.emplace(cfg, src, *pfu);
+    }
+
+    VectorTraceSource src;
+    mem::Biu biu;
+    std::optional<mem::PrefetchUnit> pfu;
+    std::optional<Ifu> ifu;
+};
+
+TEST(Ifu, FetchesAlignedPairPerCycle)
+{
+    Fixture f(straightLine(0x1000, 8));
+    // Warm the line first (first tick takes the compulsory miss).
+    Cycle t = 0;
+    while (f.ifu->empty())
+        f.ifu->tick(t++);
+    const std::size_t have = f.ifu->available();
+    EXPECT_EQ(have, 2u) << "one EVEN/ODD pair per cycle";
+    EXPECT_EQ(f.ifu->peek(0).pc, 0x1000u);
+    EXPECT_EQ(f.ifu->peek(1).pc, 0x1004u);
+}
+
+TEST(Ifu, OddStartFetchesSingleInstruction)
+{
+    Fixture f(straightLine(0x1004, 8));
+    Cycle t = 0;
+    while (f.ifu->empty())
+        f.ifu->tick(t++);
+    // 0x1004 is the ODD slot of its pair: it cannot be co-fetched
+    // with 0x1008 (a different pair).
+    EXPECT_EQ(f.ifu->available(), 1u);
+}
+
+TEST(Ifu, CompulsoryMissStallsFetch)
+{
+    Fixture f(straightLine(0x1000, 4));
+    f.ifu->tick(0);
+    EXPECT_TRUE(f.ifu->empty());
+    EXPECT_TRUE(f.ifu->missStalled(1));
+    // After the line arrives fetch resumes.
+    Cycle t = 1;
+    while (f.ifu->empty() && t < 100)
+        f.ifu->tick(t++);
+    EXPECT_FALSE(f.ifu->empty());
+    EXPECT_GT(t, 17u) << "the miss had to pay the BIU latency";
+}
+
+TEST(Ifu, SameLineNeedsOneMiss)
+{
+    Fixture f(straightLine(0x1000, 8)); // all in one 32-byte line
+    Cycle t = 0;
+    for (; t < 100; ++t)
+        f.ifu->tick(t);
+    EXPECT_EQ(f.ifu->icache().hitRate().misses(), 1u);
+}
+
+TEST(Ifu, BranchFoldingAvoidsBubble)
+{
+    // branch @0x1000 (taken), delay slot @0x1004, target @0x2000.
+    std::vector<Inst> insts;
+    insts.push_back(branch(0x1000, 0, true));
+    insts.push_back(alu(0x1004));
+    insts.back().next_pc = 0x2000;
+    auto tail = straightLine(0x2000, 4);
+    insts.insert(insts.end(), tail.begin(), tail.end());
+
+    IfuConfig folded;
+    folded.branch_folding = true;
+    Fixture f(insts, folded);
+
+    // Warm both lines, then measure.
+    for (Cycle t = 0; t < 200; ++t) {
+        f.ifu->tick(t);
+        while (!f.ifu->empty())
+            f.ifu->pop();
+    }
+
+    IfuConfig unfolded;
+    unfolded.branch_folding = false;
+    Fixture g(insts, unfolded);
+    Cycle g_cycles = 0;
+    int g_got = 0;
+    for (Cycle t = 0; t < 200 && g_got < 6; ++t) {
+        g.ifu->tick(t);
+        while (!g.ifu->empty()) {
+            g.ifu->pop();
+            ++g_got;
+        }
+        g_cycles = t;
+    }
+
+    Fixture h(insts, folded);
+    Cycle h_cycles = 0;
+    int h_got = 0;
+    for (Cycle t = 0; t < 200 && h_got < 6; ++t) {
+        h.ifu->tick(t);
+        while (!h.ifu->empty()) {
+            h.ifu->pop();
+            ++h_got;
+        }
+        h_cycles = t;
+    }
+    EXPECT_LT(h_cycles, g_cycles)
+        << "folding must save the taken-branch bubble";
+}
+
+TEST(Ifu, ExhaustedAfterTraceEnds)
+{
+    Fixture f(straightLine(0x1000, 4));
+    for (Cycle t = 0; t < 100; ++t) {
+        f.ifu->tick(t);
+        while (!f.ifu->empty())
+            f.ifu->pop();
+    }
+    EXPECT_TRUE(f.ifu->exhausted());
+}
+
+TEST(Ifu, BufferCapsFetchAhead)
+{
+    IfuConfig cfg;
+    cfg.buffer_entries = 4;
+    Fixture f(straightLine(0x1000, 64), cfg);
+    for (Cycle t = 0; t < 100; ++t)
+        f.ifu->tick(t);
+    EXPECT_LE(f.ifu->available(), 4u);
+}
+
+TEST(Ifu, SingleFetchWidthFetchesOnePerCycle)
+{
+    IfuConfig cfg;
+    cfg.fetch_width = 1;
+    Fixture f(straightLine(0x1000, 8), cfg);
+    Cycle t = 0;
+    while (f.ifu->empty())
+        f.ifu->tick(t++);
+    EXPECT_EQ(f.ifu->available(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the load-store unit with its external data cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ipu/lsu.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::ipu;
+using namespace aurora::mem;
+
+struct Fixture
+{
+    explicit Fixture(unsigned mshrs = 2, Cycle latency = 17)
+        : biu(BiuConfig{latency, 4, 8})
+    {
+        PrefetchConfig pcfg;
+        pcfg.num_buffers = 4;
+        pcfg.depth = 2;
+        pfu.emplace(pcfg, biu);
+        LsuConfig cfg;
+        cfg.dcache_bytes = 32 * 1024;
+        cfg.mshr_entries = mshrs;
+        lsu.emplace(cfg, WriteCacheConfig{}, biu, *pfu);
+    }
+
+    /** Advance the LSU to @p cycle, ticking every cycle. */
+    void
+    advanceTo(Cycle target)
+    {
+        for (; now <= target; ++now)
+            lsu->tick(now);
+        now = target;
+    }
+
+    Biu biu;
+    std::optional<PrefetchUnit> pfu;
+    std::optional<Lsu> lsu;
+    Cycle now = 0;
+};
+
+TEST(Lsu, HitHasThreeCycleLatency)
+{
+    Fixture f;
+    f.lsu->tick(0);
+    // Warm the line via a miss, wait for the fill, then hit.
+    f.lsu->load(0x1000, 4, 0);
+    f.advanceTo(100);
+    const Cycle ready = f.lsu->load(0x1000, 4, 100);
+    EXPECT_EQ(ready, 103u);
+}
+
+TEST(Lsu, MissPaysSecondaryLatency)
+{
+    Fixture f(2, 17);
+    f.lsu->tick(0);
+    const Cycle ready = f.lsu->load(0x1000, 4, 0);
+    EXPECT_GE(ready, 17u + 4) << "miss cannot beat the BIU";
+}
+
+TEST(Lsu, EveryMemOpHoldsAnMshr)
+{
+    Fixture f(2);
+    f.lsu->tick(0);
+    f.lsu->load(0x1000, 4, 0);
+    f.lsu->load(0x2000, 4, 0);
+    EXPECT_FALSE(f.lsu->canAccept(0)) << "both MSHRs in flight";
+}
+
+TEST(Lsu, SingleMshrSerializesEvenHits)
+{
+    Fixture f(1);
+    // Warm two lines.
+    f.lsu->tick(0);
+    f.lsu->load(0x1000, 4, 0);
+    f.advanceTo(200);
+    f.lsu->load(0x1000, 4, 200); // hit, holds the MSHR 3 cycles
+    EXPECT_FALSE(f.lsu->canAccept(201));
+    EXPECT_FALSE(f.lsu->canAccept(202));
+    f.advanceTo(203);
+    EXPECT_TRUE(f.lsu->canAccept(203))
+        << "hit frees its MSHR after the cache latency";
+}
+
+TEST(Lsu, SecondaryMissCoalesces)
+{
+    Fixture f(2);
+    f.lsu->tick(0);
+    const Cycle first = f.lsu->load(0x1000, 4, 0);
+    const Cycle second = f.lsu->load(0x1004, 4, 0);
+    EXPECT_EQ(f.lsu->mshrs().coalesced(), 1u);
+    EXPECT_LE(second, first) << "same line: no second BIU trip";
+    EXPECT_EQ(f.biu.demandReads(), 1u);
+}
+
+TEST(Lsu, FillBlocksThePort)
+{
+    Fixture f(4, 17);
+    f.lsu->tick(0);
+    const Cycle ready = f.lsu->load(0x1000, 4, 0);
+    // When the line lands it occupies the data busses.
+    Cycle t = 1;
+    for (; t <= ready + 10; ++t) {
+        f.lsu->tick(t);
+        if (f.lsu->portBusy(t))
+            break;
+    }
+    EXPECT_LE(t, ready + 1) << "fill must block the port on arrival";
+}
+
+TEST(Lsu, StoreOccupiesMshrBriefly)
+{
+    Fixture f(1);
+    f.lsu->tick(0);
+    f.lsu->store(0x4000, 4, 0);
+    EXPECT_FALSE(f.lsu->canAccept(0));
+    f.lsu->tick(1);
+    EXPECT_TRUE(f.lsu->canAccept(1));
+}
+
+TEST(Lsu, StoreWriteAllocatesTags)
+{
+    Fixture f;
+    f.lsu->tick(0);
+    f.lsu->store(0x5000, 4, 0);
+    f.lsu->tick(1);
+    const Cycle ready = f.lsu->load(0x5000, 4, 1);
+    EXPECT_EQ(ready, 4u) << "line resident after the store";
+}
+
+TEST(Lsu, WriteCacheForwardsToLoads)
+{
+    Fixture f;
+    f.lsu->tick(0);
+    f.lsu->store(0x777000, 4, 0);
+    f.lsu->tick(1);
+    // Even though the D-cache was cold for this line before the
+    // store, the write cache holds the word.
+    const Cycle ready = f.lsu->load(0x777000, 4, 1);
+    EXPECT_EQ(ready, 4u);
+}
+
+TEST(Lsu, DcacheStatsAccumulate)
+{
+    Fixture f;
+    f.lsu->tick(0);
+    f.lsu->load(0x1000, 4, 0); // miss
+    f.advanceTo(100);
+    f.lsu->load(0x1000, 4, 100); // hit
+    EXPECT_EQ(f.lsu->dcache().hitRate().total(), 2u);
+    EXPECT_EQ(f.lsu->dcache().hitRate().hits(), 1u);
+}
+
+TEST(Lsu, DrainFlushesWriteCache)
+{
+    Fixture f;
+    f.lsu->tick(0);
+    f.lsu->store(0x1000, 4, 0);
+    f.lsu->drain(10);
+    EXPECT_EQ(f.lsu->writeCache().storeTransactions(), 1u);
+}
+
+TEST(Lsu, DoubleWordAccessesWork)
+{
+    Fixture f;
+    f.lsu->tick(0);
+    f.lsu->store(0x20000018, 8, 0);
+    f.lsu->tick(1);
+    // Both halves of the double forward from the write cache.
+    const Cycle ready = f.lsu->load(0x20000018, 8, 1);
+    EXPECT_EQ(ready, 4u);
+}
+
+TEST(Lsu, MshrCoalesceBeatsVictimAndPrefetch)
+{
+    // A second miss to an in-flight line must coalesce (no new BIU
+    // traffic) even when other mechanisms could also serve it.
+    Fixture f(4);
+    f.lsu->tick(0);
+    f.lsu->load(0x1000, 4, 0);
+    const Count reads = f.biu.demandReads();
+    f.lsu->load(0x1008, 4, 0);
+    EXPECT_EQ(f.biu.demandReads(), reads);
+    EXPECT_EQ(f.lsu->mshrs().coalesced(), 1u);
+}
+
+TEST(Lsu, PortFreesAfterFillWindow)
+{
+    Fixture f(4, 17);
+    f.lsu->tick(0);
+    const Cycle ready = f.lsu->load(0x1000, 4, 0);
+    // Tick through the fill; afterwards the port must be free again.
+    for (Cycle t = 1; t <= ready + 10; ++t)
+        f.lsu->tick(t);
+    EXPECT_FALSE(f.lsu->portBusy(ready + 10));
+    EXPECT_TRUE(f.lsu->canAccept(ready + 10));
+}
+
+TEST(LsuDeath, LoadWhileBusyPanics)
+{
+    Fixture f(1);
+    f.lsu->tick(0);
+    f.lsu->load(0x1000, 4, 0);
+    EXPECT_DEATH(f.lsu->load(0x2000, 4, 0), "busy");
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the reorder buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ipu/rob.hh"
+
+namespace
+{
+
+using aurora::ipu::ReorderBuffer;
+
+TEST(Rob, CapacityAndSpace)
+{
+    ReorderBuffer rob(6, 2);
+    EXPECT_EQ(rob.capacity(), 6u);
+    EXPECT_EQ(rob.space(), 6u);
+    rob.allocate(10);
+    EXPECT_EQ(rob.space(), 5u);
+    EXPECT_FALSE(rob.full());
+    EXPECT_FALSE(rob.empty());
+}
+
+TEST(Rob, RetiresInOrderOnlyWhenComplete)
+{
+    ReorderBuffer rob(4, 2);
+    rob.allocate(10); // A
+    rob.allocate(5);  // B completes earlier but is younger
+    EXPECT_EQ(rob.retire(5), 0u) << "A at the head is not done";
+    EXPECT_EQ(rob.retire(10), 2u) << "A done frees B too";
+    EXPECT_TRUE(rob.empty());
+}
+
+TEST(Rob, RetireWidthLimitsPerCycle)
+{
+    ReorderBuffer rob(8, 2);
+    for (int i = 0; i < 6; ++i)
+        rob.allocate(1);
+    EXPECT_EQ(rob.retire(1), 2u);
+    EXPECT_EQ(rob.retire(1), 2u);
+    EXPECT_EQ(rob.retire(1), 2u);
+    EXPECT_TRUE(rob.empty());
+    EXPECT_EQ(rob.retired(), 6u);
+}
+
+TEST(Rob, FullBlocksAllocation)
+{
+    ReorderBuffer rob(2, 2);
+    rob.allocate(100);
+    rob.allocate(100);
+    EXPECT_TRUE(rob.full());
+    rob.retire(100);
+    EXPECT_FALSE(rob.full());
+}
+
+TEST(Rob, TinySmallModelRob)
+{
+    // Table 1 small model: 2 entries.
+    ReorderBuffer rob(2, 2);
+    rob.allocate(3);
+    rob.allocate(20); // long-latency load behind an ALU op
+    EXPECT_EQ(rob.retire(3), 1u);
+    rob.allocate(4);
+    EXPECT_TRUE(rob.full());
+    EXPECT_EQ(rob.retire(19), 0u) << "head load not complete";
+}
+
+TEST(RobDeath, OverAllocatePanics)
+{
+    ReorderBuffer rob(1, 1);
+    rob.allocate(1);
+    EXPECT_DEATH(rob.allocate(1), "full");
+}
+
+} // namespace

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the register scoreboard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ipu/scoreboard.hh"
+
+namespace
+{
+
+using namespace aurora;
+using aurora::ipu::Scoreboard;
+
+TEST(Scoreboard, FreshBoardIsAllReady)
+{
+    Scoreboard sb;
+    for (RegIndex r = 0; r < 32; ++r)
+        EXPECT_TRUE(sb.ready(r, 0));
+}
+
+TEST(Scoreboard, ZeroAndNoRegAlwaysReady)
+{
+    Scoreboard sb;
+    sb.setWriter(0, 100, true); // writes to $zero are dropped
+    EXPECT_TRUE(sb.ready(0, 0));
+    EXPECT_TRUE(sb.ready(NO_REG, 0));
+    EXPECT_FALSE(sb.pendingLoad(0, 0));
+    EXPECT_FALSE(sb.pendingLoad(NO_REG, 0));
+}
+
+TEST(Scoreboard, WriterBlocksUntilReadyCycle)
+{
+    Scoreboard sb;
+    sb.setWriter(5, 10, false);
+    EXPECT_FALSE(sb.ready(5, 9));
+    EXPECT_TRUE(sb.ready(5, 10));
+    EXPECT_EQ(sb.readyAt(5), 10u);
+}
+
+TEST(Scoreboard, LoadTagging)
+{
+    Scoreboard sb;
+    sb.setWriter(3, 20, true);
+    sb.setWriter(4, 20, false);
+    EXPECT_TRUE(sb.pendingLoad(3, 10));
+    EXPECT_FALSE(sb.pendingLoad(4, 10));
+    // After the data returns the tag no longer reports pending.
+    EXPECT_FALSE(sb.pendingLoad(3, 20));
+}
+
+TEST(Scoreboard, LaterWriterOverrides)
+{
+    Scoreboard sb;
+    sb.setWriter(7, 10, true);
+    sb.setWriter(7, 5, false);
+    EXPECT_TRUE(sb.ready(7, 5));
+    EXPECT_FALSE(sb.pendingLoad(7, 4));
+}
+
+TEST(Scoreboard, ResetClearsPendingWriters)
+{
+    Scoreboard sb;
+    sb.setWriter(9, 1000, true);
+    sb.reset();
+    EXPECT_TRUE(sb.ready(9, 0));
+}
+
+} // namespace

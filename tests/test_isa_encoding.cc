@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the MIPS-subset encoder/decoder/disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/encoding.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic_workload.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::isa;
+using trace::Inst;
+using trace::OpClass;
+
+Inst
+make(OpClass op, RegIndex a = NO_REG, RegIndex b = NO_REG,
+     RegIndex d = NO_REG)
+{
+    Inst i;
+    i.op = op;
+    if (trace::isFp(op)) {
+        i.fsrc_a = a;
+        i.fsrc_b = b;
+        i.fdst = d;
+        if (trace::isMem(op))
+            i.src_a = 4; // base register
+    } else {
+        i.src_a = a;
+        i.src_b = b;
+        i.dst = d;
+    }
+    return i;
+}
+
+TEST(Encoding, AluRoundTrip)
+{
+    const Inst i = make(OpClass::IntAlu, 8, 9, 10);
+    const Decoded d = decode(encode(i));
+    EXPECT_EQ(d.op, OpClass::IntAlu);
+    EXPECT_EQ(d.rs, 8);
+    EXPECT_EQ(d.rt, 9);
+    EXPECT_EQ(d.rd, 10);
+}
+
+TEST(Encoding, LoadStoreRoundTrip)
+{
+    Inst ld = make(OpClass::Load, 4, NO_REG, 8);
+    const Decoded dl = decode(encode(ld));
+    EXPECT_EQ(dl.op, OpClass::Load);
+    EXPECT_EQ(dl.rs, 4);
+    EXPECT_EQ(dl.rt, 8);
+
+    Inst st = make(OpClass::Store, 4, 9, NO_REG);
+    const Decoded ds = decode(encode(st));
+    EXPECT_EQ(ds.op, OpClass::Store);
+    EXPECT_EQ(ds.rs, 4);
+    EXPECT_EQ(ds.rt, 9);
+}
+
+TEST(Encoding, FpArithRoundTrip)
+{
+    for (OpClass op : {OpClass::FpAdd, OpClass::FpMul,
+                       OpClass::FpDiv}) {
+        const Inst i = make(op, 2, 4, 6);
+        const Decoded d = decode(encode(i));
+        EXPECT_EQ(d.op, op);
+        EXPECT_EQ(d.fs, 2);
+        EXPECT_EQ(d.ft, 4);
+        EXPECT_EQ(d.fd, 6);
+    }
+}
+
+TEST(Encoding, FpMemRoundTrip)
+{
+    Inst ld = make(OpClass::FpLoad, NO_REG, NO_REG, 6);
+    ld.src_a = 4;
+    const Decoded dl = decode(encode(ld));
+    EXPECT_EQ(dl.op, OpClass::FpLoad);
+    EXPECT_EQ(dl.rs, 4);
+    EXPECT_EQ(dl.ft, 6);
+
+    Inst st = make(OpClass::FpStore, 8, NO_REG, NO_REG);
+    st.src_a = 4;
+    const Decoded ds = decode(encode(st));
+    EXPECT_EQ(ds.op, OpClass::FpStore);
+    EXPECT_EQ(ds.ft, 8);
+}
+
+TEST(Encoding, NopIsCanonical)
+{
+    const Inst i = make(OpClass::Nop);
+    EXPECT_EQ(encode(i), 0u) << "MIPS nop is all zeros (sll 0,0,0)";
+    EXPECT_EQ(decode(0).op, OpClass::Nop);
+}
+
+TEST(Encoding, BranchAndJump)
+{
+    EXPECT_EQ(decode(encode(make(OpClass::Branch, 3, 5))).op,
+              OpClass::Branch);
+    EXPECT_EQ(decode(encode(make(OpClass::Jump))).op, OpClass::Jump);
+}
+
+TEST(Encoding, EveryWorkloadInstructionRoundTrips)
+{
+    // Property: the op class of every generated instruction survives
+    // an encode/decode round trip.
+    trace::SyntheticWorkload w(trace::spice2g6());
+    Inst inst;
+    for (int i = 0; i < 20000; ++i) {
+        ASSERT_TRUE(w.next(inst));
+        ASSERT_EQ(decode(encode(inst)).op, inst.op)
+            << trace::opClassName(inst.op);
+    }
+}
+
+TEST(Disassemble, ProducesReadableMnemonics)
+{
+    EXPECT_EQ(disassemble(encode(make(OpClass::Nop))), "nop");
+    const std::string alu =
+        disassemble(encode(make(OpClass::IntAlu, 8, 9, 10)));
+    EXPECT_NE(alu.find("addu"), std::string::npos);
+    EXPECT_NE(alu.find("$t2"), std::string::npos);
+    const std::string fp =
+        disassemble(encode(make(OpClass::FpMul, 2, 4, 6)));
+    EXPECT_NE(fp.find("mul.d"), std::string::npos);
+    EXPECT_NE(fp.find("$f6"), std::string::npos);
+}
+
+TEST(EncodingDeath, UndecodableWordPanics)
+{
+    EXPECT_DEATH(decode(0x3fu << 26), "decode");
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the Figure 3 predecode logic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/predecode.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic_workload.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::isa;
+using trace::Inst;
+using trace::OpClass;
+
+Inst
+at(Addr pc, OpClass op = OpClass::IntAlu, RegIndex a = 1,
+   RegIndex b = 2, RegIndex d = 8)
+{
+    Inst i;
+    i.pc = pc;
+    i.next_pc = pc + 4;
+    i.op = op;
+    i.src_a = a;
+    i.src_b = b;
+    i.dst = d;
+    return i;
+}
+
+TEST(Predecode, AlignedPairDetection)
+{
+    EXPECT_TRUE(isAlignedPair(at(0x1000), at(0x1004)));
+    EXPECT_FALSE(isAlignedPair(at(0x1004), at(0x1008)))
+        << "0x1004 is an ODD slot";
+    EXPECT_FALSE(isAlignedPair(at(0x1000), at(0x1008)))
+        << "not consecutive";
+}
+
+TEST(Predecode, TrueDependencyOnIntegerResult)
+{
+    const Inst producer = at(0x1000, OpClass::IntAlu, 1, 2, 8);
+    EXPECT_TRUE(trueDependency(producer,
+                               at(0x1004, OpClass::IntAlu, 8, 3, 9)));
+    EXPECT_TRUE(trueDependency(producer,
+                               at(0x1004, OpClass::IntAlu, 3, 8, 9)));
+    EXPECT_FALSE(trueDependency(producer,
+                                at(0x1004, OpClass::IntAlu, 3, 4, 9)));
+}
+
+TEST(Predecode, RegisterZeroIsNeverADependency)
+{
+    Inst producer = at(0x1000, OpClass::IntAlu, 1, 2, 0);
+    EXPECT_FALSE(trueDependency(producer,
+                                at(0x1004, OpClass::IntAlu, 0, 0, 9)))
+        << "$zero is hardwired";
+}
+
+TEST(Predecode, FpDependency)
+{
+    Inst producer = at(0x1000, OpClass::FpAdd);
+    producer.dst = NO_REG;
+    producer.fdst = 6;
+    Inst consumer = at(0x1004, OpClass::FpMul);
+    consumer.src_a = consumer.src_b = NO_REG;
+    consumer.fsrc_a = 6;
+    EXPECT_TRUE(trueDependency(producer, consumer));
+    consumer.fsrc_a = 8;
+    consumer.fsrc_b = 6;
+    EXPECT_TRUE(trueDependency(producer, consumer));
+    consumer.fsrc_b = 10;
+    EXPECT_FALSE(trueDependency(producer, consumer));
+}
+
+TEST(Predecode, DualIssueRules)
+{
+    // Independent pair: allowed.
+    EXPECT_TRUE(dualIssueAllowed(at(0x1000),
+                                 at(0x1004, OpClass::IntAlu, 3, 4, 9)));
+    // Dependent pair: the DI bit.
+    EXPECT_FALSE(dualIssueAllowed(
+        at(0x1000, OpClass::IntAlu, 1, 2, 8),
+        at(0x1004, OpClass::IntAlu, 8, 4, 9)));
+    // Two memory operations: single memory access per cycle.
+    Inst m1 = at(0x1000, OpClass::Load, 1, NO_REG, 8);
+    Inst m2 = at(0x1004, OpClass::Store, 2, 3, NO_REG);
+    EXPECT_FALSE(dualIssueAllowed(m1, m2));
+    // Memory + ALU is fine.
+    EXPECT_TRUE(dualIssueAllowed(m1,
+                                 at(0x1004, OpClass::IntAlu, 3, 4,
+                                    9)));
+    // Misaligned: never.
+    EXPECT_FALSE(dualIssueAllowed(at(0x1004), at(0x1008)));
+}
+
+TEST(Predecode, BranchPlusDelaySlotCanPair)
+{
+    Inst br = at(0x1000, OpClass::Branch, 1, 2, NO_REG);
+    br.dst = NO_REG;
+    const Inst slot = at(0x1004, OpClass::IntAlu, 3, 4, 9);
+    EXPECT_TRUE(dualIssueAllowed(br, slot));
+}
+
+TEST(Predecode, PairFieldsDiAndCont)
+{
+    Inst br = at(0x1000, OpClass::Branch, 1, 2, NO_REG);
+    br.dst = NO_REG;
+    br.taken = true;
+    Inst slot = at(0x1004, OpClass::IntAlu, 3, 4, 9);
+    slot.next_pc = 0x2000; // branch target
+    const PairFields f = predecodePair(br, slot, 0x7ff);
+    EXPECT_TRUE(f.cont);
+    EXPECT_FALSE(f.di);
+    EXPECT_EQ(f.next_index, 0x2000u & 0x7ff);
+}
+
+TEST(Predecode, PairFieldsDualMem)
+{
+    Inst m1 = at(0x1000, OpClass::Load, 1, NO_REG, 8);
+    Inst m2 = at(0x1004, OpClass::FpStore);
+    m2.src_a = 2;
+    m2.fsrc_a = 4;
+    m2.dst = NO_REG;
+    const PairFields f = predecodePair(m1, m2, 0x7ff);
+    EXPECT_TRUE(f.dual_mem);
+    EXPECT_FALSE(f.cont);
+}
+
+TEST(Predecode, WorkloadPairsNeverHoldTwoControlOps)
+{
+    // The MIPS delay-slot rule means predecodePair's assertion must
+    // hold over every aligned pair the generator emits.
+    trace::SyntheticWorkload w(trace::gcc());
+    Inst prev, cur;
+    ASSERT_TRUE(w.next(prev));
+    for (int i = 0; i < 50000; ++i) {
+        ASSERT_TRUE(w.next(cur));
+        if (isAlignedPair(prev, cur))
+            predecodePair(prev, cur, 0x7ff); // must not panic
+        prev = cur;
+    }
+}
+
+TEST(PredecodeDeath, UnalignedPairPanics)
+{
+    EXPECT_DEATH(predecodePair(at(0x1004), at(0x1008), 0x7ff),
+                 "aligned");
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the BIU latency/bandwidth/queue model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/biu.hh"
+
+namespace
+{
+
+using aurora::Cycle;
+using aurora::mem::Biu;
+using aurora::mem::BiuConfig;
+
+BiuConfig
+cfg(Cycle latency = 17, Cycle occ = 4, unsigned depth = 8)
+{
+    BiuConfig c;
+    c.latency = latency;
+    c.line_occupancy = occ;
+    c.queue_depth = depth;
+    return c;
+}
+
+TEST(Biu, SingleReadLatency)
+{
+    Biu biu(cfg(17, 4));
+    // Completion = start + latency + transfer time.
+    EXPECT_EQ(biu.requestLine(100, false), 100u + 17 + 4);
+}
+
+TEST(Biu, BackToBackReadsSerializeOnTheBus)
+{
+    Biu biu(cfg(17, 4));
+    const Cycle first = biu.requestLine(0, false);
+    const Cycle second = biu.requestLine(0, false);
+    EXPECT_EQ(first, 21u);
+    EXPECT_EQ(second, 25u) << "second transfer starts 4 cycles later";
+}
+
+TEST(Biu, IdleBusDoesNotDelay)
+{
+    Biu biu(cfg(10, 2));
+    biu.requestLine(0, false);
+    // Long after the transfer finished: no queueing delay.
+    EXPECT_EQ(biu.requestLine(1000, false), 1000u + 12);
+}
+
+TEST(Biu, WritesConsumeBandwidth)
+{
+    Biu biu(cfg(17, 4));
+    biu.postWrite(0);
+    EXPECT_EQ(biu.requestLine(0, false), 4u + 17 + 4)
+        << "read queues behind the write transfer";
+    EXPECT_EQ(biu.writes(), 1u);
+}
+
+TEST(Biu, RoundTripLatency)
+{
+    // A validation query carries no line payload: the reply arrives
+    // one secondary latency after the bus slot starts.
+    Biu biu(cfg(20, 4));
+    EXPECT_EQ(biu.roundTrip(5), 5u + 20);
+    EXPECT_EQ(biu.roundTrips(), 1u);
+}
+
+TEST(Biu, CanAcceptUntilBacklogFills)
+{
+    Biu biu(cfg(17, 4, 2)); // 2-deep queue
+    EXPECT_TRUE(biu.canAccept(0));
+    biu.requestLine(0, false);
+    EXPECT_TRUE(biu.canAccept(0));
+    biu.requestLine(0, false);
+    EXPECT_FALSE(biu.canAccept(0)) << "backlog covers the queue";
+    // Time drains the backlog.
+    EXPECT_TRUE(biu.canAccept(8));
+}
+
+TEST(Biu, StatsClassifyTraffic)
+{
+    Biu biu(cfg());
+    biu.requestLine(0, false);
+    biu.requestLine(0, true);
+    biu.requestLine(0, true);
+    biu.postWrite(0);
+    EXPECT_EQ(biu.demandReads(), 1u);
+    EXPECT_EQ(biu.prefetchReads(), 2u);
+    EXPECT_EQ(biu.writes(), 1u);
+    EXPECT_EQ(biu.busyCycles(), 4u * 4);
+}
+
+TEST(BiuDeath, ZeroOccupancyPanics)
+{
+    EXPECT_DEATH(Biu(cfg(17, 0)), "occupy");
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the MSHR file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mshr.hh"
+
+namespace
+{
+
+using namespace aurora;
+using aurora::mem::MshrFile;
+
+TEST(Mshr, StartsEmpty)
+{
+    MshrFile m(2);
+    EXPECT_EQ(m.numEntries(), 2u);
+    EXPECT_EQ(m.inUse(), 0u);
+    EXPECT_FALSE(m.full());
+    EXPECT_EQ(m.find(0x100), nullptr);
+    EXPECT_EQ(m.nextReady(), NEVER);
+}
+
+TEST(Mshr, AllocateAndFind)
+{
+    MshrFile m(2);
+    m.allocate(0x100, 20);
+    const auto *e = m.find(0x100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->ready, 20u);
+    EXPECT_EQ(m.inUse(), 1u);
+    EXPECT_EQ(m.allocations(), 1u);
+}
+
+TEST(Mshr, FullWhenAllAllocated)
+{
+    MshrFile m(2);
+    m.allocate(0x100, 20);
+    m.allocate(0x200, 30);
+    EXPECT_TRUE(m.full());
+}
+
+TEST(Mshr, RetireFreesCompleted)
+{
+    MshrFile m(2);
+    m.allocate(0x100, 20);
+    m.allocate(0x200, 30);
+    m.retire(19);
+    EXPECT_TRUE(m.full()) << "nothing done before cycle 20";
+    m.retire(20);
+    EXPECT_EQ(m.inUse(), 1u);
+    EXPECT_EQ(m.find(0x100), nullptr);
+    ASSERT_NE(m.find(0x200), nullptr);
+    m.retire(30);
+    EXPECT_EQ(m.inUse(), 0u);
+}
+
+TEST(Mshr, NextReadyReportsEarliest)
+{
+    MshrFile m(3);
+    m.allocate(0x100, 50);
+    m.allocate(0x200, 30);
+    m.allocate(0x300, 40);
+    EXPECT_EQ(m.nextReady(), 30u);
+    m.retire(30);
+    EXPECT_EQ(m.nextReady(), 40u);
+}
+
+TEST(Mshr, SingleEntrySerializes)
+{
+    MshrFile m(1);
+    m.allocate(0x100, 20);
+    EXPECT_TRUE(m.full());
+    m.retire(20);
+    EXPECT_FALSE(m.full());
+    m.allocate(0x200, 40);
+    EXPECT_TRUE(m.full());
+}
+
+TEST(Mshr, CoalescedCounter)
+{
+    MshrFile m(2);
+    m.noteCoalesced();
+    m.noteCoalesced();
+    EXPECT_EQ(m.coalesced(), 2u);
+}
+
+TEST(Mshr, ReuseAfterRetire)
+{
+    MshrFile m(1);
+    for (Cycle t = 0; t < 100; t += 10) {
+        m.retire(t);
+        EXPECT_FALSE(m.full());
+        m.allocate(0x1000 + static_cast<Addr>(t), t + 5);
+    }
+    EXPECT_EQ(m.allocations(), 10u);
+}
+
+TEST(MshrDeath, AllocateWhenFullPanics)
+{
+    MshrFile m(1);
+    m.allocate(0x100, 10);
+    EXPECT_DEATH(m.allocate(0x200, 20), "no free entry");
+}
+
+TEST(MshrDeath, ZeroEntriesPanics)
+{
+    EXPECT_DEATH(MshrFile(0), "at least one");
+}
+
+} // namespace

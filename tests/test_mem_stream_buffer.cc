@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the Jouppi stream buffer prefetch unit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/biu.hh"
+#include "mem/stream_buffer.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::mem;
+
+struct Fixture
+{
+    explicit Fixture(unsigned buffers = 4, unsigned depth = 4,
+                     bool enabled = true)
+        : biu(BiuConfig{17, 4, 8})
+    {
+        PrefetchConfig cfg;
+        cfg.num_buffers = buffers;
+        cfg.depth = depth;
+        cfg.line_bytes = 32;
+        cfg.enabled = enabled;
+        pfu.emplace(cfg, biu);
+    }
+
+    Biu biu;
+    std::optional<PrefetchUnit> pfu;
+};
+
+TEST(StreamBuffer, FirstMissAllocatesAndDemandFetches)
+{
+    Fixture f;
+    const auto res = f.pfu->missLookup(0x1000, 0, true);
+    EXPECT_FALSE(res.hit);
+    EXPECT_GT(res.ready, 0u);
+    // One prefetch (next line) plus one demand read.
+    EXPECT_EQ(f.biu.prefetchReads(), 1u);
+    EXPECT_EQ(f.biu.demandReads(), 1u);
+}
+
+TEST(StreamBuffer, SequentialMissHitsTheBuffer)
+{
+    Fixture f;
+    f.pfu->missLookup(0x1000, 0, true);
+    const auto res = f.pfu->missLookup(0x1020, 100, true);
+    EXPECT_TRUE(res.hit) << "next sequential line was prefetched";
+    EXPECT_EQ(f.pfu->instHitRate().hits(), 1u);
+    EXPECT_EQ(f.pfu->instHitRate().total(), 2u);
+}
+
+TEST(StreamBuffer, HitTopsUpTheStream)
+{
+    Fixture f(4, 4);
+    f.pfu->missLookup(0x1000, 0, true);
+    EXPECT_EQ(f.biu.prefetchReads(), 1u);
+    f.pfu->missLookup(0x1020, 100, true); // hit -> fills to depth
+    EXPECT_GE(f.biu.prefetchReads(), 4u)
+        << "after a hit the buffer fetches ahead until full";
+    // The whole following stream now hits.
+    for (Addr a = 0x1040; a < 0x10c0; a += 32)
+        EXPECT_TRUE(f.pfu->missLookup(a, 200, true).hit);
+}
+
+TEST(StreamBuffer, RandomMissesNeverHit)
+{
+    Fixture f;
+    Addr a = 0x10000;
+    int hits = 0;
+    for (int i = 0; i < 20; ++i) {
+        a += 4096 + 64 * static_cast<Addr>(i);
+        hits += f.pfu->missLookup(a, i * 10, false).hit ? 1 : 0;
+    }
+    EXPECT_EQ(hits, 0);
+}
+
+TEST(StreamBuffer, SkippedLinesAreShiftedOut)
+{
+    Fixture f(1, 4);
+    f.pfu->missLookup(0x1000, 0, true);
+    f.pfu->missLookup(0x1020, 50, true); // hit, tops up to 4 lines
+    // Skip 0x1040 and 0x1060, ask for 0x1080 (still in the buffer).
+    const auto res = f.pfu->missLookup(0x1080, 100, true);
+    EXPECT_TRUE(res.hit);
+    // The skipped lines are gone: going back misses.
+    EXPECT_FALSE(f.pfu->missLookup(0x1040, 150, true).hit);
+}
+
+TEST(StreamBuffer, LruBufferIsReallocated)
+{
+    Fixture f(2, 4);
+    f.pfu->missLookup(0x1000, 0, true);  // buffer A: stream 0x1020..
+    f.pfu->missLookup(0x9000, 10, true); // buffer B: stream 0x9020..
+    f.pfu->missLookup(0x5000, 20, true); // reallocates A (LRU)
+    // The fresh 0x5000 stream is alive (and the hit refreshes it).
+    EXPECT_TRUE(f.pfu->missLookup(0x5020, 30, true).hit);
+    // A's old stream is gone. Note that probing for it *is* a miss,
+    // which per §2.2 reallocates the now-LRU buffer B.
+    EXPECT_FALSE(f.pfu->missLookup(0x1020, 40, true).hit);
+    // B was clobbered by that miss: its stream no longer hits.
+    EXPECT_FALSE(f.pfu->missLookup(0x9020, 50, true).hit);
+}
+
+TEST(StreamBuffer, TwoBuffersThrashUnderThreeStreams)
+{
+    // The small model's two buffers thrash when I and D streams
+    // interleave (§5.2).
+    Fixture f(2, 4);
+    int hits = 0;
+    Addr s1 = 0x1000, s2 = 0x8000, s3 = 0x20000;
+    for (int i = 0; i < 12; ++i) {
+        hits += f.pfu->missLookup(s1, i * 30 + 0, true).hit;
+        hits += f.pfu->missLookup(s2, i * 30 + 10, false).hit;
+        hits += f.pfu->missLookup(s3, i * 30 + 20, false).hit;
+        s1 += 32;
+        s2 += 32;
+        s3 += 32;
+    }
+    EXPECT_LT(hits, 12) << "three streams cannot live in two buffers";
+}
+
+TEST(StreamBuffer, FourBuffersTrackThreeStreams)
+{
+    Fixture f(4, 4);
+    int hits = 0;
+    Addr s1 = 0x1000, s2 = 0x8000, s3 = 0x20000;
+    for (int i = 0; i < 12; ++i) {
+        hits += f.pfu->missLookup(s1, i * 30 + 0, true).hit;
+        hits += f.pfu->missLookup(s2, i * 30 + 10, false).hit;
+        hits += f.pfu->missLookup(s3, i * 30 + 20, false).hit;
+        s1 += 32;
+        s2 += 32;
+        s3 += 32;
+    }
+    EXPECT_GT(hits, 25) << "four buffers hold three streams easily";
+}
+
+TEST(StreamBuffer, DisabledUnitAlwaysDemandFetches)
+{
+    Fixture f(4, 4, /*enabled=*/false);
+    const auto r1 = f.pfu->missLookup(0x1000, 0, true);
+    const auto r2 = f.pfu->missLookup(0x1020, 100, true);
+    EXPECT_FALSE(r1.hit);
+    EXPECT_FALSE(r2.hit);
+    EXPECT_EQ(f.biu.prefetchReads(), 0u);
+    EXPECT_EQ(f.biu.demandReads(), 2u);
+    // Disabled prefetch records no hit-rate samples.
+    EXPECT_EQ(f.pfu->instHitRate().total(), 0u);
+}
+
+TEST(StreamBuffer, InstAndDataStatsAreSeparate)
+{
+    Fixture f;
+    f.pfu->missLookup(0x1000, 0, true);
+    f.pfu->missLookup(0x1020, 10, true); // I hit
+    f.pfu->missLookup(0x9000, 20, false);
+    EXPECT_EQ(f.pfu->instHitRate().total(), 2u);
+    EXPECT_EQ(f.pfu->instHitRate().hits(), 1u);
+    EXPECT_EQ(f.pfu->dataHitRate().total(), 1u);
+    EXPECT_EQ(f.pfu->dataHitRate().hits(), 0u);
+}
+
+TEST(StreamBuffer, InFlightHitWaitsForArrival)
+{
+    Fixture f;
+    f.pfu->missLookup(0x1000, 0, true);
+    // Immediately ask for the prefetched line: it is still in
+    // flight, so ready lies in the future.
+    const auto res = f.pfu->missLookup(0x1020, 1, true);
+    EXPECT_TRUE(res.hit);
+    EXPECT_GT(res.ready, 1u);
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the victim cache, including its integration with
+ * the LSU's direct-mapped data cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ipu/lsu.hh"
+#include "mem/victim_cache.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::mem;
+
+TEST(VictimCache, DisabledWhenZeroLines)
+{
+    VictimCache vc(0, 32);
+    EXPECT_FALSE(vc.enabled());
+    vc.insert(0x1000, 0);
+    EXPECT_FALSE(vc.probe(0x1000, 1));
+    EXPECT_EQ(vc.hitRate().total(), 0u)
+        << "disabled cache records nothing";
+}
+
+TEST(VictimCache, CapturesAndReturnsVictims)
+{
+    VictimCache vc(4, 32);
+    vc.insert(0x1000, 0);
+    EXPECT_TRUE(vc.probe(0x1010, 1)) << "same line, different word";
+    // The hit removed the line (swapped back to the primary cache).
+    EXPECT_FALSE(vc.probe(0x1000, 2));
+}
+
+TEST(VictimCache, LruReplacement)
+{
+    VictimCache vc(2, 32);
+    vc.insert(0x1000, 0);
+    vc.insert(0x2000, 1);
+    vc.insert(0x3000, 2); // evicts 0x1000
+    EXPECT_FALSE(vc.probe(0x1000, 3));
+    EXPECT_TRUE(vc.probe(0x2000, 4));
+    EXPECT_TRUE(vc.probe(0x3000, 5));
+}
+
+TEST(VictimCache, ReinsertRefreshes)
+{
+    VictimCache vc(2, 32);
+    vc.insert(0x1000, 0);
+    vc.insert(0x2000, 1);
+    vc.insert(0x1000, 2); // refresh, no new entry
+    vc.insert(0x3000, 3); // evicts 0x2000 (LRU)
+    EXPECT_TRUE(vc.probe(0x1000, 4));
+    EXPECT_FALSE(vc.probe(0x2000, 5));
+}
+
+struct LsuFixture
+{
+    explicit LsuFixture(unsigned victim_lines)
+        : biu(BiuConfig{17, 4, 8})
+    {
+        PrefetchConfig pcfg;
+        pcfg.enabled = false; // isolate the victim path
+        pfu.emplace(pcfg, biu);
+        ipu::LsuConfig cfg;
+        cfg.dcache_bytes = 1024; // tiny: conflicts are easy to make
+        cfg.mshr_entries = 4;
+        cfg.victim_lines = victim_lines;
+        lsu.emplace(cfg, WriteCacheConfig{}, biu, *pfu);
+    }
+
+    void
+    runTo(Cycle target)
+    {
+        for (; now <= target; ++now)
+            lsu->tick(now);
+        now = target;
+    }
+
+    Biu biu;
+    std::optional<PrefetchUnit> pfu;
+    std::optional<ipu::Lsu> lsu;
+    Cycle now = 0;
+};
+
+TEST(VictimCache, CatchesConflictMissesInTheLsu)
+{
+    LsuFixture f(4);
+    f.lsu->tick(0);
+    // Two addresses that conflict in a 1 KB direct-mapped cache.
+    f.lsu->load(0x20000000, 4, 0);
+    f.runTo(100);
+    f.lsu->load(0x20000400, 4, 100); // conflicts; evicts the first
+    f.runTo(200);
+    const Count reads_before = f.biu.demandReads();
+    const Cycle ready = f.lsu->load(0x20000000, 4, 200);
+    EXPECT_EQ(f.biu.demandReads(), reads_before)
+        << "victim hit needs no BIU transaction";
+    EXPECT_LE(ready, 200u + 3 + 1) << "swap latency only";
+    EXPECT_EQ(f.lsu->victims().hitRate().hits(), 1u);
+}
+
+TEST(VictimCache, WithoutItConflictsGoOffChip)
+{
+    LsuFixture f(0);
+    f.lsu->tick(0);
+    f.lsu->load(0x20000000, 4, 0);
+    f.runTo(100);
+    f.lsu->load(0x20000400, 4, 100);
+    f.runTo(200);
+    const Count reads_before = f.biu.demandReads();
+    const Cycle ready = f.lsu->load(0x20000000, 4, 200);
+    EXPECT_EQ(f.biu.demandReads(), reads_before + 1);
+    EXPECT_GE(ready, 200u + 17);
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Edge-case tests for the synthetic workload generator: degenerate
+ * profiles must still produce well-formed streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic_workload.hh"
+#include "trace/trace_stats.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::trace;
+
+WorkloadProfile
+minimal()
+{
+    WorkloadProfile p;
+    p.name = "minimal";
+    p.seed = 99;
+    p.hot_code_bytes = 1024;
+    p.num_hot_loops = 1;
+    p.hot_data_bytes = 64;
+    p.total_data_bytes = 64 * 1024;
+    return p;
+}
+
+/** The stream stays well-formed: consume N and check basics. */
+void
+checkWellFormed(WorkloadProfile p, Count n = 30000)
+{
+    SyntheticWorkload w(std::move(p));
+    Inst prev, cur;
+    ASSERT_TRUE(w.next(prev));
+    for (Count i = 1; i < n; ++i) {
+        ASSERT_TRUE(w.next(cur));
+        ASSERT_EQ(prev.next_pc, cur.pc);
+        ASSERT_EQ(prev.pc % 4, 0u);
+        if (isMem(prev.op)) {
+            ASSERT_NE(prev.eff_addr, 0u);
+        }
+        prev = cur;
+    }
+}
+
+TEST(WorkloadEdge, SingleLoopWorkload)
+{
+    checkWellFormed(minimal());
+}
+
+TEST(WorkloadEdge, AlwaysHotNeverGoesCold)
+{
+    auto p = minimal();
+    p.hot_fraction = 1.0;
+    SyntheticWorkload w(p);
+    // All pcs must stay within the hot region (+ exit stubs).
+    Inst inst;
+    const Addr limit = SyntheticWorkload::CODE_BASE +
+                       p.hot_code_bytes + 1024;
+    for (int i = 0; i < 30000; ++i) {
+        ASSERT_TRUE(w.next(inst));
+        ASSERT_LT(inst.pc, limit);
+    }
+}
+
+TEST(WorkloadEdge, MostlyColdStillRuns)
+{
+    auto p = minimal();
+    p.hot_fraction = 0.05;
+    checkWellFormed(p);
+}
+
+TEST(WorkloadEdge, NoMemoryOperations)
+{
+    auto p = minimal();
+    p.frac_load = 0.0;
+    p.frac_store = 0.0;
+    SyntheticWorkload w(p);
+    TraceStats s = analyze(w, 20000);
+    EXPECT_EQ(s.data_refs, 0u);
+}
+
+TEST(WorkloadEdge, AllLoadsNoStores)
+{
+    auto p = minimal();
+    p.frac_load = 0.6;
+    p.frac_store = 0.0;
+    SyntheticWorkload w(p);
+    TraceStats s = analyze(w, 20000);
+    EXPECT_EQ(s.count(OpClass::Store), 0u);
+    EXPECT_GT(s.frac(OpClass::Load), 0.4);
+}
+
+TEST(WorkloadEdge, PureSequentialData)
+{
+    auto p = minimal();
+    p.seq_fraction = 1.0;
+    p.chase_fraction = 0.0;
+    p.stack_fraction = 0.0;
+    checkWellFormed(p);
+}
+
+TEST(WorkloadEdge, PureChaseData)
+{
+    auto p = minimal();
+    p.seq_fraction = 0.0;
+    p.chase_fraction = 1.0;
+    p.stack_fraction = 0.0;
+    checkWellFormed(p);
+}
+
+TEST(WorkloadEdge, TinyTripCounts)
+{
+    auto p = minimal();
+    p.mean_trips = 1.0;
+    checkWellFormed(p);
+}
+
+TEST(WorkloadEdge, HugeTripCounts)
+{
+    auto p = minimal();
+    p.mean_trips = 10000.0;
+    checkWellFormed(p);
+}
+
+TEST(WorkloadEdge, FpWithOnlyDivides)
+{
+    auto p = minimal();
+    p.floating_point = true;
+    p.frac_fp_arith = 0.3;
+    p.fp_add_w = 0.0;
+    p.fp_mul_w = 0.0;
+    p.fp_div_w = 1.0;
+    p.fp_cvt_w = 0.0;
+    SyntheticWorkload w(p);
+    TraceStats s = analyze(w, 20000);
+    EXPECT_EQ(s.count(OpClass::FpAdd) + s.count(OpClass::FpMul) +
+                  s.count(OpClass::FpCvt),
+              0u);
+    EXPECT_GT(s.count(OpClass::FpDiv), 100u);
+}
+
+TEST(WorkloadEdge, FpRunLengthOne)
+{
+    auto p = minimal();
+    p.floating_point = true;
+    p.frac_fp_arith = 0.3;
+    p.fp_run_len = 1.0; // clustering disabled
+    checkWellFormed(p);
+}
+
+TEST(WorkloadEdge, NopHeavyDelaySlots)
+{
+    auto p = minimal();
+    p.delay_nop_frac = 1.0;
+    SyntheticWorkload w(p);
+    // Every delay slot is a NOP: after any taken transfer the next
+    // instruction is a NOP.
+    Inst prev, cur;
+    ASSERT_TRUE(w.next(prev));
+    for (int i = 0; i < 20000; ++i) {
+        ASSERT_TRUE(w.next(cur));
+        if (prev.redirectsFetch()) {
+            ASSERT_EQ(cur.op, OpClass::Nop);
+        }
+        prev = cur;
+    }
+}
+
+TEST(WorkloadEdge, DeterminismSurvivesExtremeProfiles)
+{
+    auto p = minimal();
+    p.hot_fraction = 0.5;
+    p.chase_fraction = 0.9;
+    p.seq_fraction = 0.1;
+    SyntheticWorkload a(p), b(p);
+    Inst x, y;
+    for (int i = 0; i < 20000; ++i) {
+        a.next(x);
+        b.next(y);
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(x.eff_addr, y.eff_addr);
+    }
+}
+
+TEST(WorkloadEdgeDeath, TooSmallHotCodeIsFatal)
+{
+    auto p = minimal();
+    p.hot_code_bytes = 16;
+    EXPECT_DEATH(SyntheticWorkload w(p), "too small");
+}
+
+TEST(WorkloadEdgeDeath, TooSmallHotDataIsFatal)
+{
+    auto p = minimal();
+    p.hot_data_bytes = 8;
+    EXPECT_DEATH(SyntheticWorkload w(p), "hot data");
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the multiprogrammed (interleaved) trace source.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic_workload.hh"
+#include "trace/trace_source.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::trace;
+
+std::vector<Inst>
+marked(Addr base, int n)
+{
+    std::vector<Inst> v;
+    for (int i = 0; i < n; ++i) {
+        Inst inst;
+        inst.pc = base + 4u * static_cast<Addr>(i);
+        inst.next_pc = inst.pc + 4;
+        inst.op = OpClass::IntAlu;
+        v.push_back(inst);
+    }
+    return v;
+}
+
+TEST(Interleave, RoundRobinQuanta)
+{
+    VectorTraceSource a(marked(0x1000, 6));
+    VectorTraceSource b(marked(0x2000, 6));
+    InterleavedTraceSource mix({&a, &b}, 3);
+    const auto out = collect(mix, 100);
+    ASSERT_EQ(out.size(), 12u);
+    // a a a b b b a a a b b b
+    for (int i = 0; i < 12; ++i) {
+        const Addr expected_base =
+            ((i / 3) % 2 == 0) ? 0x1000u : 0x2000u;
+        EXPECT_EQ(out[static_cast<std::size_t>(i)].pc & 0xf000u,
+                  expected_base)
+            << "position " << i;
+    }
+    EXPECT_EQ(mix.switches(), 3u);
+}
+
+TEST(Interleave, ExhaustedSourceIsSkipped)
+{
+    VectorTraceSource a(marked(0x1000, 2));
+    VectorTraceSource b(marked(0x2000, 8));
+    InterleavedTraceSource mix({&a, &b}, 4);
+    const auto out = collect(mix, 100);
+    ASSERT_EQ(out.size(), 10u);
+    // After a's 2 instructions, everything comes from b.
+    for (std::size_t i = 2; i < out.size(); ++i)
+        EXPECT_EQ(out[i].pc & 0xf000u, 0x2000u);
+}
+
+TEST(Interleave, SingleSourcePassesThrough)
+{
+    VectorTraceSource a(marked(0x1000, 5));
+    InterleavedTraceSource mix({&a}, 2);
+    EXPECT_EQ(collect(mix, 100).size(), 5u);
+    EXPECT_EQ(mix.switches(), 0u);
+}
+
+TEST(Interleave, ThreeWay)
+{
+    VectorTraceSource a(marked(0x1000, 4));
+    VectorTraceSource b(marked(0x2000, 4));
+    VectorTraceSource c(marked(0x3000, 4));
+    InterleavedTraceSource mix({&a, &b, &c}, 2);
+    const auto out = collect(mix, 100);
+    ASSERT_EQ(out.size(), 12u);
+    EXPECT_EQ(out[0].pc & 0xf000u, 0x1000u);
+    EXPECT_EQ(out[2].pc & 0xf000u, 0x2000u);
+    EXPECT_EQ(out[4].pc & 0xf000u, 0x3000u);
+    EXPECT_EQ(out[6].pc & 0xf000u, 0x1000u);
+}
+
+TEST(Interleave, WorkloadsInterleaveEndlessly)
+{
+    SyntheticWorkload a(trace::espresso());
+    SyntheticWorkload b(trace::gcc());
+    InterleavedTraceSource mix({&a, &b}, 1000);
+    Inst inst;
+    for (int i = 0; i < 50000; ++i)
+        ASSERT_TRUE(mix.next(inst));
+    EXPECT_EQ(mix.switches(), 49u);
+}
+
+TEST(InterleaveDeath, ZeroQuantumIsFatal)
+{
+    VectorTraceSource a(marked(0x1000, 2));
+    EXPECT_DEATH(InterleavedTraceSource({&a}, 0), "quantum");
+}
+
+TEST(InterleaveDeath, EmptySourceListIsFatal)
+{
+    EXPECT_DEATH(InterleavedTraceSource({}, 4), "at least one");
+}
+
+} // namespace

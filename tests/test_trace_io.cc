@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the binary trace format and streaming sources.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic_workload.hh"
+#include "trace/trace_io.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::trace;
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+std::vector<Inst>
+sampleInsts(std::size_t n)
+{
+    SyntheticWorkload w(espresso());
+    return collect(w, n);
+}
+
+TEST(TraceIo, RoundTripPreservesEveryField)
+{
+    const auto insts = sampleInsts(500);
+    const std::string path = tempPath("roundtrip.aur3");
+    writeTrace(path, insts);
+    const auto back = readTrace(path);
+    ASSERT_EQ(back.size(), insts.size());
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        EXPECT_EQ(back[i].pc, insts[i].pc);
+        EXPECT_EQ(back[i].next_pc, insts[i].next_pc);
+        EXPECT_EQ(back[i].eff_addr, insts[i].eff_addr);
+        EXPECT_EQ(back[i].op, insts[i].op);
+        EXPECT_EQ(back[i].src_a, insts[i].src_a);
+        EXPECT_EQ(back[i].src_b, insts[i].src_b);
+        EXPECT_EQ(back[i].dst, insts[i].dst);
+        EXPECT_EQ(back[i].fsrc_a, insts[i].fsrc_a);
+        EXPECT_EQ(back[i].fsrc_b, insts[i].fsrc_b);
+        EXPECT_EQ(back[i].fdst, insts[i].fdst);
+        EXPECT_EQ(back[i].size, insts[i].size);
+        EXPECT_EQ(back[i].taken, insts[i].taken);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    const std::string path = tempPath("empty.aur3");
+    writeTrace(path, {});
+    EXPECT_TRUE(readTrace(path).empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, FileSourceReportsCount)
+{
+    const auto insts = sampleInsts(123);
+    const std::string path = tempPath("count.aur3");
+    writeTrace(path, insts);
+    FileTraceSource src(path);
+    EXPECT_EQ(src.recordCount(), 123u);
+    Inst inst;
+    Count n = 0;
+    while (src.next(inst))
+        ++n;
+    EXPECT_EQ(n, 123u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, VectorSourceRewinds)
+{
+    VectorTraceSource src(sampleInsts(10));
+    Inst inst;
+    int n = 0;
+    while (src.next(inst))
+        ++n;
+    EXPECT_EQ(n, 10);
+    src.rewind();
+    EXPECT_TRUE(src.next(inst));
+}
+
+TEST(TraceIo, LimitedSourceTruncates)
+{
+    VectorTraceSource inner(sampleInsts(100));
+    LimitedTraceSource limited(inner, 7);
+    Inst inst;
+    int n = 0;
+    while (limited.next(inst))
+        ++n;
+    EXPECT_EQ(n, 7);
+}
+
+TEST(TraceIo, LimitedSourceHandlesShortInner)
+{
+    VectorTraceSource inner(sampleInsts(3));
+    LimitedTraceSource limited(inner, 10);
+    Inst inst;
+    int n = 0;
+    while (limited.next(inst))
+        ++n;
+    EXPECT_EQ(n, 3);
+}
+
+TEST(TraceIo, CollectRespectsLimit)
+{
+    SyntheticWorkload w(espresso());
+    EXPECT_EQ(collect(w, 42).size(), 42u);
+}
+
+TEST(TraceIoDeath, CorruptMagicPanics)
+{
+    const std::string path = tempPath("corrupt.aur3");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOTATRACEFILE...", f);
+    std::fclose(f);
+    EXPECT_DEATH({ FileTraceSource src(path); }, "magic");
+    std::remove(path.c_str());
+}
+
+} // namespace

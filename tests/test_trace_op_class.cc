@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for operation class predicates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/op_class.hh"
+
+namespace
+{
+
+using namespace aurora::trace;
+
+TEST(OpClass, MemPredicates)
+{
+    EXPECT_TRUE(isMem(OpClass::Load));
+    EXPECT_TRUE(isMem(OpClass::Store));
+    EXPECT_TRUE(isMem(OpClass::FpLoad));
+    EXPECT_TRUE(isMem(OpClass::FpStore));
+    EXPECT_FALSE(isMem(OpClass::IntAlu));
+    EXPECT_FALSE(isMem(OpClass::FpAdd));
+    EXPECT_FALSE(isMem(OpClass::Branch));
+}
+
+TEST(OpClass, LoadStoreSplit)
+{
+    EXPECT_TRUE(isLoad(OpClass::Load));
+    EXPECT_TRUE(isLoad(OpClass::FpLoad));
+    EXPECT_FALSE(isLoad(OpClass::Store));
+    EXPECT_TRUE(isStore(OpClass::Store));
+    EXPECT_TRUE(isStore(OpClass::FpStore));
+    EXPECT_FALSE(isStore(OpClass::FpLoad));
+}
+
+TEST(OpClass, ControlPredicates)
+{
+    EXPECT_TRUE(isControl(OpClass::Branch));
+    EXPECT_TRUE(isControl(OpClass::Jump));
+    EXPECT_FALSE(isControl(OpClass::IntAlu));
+    EXPECT_FALSE(isControl(OpClass::Nop));
+}
+
+TEST(OpClass, FpPredicates)
+{
+    for (OpClass op : {OpClass::FpAdd, OpClass::FpMul, OpClass::FpDiv,
+                       OpClass::FpCvt, OpClass::FpLoad,
+                       OpClass::FpStore, OpClass::FpMove})
+        EXPECT_TRUE(isFp(op));
+    EXPECT_FALSE(isFp(OpClass::Load));
+    EXPECT_FALSE(isFp(OpClass::IntAlu));
+}
+
+TEST(OpClass, FpArithSubset)
+{
+    EXPECT_TRUE(isFpArith(OpClass::FpAdd));
+    EXPECT_TRUE(isFpArith(OpClass::FpMul));
+    EXPECT_TRUE(isFpArith(OpClass::FpDiv));
+    EXPECT_TRUE(isFpArith(OpClass::FpCvt));
+    EXPECT_FALSE(isFpArith(OpClass::FpLoad));
+    EXPECT_FALSE(isFpArith(OpClass::FpMove));
+}
+
+TEST(OpClass, EveryClassHasAName)
+{
+    for (std::size_t c = 0; c < NUM_OP_CLASSES; ++c) {
+        const auto name = opClassName(static_cast<OpClass>(c));
+        EXPECT_FALSE(name.empty());
+    }
+}
+
+TEST(OpClass, NamesAreDistinct)
+{
+    std::set<std::string_view> names;
+    for (std::size_t c = 0; c < NUM_OP_CLASSES; ++c)
+        names.insert(opClassName(static_cast<OpClass>(c)));
+    EXPECT_EQ(names.size(), NUM_OP_CLASSES);
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the SPEC92 benchmark profile catalogue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace aurora::trace;
+
+TEST(Profiles, IntegerSuiteMatchesPaperOrder)
+{
+    const auto suite = integerSuite();
+    ASSERT_EQ(suite.size(), 6u);
+    const char *expected[] = {"espresso", "li",       "eqntott",
+                              "compress", "sc",       "gcc"};
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        EXPECT_EQ(suite[i].name, expected[i]);
+        EXPECT_FALSE(suite[i].floating_point);
+    }
+}
+
+TEST(Profiles, FloatSuiteMatchesTable6Order)
+{
+    const auto suite = floatSuite();
+    ASSERT_EQ(suite.size(), 9u);
+    const char *expected[] = {"alvinn", "doduc",   "ear",
+                              "hydro2d", "mdljdp2", "nasa7",
+                              "ora",     "spice2g6", "su2cor"};
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        EXPECT_EQ(suite[i].name, expected[i]);
+        EXPECT_TRUE(suite[i].floating_point);
+    }
+}
+
+TEST(Profiles, SeedsAreDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &p : integerSuite())
+        seeds.insert(p.seed);
+    for (const auto &p : floatSuite())
+        seeds.insert(p.seed);
+    EXPECT_EQ(seeds.size(), 15u);
+}
+
+TEST(Profiles, ByNameFindsEverything)
+{
+    for (const auto &p : integerSuite())
+        EXPECT_EQ(profileByName(p.name).name, p.name);
+    for (const auto &p : floatSuite())
+        EXPECT_EQ(profileByName(p.name).name, p.name);
+}
+
+TEST(Profiles, FractionsAreProbabilities)
+{
+    auto check = [](const WorkloadProfile &p) {
+        const double mix = p.frac_load + p.frac_store +
+                           p.frac_fp_arith + p.frac_fp_load +
+                           p.frac_fp_store;
+        EXPECT_GT(mix, 0.0) << p.name;
+        EXPECT_LT(mix, 1.0) << p.name;
+        EXPECT_LE(p.seq_fraction + p.chase_fraction, 1.0) << p.name;
+        EXPECT_GE(p.hot_fraction, 0.0);
+        EXPECT_LE(p.hot_fraction, 1.0);
+        EXPECT_GE(p.chase_hot_frac, 0.0);
+        EXPECT_LE(p.chase_hot_frac, 1.0);
+    };
+    for (const auto &p : integerSuite())
+        check(p);
+    for (const auto &p : floatSuite())
+        check(p);
+}
+
+TEST(Profiles, FootprintsAreReasonable)
+{
+    auto check = [](const WorkloadProfile &p) {
+        EXPECT_GE(p.hot_code_bytes, 512u) << p.name;
+        EXPECT_LE(p.hot_code_bytes, 16u * 1024) << p.name;
+        EXPECT_GE(p.total_data_bytes, 64u * 1024) << p.name;
+        EXPECT_GE(p.hot_data_bytes, 1024u) << p.name;
+        EXPECT_GE(p.num_hot_loops, 1);
+    };
+    for (const auto &p : integerSuite())
+        check(p);
+    for (const auto &p : floatSuite())
+        check(p);
+}
+
+TEST(Profiles, GccHasLargestCodeFootprint)
+{
+    const auto suite = integerSuite();
+    for (const auto &p : suite) {
+        if (p.name == "gcc")
+            continue;
+        EXPECT_GE(gcc().hot_code_bytes + gcc().cold_code_bytes,
+                  p.hot_code_bytes + p.cold_code_bytes)
+            << p.name;
+    }
+}
+
+TEST(Profiles, EqntottIsChaseHeavyAndSequentialCode)
+{
+    // The benchmark the paper singles out: highest I-prefetch hit
+    // rate, lowest D-prefetch hit rate.
+    EXPECT_GT(eqntott().chase_fraction, 0.5);
+    EXPECT_LT(eqntott().seq_fraction, 0.15);
+    EXPECT_GT(eqntott().cold_run_len, espresso().cold_run_len);
+}
+
+TEST(Profiles, ScStreamsTheMostIntegerData)
+{
+    for (const auto &p : integerSuite())
+        if (p.name != "sc") {
+            EXPECT_GE(sc().seq_fraction, p.seq_fraction) << p.name;
+        }
+}
+
+TEST(Profiles, OraIsDivideHeavy)
+{
+    for (const auto &p : floatSuite())
+        if (p.name != "ora") {
+            EXPECT_GE(ora().fp_div_w, p.fp_div_w) << p.name;
+        }
+}
+
+TEST(Profiles, AlvinnHasLongestChains)
+{
+    for (const auto &p : floatSuite())
+        if (p.name != "alvinn") {
+            EXPECT_GE(alvinn().fp_chain_frac, p.fp_chain_frac)
+                << p.name;
+        }
+}
+
+TEST(Profiles, Spice2g6IsMostlyInteger)
+{
+    for (const auto &p : floatSuite())
+        if (p.name != "spice2g6") {
+            EXPECT_LE(spice2g6().frac_fp_arith, p.frac_fp_arith)
+                << p.name;
+        }
+}
+
+TEST(ProfilesDeath, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(profileByName("quake3"), "unknown benchmark");
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the trace analysis module.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.hh"
+#include "trace/trace_source.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::trace;
+
+Inst
+make(Addr pc, OpClass op, Addr ea = 0, bool taken = false)
+{
+    Inst i;
+    i.pc = pc;
+    i.next_pc = pc + 4;
+    i.op = op;
+    i.eff_addr = ea;
+    i.taken = taken;
+    if (isMem(op))
+        i.size = 4;
+    return i;
+}
+
+TEST(TraceStats, CountsPerClass)
+{
+    VectorTraceSource src({
+        make(0x1000, OpClass::IntAlu),
+        make(0x1004, OpClass::Load, 0x20000000),
+        make(0x1008, OpClass::Load, 0x20000020),
+        make(0x100c, OpClass::Store, 0x20000040),
+        make(0x1010, OpClass::Branch, 0, true),
+        make(0x1014, OpClass::Nop),
+    });
+    const TraceStats s = analyze(src, 100);
+    EXPECT_EQ(s.insts, 6u);
+    EXPECT_EQ(s.count(OpClass::Load), 2u);
+    EXPECT_EQ(s.count(OpClass::Store), 1u);
+    EXPECT_EQ(s.taken_branches, 1u);
+    EXPECT_EQ(s.data_refs, 3u);
+    EXPECT_NEAR(s.frac(OpClass::Load), 2.0 / 6.0, 1e-12);
+}
+
+TEST(TraceStats, UniqueFootprints)
+{
+    std::vector<Inst> v;
+    // 16 instructions over two 32-byte code lines, repeated twice.
+    for (int rep = 0; rep < 2; ++rep)
+        for (int i = 0; i < 16; ++i)
+            v.push_back(make(0x1000 + 4u * static_cast<Addr>(i),
+                             OpClass::IntAlu));
+    VectorTraceSource src(v);
+    const TraceStats s = analyze(src, 100);
+    EXPECT_EQ(s.unique_pcs, 16u);
+    EXPECT_EQ(s.unique_code_lines, 2u);
+}
+
+TEST(TraceStats, SequentialDataDetection)
+{
+    VectorTraceSource src({
+        make(0x1000, OpClass::Load, 0x20000000),
+        make(0x1004, OpClass::Load, 0x20000004), // same line
+        make(0x1008, OpClass::Load, 0x20000020), // next line
+        make(0x100c, OpClass::Load, 0x30000000), // jump
+    });
+    const TraceStats s = analyze(src, 100);
+    EXPECT_EQ(s.data_refs, 4u);
+    EXPECT_EQ(s.seq_data_refs, 2u);
+}
+
+TEST(TraceStats, LimitTruncates)
+{
+    std::vector<Inst> v(50, make(0x1000, OpClass::IntAlu));
+    VectorTraceSource src(v);
+    EXPECT_EQ(analyze(src, 10).insts, 10u);
+}
+
+TEST(TraceStats, SummaryIsReadable)
+{
+    VectorTraceSource src({make(0x1000, OpClass::Load, 0x20000000)});
+    const TraceStats s = analyze(src, 10);
+    const std::string text = s.summary();
+    EXPECT_NE(text.find("instructions: 1"), std::string::npos);
+    EXPECT_NE(text.find("load"), std::string::npos);
+}
+
+TEST(TraceStats, EmptyStream)
+{
+    VectorTraceSource src(std::vector<Inst>{});
+    const TraceStats s = analyze(src, 10);
+    EXPECT_EQ(s.insts, 0u);
+    EXPECT_EQ(s.data_refs, 0u);
+    EXPECT_DOUBLE_EQ(s.frac(OpClass::Load), 0.0);
+}
+
+} // namespace

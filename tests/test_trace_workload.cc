@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Property tests for the synthetic workload generator.
+ *
+ * These enforce the structural invariants the simulator depends on:
+ * deterministic replay, a well-formed control-flow stream (every taken
+ * transfer is followed by its architectural delay slot), addresses
+ * confined to their regions, and a dynamic instruction mix close to
+ * the profile.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic_workload.hh"
+#include "trace/trace_stats.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::trace;
+
+constexpr Count SAMPLE = 120000;
+
+TEST(Workload, DeterministicForSameProfile)
+{
+    SyntheticWorkload a(gcc()), b(gcc());
+    Inst x, y;
+    for (int i = 0; i < 50000; ++i) {
+        ASSERT_TRUE(a.next(x));
+        ASSERT_TRUE(b.next(y));
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(x.eff_addr, y.eff_addr);
+        ASSERT_EQ(x.op, y.op);
+        ASSERT_EQ(x.taken, y.taken);
+    }
+}
+
+TEST(Workload, DifferentSeedsProduceDifferentStreams)
+{
+    auto p1 = espresso();
+    auto p2 = espresso();
+    p2.seed ^= 0x1234567;
+    SyntheticWorkload a(p1), b(p2);
+    Inst x, y;
+    int differences = 0;
+    for (int i = 0; i < 10000; ++i) {
+        a.next(x);
+        b.next(y);
+        differences += (x.pc != y.pc) ? 1 : 0;
+    }
+    EXPECT_GT(differences, 100);
+}
+
+TEST(Workload, NextPcChainIsConsistent)
+{
+    SyntheticWorkload w(li());
+    Inst prev, cur;
+    ASSERT_TRUE(w.next(prev));
+    for (int i = 0; i < 50000; ++i) {
+        ASSERT_TRUE(w.next(cur));
+        ASSERT_EQ(prev.next_pc, cur.pc)
+            << "next_pc must point at the next dynamic instruction";
+        prev = cur;
+    }
+}
+
+TEST(Workload, OnlyControlTransfersRedirect)
+{
+    SyntheticWorkload w(sc());
+    // Window of three: a -> b -> c. A discontinuity between b and c
+    // is only legal when b is the delay slot of a taken transfer a.
+    Inst a, b, c;
+    ASSERT_TRUE(w.next(a));
+    ASSERT_TRUE(w.next(b));
+    for (int i = 0; i < 50000; ++i) {
+        ASSERT_TRUE(w.next(c));
+        if (c.pc != b.pc + 4) {
+            ASSERT_TRUE(a.redirectsFetch())
+                << "discontinuity at " << std::hex << b.pc
+                << " without a taken transfer before its delay slot";
+        }
+        a = b;
+        b = c;
+    }
+}
+
+TEST(Workload, TakenBranchFollowedBySequentialDelaySlot)
+{
+    SyntheticWorkload w(espresso());
+    Inst prev, cur;
+    ASSERT_TRUE(w.next(prev));
+    for (int i = 0; i < 50000; ++i) {
+        ASSERT_TRUE(w.next(cur));
+        if (prev.redirectsFetch()) {
+            // MIPS semantics: the delay slot executes from pc+4
+            // before control reaches the target.
+            ASSERT_EQ(cur.pc, prev.pc + 4)
+                << "taken transfer must be followed by its delay slot";
+            ASSERT_FALSE(isControl(cur.op))
+                << "MIPS prohibits control ops in delay slots";
+        }
+        prev = cur;
+    }
+}
+
+TEST(Workload, MemOpsHaveAddressesAndSizes)
+{
+    SyntheticWorkload w(compress());
+    Inst inst;
+    for (int i = 0; i < 50000; ++i) {
+        ASSERT_TRUE(w.next(inst));
+        if (isMem(inst.op)) {
+            ASSERT_NE(inst.eff_addr, 0u);
+            ASSERT_TRUE(inst.size == 4 || inst.size == 8);
+            ASSERT_EQ(inst.eff_addr % inst.size, 0u)
+                << "accesses must be naturally aligned";
+        } else {
+            ASSERT_EQ(inst.eff_addr, 0u);
+        }
+    }
+}
+
+TEST(Workload, DataAddressesInKnownRegions)
+{
+    SyntheticWorkload w(eqntott());
+    Inst inst;
+    for (int i = 0; i < 50000; ++i) {
+        ASSERT_TRUE(w.next(inst));
+        if (!isMem(inst.op))
+            continue;
+        const bool heap =
+            inst.eff_addr >= SyntheticWorkload::HEAP_BASE &&
+            inst.eff_addr < SyntheticWorkload::HEAP_BASE +
+                                eqntott().total_data_bytes + 64;
+        const bool stack =
+            inst.eff_addr >=
+                SyntheticWorkload::STACK_TOP -
+                    eqntott().hot_data_bytes &&
+            inst.eff_addr <= SyntheticWorkload::STACK_TOP;
+        ASSERT_TRUE(heap || stack)
+            << std::hex << inst.eff_addr << " outside data regions";
+    }
+}
+
+TEST(Workload, CodeAddressesInCodeRegion)
+{
+    const auto p = gcc();
+    SyntheticWorkload w(p);
+    Inst inst;
+    const Addr lo = SyntheticWorkload::CODE_BASE;
+    // hot code + exit stubs + alignment + cold region
+    const Addr hi = lo + p.hot_code_bytes * 2 + p.cold_code_bytes +
+                    4096;
+    for (int i = 0; i < 50000; ++i) {
+        ASSERT_TRUE(w.next(inst));
+        ASSERT_GE(inst.pc, lo);
+        ASSERT_LT(inst.pc, hi);
+        ASSERT_EQ(inst.pc % 4, 0u);
+    }
+}
+
+TEST(Workload, FpPairsAccessAdjacentWords)
+{
+    auto p = nasa7();
+    p.double_word_mem = false;
+    SyntheticWorkload w(p);
+    Inst prev, cur;
+    ASSERT_TRUE(w.next(prev));
+    int pairs = 0;
+    for (int i = 0; i < 50000; ++i) {
+        ASSERT_TRUE(w.next(cur));
+        if (prev.op == OpClass::FpLoad && cur.op == OpClass::FpLoad &&
+            cur.pc == prev.pc + 4 &&
+            cur.eff_addr == prev.eff_addr + 4)
+            ++pairs;
+        prev = cur;
+    }
+    EXPECT_GT(pairs, 1000) << "paired 32-bit FP halves should abound";
+}
+
+TEST(Workload, DoubleWordModeUses8ByteAccesses)
+{
+    auto p = nasa7();
+    p.double_word_mem = true;
+    SyntheticWorkload w(p);
+    Inst inst;
+    for (int i = 0; i < 20000; ++i) {
+        ASSERT_TRUE(w.next(inst));
+        if (inst.op == OpClass::FpLoad ||
+            inst.op == OpClass::FpStore) {
+            ASSERT_EQ(inst.size, 8u);
+        }
+    }
+}
+
+TEST(Workload, ProducedCounterAdvances)
+{
+    SyntheticWorkload w(ora());
+    Inst inst;
+    for (int i = 0; i < 100; ++i)
+        w.next(inst);
+    EXPECT_EQ(w.produced(), 100u);
+}
+
+/** Mix and footprint invariants must hold for every benchmark. */
+class WorkloadSweep : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    WorkloadProfile profile() const { return profileByName(GetParam()); }
+};
+
+TEST_P(WorkloadSweep, MixTracksProfile)
+{
+    const auto p = profile();
+    SyntheticWorkload w(p);
+    const TraceStats s = analyze(w, SAMPLE);
+
+    const double loads = s.frac(OpClass::Load);
+    EXPECT_NEAR(loads, p.frac_load, 0.08) << "integer load fraction";
+    const double stores = s.frac(OpClass::Store);
+    EXPECT_NEAR(stores, p.frac_store, 0.06) << "integer store fraction";
+
+    if (p.floating_point) {
+        const double fp_arith =
+            s.frac(OpClass::FpAdd) + s.frac(OpClass::FpMul) +
+            s.frac(OpClass::FpDiv) + s.frac(OpClass::FpCvt);
+        EXPECT_NEAR(fp_arith, p.frac_fp_arith, 0.10);
+        EXPECT_GT(s.count(OpClass::FpLoad), 0u);
+    } else {
+        EXPECT_EQ(s.count(OpClass::FpAdd), 0u);
+        EXPECT_EQ(s.count(OpClass::FpLoad), 0u);
+    }
+}
+
+TEST_P(WorkloadSweep, BranchDensityIsSane)
+{
+    SyntheticWorkload w(profile());
+    const TraceStats s = analyze(w, SAMPLE);
+    const double transfers =
+        s.frac(OpClass::Branch) + s.frac(OpClass::Jump);
+    EXPECT_GT(transfers, 0.01);
+    EXPECT_LT(transfers, 0.25);
+}
+
+TEST_P(WorkloadSweep, CodeFootprintTracksProfile)
+{
+    const auto p = profile();
+    SyntheticWorkload w(p);
+    const TraceStats s = analyze(w, SAMPLE);
+    // Unique code touched must be at least the hot footprint and at
+    // most hot + cold (+ exit stubs & alignment).
+    EXPECT_GT(s.unique_pcs * 4, p.hot_code_bytes / 2);
+    EXPECT_LT(s.unique_pcs * 4,
+              p.hot_code_bytes * 2 + p.cold_code_bytes + 4096);
+}
+
+TEST_P(WorkloadSweep, HotCodeDominatesExecution)
+{
+    const auto p = profile();
+    SyntheticWorkload w(p);
+    // The dynamic stream revisits a small set of pcs: with hot loops
+    // the unique-pc count grows far slower than the stream.
+    const TraceStats s = analyze(w, SAMPLE);
+    EXPECT_LT(s.unique_pcs, SAMPLE / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadSweep,
+    ::testing::Values("espresso", "li", "eqntott", "compress", "sc",
+                      "gcc", "alvinn", "doduc", "ear", "hydro2d",
+                      "mdljdp2", "nasa7", "ora", "spice2g6",
+                      "su2cor"));
+
+} // namespace

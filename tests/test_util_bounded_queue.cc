@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the fixed-capacity FIFO.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bounded_queue.hh"
+
+namespace
+{
+
+using aurora::BoundedQueue;
+
+TEST(BoundedQueue, StartsEmpty)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.full());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.capacity(), 4u);
+    EXPECT_EQ(q.space(), 4u);
+}
+
+TEST(BoundedQueue, FifoOrder)
+{
+    BoundedQueue<int> q(3);
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, WrapAroundKeepsOrder)
+{
+    BoundedQueue<int> q(3);
+    for (int round = 0; round < 10; ++round) {
+        q.push(round * 2);
+        q.push(round * 2 + 1);
+        EXPECT_EQ(q.pop(), round * 2);
+        EXPECT_EQ(q.pop(), round * 2 + 1);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, AtIndexesFromFront)
+{
+    BoundedQueue<int> q(4);
+    q.push(10);
+    q.push(20);
+    q.push(30);
+    EXPECT_EQ(q.at(0), 10);
+    EXPECT_EQ(q.at(1), 20);
+    EXPECT_EQ(q.at(2), 30);
+    q.pop();
+    EXPECT_EQ(q.at(0), 20);
+    EXPECT_EQ(q.at(1), 30);
+}
+
+TEST(BoundedQueue, FrontPeeksWithoutConsuming)
+{
+    BoundedQueue<int> q(2);
+    q.push(7);
+    EXPECT_EQ(q.front(), 7);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedQueue, ClearEmpties)
+{
+    BoundedQueue<int> q(2);
+    q.push(1);
+    q.push(2);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    q.push(9);
+    EXPECT_EQ(q.front(), 9);
+}
+
+TEST(BoundedQueueDeath, PushWhenFullPanics)
+{
+    BoundedQueue<int> q(1);
+    q.push(1);
+    EXPECT_DEATH(q.push(2), "full");
+}
+
+TEST(BoundedQueueDeath, PopWhenEmptyPanics)
+{
+    BoundedQueue<int> q(1);
+    EXPECT_DEATH(q.pop(), "empty");
+}
+
+TEST(BoundedQueueDeath, AtOutOfRangePanics)
+{
+    BoundedQueue<int> q(2);
+    q.push(1);
+    EXPECT_DEATH(q.at(1), "range");
+}
+
+} // namespace

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for the table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace
+{
+
+using aurora::Table;
+
+TEST(Table, AsciiHasHeaderAndRows)
+{
+    Table t({"model", "cpi"});
+    t.row().cell("small").cell(2.5, 2);
+    t.row().cell("large").cell(1.25, 2);
+    const std::string out = t.ascii();
+    EXPECT_NE(out.find("model"), std::string::npos);
+    EXPECT_NE(out.find("small"), std::string::npos);
+    EXPECT_NE(out.find("2.50"), std::string::npos);
+    EXPECT_NE(out.find("1.25"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, ColumnsAreAligned)
+{
+    Table t({"a", "b"});
+    t.row().cell("x").cell("y");
+    t.row().cell("longer").cell("z");
+    std::istringstream in(t.ascii());
+    std::string header, sep, r1, r2;
+    std::getline(in, header);
+    std::getline(in, sep);
+    std::getline(in, r1);
+    std::getline(in, r2);
+    EXPECT_EQ(r1.size(), r2.size());
+    EXPECT_EQ(sep.find_first_not_of('-'), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"bench", "hit"});
+    t.row().cell("espresso").cell(std::uint64_t{42});
+    EXPECT_EQ(t.csv(), "bench,hit\nespresso,42\n");
+}
+
+TEST(Table, PrintIncludesTitle)
+{
+    Table t({"c"});
+    t.row().cell("v");
+    std::ostringstream os;
+    t.print(os, "Table 1: stuff");
+    EXPECT_NE(os.str().find("Table 1: stuff"), std::string::npos);
+}
+
+TEST(Table, IntegerCells)
+{
+    Table t({"n"});
+    t.row().cell(std::uint64_t{123456});
+    EXPECT_NE(t.ascii().find("123456"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * aurora_sim — the command-line simulator driver.
+ *
+ * Usage:
+ *   aurora_sim [options] [key=value ...]
+ *
+ * Options:
+ *   --bench NAME      benchmark (default espresso); 'int' or 'fp'
+ *                     run the whole suite; 'all' runs both suites
+ *   --insts N         instructions per run (default 400000)
+ *   --trace FILE      replay a captured trace file instead of a
+ *                     synthetic benchmark
+ *   --csv             emit machine-readable CSV summary
+ *   --describe        print the fully resolved configuration and exit
+ *   --pipeline-trace N  print per-cycle issue/stall/retire events for
+ *                     the first N cycles (single benchmark only)
+ *
+ * Remaining key=value arguments configure the machine; see
+ * `src/core/config_io.hh` (model=, icache=, mshr=, latency=,
+ * fp_policy=, ...).
+ *
+ * Examples:
+ *   aurora_sim --bench gcc model=large latency=35
+ *   aurora_sim --bench int model=baseline mshr=4 icache=4096
+ *   aurora_sim --bench fp fp_policy=inorder
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/config_io.hh"
+#include "core/pipeline_trace.hh"
+#include "core/report.hh"
+#include "core/simulator.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic_workload.hh"
+#include "trace/trace_io.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: aurora_sim [--bench NAME|int|fp|all] [--insts N]\n"
+        << "                  [--trace FILE] [--csv] [--describe]\n"
+        << "                  [key=value ...]\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = "espresso";
+    std::string trace_file;
+    Count insts = 400'000;
+    Cycle trace_cycles = 0;
+    bool csv = false;
+    bool describe_only = false;
+    std::string spec;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--bench" && i + 1 < argc) {
+            bench = argv[++i];
+        } else if (arg == "--insts" && i + 1 < argc) {
+            insts = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_file = argv[++i];
+        } else if (arg == "--pipeline-trace" && i + 1 < argc) {
+            trace_cycles = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--describe") {
+            describe_only = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+        } else if (arg.find('=') != std::string::npos) {
+            spec += arg + " ";
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            usage();
+        }
+    }
+
+    const MachineConfig machine = parseMachineSpec(spec);
+    if (describe_only) {
+        std::cout << describe(machine) << "\n";
+        return 0;
+    }
+
+    if (!trace_file.empty()) {
+        trace::FileTraceSource src(trace_file);
+        trace::LimitedTraceSource limited(src, insts);
+        Processor cpu(machine, limited);
+        RunResult r = cpu.run();
+        r.benchmark = trace_file;
+        std::cout << runReport(r);
+        return 0;
+    }
+
+    std::vector<trace::WorkloadProfile> suite;
+    if (bench == "int") {
+        suite = trace::integerSuite();
+    } else if (bench == "fp") {
+        suite = trace::floatSuite();
+    } else if (bench == "all") {
+        suite = trace::integerSuite();
+        const auto fp = trace::floatSuite();
+        suite.insert(suite.end(), fp.begin(), fp.end());
+    } else {
+        suite.push_back(trace::profileByName(bench));
+    }
+
+    if (suite.size() == 1 && !csv) {
+        if (trace_cycles > 0) {
+            trace::SyntheticWorkload workload(suite.front());
+            trace::LimitedTraceSource limited(workload, insts);
+            Processor cpu(machine, limited);
+            PipelineTracer tracer(std::cout, trace_cycles);
+            cpu.setObserver(&tracer);
+            RunResult r = cpu.run();
+            r.benchmark = suite.front().name;
+            std::cout << runReport(r);
+            return 0;
+        }
+        const RunResult r = simulate(machine, suite.front(), insts);
+        std::cout << runReport(r);
+        return 0;
+    }
+
+    const SuiteResult res = runSuite(machine, suite, insts);
+    if (csv) {
+        std::cout << suiteTable(res).csv();
+    } else {
+        suiteTable(res).print(std::cout,
+                              "machine: " + describe(machine));
+        stallTable(res).print(std::cout, "stall breakdown (CPI)");
+        std::cout << "suite average CPI: "
+                  << formatFixed(res.avgCpi(), 3) << "\n";
+    }
+    return 0;
+}
