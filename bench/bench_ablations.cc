@@ -2,7 +2,9 @@
  * @file
  * Ablations beyond the paper's figures (DESIGN.md §6): branch
  * folding, write-validation, stream-buffer depth, and the §5.9
- * double-word FP load/store extension.
+ * double-word FP load/store extension. Every suite evaluation runs
+ * through one shared SweepRunner, so the whole ablation battery fans
+ * out across AURORA_JOBS workers.
  */
 
 #include "bench_common.hh"
@@ -13,23 +15,25 @@ namespace
 using namespace aurora;
 using namespace aurora::core;
 
+harness::SweepRunner runner;
+
 double
 intSuiteCpi(const MachineConfig &m)
 {
-    return runSuite(m, trace::integerSuite(),
-                    aurora::bench::runInsts())
+    return harness::runSuite(runner, m, trace::integerSuite(),
+                             aurora::bench::runInsts())
         .avgCpi();
 }
 
 double
 fpSuiteCpi(const MachineConfig &m, bool double_word = false)
 {
-    Accumulator acc;
-    for (auto p : trace::floatSuite()) {
+    auto suite = trace::floatSuite();
+    for (auto &p : suite)
         p.double_word_mem = double_word;
-        acc.add(simulate(m, p, aurora::bench::runInsts()).cpi());
-    }
-    return acc.mean();
+    return harness::runSuite(runner, m, suite,
+                             aurora::bench::runInsts())
+        .avgCpi();
 }
 
 } // namespace
@@ -128,26 +132,18 @@ main()
     }
     {
         // §3.1 precise exception mode.
-        Accumulator fast, precise;
-        for (const auto &p : trace::floatSuite()) {
-            fast.add(simulate(baselineModel(), p,
-                              aurora::bench::runInsts())
-                         .cpi());
-            auto m = baselineModel();
-            m.fpu.precise_exceptions = true;
-            precise.add(
-                simulate(m, p, aurora::bench::runInsts()).cpi());
-        }
+        auto precise_machine = baselineModel();
+        precise_machine.fpu.precise_exceptions = true;
+        const double fast = fpSuiteCpi(baselineModel());
+        const double precise = fpSuiteCpi(precise_machine);
         t.row()
             .cell("FP imprecise (fast) mode, SPECfp")
-            .cell(fast.mean(), 3)
+            .cell(fast, 3)
             .cell("-");
         t.row()
             .cell("FP precise exception mode (S3.1)")
-            .cell(precise.mean(), 3)
-            .cell(100.0 * (precise.mean() - fast.mean()) /
-                      fast.mean(),
-                  1);
+            .cell(precise, 3)
+            .cell(100.0 * (precise - fast) / fast, 1);
     }
     {
         const double paired = fpSuiteCpi(baselineModel(), false);
@@ -165,5 +161,7 @@ main()
     t.print(std::cout, "Ablation results");
     std::cout << "(expected: removing folding hurts; double-word FP "
                  "memory helps, as S5.9 predicts)\n";
+
+    bench::sweepFooter(runner);
     return 0;
 }

@@ -6,29 +6,35 @@
  * of one figure from the paper's evaluation section. Run lengths are
  * sized for seconds-scale turnaround; set AURORA_BENCH_INSTS to run
  * longer (statistics converge further but shapes do not change).
+ * Sweep-shaped benches fan their runs out across AURORA_JOBS worker
+ * threads (default: all hardware threads) and print a sweep summary
+ * footer with wall time and aggregate simulation throughput.
  */
 
 #ifndef AURORA_BENCH_COMMON_HH
 #define AURORA_BENCH_COMMON_HH
 
-#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "core/simulator.hh"
+#include "harness/sweep.hh"
 #include "trace/spec_profiles.hh"
+#include "util/env.hh"
 #include "util/table.hh"
 
 namespace aurora::bench
 {
 
-/** Instructions per (model, benchmark) run. */
+/**
+ * Instructions per (model, benchmark) run. A malformed or zero
+ * AURORA_BENCH_INSTS falls back to the default with a warning —
+ * strtoull's silent 0 would have turned every bench into a no-op.
+ */
 inline Count
 runInsts()
 {
-    if (const char *env = std::getenv("AURORA_BENCH_INSTS"))
-        return static_cast<Count>(std::strtoull(env, nullptr, 10));
-    return 200'000;
+    return envCount("AURORA_BENCH_INSTS", 200'000);
 }
 
 /** Print a standard bench header. */
@@ -36,7 +42,27 @@ inline void
 banner(const std::string &what)
 {
     std::cout << "==== Aurora III reproduction: " << what << " ====\n"
-              << "(instructions per run: " << runInsts() << ")\n\n";
+              << "(instructions per run: " << runInsts()
+              << ", workers: " << harness::SweepRunner().workers()
+              << ")\n\n";
+}
+
+/** Print the sweep timing/throughput footer of a converted bench. */
+inline void
+sweepFooter(const harness::SweepRunner &runner)
+{
+    std::cout << "\n" << runner.report().summary() << "\n";
+}
+
+/** Mean CPI over a slice of run results. */
+inline double
+meanCpi(const std::vector<core::RunResult> &runs, std::size_t begin,
+        std::size_t count)
+{
+    Accumulator acc;
+    for (std::size_t i = 0; i < count; ++i)
+        acc.add(runs[begin + i].cpi());
+    return acc.mean();
 }
 
 } // namespace aurora::bench

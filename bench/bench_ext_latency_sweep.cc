@@ -7,7 +7,7 @@
  * ... to as many as 100 clock cycles"); §5 samples only 17 and 35
  * cycles. This bench sweeps the latency axis for the three models and
  * for single vs. dual issue, showing where the second pipeline stops
- * paying for itself.
+ * paying for itself. The 8-latency × 4-config grid is one sweep batch.
  */
 
 #include "bench_common.hh"
@@ -22,30 +22,43 @@ main()
     bench::banner("extension - secondary latency sweep");
 
     const auto suite = tr::integerSuite();
+    const std::size_t nb = suite.size();
     const Cycle lats[] = {5, 10, 17, 25, 35, 50, 70, 100};
+
+    harness::SweepRunner runner;
+    std::vector<harness::SweepJob> grid;
+    const auto add_config = [&](const MachineConfig &m) {
+        const std::size_t begin = grid.size();
+        for (const auto &job :
+             harness::suiteJobs(m, suite, bench::runInsts()))
+            grid.push_back(job);
+        return begin;
+    };
+
+    // Per latency: small, baseline, large, baseline single-issue.
+    std::vector<std::size_t> slices;
+    for (Cycle lat : lats) {
+        slices.push_back(add_config(smallModel().withLatency(lat)));
+        slices.push_back(add_config(baselineModel().withLatency(lat)));
+        slices.push_back(add_config(largeModel().withLatency(lat)));
+        slices.push_back(add_config(
+            baselineModel().withLatency(lat).withIssueWidth(1)));
+    }
+
+    const auto results = runner.run(grid);
 
     Table t({"latency", "small", "baseline", "large",
              "baseline x1", "dual gain %"});
-    for (Cycle lat : lats) {
-        const double s =
-            runSuite(smallModel().withLatency(lat), suite,
-                     bench::runInsts())
-                .avgCpi();
+    for (std::size_t li = 0; li < std::size(lats); ++li) {
+        const double s = bench::meanCpi(results, slices[4 * li], nb);
         const double b =
-            runSuite(baselineModel().withLatency(lat), suite,
-                     bench::runInsts())
-                .avgCpi();
+            bench::meanCpi(results, slices[4 * li + 1], nb);
         const double l =
-            runSuite(largeModel().withLatency(lat), suite,
-                     bench::runInsts())
-                .avgCpi();
-        const double b1 = runSuite(baselineModel()
-                                       .withLatency(lat)
-                                       .withIssueWidth(1),
-                                   suite, bench::runInsts())
-                              .avgCpi();
+            bench::meanCpi(results, slices[4 * li + 2], nb);
+        const double b1 =
+            bench::meanCpi(results, slices[4 * li + 3], nb);
         t.row()
-            .cell(std::uint64_t{lat})
+            .cell(std::uint64_t{lats[li]})
             .cell(s, 3)
             .cell(b, 3)
             .cell(l, 3)
@@ -58,5 +71,7 @@ main()
                  "latency grows — the paper's conclusion that long "
                  "latencies reduce the benefit of superscalar "
                  "issue)\n";
+
+    bench::sweepFooter(runner);
     return 0;
 }

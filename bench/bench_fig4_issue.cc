@@ -4,7 +4,8 @@
  * machine models at 17- and 35-cycle secondary latencies (12
  * configurations). Prints, per configuration, the RBE cost and the
  * min/average/max CPI over the SPECint92 suite — the quantities the
- * figure plots as capped vertical bars.
+ * figure plots as capped vertical bars. The whole 13-config × 6-bench
+ * grid is submitted to the sweep engine as one batch.
  */
 
 #include "bench_common.hh"
@@ -19,16 +20,43 @@ main()
     bench::banner("Figure 4 - issue width vs cost vs latency");
 
     const auto suite = tr::integerSuite();
-    for (Cycle latency : {Cycle{17}, Cycle{35}}) {
-        Table t({"Model", "Issue", "Cost (RBE)", "CPI min",
-                 "CPI avg", "CPI max"});
+    const Cycle latencies[] = {17, 35};
+
+    // One flat grid: (latency × model × width) configs, suite each.
+    harness::SweepRunner runner;
+    std::vector<harness::SweepJob> grid;
+    std::vector<MachineConfig> configs;
+    for (Cycle latency : latencies) {
         for (const auto &base : studyModels()) {
             for (unsigned width : {1u, 2u}) {
                 const auto m =
                     base.withIssueWidth(width).withLatency(latency);
-                const auto res =
-                    runSuite(m, suite, bench::runInsts());
-                const auto acc = res.cpiStats();
+                configs.push_back(m);
+                for (const auto &job :
+                     harness::suiteJobs(m, suite, bench::runInsts()))
+                    grid.push_back(job);
+            }
+        }
+    }
+    // Headline §5 statistics come from the unmodified baseline.
+    const std::size_t headline_begin = grid.size();
+    for (const auto &job : harness::suiteJobs(
+             baselineModel(), suite, bench::runInsts()))
+        grid.push_back(job);
+
+    const auto results = runner.run(grid);
+
+    std::size_t config_idx = 0;
+    for (Cycle latency : latencies) {
+        Table t({"Model", "Issue", "Cost (RBE)", "CPI min",
+                 "CPI avg", "CPI max"});
+        for (std::size_t mi = 0; mi < 3; ++mi) {
+            for (unsigned width : {1u, 2u}) {
+                const auto &m = configs[config_idx];
+                Accumulator acc;
+                for (std::size_t b = 0; b < suite.size(); ++b)
+                    acc.add(results[config_idx * suite.size() + b]
+                                .cpi());
                 t.row()
                     .cell(m.name)
                     .cell(std::uint64_t{width})
@@ -36,6 +64,7 @@ main()
                     .cell(acc.min(), 3)
                     .cell(acc.mean(), 3)
                     .cell(acc.max(), 3);
+                ++config_idx;
             }
         }
         t.print(std::cout,
@@ -43,11 +72,9 @@ main()
                     "-cycle secondary latency");
     }
 
-    // The headline §5 statistics for the baseline model.
-    const auto base = runSuite(baselineModel(), suite,
-                               bench::runInsts());
     Accumulator ic, dc;
-    for (const auto &r : base.runs) {
+    for (std::size_t b = 0; b < suite.size(); ++b) {
+        const auto &r = results[headline_begin + b];
         ic.add(r.icache_hit_pct);
         dc.add(r.dcache_hit_pct);
     }
@@ -55,5 +82,7 @@ main()
               << formatFixed(ic.mean(), 1)
               << "%  (paper: 96.5%)\nBaseline D-cache hit rate: "
               << formatFixed(dc.mean(), 1) << "%  (paper: 95.4%)\n";
+
+    bench::sweepFooter(runner);
     return 0;
 }

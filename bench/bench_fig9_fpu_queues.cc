@@ -4,6 +4,7 @@
  * a function of instruction queue depth (1-5), load data queue depth
  * (1-5), and FPU reorder buffer size (3-11), under the single-issue
  * out-of-order-completion policy the paper uses for these sweeps.
+ * All three grids run through one sweep batch.
  */
 
 #include "bench_common.hh"
@@ -13,15 +14,6 @@ namespace
 
 using namespace aurora;
 using namespace aurora::core;
-
-double
-fpSuiteCpi(const MachineConfig &m)
-{
-    Accumulator acc;
-    for (const auto &p : trace::floatSuite())
-        acc.add(simulate(m, p, aurora::bench::runInsts()).cpi());
-    return acc.mean();
-}
 
 MachineConfig
 singleIssueFpu()
@@ -41,17 +33,52 @@ main()
 
     bench::banner("Figure 9a-c - FPU queue and ROB sizing");
 
-    Table a({"instruction queue entries", "CPI single issue",
-             "CPI dual issue"});
-    for (unsigned q : {1u, 2u, 3u, 4u, 5u, 7u}) {
+    const auto suite = trace::floatSuite();
+    const std::size_t nb = suite.size();
+    const unsigned iq_sizes[] = {1, 2, 3, 4, 5, 7};
+    const unsigned lq_sizes[] = {1, 2, 3, 4, 5};
+    const unsigned rob_sizes[] = {3, 5, 7, 9, 11};
+
+    // One flat grid; each configuration contributes one suite slice.
+    harness::SweepRunner runner;
+    std::vector<harness::SweepJob> grid;
+    const auto add_config = [&](const MachineConfig &m) {
+        const std::size_t begin = grid.size();
+        for (const auto &job :
+             harness::suiteJobs(m, suite, bench::runInsts()))
+            grid.push_back(job);
+        return begin;
+    };
+
+    std::vector<std::size_t> iq_single, iq_dual, lq, fprob;
+    for (unsigned q : iq_sizes) {
         auto single = singleIssueFpu();
         single.fpu.inst_queue = q;
+        iq_single.push_back(add_config(single));
         auto dual = baselineModel();
         dual.fpu.inst_queue = q;
+        iq_dual.push_back(add_config(dual));
+    }
+    for (unsigned q : lq_sizes) {
+        auto m = singleIssueFpu();
+        m.fpu.load_queue = q;
+        lq.push_back(add_config(m));
+    }
+    for (unsigned q : rob_sizes) {
+        auto m = singleIssueFpu();
+        m.fpu.rob_entries = q;
+        fprob.push_back(add_config(m));
+    }
+
+    const auto results = runner.run(grid);
+
+    Table a({"instruction queue entries", "CPI single issue",
+             "CPI dual issue"});
+    for (std::size_t i = 0; i < std::size(iq_sizes); ++i) {
         a.row()
-            .cell(std::uint64_t{q})
-            .cell(fpSuiteCpi(single), 3)
-            .cell(fpSuiteCpi(dual), 3);
+            .cell(std::uint64_t{iq_sizes[i]})
+            .cell(bench::meanCpi(results, iq_single[i], nb), 3)
+            .cell(bench::meanCpi(results, iq_dual[i], nb), 3);
     }
     a.print(std::cout, "Figure 9(a): instruction queue size");
     std::cout << "(paper: flattens by 3 entries for single issue; "
@@ -59,22 +86,24 @@ main()
                  "'simulations not shown' of S5.9)\n\n";
 
     Table b({"load data queue entries", "CPI avg"});
-    for (unsigned q : {1u, 2u, 3u, 4u, 5u}) {
-        auto m = singleIssueFpu();
-        m.fpu.load_queue = q;
-        b.row().cell(std::uint64_t{q}).cell(fpSuiteCpi(m), 3);
+    for (std::size_t i = 0; i < std::size(lq_sizes); ++i) {
+        b.row()
+            .cell(std::uint64_t{lq_sizes[i]})
+            .cell(bench::meanCpi(results, lq[i], nb), 3);
     }
     b.print(std::cout, "Figure 9(b): load data queue size");
     std::cout << "(paper: two entries needed — double precision "
                  "operands arrive as two 32-bit loads)\n\n";
 
     Table c({"FPU reorder buffer entries", "CPI avg"});
-    for (unsigned q : {3u, 5u, 7u, 9u, 11u}) {
-        auto m = singleIssueFpu();
-        m.fpu.rob_entries = q;
-        c.row().cell(std::uint64_t{q}).cell(fpSuiteCpi(m), 3);
+    for (std::size_t i = 0; i < std::size(rob_sizes); ++i) {
+        c.row()
+            .cell(std::uint64_t{rob_sizes[i]})
+            .cell(bench::meanCpi(results, fprob[i], nb), 3);
     }
     c.print(std::cout, "Figure 9(c): reorder buffer size");
     std::cout << "(paper: sensitivity disappears above ~6 entries)\n";
+
+    bench::sweepFooter(runner);
     return 0;
 }

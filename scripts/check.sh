@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Configure, build, and test one CMake preset:
+#
+#   scripts/check.sh            # release (RelWithDebInfo), full suite
+#   scripts/check.sh asan       # AddressSanitizer + UBSan, full suite
+#   scripts/check.sh tsan       # ThreadSanitizer; runs the sweep
+#                               # harness / logging / simulator tests
+#                               # with AURORA_JOBS=8 to surface races
+#   scripts/check.sh all        # all three in sequence
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_preset() {
+    local preset="$1"
+    echo "==== check: ${preset} ===="
+    cmake --preset "${preset}"
+    cmake --build --preset "${preset}" -j "$(nproc)"
+    ctest --preset "${preset}" -j "$(nproc)"
+}
+
+case "${1:-release}" in
+  all)
+    run_preset release
+    run_preset asan
+    run_preset tsan
+    ;;
+  release|asan|tsan)
+    run_preset "$1"
+    ;;
+  *)
+    echo "usage: $0 [release|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+echo "check: OK"

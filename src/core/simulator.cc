@@ -1,6 +1,7 @@
 #include "simulator.hh"
 
 #include "trace/synthetic_workload.hh"
+#include "util/parallel.hh"
 
 namespace aurora::core
 {
@@ -48,9 +49,14 @@ runSuite(const MachineConfig &machine,
 {
     SuiteResult result;
     result.machine = machine;
-    result.runs.reserve(suite.size());
-    for (const auto &profile : suite)
-        result.runs.push_back(simulate(machine, profile, instructions));
+    result.runs.resize(suite.size());
+    // Runs are independent (each Processor and workload generator is
+    // self-contained), so fan out across AURORA_JOBS workers. Each
+    // result lands in its submission slot, so the output is identical
+    // to the serial loop at any worker count.
+    parallelFor(suite.size(), /*workers=*/0, [&](std::size_t i) {
+        result.runs[i] = simulate(machine, suite[i], instructions);
+    });
     return result;
 }
 

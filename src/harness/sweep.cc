@@ -1,0 +1,176 @@
+#include "sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+#include "core/config_io.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+
+namespace aurora::harness
+{
+
+namespace
+{
+
+/** FNV-1a over a byte string. */
+std::uint64_t
+fnv1a(const std::string &bytes, std::uint64_t h = 0xcbf29ce484222325ull)
+{
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** splitmix64 finalizer — full-avalanche 64-bit mix. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+std::uint64_t
+machineHash(const core::MachineConfig &machine)
+{
+    // describe() serializes every knob; the name distinguishes models
+    // that happen to share a parameterization.
+    return fnv1a(machine.name, fnv1a(core::describe(machine)));
+}
+
+std::uint64_t
+deriveJobSeed(std::uint64_t base_seed, std::uint64_t machine_hash,
+              const std::string &profile_name)
+{
+    std::uint64_t h = mix(base_seed + 0x9e3779b97f4a7c15ull);
+    h = mix(h ^ machine_hash);
+    h = mix(h ^ fnv1a(profile_name));
+    return h ? h : 1;
+}
+
+double
+SweepReport::instsPerSecond() const
+{
+    return wall_seconds > 0.0
+               ? static_cast<double>(total_instructions) / wall_seconds
+               : 0.0;
+}
+
+double
+SweepReport::speedup() const
+{
+    return wall_seconds > 0.0 ? busy_seconds / wall_seconds : 0.0;
+}
+
+std::string
+SweepReport::summary() const
+{
+    std::ostringstream os;
+    os << "sweep summary: " << jobs << " jobs | " << workers
+       << " workers | wall " << formatFixed(wall_seconds, 2)
+       << " s | busy " << formatFixed(busy_seconds, 2) << " s (speedup "
+       << formatFixed(speedup(), 2) << "x) | "
+       << formatFixed(instsPerSecond() / 1e6, 2)
+       << " M sim-insts/s over " << total_instructions << " insts";
+    return os.str();
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
+
+unsigned
+SweepRunner::workers() const
+{
+    return options_.workers ? options_.workers : defaultWorkers();
+}
+
+std::vector<core::RunResult>
+SweepRunner::run(const std::vector<SweepJob> &grid)
+{
+    std::vector<std::function<core::RunResult()>> tasks;
+    tasks.reserve(grid.size());
+    for (const SweepJob &job : grid) {
+        tasks.push_back([this, &job]() {
+            trace::WorkloadProfile profile = job.profile;
+            if (options_.base_seed)
+                profile.seed = deriveJobSeed(*options_.base_seed,
+                                             machineHash(job.machine),
+                                             profile.name);
+            return core::simulate(job.machine, profile,
+                                  job.instructions);
+        });
+    }
+    return runTasks(tasks);
+}
+
+std::vector<core::RunResult>
+SweepRunner::runTasks(
+    const std::vector<std::function<core::RunResult()>> &tasks)
+{
+    const std::size_t n = tasks.size();
+    std::vector<core::RunResult> results(n);
+    std::vector<double> job_seconds(n, 0.0);
+    std::atomic<std::size_t> completed{0};
+
+    const unsigned pool = workers();
+    WallTimer wall;
+    parallelFor(n, pool, [&](std::size_t i) {
+        WallTimer job_timer;
+        results[i] = tasks[i]();
+        job_seconds[i] = job_timer.seconds();
+        const std::size_t done =
+            completed.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (options_.progress)
+            inform(detail::concat(
+                "sweep: ", done, "/", n, " done (",
+                results[i].benchmark.empty() ? "job"
+                                             : results[i].benchmark,
+                "@",
+                results[i].model.empty() ? "machine" : results[i].model,
+                ", ", formatFixed(job_seconds[i], 3), " s)"));
+    });
+
+    report_.workers = static_cast<unsigned>(
+        std::min<std::size_t>(pool, std::max<std::size_t>(n, 1)));
+    report_.jobs += n;
+    report_.wall_seconds += wall.seconds();
+    report_.job_seconds = std::move(job_seconds);
+    for (std::size_t i = 0; i < n; ++i) {
+        report_.busy_seconds += report_.job_seconds[i];
+        report_.total_instructions += results[i].instructions;
+    }
+    return results;
+}
+
+std::vector<SweepJob>
+suiteJobs(const core::MachineConfig &machine,
+          const std::vector<trace::WorkloadProfile> &suite,
+          Count instructions)
+{
+    std::vector<SweepJob> grid;
+    grid.reserve(suite.size());
+    for (const trace::WorkloadProfile &profile : suite)
+        grid.push_back({machine, profile, instructions});
+    return grid;
+}
+
+core::SuiteResult
+runSuite(SweepRunner &runner, const core::MachineConfig &machine,
+         const std::vector<trace::WorkloadProfile> &suite,
+         Count instructions)
+{
+    core::SuiteResult result;
+    result.machine = machine;
+    result.runs = runner.run(suiteJobs(machine, suite, instructions));
+    return result;
+}
+
+} // namespace aurora::harness

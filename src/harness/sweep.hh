@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Parallel design-space sweep engine with deterministic replay.
+ *
+ * The study's evaluation is a large cross product — machine models ×
+ * issue widths × memory latencies × the SPEC92 suite, plus FPU
+ * queue/latency grids. Every (machine, workload) run is independent:
+ * a Processor owns its whole machine state and the synthetic workload
+ * generator owns its private Rng, so the sweep is embarrassingly
+ * parallel. SweepRunner executes a job grid across a fixed pool of
+ * worker threads (count from AURORA_JOBS or hardware_concurrency) and
+ * returns results in submission order regardless of completion order.
+ *
+ * Determinism guarantee: a job's result depends only on the job
+ * itself, never on scheduling. When SweepOptions::base_seed is set,
+ * each job's workload seed is rederived as
+ *
+ *     deriveJobSeed(base_seed, machineHash(machine), profile.name)
+ *
+ * so a grid replays bit-identically at any worker count — and any two
+ * sweeps sharing a base seed agree job-for-job. Without a base seed
+ * the profiles' own seeds are kept, which keeps traces identical
+ * across machine variants (paired comparisons, the paper's
+ * methodology).
+ */
+
+#ifndef AURORA_HARNESS_SWEEP_HH
+#define AURORA_HARNESS_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "core/simulator.hh"
+#include "trace/workload_profile.hh"
+#include "util/stats.hh"
+
+namespace aurora::harness
+{
+
+/** One (machine, workload, budget) point of a sweep grid. */
+struct SweepJob
+{
+    core::MachineConfig machine;
+    trace::WorkloadProfile profile;
+    Count instructions = core::DEFAULT_RUN_INSTS;
+};
+
+/** Execution policy for a SweepRunner. */
+struct SweepOptions
+{
+    /**
+     * Worker threads. 0 = AURORA_JOBS environment variable when set,
+     * otherwise hardware_concurrency(); 1 = serial in the calling
+     * thread (no pool at all).
+     */
+    unsigned workers = 0;
+
+    /**
+     * When set, rederive every job's workload seed from
+     * (base_seed, machineHash(machine), profile.name). Unset keeps
+     * each profile's own seed.
+     */
+    std::optional<std::uint64_t> base_seed;
+
+    /** Log a line as each job completes (thread-safe). */
+    bool progress = false;
+};
+
+/** Aggregate timing over every grid a runner has executed. */
+struct SweepReport
+{
+    /** Worker threads used by the most recent run. */
+    unsigned workers = 0;
+    /** Jobs executed (cumulative across run() calls). */
+    std::size_t jobs = 0;
+    /** Wall-clock seconds (cumulative). */
+    double wall_seconds = 0.0;
+    /** Sum of per-job seconds — the serial-equivalent time. */
+    double busy_seconds = 0.0;
+    /** Simulated instructions over all jobs. */
+    Count total_instructions = 0;
+    /** Per-job wall seconds of the most recent run, by grid index. */
+    std::vector<double> job_seconds;
+
+    /** Aggregate simulated instructions per wall-clock second. */
+    double instsPerSecond() const;
+    /** busy/wall — effective parallel speedup over a serial sweep. */
+    double speedup() const;
+    /** One-line human-readable summary for bench footers. */
+    std::string summary() const;
+};
+
+/**
+ * Fixed-pool sweep executor. A runner may execute any number of
+ * grids; its report accumulates across them so a bench composed of
+ * many small sweeps still gets one overall summary.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions options = {});
+
+    /**
+     * Execute every job in @p grid and return the results in
+     * submission order. An exception thrown by any job propagates to
+     * the caller after all workers have been joined.
+     */
+    std::vector<core::RunResult> run(const std::vector<SweepJob> &grid);
+
+    /**
+     * Execute arbitrary result-producing tasks through the same pool,
+     * timing, and report accounting (exception-propagation and custom
+     * workload tests use this).
+     */
+    std::vector<core::RunResult>
+    runTasks(const std::vector<std::function<core::RunResult()>> &tasks);
+
+    /** Timing/throughput accounting (cumulative across runs). */
+    const SweepReport &report() const { return report_; }
+
+    /** Resolved worker count a run() will use for a large grid. */
+    unsigned workers() const;
+
+  private:
+    SweepOptions options_;
+    SweepReport report_;
+};
+
+/**
+ * Stable 64-bit digest of every configuration knob (FNV-1a over the
+ * config_io serialization plus the model name). Two configs hash
+ * equal iff they describe the same machine.
+ */
+std::uint64_t machineHash(const core::MachineConfig &machine);
+
+/**
+ * Per-job seed: splitmix64-style mix of the sweep's base seed, the
+ * machine digest, and the profile name. Never returns 0.
+ */
+std::uint64_t deriveJobSeed(std::uint64_t base_seed,
+                            std::uint64_t machine_hash,
+                            const std::string &profile_name);
+
+/** Build the (machine × suite) row of a grid. */
+std::vector<SweepJob>
+suiteJobs(const core::MachineConfig &machine,
+          const std::vector<trace::WorkloadProfile> &suite,
+          Count instructions = core::DEFAULT_RUN_INSTS);
+
+/**
+ * Parallel drop-in for core::runSuite() through @p runner (shares its
+ * pool options and report accounting).
+ */
+core::SuiteResult
+runSuite(SweepRunner &runner, const core::MachineConfig &machine,
+         const std::vector<trace::WorkloadProfile> &suite,
+         Count instructions = core::DEFAULT_RUN_INSTS);
+
+} // namespace aurora::harness
+
+#endif // AURORA_HARNESS_SWEEP_HH

@@ -1,0 +1,59 @@
+#include "env.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace aurora
+{
+
+std::optional<Count>
+parseCount(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    if (begin == end)
+        return std::nullopt;
+
+    Count value = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+        const char c = text[i];
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        const Count digit = static_cast<Count>(c - '0');
+        if (value > (~Count{0} - digit) / 10)
+            return std::nullopt; // overflow
+        value = value * 10 + digit;
+    }
+    return value;
+}
+
+Count
+envCount(const char *name, Count fallback, Count min)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr)
+        return fallback;
+    const auto parsed = parseCount(raw);
+    if (!parsed) {
+        warn(detail::concat(name, "=\"", raw,
+                            "\" is not a valid count; using ",
+                            fallback));
+        return fallback;
+    }
+    if (*parsed < min) {
+        warn(detail::concat(name, "=", *parsed, " is below the minimum ",
+                            min, "; using ", fallback));
+        return fallback;
+    }
+    return *parsed;
+}
+
+} // namespace aurora

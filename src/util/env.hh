@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Strict environment-variable parsing.
+ *
+ * Experiment knobs arrive through environment variables
+ * (AURORA_BENCH_INSTS, AURORA_JOBS, ...). A silently misparsed value
+ * is worse than a fatal one — strtoull("2OOOOO") yielding 2 would
+ * quietly turn a benchmark into a no-op — so every lookup goes
+ * through parseCount(), which accepts only a complete non-negative
+ * decimal number and reports anything else as absent.
+ */
+
+#ifndef AURORA_UTIL_ENV_HH
+#define AURORA_UTIL_ENV_HH
+
+#include <optional>
+#include <string>
+
+#include "types.hh"
+
+namespace aurora
+{
+
+/**
+ * Parse @p text as a non-negative decimal count. Leading/trailing
+ * whitespace is permitted; anything else — empty string, signs,
+ * trailing garbage, hex, overflow — yields nullopt.
+ */
+std::optional<Count> parseCount(const std::string &text);
+
+/**
+ * Read environment variable @p name as a count.
+ *
+ * Returns @p fallback when the variable is unset. A set-but-malformed
+ * value, or a parsed value below @p min, emits a warning and also
+ * returns @p fallback (never a silently clamped or zero result).
+ */
+Count envCount(const char *name, Count fallback, Count min = 1);
+
+} // namespace aurora
+
+#endif // AURORA_UTIL_ENV_HH

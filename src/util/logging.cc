@@ -2,34 +2,70 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace aurora
 {
 
+namespace
+{
+
+/**
+ * Serializes every log line. Sweep workers log concurrently; without
+ * this, two warn() calls could interleave mid-line on platforms where
+ * fprintf is not atomic per call.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+void
+emitLine(const char *prefix, const std::string &msg)
+{
+    const std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace
+
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        const std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+        std::fflush(stderr);
+    }
     std::abort();
 }
 
 [[noreturn]] void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        const std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+        std::fflush(stderr);
+    }
     std::exit(1);
 }
 
 void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine("warn", msg);
 }
 
 void
 inform(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emitLine("info", msg);
 }
 
 } // namespace aurora

@@ -10,6 +10,7 @@
 #ifndef AURORA_UTIL_STATS_HH
 #define AURORA_UTIL_STATS_HH
 
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -156,6 +157,29 @@ class Histogram
     Count overflow_ = 0;
     Count n_ = 0;
     std::uint64_t sum_ = 0;
+};
+
+/** Monotonic wall-clock stopwatch (per-job and sweep timing). */
+class WallTimer
+{
+  public:
+    /** Construction starts the clock. */
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Restart the clock. */
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
 };
 
 /** Format a double with fixed decimals (helper for reports). */
