@@ -1,0 +1,302 @@
+/**
+ * @file
+ * bench_ext_fault_storm — end-to-end exercise of the fault-tolerance
+ * machinery (extension; not a figure from the paper).
+ *
+ * A design-space sweep is only trustworthy if a bad grid point cannot
+ * take down the run and every class of fault is actually detected.
+ * This driver manufactures all of them with the deterministic
+ * injectors in src/faultinject and proves:
+ *
+ *   1. a grid with ~1/3 poisoned jobs (invalid configs + wedged
+ *      machines) runs to completion at 1, 2 and 8 workers, healthy
+ *      results stay bit-identical to an all-healthy sweep, and every
+ *      injected fault surfaces with the expected error code;
+ *   2. every trace-corruption mode is caught as BadTrace;
+ *   3. the hard cycle budget trips deterministically;
+ *   4. the retry policy turns a transiently failing job into a
+ *      success and is visible in the report.
+ *
+ * Exits non-zero if any expectation fails, so scripts/check.sh can
+ * use it as a smoke test.
+ */
+
+#include <atomic>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.hh"
+#include "core/watchdog.hh"
+#include "faultinject/faultinject.hh"
+#include "trace/synthetic_workload.hh"
+#include "trace/trace_io.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+using namespace aurora::harness;
+namespace fi = aurora::faultinject;
+
+constexpr std::uint64_t STORM_SEED = 0xfa17u;
+constexpr double POISON_FRACTION = 1.0 / 3.0;
+
+int failures = 0;
+
+void
+expect(bool ok, const std::string &what)
+{
+    std::cout << (ok ? "  [ok]   " : "  [FAIL] ") << what << "\n";
+    if (!ok)
+        ++failures;
+}
+
+/** Key-field equality — enough to witness bit-identical replay. */
+bool
+sameRun(const RunResult &a, const RunResult &b)
+{
+    return a.model == b.model && a.benchmark == b.benchmark &&
+           a.instructions == b.instructions && a.cycles == b.cycles &&
+           a.stalls == b.stalls && a.stores == b.stores &&
+           a.fp_dispatched == b.fp_dispatched &&
+           a.issue_width_cycles == b.issue_width_cycles;
+}
+
+/** The storm grid: 3 models x (3 integer + 3 FP) benchmarks. */
+std::vector<SweepJob>
+healthyGrid(Count insts)
+{
+    const std::vector<std::string> benches = {
+        "espresso", "li", "gcc", "nasa7", "doduc", "ora"};
+    std::vector<SweepJob> grid;
+    for (const auto &m : studyModels())
+        for (const auto &name : benches)
+            grid.push_back({m, trace::profileByName(name), insts});
+    return grid;
+}
+
+/** True when grid slot @p i carries an FP benchmark (last 3 of 6). */
+bool
+isFpSlot(std::size_t i)
+{
+    return i % 6 >= 3;
+}
+
+void
+poisonedGridStorm(Count insts)
+{
+    const auto healthy = healthyGrid(insts);
+
+    // Poison ~1/3 of the slots: FP slots get a wedged (validates but
+    // never retires) machine for the watchdog, the rest get a config
+    // fault for validate().
+    std::vector<SweepJob> grid = healthy;
+    std::vector<bool> bad(grid.size(), false);
+    std::size_t wedges = 0, config_faults = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (!fi::poisoned(STORM_SEED, i, POISON_FRACTION))
+            continue;
+        bad[i] = true;
+        if (isFpSlot(i)) {
+            grid[i].machine = fi::wedgeConfig(grid[i].machine);
+            ++wedges;
+        } else {
+            grid[i].machine = fi::poisonConfig(
+                grid[i].machine,
+                fi::anyConfigFault(fi::mix64(STORM_SEED + i)));
+            ++config_faults;
+        }
+    }
+    std::cout << "storm grid: " << grid.size() << " jobs, " << wedges
+              << " wedged, " << config_faults
+              << " invalid configs\n";
+    expect(wedges > 0 && config_faults > 0,
+           "the storm contains both fault classes");
+
+    SweepOptions base;
+    base.base_seed = STORM_SEED;
+    // A tight no-retirement window keeps the wedged jobs cheap; a
+    // healthy run of this length never goes 3000 cycles without a
+    // retirement.
+    base.watchdog = WatchdogConfig{3000, 0};
+
+    // All-healthy reference, then the storm at three worker counts.
+    SweepRunner ref_runner(base);
+    const auto reference = ref_runner.runOutcomes(healthy);
+
+    for (unsigned workers : {1u, 2u, 8u}) {
+        SweepOptions opts = base;
+        opts.workers = workers;
+        SweepRunner runner(opts);
+        const auto outcomes = runner.runOutcomes(grid);
+
+        bool healthy_identical = true;
+        bool codes_match = true;
+        std::size_t failed = 0;
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            if (bad[i]) {
+                ++failed;
+                const auto expected_code =
+                    isFpSlot(i)
+                        ? util::SimErrorCode::NoForwardProgress
+                        : util::SimErrorCode::BadConfig;
+                codes_match &= !outcomes[i].ok &&
+                               outcomes[i].code == expected_code;
+            } else {
+                healthy_identical &=
+                    outcomes[i].ok &&
+                    sameRun(outcomes[i].result, reference[i].result);
+            }
+        }
+        const std::string tag =
+            " (workers=" + std::to_string(workers) + ")";
+        expect(outcomes.size() == grid.size(),
+               "storm ran to completion" + tag);
+        expect(failed > 0 && codes_match,
+               "every injected fault detected with its code" + tag);
+        expect(healthy_identical,
+               "healthy jobs bit-identical to all-healthy sweep" +
+                   tag);
+        expect(runner.report().failed_jobs == failed &&
+                   runner.report().ok_jobs ==
+                       grid.size() - failed,
+               "report counts ok/failed jobs" + tag);
+        if (workers == 8)
+            std::cout << "  " << runner.report().summary() << "\n";
+    }
+}
+
+void
+traceCorruptionStorm()
+{
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() /
+                         ("aurora_fault_storm." +
+                          std::to_string(::getpid()));
+    fs::create_directories(dir);
+
+    // A small but real trace to corrupt.
+    trace::SyntheticWorkload workload(trace::espresso());
+    std::vector<trace::Inst> insts;
+    trace::Inst inst;
+    for (int i = 0; i < 512 && workload.next(inst); ++i)
+        insts.push_back(inst);
+    const std::string pristine = (dir / "pristine.aur3").string();
+    trace::writeTrace(pristine, insts);
+
+    for (std::size_t k = 0; k < fi::NUM_TRACE_FAULTS; ++k) {
+        const auto fault = static_cast<fi::TraceFault>(k);
+        const std::string victim =
+            (dir / (std::string("corrupt-") + fi::traceFaultName(fault) +
+                    ".aur3"))
+                .string();
+        fs::copy_file(pristine, victim,
+                      fs::copy_options::overwrite_existing);
+        fi::corruptTraceFile(victim, fault, STORM_SEED);
+        bool caught = false;
+        try {
+            trace::readTrace(victim);
+        } catch (const util::SimError &e) {
+            caught = e.code() == util::SimErrorCode::BadTrace;
+        }
+        expect(caught, std::string("trace fault '") +
+                           fi::traceFaultName(fault) +
+                           "' detected as BadTrace");
+    }
+    fs::remove_all(dir);
+}
+
+void
+cycleBudgetStorm()
+{
+    constexpr Cycle BUDGET = 5000;
+    Cycle tripped_at[2] = {0, 0};
+    for (int round = 0; round < 2; ++round) {
+        try {
+            simulate(baselineModel(), trace::espresso(), 400'000,
+                     WatchdogConfig{0, BUDGET});
+        } catch (const WatchdogError &e) {
+            if (e.code() == util::SimErrorCode::CycleBudgetExceeded)
+                tripped_at[round] = e.diagnostic().cycle;
+        }
+    }
+    expect(tripped_at[0] == BUDGET,
+           "cycle budget trips exactly at the budget");
+    expect(tripped_at[0] == tripped_at[1],
+           "cycle budget trip is deterministic");
+}
+
+void
+retryStorm(Count insts)
+{
+    // One transiently flaky task among healthy ones: it fails on its
+    // first invocation only, as a crashed-and-respawned job would.
+    std::atomic<unsigned> flaky_calls{0};
+    std::vector<std::function<RunResult()>> tasks;
+    for (int i = 0; i < 3; ++i)
+        tasks.push_back([insts]() {
+            return simulate(baselineModel(), trace::espresso(),
+                            insts);
+        });
+    tasks.push_back([&flaky_calls, insts]() {
+        if (flaky_calls.fetch_add(1) == 0)
+            util::raiseError(util::SimErrorCode::Internal,
+                             "transient storm failure");
+        return simulate(baselineModel(), trace::li(), insts);
+    });
+
+    SweepOptions opts;
+    opts.retries = 2;
+    SweepRunner runner(opts);
+    const auto outcomes = runner.runTaskOutcomes(tasks);
+    expect(outcomes[3].ok && outcomes[3].attempts == 2,
+           "flaky job recovered on its second attempt");
+    expect(runner.report().retried_jobs == 1 &&
+               runner.report().failed_jobs == 0,
+           "report counts the retry");
+
+    // Without a retry budget the same fault is terminal.
+    std::atomic<unsigned> flaky_again{0};
+    std::vector<std::function<RunResult()>> tasks2;
+    tasks2.push_back([&flaky_again, insts]() {
+        if (flaky_again.fetch_add(1) == 0)
+            util::raiseError(util::SimErrorCode::Internal,
+                             "transient storm failure");
+        return simulate(baselineModel(), trace::li(), insts);
+    });
+    SweepOptions no_retry;
+    no_retry.retries = 0;
+    SweepRunner strict(no_retry);
+    const auto strict_outcomes = strict.runTaskOutcomes(tasks2);
+    expect(!strict_outcomes[0].ok &&
+               strict_outcomes[0].attempts == 1,
+           "without retries the transient fault is terminal");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("fault storm (robustness extension)");
+    const Count insts = bench::runInsts();
+
+    std::cout << "-- poisoned-grid isolation --\n";
+    poisonedGridStorm(insts);
+    std::cout << "\n-- trace corruption --\n";
+    traceCorruptionStorm();
+    std::cout << "\n-- cycle budget --\n";
+    cycleBudgetStorm();
+    std::cout << "\n-- retry policy --\n";
+    retryStorm(insts / 10 ? insts / 10 : 1);
+
+    std::cout << "\nfault storm: "
+              << (failures ? "FAILED" : "all expectations met")
+              << "\n";
+    return failures ? 1 : 0;
+}

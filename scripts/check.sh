@@ -3,10 +3,15 @@
 #
 #   scripts/check.sh            # release (RelWithDebInfo), full suite
 #   scripts/check.sh asan       # AddressSanitizer + UBSan, full suite
+#   scripts/check.sh ubsan      # standalone UBSan, full suite
 #   scripts/check.sh tsan       # ThreadSanitizer; runs the sweep
 #                               # harness / logging / simulator tests
 #                               # with AURORA_JOBS=8 to surface races
-#   scripts/check.sh all        # all three in sequence
+#   scripts/check.sh all        # all four in sequence
+#
+# Every full-suite preset includes the fault-storm smoke test
+# (bench_ext_fault_storm via ctest), which proves every injected
+# fault class is detected and a poisoned sweep still completes.
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -24,13 +29,14 @@ case "${1:-release}" in
   all)
     run_preset release
     run_preset asan
+    run_preset ubsan
     run_preset tsan
     ;;
-  release|asan|tsan)
+  release|asan|ubsan|tsan)
     run_preset "$1"
     ;;
   *)
-    echo "usage: $0 [release|asan|tsan|all]" >&2
+    echo "usage: $0 [release|asan|ubsan|tsan|all]" >&2
     exit 2
     ;;
 esac

@@ -2,7 +2,8 @@
 
 #include <sstream>
 
-#include "util/logging.hh"
+#include "util/env.hh"
+#include "util/sim_error.hh"
 
 namespace aurora::core
 {
@@ -10,18 +11,26 @@ namespace aurora::core
 namespace
 {
 
+using util::SimErrorCode;
+using util::raiseError;
+
+/** Every key applyOverride understands, for the unknown-key message. */
+constexpr const char *KNOWN_KEYS =
+    "model, name, issue, icache, dcache, wc_lines, rob, mshr, latency, "
+    "collisions, prefetch, pf_buffers, pf_depth, folding, victim_lines, "
+    "validate_writes, retire, alu_lat, fp_policy, fp_instq, fp_loadq, "
+    "fp_storeq, fp_rob, fp_buses, fp_add_lat, fp_mul_lat, fp_div_lat, "
+    "fp_cvt_lat, fp_add_piped, fp_mul_piped, fp_precise, fp_safe_frac";
+
 std::uint64_t
 parseUnsigned(const std::string &key, const std::string &value)
 {
-    try {
-        std::size_t pos = 0;
-        const std::uint64_t v = std::stoull(value, &pos);
-        if (pos != value.size())
-            throw std::invalid_argument(value);
-        return v;
-    } catch (const std::exception &) {
-        AURORA_FATAL("bad numeric value '", value, "' for key ", key);
-    }
+    const auto parsed = parseCount(value);
+    if (!parsed)
+        raiseError(SimErrorCode::BadConfig, "config key '", key,
+                   "': bad numeric value '", value,
+                   "' (accepted: a non-negative decimal integer)");
+    return *parsed;
 }
 
 double
@@ -34,7 +43,9 @@ parseReal(const std::string &key, const std::string &value)
             throw std::invalid_argument(value);
         return v;
     } catch (const std::exception &) {
-        AURORA_FATAL("bad real value '", value, "' for key ", key);
+        raiseError(SimErrorCode::BadConfig, "config key '", key,
+                   "': bad real value '", value,
+                   "' (accepted: a decimal number)");
     }
 }
 
@@ -45,8 +56,9 @@ parseBool(const std::string &key, const std::string &value)
         return true;
     if (value == "off" || value == "false" || value == "0")
         return false;
-    AURORA_FATAL("bad boolean '", value, "' for key ", key,
-                 " (use on/off)");
+    raiseError(SimErrorCode::BadConfig, "config key '", key,
+               "': bad boolean '", value,
+               "' (accepted: on/true/1, off/false/0)");
 }
 
 fpu::IssuePolicy
@@ -58,8 +70,9 @@ parsePolicy(const std::string &value)
         return fpu::IssuePolicy::OutOfOrderSingle;
     if (value == "dual")
         return fpu::IssuePolicy::OutOfOrderDual;
-    AURORA_FATAL("unknown fp_policy '", value,
-                 "' (inorder|single|dual)");
+    raiseError(SimErrorCode::BadConfig,
+               "config key 'fp_policy': unknown policy '", value,
+               "' (accepted: inorder, single, dual)");
 }
 
 const char *
@@ -90,14 +103,19 @@ applyOverride(MachineConfig &config, const std::string &key,
         else if (value == "recommended")
             config = recommendedModel();
         else
-            AURORA_FATAL("unknown model '", value, "'");
+            raiseError(SimErrorCode::BadConfig,
+                       "config key 'model': unknown model '", value,
+                       "' (accepted: small, baseline, large, "
+                       "recommended)");
     } else if (key == "name") {
         config.name = value;
     } else if (key == "issue") {
         const auto width =
             static_cast<unsigned>(parseUnsigned(key, value));
         if (width < 1 || width > 2)
-            AURORA_FATAL("issue width must be 1 or 2");
+            raiseError(SimErrorCode::BadConfig,
+                       "config key 'issue': width must be 1 or 2, "
+                       "got '", value, "'");
         config.issue_width = width;
         config.ifu.fetch_width = width;
     } else if (key == "icache") {
@@ -174,7 +192,9 @@ applyOverride(MachineConfig &config, const std::string &key,
     } else if (key == "fp_safe_frac") {
         config.fpu.provably_safe_frac = parseReal(key, value);
     } else {
-        AURORA_FATAL("unknown configuration key '", key, "'");
+        raiseError(SimErrorCode::BadConfig,
+                   "unknown configuration key '", key,
+                   "' (accepted keys: ", KNOWN_KEYS, ")");
     }
 }
 
@@ -187,7 +207,8 @@ parseMachineSpec(const std::string &spec)
     while (in >> token) {
         const auto eq = token.find('=');
         if (eq == std::string::npos || eq == 0)
-            AURORA_FATAL("expected key=value, got '", token, "'");
+            raiseError(SimErrorCode::BadConfig,
+                       "expected key=value, got '", token, "'");
         applyOverride(config, token.substr(0, eq),
                       token.substr(eq + 1));
     }

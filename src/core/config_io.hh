@@ -24,7 +24,10 @@ namespace aurora::core
 
 /**
  * Apply a single `key=value` override to @p config.
- * Unknown keys and malformed values are user errors (fatal).
+ *
+ * Unknown keys and malformed values throw util::SimError
+ * (BadConfig) naming the key, the offending value, and the accepted
+ * values, so sweep drivers can report the bad point and continue.
  */
 void applyOverride(MachineConfig &config, const std::string &key,
                    const std::string &value);
@@ -33,7 +36,8 @@ void applyOverride(MachineConfig &config, const std::string &key,
  * Build a configuration from a whitespace-separated override
  * string. A `model=` token (small/baseline/large/recommended)
  * selects the base; later overrides mutate it. The base defaults to
- * the Table 1 baseline.
+ * the Table 1 baseline. Malformed tokens throw util::SimError
+ * (BadConfig).
  */
 MachineConfig parseMachineSpec(const std::string &spec);
 

@@ -1,40 +1,90 @@
 #include "machine_config.hh"
 
-#include "util/logging.hh"
+#include "fpu/result_bus.hh"
+#include "util/sim_error.hh"
 
 namespace aurora::core
 {
 
+namespace
+{
+
+using util::SimErrorCode;
+using util::raiseError;
+
+/** Shared bound on FP unit latencies (result bus scheduling window). */
+constexpr Cycle MAX_FP_LATENCY = fpu::ResultBusSchedule::WINDOW - 1;
+
+void
+checkFpLatency(const char *unit, const fpu::FpUnitConfig &cfg)
+{
+    if (cfg.latency < 1 || cfg.latency > MAX_FP_LATENCY)
+        raiseError(SimErrorCode::BadConfig, "FP ", unit, " latency ",
+                   cfg.latency, " outside [1, ", MAX_FP_LATENCY,
+                   "] (result bus scheduling window)");
+}
+
+} // namespace
+
 void
 MachineConfig::validate() const
 {
+    // Every failure here is a user configuration error — recoverable
+    // by whoever drives the sweep — so it throws SimError(BadConfig)
+    // rather than terminating the process. Note that validation is
+    // deliberately not a liveness proof: a machine can pass every
+    // structural check and still never retire (e.g. fp_buses=0, a
+    // bus-starved FPU); the Processor's forward-progress watchdog
+    // exists for exactly those configurations.
     if (issue_width < 1 || issue_width > 2)
-        AURORA_FATAL("issue width must be 1 or 2, got ",
-                     issue_width);
+        raiseError(SimErrorCode::BadConfig,
+                   "issue width must be 1 or 2, got ", issue_width);
     if (ifu.fetch_width != issue_width)
-        AURORA_FATAL("fetch width (", ifu.fetch_width,
-                     ") must equal issue width (", issue_width, ")");
+        raiseError(SimErrorCode::BadConfig, "fetch width (",
+                   ifu.fetch_width, ") must equal issue width (",
+                   issue_width, ")");
     if (retire_width < issue_width)
-        AURORA_FATAL("retire width (", retire_width,
-                     ") below issue width would leak ROB entries");
+        raiseError(SimErrorCode::BadConfig, "retire width (",
+                   retire_width,
+                   ") below issue width would leak ROB entries");
     if (ifu.line_bytes != lsu.line_bytes ||
         ifu.line_bytes != prefetch.line_bytes ||
         ifu.line_bytes != write_cache.line_bytes)
-        AURORA_FATAL("cache line sizes disagree: icache ",
-                     ifu.line_bytes, ", dcache ", lsu.line_bytes,
-                     ", prefetch ", prefetch.line_bytes,
-                     ", write cache ", write_cache.line_bytes);
+        raiseError(SimErrorCode::BadConfig,
+                   "cache line sizes disagree: icache ",
+                   ifu.line_bytes, ", dcache ", lsu.line_bytes,
+                   ", prefetch ", prefetch.line_bytes,
+                   ", write cache ", write_cache.line_bytes);
     if (rob_entries == 0)
-        AURORA_FATAL("reorder buffer needs at least one entry");
+        raiseError(SimErrorCode::BadConfig,
+                   "reorder buffer needs at least one entry");
     if (alu_latency < 1)
-        AURORA_FATAL("ALU latency must be at least one cycle");
+        raiseError(SimErrorCode::BadConfig,
+                   "ALU latency must be at least one cycle");
     if (lsu.mshr_entries == 0)
-        AURORA_FATAL("the LSU needs at least one MSHR");
+        raiseError(SimErrorCode::BadConfig,
+                   "the LSU needs at least one MSHR");
     if (prefetch.enabled && prefetch.num_buffers == 0)
-        AURORA_FATAL("enabled prefetch unit needs buffers");
+        raiseError(SimErrorCode::BadConfig,
+                   "enabled prefetch unit needs buffers");
+    if (fpu.inst_queue == 0 || fpu.load_queue == 0 ||
+        fpu.store_queue == 0)
+        raiseError(SimErrorCode::BadConfig,
+                   "FPU decoupling queues need at least one entry "
+                   "(fp_instq=", fpu.inst_queue,
+                   ", fp_loadq=", fpu.load_queue,
+                   ", fp_storeq=", fpu.store_queue, ")");
+    if (fpu.rob_entries == 0)
+        raiseError(SimErrorCode::BadConfig,
+                   "FPU reorder buffer needs at least one entry");
+    checkFpLatency("add", fpu.add);
+    checkFpLatency("mul", fpu.mul);
+    checkFpLatency("div", fpu.div);
+    checkFpLatency("cvt", fpu.cvt);
     if (fpu.provably_safe_frac < 0.0 ||
         fpu.provably_safe_frac > 1.0)
-        AURORA_FATAL("fp_safe_frac must lie in [0,1]");
+        raiseError(SimErrorCode::BadConfig,
+                   "fp_safe_frac must lie in [0,1]");
 }
 
 cost::IpuResources

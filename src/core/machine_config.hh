@@ -60,8 +60,12 @@ struct MachineConfig
     /**
      * Check cross-component consistency (line sizes shared by the
      * caches / prefetch unit / write cache, issue vs fetch vs retire
-     * widths). Fatal on an inconsistent configuration — these are
-     * user errors, and the Processor constructor calls this.
+     * widths, non-degenerate queue capacities). Throws
+     * util::SimError (BadConfig) on an inconsistent configuration —
+     * these are user errors, and the Processor constructor calls
+     * this. Passing validation is not a liveness guarantee; the
+     * forward-progress watchdog covers configurations that validate
+     * but never retire.
      */
     void validate() const;
 

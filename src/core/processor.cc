@@ -10,13 +10,15 @@ using trace::Inst;
 using trace::OpClass;
 
 Processor::Processor(const MachineConfig &config,
-                     trace::TraceSource &source)
+                     trace::TraceSource &source,
+                     WatchdogConfig watchdog)
     // Validate before any component is built from the fields.
     : config_((config.validate(), config)), biu_(config.biu),
       prefetch_(config.prefetch, biu_),
       ifu_(config.ifu, source, prefetch_),
       lsu_(config.lsu, config.write_cache, biu_, prefetch_),
-      fpu_(config.fpu), rob_(config.rob_entries, config.retire_width)
+      fpu_(config.fpu), rob_(config.rob_entries, config.retire_width),
+      watchdog_(watchdog)
 {
     config_.validate();
 }
@@ -191,6 +193,8 @@ Processor::step()
     lsu_.tick(now_);
     fpu_.tick(now_);
     const unsigned retired = rob_.retire(now_);
+    if (retired)
+        lastRetire_ = now_;
     if (observer_ && retired)
         observer_->onRetire(now_, retired);
     issueStage();
@@ -200,11 +204,44 @@ Processor::step()
     ++now_;
 }
 
+WatchdogDiagnostic
+Processor::snapshot() const
+{
+    WatchdogDiagnostic diag;
+    diag.model = config_.name;
+    diag.watchdog = watchdog_;
+    diag.cycle = now_;
+    diag.instructions = instructions_;
+    diag.retired = rob_.retired();
+    diag.last_retire_cycle = lastRetire_;
+    diag.stalls = stalls_;
+    diag.rob_size = rob_.size();
+    diag.rob_capacity = rob_.capacity();
+    diag.fp_instq_size = fpu_.instQueueSize();
+    diag.fp_instq_capacity = config_.fpu.inst_queue;
+    diag.fp_loadq_size = fpu_.loadQueueSize();
+    diag.fp_loadq_capacity = config_.fpu.load_queue;
+    diag.fp_storeq_size = fpu_.storeQueueSize();
+    diag.fp_storeq_capacity = config_.fpu.store_queue;
+    return diag;
+}
+
 RunResult
 Processor::run()
 {
-    while (!done())
+    while (!done()) {
+        // Liveness checks live here rather than in step() so the
+        // cycle accounting of a healthy run is untouched and unit
+        // tests may still single-step a deliberately stuck machine.
+        if (watchdog_.cycle_budget && now_ >= watchdog_.cycle_budget)
+            throw WatchdogError(
+                util::SimErrorCode::CycleBudgetExceeded, snapshot());
+        if (watchdog_.stall_limit &&
+            now_ - lastRetire_ >= watchdog_.stall_limit)
+            throw WatchdogError(
+                util::SimErrorCode::NoForwardProgress, snapshot());
         step();
+    }
     if (!drained_) {
         lsu_.drain(now_);
         drained_ = true;

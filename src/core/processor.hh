@@ -32,6 +32,7 @@
 #include "pipeline_trace.hh"
 #include "stall.hh"
 #include "trace/trace_source.hh"
+#include "watchdog.hh"
 
 namespace aurora::core
 {
@@ -115,15 +116,30 @@ struct RunResult
 class Processor
 {
   public:
-    Processor(const MachineConfig &config, trace::TraceSource &source);
+    /**
+     * @param watchdog forward-progress policy enforced by run();
+     *        defaults to the AURORA_WATCHDOG_CYCLES-derived policy.
+     */
+    Processor(const MachineConfig &config, trace::TraceSource &source,
+              WatchdogConfig watchdog = defaultWatchdog());
 
     /**
      * Run until the trace is exhausted and the machine drains.
+     *
+     * Throws WatchdogError (NoForwardProgress) if no instruction
+     * retires for watchdog.stall_limit consecutive cycles, or
+     * (CycleBudgetExceeded) once the clock reaches
+     * watchdog.cycle_budget — instead of hanging on a machine that
+     * validates but cannot make progress.
+     *
      * @return aggregated statistics.
      */
     RunResult run();
 
-    /** Advance a single cycle (exposed for unit tests). */
+    /**
+     * Advance a single cycle (exposed for unit tests; the watchdog
+     * is enforced only by run()).
+     */
     void step();
 
     /** Machine fully drained? */
@@ -154,6 +170,15 @@ class Processor
     Cycle issuingCycles() const { return issuingCycles_; }
     Cycle tailCycles() const { return tailCycles_; }
 
+    /** Watchdog policy in force for run(). */
+    const WatchdogConfig &watchdog() const { return watchdog_; }
+
+    /**
+     * Diagnostic snapshot of the current machine state (what a
+     * WatchdogError carries; also useful for ad-hoc inspection).
+     */
+    WatchdogDiagnostic snapshot() const;
+
   private:
     /** Resource/operand check; nullopt means issuable. */
     std::optional<StallCause> issueCheck(const trace::Inst &inst) const;
@@ -180,7 +205,10 @@ class Processor
     ipu::ReorderBuffer rob_;
     ipu::Scoreboard scoreboard_;
 
+    WatchdogConfig watchdog_;
     Cycle now_ = 0;
+    /** Cycle of the most recent retirement (watchdog progress mark). */
+    Cycle lastRetire_ = 0;
     Count instructions_ = 0;
     Count fpDispatched_ = 0;
     Cycle issuingCycles_ = 0;

@@ -8,11 +8,12 @@ namespace aurora::core
 
 RunResult
 simulate(const MachineConfig &machine,
-         const trace::WorkloadProfile &profile, Count instructions)
+         const trace::WorkloadProfile &profile, Count instructions,
+         const WatchdogConfig &watchdog)
 {
     trace::SyntheticWorkload workload(profile);
     trace::LimitedTraceSource limited(workload, instructions);
-    Processor cpu(machine, limited);
+    Processor cpu(machine, limited, watchdog);
     RunResult res = cpu.run();
     res.benchmark = profile.name;
     return res;
@@ -45,7 +46,7 @@ SuiteResult::avgStallCpi(StallCause cause) const
 SuiteResult
 runSuite(const MachineConfig &machine,
          const std::vector<trace::WorkloadProfile> &suite,
-         Count instructions)
+         Count instructions, const WatchdogConfig &watchdog)
 {
     SuiteResult result;
     result.machine = machine;
@@ -55,7 +56,8 @@ runSuite(const MachineConfig &machine,
     // result lands in its submission slot, so the output is identical
     // to the serial loop at any worker count.
     parallelFor(suite.size(), /*workers=*/0, [&](std::size_t i) {
-        result.runs[i] = simulate(machine, suite[i], instructions);
+        result.runs[i] =
+            simulate(machine, suite[i], instructions, watchdog);
     });
     return result;
 }

@@ -26,10 +26,16 @@ inline constexpr Count DEFAULT_RUN_INSTS = 400'000;
 /**
  * Run @p profile on @p machine for @p instructions dynamic
  * instructions (the paper truncates benchmarks the same way, §4.1).
+ *
+ * @param watchdog forward-progress policy (see watchdog.hh); the
+ *        default derives from AURORA_WATCHDOG_CYCLES. A run that
+ *        trips it throws WatchdogError; an invalid @p machine throws
+ *        util::SimError (BadConfig).
  */
 RunResult simulate(const MachineConfig &machine,
                    const trace::WorkloadProfile &profile,
-                   Count instructions = DEFAULT_RUN_INSTS);
+                   Count instructions = DEFAULT_RUN_INSTS,
+                   const WatchdogConfig &watchdog = defaultWatchdog());
 
 /** A full benchmark-suite sweep on one machine. */
 struct SuiteResult
@@ -48,7 +54,8 @@ struct SuiteResult
 /** Run every profile in @p suite on @p machine. */
 SuiteResult runSuite(const MachineConfig &machine,
                      const std::vector<trace::WorkloadProfile> &suite,
-                     Count instructions = DEFAULT_RUN_INSTS);
+                     Count instructions = DEFAULT_RUN_INSTS,
+                     const WatchdogConfig &watchdog = defaultWatchdog());
 
 } // namespace aurora::core
 

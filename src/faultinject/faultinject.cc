@@ -1,0 +1,195 @@
+#include "faultinject.hh"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/logging.hh"
+
+namespace aurora::faultinject
+{
+
+namespace
+{
+
+constexpr std::size_t TRACE_HEADER_BYTES = 16;
+constexpr std::size_t TRACE_RECORD_BYTES = 24;
+constexpr std::size_t OP_CLASS_OFFSET = 12;
+
+/** Read one little-endian u32 at @p off, seek position preserved. */
+std::uint32_t
+readU32(std::FILE *f, long off)
+{
+    unsigned char b[4] = {};
+    AURORA_ASSERT(std::fseek(f, off, SEEK_SET) == 0 &&
+                      std::fread(b, 1, 4, f) == 4,
+                  "fault injection: cannot read trace header");
+    return std::uint32_t{b[0]} | (std::uint32_t{b[1]} << 8) |
+           (std::uint32_t{b[2]} << 16) | (std::uint32_t{b[3]} << 24);
+}
+
+void
+writeByte(std::FILE *f, long off, unsigned char value)
+{
+    AURORA_ASSERT(std::fseek(f, off, SEEK_SET) == 0 &&
+                      std::fwrite(&value, 1, 1, f) == 1,
+                  "fault injection: cannot write trace byte");
+}
+
+} // namespace
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+bool
+poisoned(std::uint64_t seed, std::size_t index, double fraction)
+{
+    const std::uint64_t h =
+        mix64(seed ^ (index * 0x9e3779b97f4a7c15ull +
+                      0x2545f4914f6cdd1dull));
+    const double u = static_cast<double>(h >> 11) /
+                     static_cast<double>(1ull << 53);
+    return u < fraction;
+}
+
+const char *
+configFaultName(ConfigFault fault)
+{
+    switch (fault) {
+      case ConfigFault::ZeroRob:
+        return "zero-rob";
+      case ConfigFault::ZeroMshr:
+        return "zero-mshr";
+      case ConfigFault::MismatchedLineSize:
+        return "mismatched-line-size";
+      case ConfigFault::FetchWidthMismatch:
+        return "fetch-width-mismatch";
+      case ConfigFault::ZeroFpInstQueue:
+        return "zero-fp-instq";
+      case ConfigFault::BadSafeFrac:
+        return "bad-safe-frac";
+      case ConfigFault::OverlongFpLatency:
+        return "overlong-fp-latency";
+    }
+    AURORA_PANIC("unknown ConfigFault ", static_cast<int>(fault));
+}
+
+ConfigFault
+anyConfigFault(std::uint64_t seed)
+{
+    return static_cast<ConfigFault>(mix64(seed) % NUM_CONFIG_FAULTS);
+}
+
+core::MachineConfig
+poisonConfig(const core::MachineConfig &base, ConfigFault fault)
+{
+    core::MachineConfig c = base;
+    c.name += std::string("-poisoned:") + configFaultName(fault);
+    switch (fault) {
+      case ConfigFault::ZeroRob:
+        c.rob_entries = 0;
+        break;
+      case ConfigFault::ZeroMshr:
+        c.lsu.mshr_entries = 0;
+        break;
+      case ConfigFault::MismatchedLineSize:
+        c.lsu.line_bytes *= 2;
+        break;
+      case ConfigFault::FetchWidthMismatch:
+        c.ifu.fetch_width = c.issue_width + 1;
+        break;
+      case ConfigFault::ZeroFpInstQueue:
+        c.fpu.inst_queue = 0;
+        break;
+      case ConfigFault::BadSafeFrac:
+        c.fpu.provably_safe_frac = 1.5;
+        break;
+      case ConfigFault::OverlongFpLatency:
+        c.fpu.div.latency = 1000;
+        break;
+    }
+    return c;
+}
+
+core::MachineConfig
+wedgeConfig(const core::MachineConfig &base)
+{
+    core::MachineConfig c = base;
+    c.name += "-wedged";
+    c.fpu.result_buses = 0;
+    return c;
+}
+
+const char *
+traceFaultName(TraceFault fault)
+{
+    switch (fault) {
+      case TraceFault::Magic:
+        return "magic";
+      case TraceFault::Version:
+        return "version";
+      case TraceFault::OpClass:
+        return "op-class";
+      case TraceFault::Truncate:
+        return "truncate";
+    }
+    AURORA_PANIC("unknown TraceFault ", static_cast<int>(fault));
+}
+
+TraceFault
+anyTraceFault(std::uint64_t seed)
+{
+    return static_cast<TraceFault>(mix64(seed) % NUM_TRACE_FAULTS);
+}
+
+void
+corruptTraceFile(const std::string &path, TraceFault fault,
+                 std::uint64_t seed)
+{
+    if (fault == TraceFault::Truncate) {
+        // Cut mid-record: the header's count now over-promises.
+        const auto size = std::filesystem::file_size(path);
+        AURORA_ASSERT(size >= TRACE_HEADER_BYTES + TRACE_RECORD_BYTES,
+                      "fault injection: trace too small to truncate: ",
+                      path);
+        std::filesystem::resize_file(path, size - TRACE_RECORD_BYTES / 2);
+        return;
+    }
+
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    AURORA_ASSERT(f != nullptr,
+                  "fault injection: cannot open trace ", path);
+    switch (fault) {
+      case TraceFault::Magic:
+        writeByte(f, 0, 'X');
+        break;
+      case TraceFault::Version:
+        writeByte(f, 4, 0xab);
+        break;
+      case TraceFault::OpClass: {
+        const std::uint32_t count = readU32(f, 8);
+        AURORA_ASSERT(count > 0,
+                      "fault injection: empty trace in ", path);
+        const std::uint32_t victim =
+            static_cast<std::uint32_t>(mix64(seed) % count);
+        writeByte(f,
+                  static_cast<long>(TRACE_HEADER_BYTES +
+                                    victim * TRACE_RECORD_BYTES +
+                                    OP_CLASS_OFFSET),
+                  0xff);
+        break;
+      }
+      case TraceFault::Truncate:
+        break; // handled above
+    }
+    std::fclose(f);
+}
+
+} // namespace aurora::faultinject

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness testing.
+ *
+ * The fault-tolerance machinery (structured SimErrors, the
+ * forward-progress watchdog, per-job sweep isolation) is only
+ * trustworthy if every detector is routinely exercised. This module
+ * manufactures the faults: configurations that validation must
+ * reject, configurations that validate but never retire (the
+ * watchdog's prey), and byte-level trace-file corruption that the
+ * trace reader must refuse to replay.
+ *
+ * Everything is seed-driven and pure: the same (seed, index) always
+ * selects the same fault, so a failing fault-storm run reproduces
+ * exactly. No global state, no clock, no libc rand().
+ */
+
+#ifndef AURORA_FAULTINJECT_FAULTINJECT_HH
+#define AURORA_FAULTINJECT_FAULTINJECT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/machine_config.hh"
+
+namespace aurora::faultinject
+{
+
+/** splitmix64 finalizer — the module's only source of "randomness". */
+std::uint64_t mix64(std::uint64_t x);
+
+/**
+ * Deterministic Bernoulli draw: should grid slot @p index be poisoned
+ * under @p seed? True with probability @p fraction, independently per
+ * index, identically across worker counts and reruns.
+ */
+bool poisoned(std::uint64_t seed, std::size_t index, double fraction);
+
+/** Configuration defects MachineConfig::validate() must reject. */
+enum class ConfigFault
+{
+    /** rob_entries = 0 — a degenerate reorder buffer. */
+    ZeroRob,
+    /** mshr_entries = 0 — an LSU that can never miss. */
+    ZeroMshr,
+    /** D-cache line size diverges from the other caches. */
+    MismatchedLineSize,
+    /** fetch_width no longer equals issue_width. */
+    FetchWidthMismatch,
+    /** fp_instq = 0 — would abort BoundedQueue construction. */
+    ZeroFpInstQueue,
+    /** provably_safe_frac outside [0,1]. */
+    BadSafeFrac,
+    /** FP divide latency beyond the result-bus scheduling window. */
+    OverlongFpLatency,
+};
+
+inline constexpr std::size_t NUM_CONFIG_FAULTS = 7;
+
+/** Short display name ("zero-rob", "bad-safe-frac", ...). */
+const char *configFaultName(ConfigFault fault);
+
+/** Seed-driven fault choice, uniform over all ConfigFaults. */
+ConfigFault anyConfigFault(std::uint64_t seed);
+
+/**
+ * Return @p base with @p fault applied (name gains a
+ * "-poisoned:<fault>" suffix). The result is guaranteed to make
+ * validate() throw util::SimError (BadConfig); test_faultinject
+ * asserts this for every fault kind.
+ */
+core::MachineConfig poisonConfig(const core::MachineConfig &base,
+                                 ConfigFault fault);
+
+/**
+ * Return @p base altered to pass validation but never retire FP work:
+ * result_buses = 0 starves every functional unit of a writeback slot,
+ * the decoupling queue fills, and issue blocks forever. Run it on any
+ * FP-heavy workload and only the forward-progress watchdog ends the
+ * run (NoForwardProgress).
+ */
+core::MachineConfig wedgeConfig(const core::MachineConfig &base);
+
+/** Byte-level trace-file defects the reader must detect. */
+enum class TraceFault
+{
+    /** Clobber the "AUR3" magic. */
+    Magic,
+    /** Bump the format version to an unsupported value. */
+    Version,
+    /** Overwrite one record's op-class byte with 0xff. */
+    OpClass,
+    /** Cut the file mid-record so the body underruns the header. */
+    Truncate,
+};
+
+inline constexpr std::size_t NUM_TRACE_FAULTS = 4;
+
+/** Short display name ("magic", "truncate", ...). */
+const char *traceFaultName(TraceFault fault);
+
+/** Seed-driven fault choice, uniform over all TraceFaults. */
+TraceFault anyTraceFault(std::uint64_t seed);
+
+/**
+ * Corrupt the trace file at @p path in place with @p fault; @p seed
+ * picks the victim record for OpClass. The file must be a valid
+ * non-empty trace written by trace::writeTrace(). Reading the
+ * corrupted file must yield util::SimError (BadTrace).
+ */
+void corruptTraceFile(const std::string &path, TraceFault fault,
+                      std::uint64_t seed = 0);
+
+} // namespace aurora::faultinject
+
+#endif // AURORA_FAULTINJECT_FAULTINJECT_HH

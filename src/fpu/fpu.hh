@@ -96,6 +96,13 @@ class Fpu
     const FpuStats &stats() const { return stats_; }
     const FpuConfig &config() const { return config_; }
 
+    /// @name Decoupling queue occupancy (watchdog diagnostics)
+    /// @{
+    std::size_t instQueueSize() const { return instQueue_.size(); }
+    std::size_t loadQueueSize() const { return loadQueue_.size(); }
+    std::size_t storeQueueSize() const { return storeQueue_.size(); }
+    /// @}
+
     /// @name Functional unit access (statistics)
     /// @{
     const FunctionalUnit &addUnit() const { return add_; }

@@ -8,7 +8,10 @@ namespace aurora::fpu
 ResultBusSchedule::ResultBusSchedule(unsigned buses)
     : buses_(buses)
 {
-    AURORA_ASSERT(buses_ > 0, "need at least one result bus");
+    // buses == 0 is a representable (if useless) machine: canReserve
+    // never holds, so no FP operation ever completes. The config
+    // layer permits it as the canonical liveness wedge the forward-
+    // progress watchdog detects at run time.
 }
 
 void

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/config_io.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
@@ -81,6 +82,11 @@ SweepReport::summary() const
        << formatFixed(speedup(), 2) << "x) | "
        << formatFixed(instsPerSecond() / 1e6, 2)
        << " M sim-insts/s over " << total_instructions << " insts";
+    // Isolation accounting only appears once an outcome run happened,
+    // so fail-fast sweeps keep the historical one-line shape.
+    if (ok_jobs || failed_jobs || retried_jobs)
+        os << " | ok " << ok_jobs << " / failed " << failed_jobs
+           << " / retried " << retried_jobs;
     return os.str();
 }
 
@@ -92,23 +98,56 @@ SweepRunner::workers() const
     return options_.workers ? options_.workers : defaultWorkers();
 }
 
-std::vector<core::RunResult>
-SweepRunner::run(const std::vector<SweepJob> &grid)
+unsigned
+SweepRunner::retries() const
 {
+    if (options_.retries)
+        return *options_.retries;
+    return static_cast<unsigned>(
+        envCount("AURORA_SWEEP_RETRIES", 0, /*min=*/0));
+}
+
+namespace
+{
+
+/**
+ * Turn a job grid into closures, resolving the seed-derivation and
+ * watchdog policy once so run() and runOutcomes() simulate each job
+ * identically (healthy results stay bit-comparable between the two).
+ */
+std::vector<std::function<core::RunResult()>>
+gridTasks(const std::vector<SweepJob> &grid, const SweepOptions &options)
+{
+    const core::WatchdogConfig watchdog =
+        options.watchdog ? *options.watchdog : core::defaultWatchdog();
     std::vector<std::function<core::RunResult()>> tasks;
     tasks.reserve(grid.size());
     for (const SweepJob &job : grid) {
-        tasks.push_back([this, &job]() {
+        tasks.push_back([&options, &job, watchdog]() {
             trace::WorkloadProfile profile = job.profile;
-            if (options_.base_seed)
-                profile.seed = deriveJobSeed(*options_.base_seed,
+            if (options.base_seed)
+                profile.seed = deriveJobSeed(*options.base_seed,
                                              machineHash(job.machine),
                                              profile.name);
             return core::simulate(job.machine, profile,
-                                  job.instructions);
+                                  job.instructions, watchdog);
         });
     }
-    return runTasks(tasks);
+    return tasks;
+}
+
+} // namespace
+
+std::vector<core::RunResult>
+SweepRunner::run(const std::vector<SweepJob> &grid)
+{
+    return runTasks(gridTasks(grid, options_));
+}
+
+std::vector<SweepOutcome>
+SweepRunner::runOutcomes(const std::vector<SweepJob> &grid)
+{
+    return runTaskOutcomes(gridTasks(grid, options_));
 }
 
 std::vector<core::RunResult>
@@ -148,6 +187,86 @@ SweepRunner::runTasks(
         report_.total_instructions += results[i].instructions;
     }
     return results;
+}
+
+std::vector<SweepOutcome>
+SweepRunner::runTaskOutcomes(
+    const std::vector<std::function<core::RunResult()>> &tasks)
+{
+    const std::size_t n = tasks.size();
+    std::vector<SweepOutcome> outcomes(n);
+    std::atomic<std::size_t> completed{0};
+
+    const unsigned pool = workers();
+    const unsigned max_attempts = retries() + 1;
+    WallTimer wall;
+    // The body never throws: every failure is captured into its
+    // outcome slot, so one poisoned job cannot abort the grid and
+    // parallelFor's fail-fast path stays untouched.
+    parallelFor(n, pool, [&](std::size_t i) {
+        SweepOutcome &out = outcomes[i];
+        WallTimer job_timer;
+        for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+            out.attempts = attempt;
+            try {
+                out.result = tasks[i]();
+                out.ok = true;
+                out.error.clear();
+                break;
+            } catch (const util::SimError &e) {
+                out.ok = false;
+                out.code = e.code();
+                out.error = e.what();
+            } catch (const std::exception &e) {
+                out.ok = false;
+                out.code = util::SimErrorCode::Internal;
+                out.error = e.what();
+            } catch (...) {
+                out.ok = false;
+                out.code = util::SimErrorCode::Internal;
+                out.error = "unknown exception";
+            }
+        }
+        out.seconds = job_timer.seconds();
+        const std::size_t done =
+            completed.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (options_.progress) {
+            if (out.ok)
+                inform(detail::concat(
+                    "sweep: ", done, "/", n, " ok (",
+                    out.result.benchmark.empty() ? "job"
+                                                 : out.result.benchmark,
+                    "@",
+                    out.result.model.empty() ? "machine"
+                                             : out.result.model,
+                    ", ", out.attempts, " attempt(s), ",
+                    formatFixed(out.seconds, 3), " s)"));
+            else
+                inform(detail::concat(
+                    "sweep: ", done, "/", n, " FAILED after ",
+                    out.attempts, " attempt(s): ", out.error));
+        }
+    });
+
+    report_.workers = static_cast<unsigned>(
+        std::min<std::size_t>(pool, std::max<std::size_t>(n, 1)));
+    report_.jobs += n;
+    report_.wall_seconds += wall.seconds();
+    report_.job_seconds.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const SweepOutcome &out = outcomes[i];
+        report_.job_seconds[i] = out.seconds;
+        report_.busy_seconds += out.seconds;
+        if (out.ok) {
+            ++report_.ok_jobs;
+            report_.total_instructions += out.result.instructions;
+        } else {
+            ++report_.failed_jobs;
+        }
+        if (out.attempts > 1)
+            ++report_.retried_jobs;
+    }
+    return outcomes;
 }
 
 std::vector<SweepJob>

@@ -22,6 +22,13 @@
  * the profiles' own seeds are kept, which keeps traces identical
  * across machine variants (paired comparisons, the paper's
  * methodology).
+ *
+ * Fault isolation: run()/runTasks() are fail-fast (first exception
+ * aborts the sweep and propagates). The runOutcomes()/
+ * runTaskOutcomes() variants instead capture each job's error into a
+ * SweepOutcome, optionally retry it with the same derived seed, and
+ * always run the full grid — one poisoned configuration cannot take
+ * down an overnight sweep (see docs/robustness.md).
  */
 
 #ifndef AURORA_HARNESS_SWEEP_HH
@@ -35,7 +42,9 @@
 
 #include "core/machine_config.hh"
 #include "core/simulator.hh"
+#include "core/watchdog.hh"
 #include "trace/workload_profile.hh"
+#include "util/sim_error.hh"
 #include "util/stats.hh"
 
 namespace aurora::harness
@@ -68,6 +77,45 @@ struct SweepOptions
 
     /** Log a line as each job completes (thread-safe). */
     bool progress = false;
+
+    /**
+     * Retry budget per job for the outcome-isolating entry points
+     * (runOutcomes / runTaskOutcomes): a failing job is re-attempted
+     * up to this many extra times with the same derived seed. Unset
+     * reads AURORA_SWEEP_RETRIES (default 0 — no retries). The
+     * fail-fast run()/runTasks() paths never retry.
+     */
+    std::optional<unsigned> retries;
+
+    /**
+     * Watchdog policy applied to every simulation job launched by
+     * run()/runOutcomes(). Unset uses core::defaultWatchdog() (the
+     * AURORA_WATCHDOG_CYCLES stall limit, no cycle budget). Kept out
+     * of MachineConfig deliberately: execution policy must not
+     * perturb machineHash() and hence derived seeds.
+     */
+    std::optional<core::WatchdogConfig> watchdog;
+};
+
+/**
+ * Result-or-error of one isolated sweep job. Exactly one of
+ * (ok && result valid) / (!ok && code+error describe the failure)
+ * holds; timing and attempt accounting are always valid.
+ */
+struct SweepOutcome
+{
+    /** Valid only when ok. */
+    core::RunResult result{};
+    /** Whether the job (eventually) produced a result. */
+    bool ok = false;
+    /** Failure class of the final attempt; meaningful when !ok. */
+    util::SimErrorCode code = util::SimErrorCode::Internal;
+    /** what() of the final attempt's exception; empty when ok. */
+    std::string error;
+    /** Attempts consumed (1 = succeeded or failed first try). */
+    unsigned attempts = 1;
+    /** Wall seconds across all attempts of this job. */
+    double seconds = 0.0;
 };
 
 /** Aggregate timing over every grid a runner has executed. */
@@ -85,6 +133,12 @@ struct SweepReport
     Count total_instructions = 0;
     /** Per-job wall seconds of the most recent run, by grid index. */
     std::vector<double> job_seconds;
+    /** Isolated jobs that produced a result (outcome runs only). */
+    std::size_t ok_jobs = 0;
+    /** Isolated jobs that failed every attempt (outcome runs only). */
+    std::size_t failed_jobs = 0;
+    /** Isolated jobs that needed more than one attempt. */
+    std::size_t retried_jobs = 0;
 
     /** Aggregate simulated instructions per wall-clock second. */
     double instsPerSecond() const;
@@ -119,11 +173,29 @@ class SweepRunner
     std::vector<core::RunResult>
     runTasks(const std::vector<std::function<core::RunResult()>> &tasks);
 
+    /**
+     * Fault-isolating variant of run(): every job executes inside a
+     * try/catch, a failing job is retried up to retries() extra times
+     * with the same derived seed, and the grid always runs to
+     * completion. Healthy jobs return results bit-identical to run()'s
+     * at any worker count; failed jobs carry the error class and
+     * message instead of aborting the sweep.
+     */
+    std::vector<SweepOutcome>
+    runOutcomes(const std::vector<SweepJob> &grid);
+
+    /** Fault-isolating variant of runTasks(). */
+    std::vector<SweepOutcome> runTaskOutcomes(
+        const std::vector<std::function<core::RunResult()>> &tasks);
+
     /** Timing/throughput accounting (cumulative across runs). */
     const SweepReport &report() const { return report_; }
 
     /** Resolved worker count a run() will use for a large grid. */
     unsigned workers() const;
+
+    /** Resolved retry budget runOutcomes() grants each job. */
+    unsigned retries() const;
 
   private:
     SweepOptions options_;

@@ -1,6 +1,6 @@
 #include "spec_profiles.hh"
 
-#include "util/logging.hh"
+#include "util/sim_error.hh"
 
 namespace aurora::trace
 {
@@ -406,7 +406,16 @@ profileByName(const std::string &name)
     for (const auto &p : floatSuite())
         if (p.name == name)
             return p;
-    AURORA_FATAL("unknown benchmark profile: ", name);
+    std::string known;
+    for (const auto &p : integerSuite())
+        known += p.name + " ";
+    for (const auto &p : floatSuite())
+        known += p.name + " ";
+    if (!known.empty())
+        known.pop_back();
+    util::raiseError(util::SimErrorCode::BadConfig,
+                     "unknown benchmark profile '", name,
+                     "' (known profiles: ", known, ")");
 }
 
 } // namespace aurora::trace

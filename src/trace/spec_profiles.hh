@@ -50,7 +50,10 @@ std::vector<WorkloadProfile> integerSuite();
 /** The nine floating point benchmarks, in Table 6 order. */
 std::vector<WorkloadProfile> floatSuite();
 
-/** Look up any benchmark by name; fatal on an unknown name. */
+/**
+ * Look up any benchmark by name. Throws util::SimError (BadConfig)
+ * listing the known profile names when @p name matches none.
+ */
 WorkloadProfile profileByName(const std::string &name);
 
 } // namespace aurora::trace

@@ -4,13 +4,16 @@
 #include <cstdio>
 #include <cstring>
 
-#include "util/logging.hh"
+#include "util/sim_error.hh"
 
 namespace aurora::trace
 {
 
 namespace
 {
+
+using util::SimErrorCode;
+using util::raiseError;
 
 constexpr std::array<char, 4> MAGIC = {'A', 'U', 'R', '3'};
 constexpr std::size_t RECORD_BYTES = 24;
@@ -57,7 +60,11 @@ unpackInst(const unsigned char *p)
     out.next_pc = unpackU32(p + 4);
     out.eff_addr = unpackU32(p + 8);
     out.op = static_cast<OpClass>(p[12]);
-    AURORA_ASSERT(p[12] < NUM_OP_CLASSES, "corrupt trace record opclass");
+    if (p[12] >= NUM_OP_CLASSES)
+        raiseError(SimErrorCode::BadTrace,
+                   "corrupt trace record: op class ",
+                   static_cast<unsigned>(p[12]), " out of range [0, ",
+                   NUM_OP_CLASSES, ") at pc 0x", std::hex, out.pc);
     out.src_a = p[13];
     out.src_b = p[14];
     out.dst = p[15];
@@ -76,7 +83,8 @@ writeTrace(const std::string &path, const std::vector<Inst> &insts)
 {
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
-        AURORA_FATAL("cannot create trace file ", path);
+        raiseError(SimErrorCode::BadTrace,
+                   "cannot create trace file ", path);
 
     unsigned char header[16];
     std::memcpy(header, MAGIC.data(), 4);
@@ -86,7 +94,8 @@ writeTrace(const std::string &path, const std::vector<Inst> &insts)
             static_cast<std::uint32_t>(insts.size() >> 32));
     if (std::fwrite(header, 1, sizeof(header), f) != sizeof(header)) {
         std::fclose(f);
-        AURORA_FATAL("short write on trace file ", path);
+        raiseError(SimErrorCode::BadTrace,
+                   "short write on trace file ", path);
     }
 
     unsigned char rec[RECORD_BYTES];
@@ -94,7 +103,8 @@ writeTrace(const std::string &path, const std::vector<Inst> &insts)
         packInst(rec, inst);
         if (std::fwrite(rec, 1, RECORD_BYTES, f) != RECORD_BYTES) {
             std::fclose(f);
-            AURORA_FATAL("short write on trace file ", path);
+            raiseError(SimErrorCode::BadTrace,
+                       "short write on trace file ", path);
         }
     }
     std::fclose(f);
@@ -109,8 +119,8 @@ readTrace(const std::string &path)
     Inst inst;
     while (src.next(inst))
         insts.push_back(inst);
-    AURORA_ASSERT(insts.size() == src.recordCount(),
-                  "trace body shorter than header count in ", path);
+    // next() itself throws BadTrace on a body shorter than the header
+    // promises, so reaching here means every record was delivered.
     return insts;
 }
 
@@ -121,22 +131,39 @@ struct FileTraceSource::Impl
 };
 
 FileTraceSource::FileTraceSource(const std::string &path)
-    : impl_(new Impl)
+    : impl_(nullptr)
 {
-    impl_->f = std::fopen(path.c_str(), "rb");
-    if (!impl_->f)
-        AURORA_FATAL("cannot open trace file ", path);
+    // Validate the header before allocating Impl: a throwing
+    // constructor never runs the destructor, so nothing owned may
+    // outlive an error path.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        raiseError(SimErrorCode::BadTrace,
+                   "cannot open trace file ", path);
 
     unsigned char header[16];
-    if (std::fread(header, 1, sizeof(header), impl_->f) != sizeof(header))
-        AURORA_PANIC("truncated trace header in ", path);
-    AURORA_ASSERT(std::memcmp(header, MAGIC.data(), 4) == 0,
-                  "bad trace magic in ", path);
+    if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+        std::fclose(f);
+        raiseError(SimErrorCode::BadTrace,
+                   "truncated trace header in ", path);
+    }
+    if (std::memcmp(header, MAGIC.data(), 4) != 0) {
+        std::fclose(f);
+        raiseError(SimErrorCode::BadTrace, "bad trace magic in ", path,
+                   " (expected 'AUR3')");
+    }
     const std::uint32_t version = unpackU32(header + 4);
-    AURORA_ASSERT(version == TRACE_FORMAT_VERSION,
-                  "unsupported trace version ", version, " in ", path);
+    if (version != TRACE_FORMAT_VERSION) {
+        std::fclose(f);
+        raiseError(SimErrorCode::BadTrace, "unsupported trace version ",
+                   version, " in ", path, " (expected ",
+                   TRACE_FORMAT_VERSION, ")");
+    }
     count_ = Count{unpackU32(header + 8)} |
              (Count{unpackU32(header + 12)} << 32);
+
+    impl_ = new Impl;
+    impl_->f = f;
     impl_->remaining = count_;
 }
 
@@ -154,7 +181,10 @@ FileTraceSource::next(Inst &out)
         return false;
     unsigned char rec[RECORD_BYTES];
     if (std::fread(rec, 1, RECORD_BYTES, impl_->f) != RECORD_BYTES)
-        return false;
+        raiseError(SimErrorCode::BadTrace,
+                   "truncated trace body: header promised ", count_,
+                   " records but the file ends ", impl_->remaining,
+                   " records early");
     out = unpackInst(rec);
     --impl_->remaining;
     return true;

@@ -28,20 +28,27 @@ inline constexpr std::uint32_t TRACE_FORMAT_VERSION = 1;
 /**
  * Write a trace to @p path.
  *
- * Terminates with a fatal error if the file cannot be created (a user
- * environment problem, not a simulator bug).
+ * Throws util::SimError (BadTrace) if the file cannot be created or a
+ * write comes up short — environment problems, not simulator bugs.
  */
 void writeTrace(const std::string &path, const std::vector<Inst> &insts);
 
 /**
  * Read a complete trace from @p path.
  *
- * Fatal on missing file; panics on a corrupt header or truncated body
- * (the file contract was violated).
+ * Throws util::SimError (BadTrace) on a missing file, corrupt header,
+ * unsupported version, out-of-range op class, or truncated body, with
+ * a message naming the offending file and field.
  */
 std::vector<Inst> readTrace(const std::string &path);
 
-/** TraceSource that streams records from a trace file. */
+/**
+ * TraceSource that streams records from a trace file.
+ *
+ * The constructor validates the header and next() validates each
+ * record; both throw util::SimError (BadTrace) on corruption so a
+ * damaged file is never silently replayed as a shorter trace.
+ */
 class FileTraceSource : public TraceSource
 {
   public:

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "env.hh"
+#include "logging.hh"
 
 namespace aurora
 {
@@ -38,6 +39,7 @@ parallelFor(std::size_t n, unsigned workers,
     }
 
     std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> failures{0};
     std::atomic<bool> failed{false};
     std::mutex error_mutex;
     std::exception_ptr error;
@@ -51,6 +53,7 @@ parallelFor(std::size_t n, unsigned workers,
             try {
                 body(i);
             } catch (...) {
+                failures.fetch_add(1, std::memory_order_relaxed);
                 const std::lock_guard<std::mutex> lock(error_mutex);
                 if (!error)
                     error = std::current_exception();
@@ -68,8 +71,15 @@ parallelFor(std::size_t n, unsigned workers,
     for (std::thread &t : pool)
         t.join();
 
-    if (error)
+    if (error) {
+        const std::size_t count =
+            failures.load(std::memory_order_relaxed);
+        if (count > 1)
+            warn(detail::concat("parallelFor: ", count, " of ", n,
+                                " invocations failed; rethrowing the "
+                                "first error only"));
         std::rethrow_exception(error);
+    }
 }
 
 } // namespace aurora

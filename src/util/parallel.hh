@@ -31,10 +31,20 @@ unsigned defaultWorkers();
  * (0 = defaultWorkers(); 1 = serial in the calling thread; never
  * more threads than items).
  *
- * Exceptions: the first exception thrown by any invocation is
- * captured, remaining un-started indices are abandoned, all workers
- * are joined, and the exception is rethrown in the calling thread —
- * the pool cannot deadlock on a throwing body.
+ * Exception guarantee (fail-fast, first-exception-wins): the first
+ * exception thrown by any invocation is captured, no further indices
+ * are scheduled, invocations already in flight run to completion (and
+ * may also throw), all workers are joined, and the captured exception
+ * is rethrown in the calling thread — the pool cannot deadlock on a
+ * throwing body. When more than one invocation failed, a warning
+ * reporting the failure count is emitted before the rethrow so the
+ * single rethrown error is not silently lossy. In the serial path
+ * (one worker) the first exception propagates immediately and later
+ * indices never run.
+ *
+ * Callers that must survive individual failures (per-job sweep
+ * isolation) should catch inside the body instead — see
+ * harness::SweepRunner::runOutcomes().
  */
 void parallelFor(std::size_t n, unsigned workers,
                  const std::function<void(std::size_t)> &body);

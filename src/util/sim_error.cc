@@ -1,0 +1,27 @@
+#include "sim_error.hh"
+
+namespace aurora::util
+{
+
+const char *
+errorCodeName(SimErrorCode code)
+{
+    switch (code) {
+      case SimErrorCode::BadConfig: return "BadConfig";
+      case SimErrorCode::BadTrace: return "BadTrace";
+      case SimErrorCode::NoForwardProgress: return "NoForwardProgress";
+      case SimErrorCode::CycleBudgetExceeded:
+        return "CycleBudgetExceeded";
+      case SimErrorCode::Internal: return "Internal";
+    }
+    return "Unknown";
+}
+
+SimError::SimError(SimErrorCode code, std::string message)
+    : std::runtime_error(
+          detail::concat("[", errorCodeName(code), "] ", message)),
+      code_(code), message_(std::move(message))
+{
+}
+
+} // namespace aurora::util

@@ -5,13 +5,35 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
 #include "core/config_io.hh"
+#include "util/sim_error.hh"
 
 namespace
 {
 
 using namespace aurora;
 using namespace aurora::core;
+using util::SimError;
+using util::SimErrorCode;
+
+/** Expect a BadConfig SimError whose message contains @p substr. */
+void
+expectBadConfig(const std::string &spec, const std::string &substr)
+{
+    try {
+        parseMachineSpec(spec);
+        FAIL() << "spec '" << spec << "' should have thrown";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), SimErrorCode::BadConfig) << spec;
+        EXPECT_NE(std::string(e.what()).find(substr),
+                  std::string::npos)
+            << "message for '" << spec << "' lacks '" << substr
+            << "': " << e.what();
+    }
+}
 
 TEST(ConfigIo, EmptySpecIsBaseline)
 {
@@ -101,30 +123,101 @@ TEST(ConfigIo, DescribeRoundTripsEveryNamedModel)
     }
 }
 
-TEST(ConfigIoDeath, UnknownKeyIsFatal)
+// User input errors are recoverable: they throw a structured
+// SimError (BadConfig) whose message names the key, the offending
+// value, and the accepted values — they never kill the process.
+
+TEST(ConfigIoErrors, UnknownKeyThrows)
 {
-    EXPECT_DEATH(parseMachineSpec("warp_drive=on"), "unknown");
+    expectBadConfig("warp_drive=on", "unknown");
+    expectBadConfig("warp_drive=on", "warp_drive");
+    // The message enumerates the accepted keys.
+    expectBadConfig("warp_drive=on", "mshr");
 }
 
-TEST(ConfigIoDeath, MalformedTokenIsFatal)
+TEST(ConfigIoErrors, MalformedTokenThrows)
 {
-    EXPECT_DEATH(parseMachineSpec("justakey"), "key=value");
+    expectBadConfig("justakey", "key=value");
+    expectBadConfig("justakey", "justakey");
 }
 
-TEST(ConfigIoDeath, BadNumberIsFatal)
+TEST(ConfigIoErrors, BadNumberThrows)
 {
-    EXPECT_DEATH(parseMachineSpec("mshr=lots"), "bad numeric");
+    expectBadConfig("mshr=lots", "bad numeric");
+    expectBadConfig("mshr=lots", "mshr");
+    expectBadConfig("mshr=lots", "lots");
+    // strtoull would have accepted these prefixes silently.
+    expectBadConfig("mshr=2x", "bad numeric");
+    expectBadConfig("icache=", "bad numeric");
 }
 
-TEST(ConfigIoDeath, BadIssueWidthIsFatal)
+TEST(ConfigIoErrors, BadRealThrows)
 {
-    EXPECT_DEATH(parseMachineSpec("issue=3"), "1 or 2");
+    expectBadConfig("fp_safe_frac=often", "fp_safe_frac");
 }
 
-TEST(ConfigIoDeath, BadPolicyIsFatal)
+TEST(ConfigIoErrors, BadBoolThrows)
 {
-    EXPECT_DEATH(parseMachineSpec("fp_policy=speculative"),
-                 "fp_policy");
+    expectBadConfig("prefetch=maybe", "prefetch");
+    expectBadConfig("prefetch=maybe", "maybe");
+}
+
+TEST(ConfigIoErrors, BadIssueWidthThrows)
+{
+    expectBadConfig("issue=3", "1 or 2");
+}
+
+TEST(ConfigIoErrors, BadPolicyThrows)
+{
+    expectBadConfig("fp_policy=speculative", "fp_policy");
+    expectBadConfig("fp_policy=speculative", "inorder");
+}
+
+TEST(ConfigIoErrors, BadModelThrows)
+{
+    expectBadConfig("model=gigantic", "model");
+}
+
+/**
+ * Property test: no key=value input may crash the parser — every
+ * outcome is either a parsed machine or a structured SimError.
+ */
+TEST(ConfigIoErrors, FuzzedSpecsNeverCrash)
+{
+    const std::string keys[] = {"mshr",    "icache",  "issue",
+                                "model",   "latency", "fp_policy",
+                                "bogus",   "",        "fp_safe_frac",
+                                "prefetch"};
+    const std::string values[] = {"2",     "0",    "999999999",
+                                  "-3",    "2x",   "on",
+                                  "lots",  "",     "0.5",
+                                  "1e9",   "small"};
+    std::uint64_t rng = 0x5eedu;
+    auto next = [&rng]() {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    for (int i = 0; i < 500; ++i) {
+        std::string spec;
+        const unsigned tokens = next() % 4;
+        for (unsigned t = 0; t < tokens; ++t) {
+            spec += keys[next() % std::size(keys)];
+            if (next() % 8)
+                spec += "=";
+            spec += values[next() % std::size(values)] + " ";
+        }
+        try {
+            const auto m = parseMachineSpec(spec);
+            (void)m;
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.code(), SimErrorCode::BadConfig)
+                << "spec '" << spec << "' -> " << e.what();
+        }
+        // Anything else (segfault, bare std::exception, abort) fails
+        // the test by crashing or escaping the harness.
+    }
 }
 
 } // namespace

@@ -10,53 +10,121 @@
 #include "core/simulator.hh"
 #include "mem/biu.hh"
 #include "trace/spec_profiles.hh"
+#include "util/sim_error.hh"
 
 namespace
 {
 
 using namespace aurora;
 using namespace aurora::core;
+using util::SimError;
+using util::SimErrorCode;
 
 TEST(Validate, NamedModelsAreValid)
 {
     for (const auto &m : studyModels())
-        m.validate(); // must not die
+        m.validate(); // must not throw
     recommendedModel().validate();
 }
 
-TEST(ValidateDeath, MismatchedLineSizesAreFatal)
+/** Expect validate() to throw BadConfig mentioning @p substr. */
+void
+expectInvalid(const MachineConfig &m, const std::string &substr)
+{
+    try {
+        m.validate();
+        FAIL() << "validate() should have thrown (" << substr << ")";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), SimErrorCode::BadConfig);
+        EXPECT_NE(std::string(e.what()).find(substr),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ValidateErrors, MismatchedLineSizesThrow)
 {
     auto m = baselineModel();
     m.lsu.line_bytes = 64;
-    EXPECT_DEATH(m.validate(), "line sizes disagree");
+    expectInvalid(m, "line sizes disagree");
 }
 
-TEST(ValidateDeath, FetchIssueWidthMismatchIsFatal)
+TEST(ValidateErrors, FetchIssueWidthMismatchThrows)
 {
     auto m = baselineModel();
     m.ifu.fetch_width = 1; // issue width still 2
-    EXPECT_DEATH(m.validate(), "fetch width");
+    expectInvalid(m, "fetch width");
 }
 
-TEST(ValidateDeath, RetireNarrowerThanIssueIsFatal)
+TEST(ValidateErrors, RetireNarrowerThanIssueThrows)
 {
     auto m = baselineModel();
     m.retire_width = 1;
-    EXPECT_DEATH(m.validate(), "retire width");
+    expectInvalid(m, "retire width");
 }
 
-TEST(ValidateDeath, ZeroMshrsIsFatal)
+TEST(ValidateErrors, ZeroMshrsThrow)
 {
     auto m = baselineModel();
     m.lsu.mshr_entries = 0;
-    EXPECT_DEATH(m.validate(), "MSHR");
+    expectInvalid(m, "MSHR");
 }
 
-TEST(ValidateDeath, BadSafeFracIsFatal)
+TEST(ValidateErrors, BadSafeFracThrows)
 {
     auto m = baselineModel();
     m.fpu.provably_safe_frac = 1.5;
-    EXPECT_DEATH(m.validate(), "fp_safe_frac");
+    expectInvalid(m, "fp_safe_frac");
+}
+
+TEST(ValidateErrors, ZeroFpQueuesThrow)
+{
+    // A zero-capacity decoupling queue would abort BoundedQueue
+    // construction deep inside the Processor; validation must reject
+    // it first as a recoverable user error.
+    auto m = baselineModel();
+    m.fpu.inst_queue = 0;
+    expectInvalid(m, "FPU decoupling queues");
+    m = baselineModel();
+    m.fpu.load_queue = 0;
+    expectInvalid(m, "FPU decoupling queues");
+    m = baselineModel();
+    m.fpu.store_queue = 0;
+    expectInvalid(m, "FPU decoupling queues");
+    m = baselineModel();
+    m.fpu.rob_entries = 0;
+    expectInvalid(m, "FPU reorder buffer");
+}
+
+TEST(ValidateErrors, OverlongFpLatencyThrows)
+{
+    // Latencies past the result-bus scheduling window used to panic
+    // at the first issue; now they are rejected up front.
+    auto m = baselineModel();
+    m.fpu.div.latency = 1000;
+    expectInvalid(m, "div latency");
+    m = baselineModel();
+    m.fpu.add.latency = 0;
+    expectInvalid(m, "add latency");
+}
+
+TEST(ValidateErrors, InvalidConfigNeverReachesSimulation)
+{
+    // The Processor constructor validates, so a bad machine fails as
+    // a structured error before any component is built.
+    auto m = baselineModel();
+    m.rob_entries = 0;
+    EXPECT_THROW(simulate(m, trace::espresso(), 1000), SimError);
+}
+
+TEST(ValidateErrors, BusStarvedFpuPassesValidation)
+{
+    // fp_buses=0 is structurally representable (the liveness wedge
+    // the forward-progress watchdog exists for); validation must not
+    // reject it.
+    auto m = baselineModel();
+    m.fpu.result_buses = 0;
+    m.validate();
 }
 
 TEST(AluLatency, DeeperPipelineCostsCpi)

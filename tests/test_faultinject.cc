@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the deterministic fault injectors: every manufactured
+ * fault must actually trip its detector (validate(), the watchdog,
+ * the trace reader), and the injectors themselves must be pure
+ * functions of their seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "core/simulator.hh"
+#include "core/watchdog.hh"
+#include "faultinject/faultinject.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic_workload.hh"
+#include "trace/trace_io.hh"
+#include "util/sim_error.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+namespace fi = aurora::faultinject;
+using util::SimError;
+using util::SimErrorCode;
+
+TEST(FaultInject, PoisonedIsDeterministicAndScales)
+{
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < 3000; ++i) {
+        const bool p = fi::poisoned(42, i, 0.33);
+        EXPECT_EQ(p, fi::poisoned(42, i, 0.33)) << i;
+        hits += p;
+    }
+    // ~990 expected; a loose window suffices to catch a broken mix.
+    EXPECT_GT(hits, 700u);
+    EXPECT_LT(hits, 1300u);
+
+    // fraction 0 and 1 are exact.
+    for (std::size_t i = 0; i < 64; ++i) {
+        EXPECT_FALSE(fi::poisoned(7, i, 0.0));
+        EXPECT_TRUE(fi::poisoned(7, i, 1.0));
+    }
+
+    // Different seeds pick different victims.
+    bool any_difference = false;
+    for (std::size_t i = 0; i < 256; ++i)
+        any_difference |=
+            fi::poisoned(1, i, 0.5) != fi::poisoned(2, i, 0.5);
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultInject, EveryConfigFaultFailsValidation)
+{
+    for (std::size_t k = 0; k < fi::NUM_CONFIG_FAULTS; ++k) {
+        const auto fault = static_cast<fi::ConfigFault>(k);
+        const auto bad = fi::poisonConfig(baselineModel(), fault);
+        SCOPED_TRACE(fi::configFaultName(fault));
+        EXPECT_NE(bad.name.find(fi::configFaultName(fault)),
+                  std::string::npos)
+            << "the poisoned name must identify the fault";
+        try {
+            bad.validate();
+            FAIL() << "poisoned config passed validation";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.code(), SimErrorCode::BadConfig);
+        }
+    }
+}
+
+TEST(FaultInject, AnyConfigFaultCoversTheEnum)
+{
+    bool seen[fi::NUM_CONFIG_FAULTS] = {};
+    for (std::uint64_t s = 0; s < 256; ++s)
+        seen[static_cast<std::size_t>(fi::anyConfigFault(s))] = true;
+    for (std::size_t k = 0; k < fi::NUM_CONFIG_FAULTS; ++k)
+        EXPECT_TRUE(seen[k]) << fi::configFaultName(
+            static_cast<fi::ConfigFault>(k));
+    // And the choice is a pure function of the seed.
+    EXPECT_EQ(fi::anyConfigFault(99), fi::anyConfigFault(99));
+}
+
+TEST(FaultInject, WedgeValidatesButTripsTheWatchdog)
+{
+    const auto wedged = fi::wedgeConfig(baselineModel());
+    wedged.validate(); // structurally legal...
+    try {
+        // ...but an FP workload never retires past the queue fill.
+        simulate(wedged, trace::nasa7(), 50'000,
+                 WatchdogConfig{2000, 0});
+        FAIL() << "wedge must trip the watchdog";
+    } catch (const WatchdogError &e) {
+        EXPECT_EQ(e.code(), SimErrorCode::NoForwardProgress);
+    }
+}
+
+TEST(FaultInject, EveryTraceFaultIsCaught)
+{
+    namespace fs = std::filesystem;
+    trace::SyntheticWorkload w(trace::espresso());
+    const auto insts = trace::collect(w, 64);
+    const std::string pristine =
+        std::string(::testing::TempDir()) + "fi_pristine.aur3";
+    trace::writeTrace(pristine, insts);
+
+    for (std::size_t k = 0; k < fi::NUM_TRACE_FAULTS; ++k) {
+        const auto fault = static_cast<fi::TraceFault>(k);
+        SCOPED_TRACE(fi::traceFaultName(fault));
+        const std::string victim = std::string(::testing::TempDir()) +
+                                   "fi_victim.aur3";
+        fs::copy_file(pristine, victim,
+                      fs::copy_options::overwrite_existing);
+        fi::corruptTraceFile(victim, fault, /*seed=*/k);
+        try {
+            trace::readTrace(victim);
+            FAIL() << "corruption went undetected";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.code(), SimErrorCode::BadTrace);
+        }
+        std::remove(victim.c_str());
+    }
+    std::remove(pristine.c_str());
+}
+
+TEST(FaultInject, OpClassCorruptionPicksVictimBySeed)
+{
+    namespace fs = std::filesystem;
+    trace::SyntheticWorkload w(trace::espresso());
+    const auto insts = trace::collect(w, 64);
+    const std::string a =
+        std::string(::testing::TempDir()) + "fi_seed_a.aur3";
+    const std::string b =
+        std::string(::testing::TempDir()) + "fi_seed_b.aur3";
+    trace::writeTrace(a, insts);
+    fs::copy_file(a, b, fs::copy_options::overwrite_existing);
+
+    fi::corruptTraceFile(a, fi::TraceFault::OpClass, 1);
+    fi::corruptTraceFile(b, fi::TraceFault::OpClass, 1);
+    // Same seed, same victim byte: the corrupted files are identical.
+    std::ifstream fa(a, std::ios::binary), fb(b, std::ios::binary);
+    const std::string bytes_a((std::istreambuf_iterator<char>(fa)),
+                              std::istreambuf_iterator<char>());
+    const std::string bytes_b((std::istreambuf_iterator<char>(fb)),
+                              std::istreambuf_iterator<char>());
+    EXPECT_EQ(bytes_a, bytes_b);
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+} // namespace

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Per-job fault isolation tests for SweepRunner::runOutcomes():
+ * a poisoned grid always runs to completion, healthy jobs stay
+ * bit-identical to an all-healthy sweep at any worker count, failures
+ * carry structured error codes, and the retry policy is honored.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "faultinject/faultinject.hh"
+#include "harness/sweep.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+using namespace aurora::harness;
+namespace fi = aurora::faultinject;
+using util::SimErrorCode;
+
+constexpr Count N = 20000;
+
+/** Field-exact RunResult comparison (bit-identical doubles). */
+void
+expectRunEq(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.issuing_cycles, b.issuing_cycles);
+    EXPECT_EQ(a.tail_cycles, b.tail_cycles);
+    EXPECT_EQ(a.stalls, b.stalls);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.fp_dispatched, b.fp_dispatched);
+    EXPECT_EQ(a.issue_width_cycles, b.issue_width_cycles);
+    EXPECT_EQ(a.avg_rob_occupancy, b.avg_rob_occupancy);
+    EXPECT_EQ(a.avg_mshr_occupancy, b.avg_mshr_occupancy);
+    EXPECT_EQ(a.cpi(), b.cpi());
+}
+
+/**
+ * A 9-job grid with every third job poisoned: index 2 is an invalid
+ * config, index 5 a wedged (never-retiring) machine, index 8 an
+ * invalid config again.
+ */
+struct PoisonedGrid
+{
+    std::vector<SweepJob> jobs;
+    std::vector<bool> bad;
+    std::vector<SweepJob> healthy;
+};
+
+PoisonedGrid
+poisonedGrid()
+{
+    PoisonedGrid g;
+    const std::string benches[] = {"espresso", "li",    "gcc",
+                                   "compress", "nasa7", "doduc",
+                                   "eqntott",  "sc",    "ora"};
+    for (const auto &name : benches)
+        g.healthy.push_back(
+            {baselineModel(), trace::profileByName(name), N});
+    g.jobs = g.healthy;
+    g.bad.assign(g.jobs.size(), false);
+
+    g.jobs[2].machine =
+        fi::poisonConfig(g.jobs[2].machine, fi::ConfigFault::ZeroRob);
+    g.jobs[5].machine = fi::wedgeConfig(g.jobs[5].machine);
+    g.jobs[8].machine = fi::poisonConfig(
+        g.jobs[8].machine, fi::ConfigFault::OverlongFpLatency);
+    g.bad[2] = g.bad[5] = g.bad[8] = true;
+    return g;
+}
+
+SweepOptions
+isolationOptions(unsigned workers)
+{
+    SweepOptions opts;
+    opts.workers = workers;
+    opts.base_seed = 0xfeedface;
+    // Tight stall window so the wedged job fails in milliseconds; far
+    // above any healthy retirement gap at these run lengths.
+    opts.watchdog = WatchdogConfig{2000, 0};
+    return opts;
+}
+
+TEST(SweepOutcomes, PoisonedGridCompletesAndHealthyJobsAreIdentical)
+{
+    const auto g = poisonedGrid();
+
+    // All-healthy reference through the same machinery.
+    SweepRunner ref(isolationOptions(4));
+    const auto reference = ref.runOutcomes(g.healthy);
+    for (const auto &out : reference)
+        ASSERT_TRUE(out.ok) << out.error;
+
+    for (unsigned workers : {1u, 2u, 8u}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        SweepRunner runner(isolationOptions(workers));
+        const auto outcomes = runner.runOutcomes(g.jobs);
+        ASSERT_EQ(outcomes.size(), g.jobs.size());
+
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            SCOPED_TRACE("job " + std::to_string(i));
+            if (g.bad[i]) {
+                EXPECT_FALSE(outcomes[i].ok);
+                EXPECT_FALSE(outcomes[i].error.empty());
+                EXPECT_EQ(outcomes[i].code,
+                          i == 5 ? SimErrorCode::NoForwardProgress
+                                 : SimErrorCode::BadConfig);
+            } else {
+                ASSERT_TRUE(outcomes[i].ok) << outcomes[i].error;
+                expectRunEq(outcomes[i].result, reference[i].result);
+            }
+        }
+
+        const auto &rep = runner.report();
+        EXPECT_EQ(rep.ok_jobs, 6u);
+        EXPECT_EQ(rep.failed_jobs, 3u);
+        EXPECT_EQ(rep.retried_jobs, 0u);
+        const std::string summary = rep.summary();
+        EXPECT_NE(summary.find("failed 3"), std::string::npos)
+            << summary;
+    }
+}
+
+TEST(SweepOutcomes, FailedJobsDoNotCountInstructions)
+{
+    const auto g = poisonedGrid();
+    SweepRunner runner(isolationOptions(4));
+    runner.runOutcomes(g.jobs);
+    EXPECT_EQ(runner.report().total_instructions, Count{6} * N);
+}
+
+TEST(SweepOutcomes, MatchesFailFastResultsOnHealthyGrids)
+{
+    // runOutcomes() and run() must simulate identically when nothing
+    // fails (same derived seeds, same watchdog resolution).
+    const auto g = poisonedGrid();
+    SweepRunner a(isolationOptions(4));
+    SweepRunner b(isolationOptions(4));
+    const auto outcomes = a.runOutcomes(g.healthy);
+    const auto results = b.run(g.healthy);
+    ASSERT_EQ(outcomes.size(), results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        ASSERT_TRUE(outcomes[i].ok);
+        expectRunEq(outcomes[i].result, results[i]);
+    }
+}
+
+TEST(SweepOutcomes, RetriesRecoverTransientFailures)
+{
+    // A task that fails on its first invocation only — the shape of a
+    // transient environment fault, reproduced deterministically.
+    std::atomic<unsigned> calls{0};
+    std::vector<std::function<RunResult()>> tasks;
+    tasks.push_back([&calls]() {
+        if (calls.fetch_add(1) == 0)
+            util::raiseError(SimErrorCode::Internal, "transient");
+        return simulate(baselineModel(), trace::espresso(), 2000);
+    });
+
+    SweepOptions with_retries;
+    with_retries.retries = 2;
+    SweepRunner runner(with_retries);
+    const auto outcomes = runner.runTaskOutcomes(tasks);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_EQ(outcomes[0].attempts, 2u);
+    EXPECT_EQ(runner.report().retried_jobs, 1u);
+    EXPECT_EQ(runner.report().failed_jobs, 0u);
+    EXPECT_NE(runner.report().summary().find("retried 1"),
+              std::string::npos)
+        << runner.report().summary();
+}
+
+TEST(SweepOutcomes, WithoutRetriesTransientFailureIsTerminal)
+{
+    std::atomic<unsigned> calls{0};
+    std::vector<std::function<RunResult()>> tasks;
+    tasks.push_back([&calls]() {
+        if (calls.fetch_add(1) == 0)
+            util::raiseError(SimErrorCode::Internal, "transient");
+        return simulate(baselineModel(), trace::espresso(), 2000);
+    });
+
+    SweepOptions no_retries;
+    no_retries.retries = 0;
+    SweepRunner runner(no_retries);
+    const auto outcomes = runner.runTaskOutcomes(tasks);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[0].attempts, 1u);
+    EXPECT_EQ(outcomes[0].code, SimErrorCode::Internal);
+    EXPECT_EQ(runner.report().failed_jobs, 1u);
+}
+
+TEST(SweepOutcomes, PermanentFaultExhaustsEveryAttempt)
+{
+    std::atomic<unsigned> calls{0};
+    std::vector<std::function<RunResult()>> tasks;
+    tasks.push_back([&calls]() -> RunResult {
+        calls.fetch_add(1);
+        util::raiseError(SimErrorCode::BadConfig, "always broken");
+    });
+
+    SweepOptions opts;
+    opts.retries = 3;
+    SweepRunner runner(opts);
+    const auto outcomes = runner.runTaskOutcomes(tasks);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[0].attempts, 4u);
+    EXPECT_EQ(calls.load(), 4u);
+    EXPECT_EQ(outcomes[0].code, SimErrorCode::BadConfig);
+    EXPECT_NE(outcomes[0].error.find("always broken"),
+              std::string::npos);
+}
+
+TEST(SweepOutcomes, NonSimErrorsAreClassifiedInternal)
+{
+    std::vector<std::function<RunResult()>> tasks;
+    tasks.push_back([]() -> RunResult {
+        throw std::out_of_range("vector index");
+    });
+    SweepRunner runner;
+    const auto outcomes = runner.runTaskOutcomes(tasks);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[0].code, SimErrorCode::Internal);
+    EXPECT_NE(outcomes[0].error.find("vector index"),
+              std::string::npos);
+}
+
+TEST(SweepOutcomes, EmptyGridIsHarmless)
+{
+    SweepRunner runner;
+    EXPECT_TRUE(runner.runOutcomes({}).empty());
+    EXPECT_EQ(runner.report().ok_jobs, 0u);
+    EXPECT_EQ(runner.report().failed_jobs, 0u);
+}
+
+} // namespace

@@ -8,11 +8,13 @@
 #include <set>
 
 #include "trace/spec_profiles.hh"
+#include "util/sim_error.hh"
 
 namespace
 {
 
 using namespace aurora::trace;
+namespace util = aurora::util;
 
 TEST(Profiles, IntegerSuiteMatchesPaperOrder)
 {
@@ -147,9 +149,18 @@ TEST(Profiles, Spice2g6IsMostlyInteger)
         }
 }
 
-TEST(ProfilesDeath, UnknownNameIsFatal)
+TEST(Profiles, UnknownNameThrowsListingKnownProfiles)
 {
-    EXPECT_DEATH(profileByName("quake3"), "unknown benchmark");
+    try {
+        profileByName("quake3");
+        FAIL() << "unknown profile should have thrown";
+    } catch (const util::SimError &e) {
+        EXPECT_EQ(e.code(), util::SimErrorCode::BadConfig);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("quake3"), std::string::npos) << what;
+        EXPECT_NE(what.find("espresso"), std::string::npos)
+            << "message should list the known profiles: " << what;
+    }
 }
 
 } // namespace

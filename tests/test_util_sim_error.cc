@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the structured error model (SimError) and the
+ * parallelFor failure-accounting contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util/parallel.hh"
+#include "util/sim_error.hh"
+
+namespace
+{
+
+using namespace aurora;
+using util::SimError;
+using util::SimErrorCode;
+
+TEST(SimError, CodeAndMessageSurviveTheThrow)
+{
+    try {
+        util::raiseError(SimErrorCode::BadTrace, "record ", 42,
+                         " is corrupt");
+        FAIL() << "raiseError must throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), SimErrorCode::BadTrace);
+        EXPECT_EQ(e.message(), "record 42 is corrupt");
+        EXPECT_STREQ(e.what(), "[BadTrace] record 42 is corrupt");
+    }
+}
+
+TEST(SimError, EveryCodeHasAName)
+{
+    EXPECT_STREQ(util::errorCodeName(SimErrorCode::BadConfig),
+                 "BadConfig");
+    EXPECT_STREQ(util::errorCodeName(SimErrorCode::BadTrace),
+                 "BadTrace");
+    EXPECT_STREQ(util::errorCodeName(SimErrorCode::NoForwardProgress),
+                 "NoForwardProgress");
+    EXPECT_STREQ(
+        util::errorCodeName(SimErrorCode::CycleBudgetExceeded),
+        "CycleBudgetExceeded");
+    EXPECT_STREQ(util::errorCodeName(SimErrorCode::Internal),
+                 "Internal");
+}
+
+TEST(SimError, IsARuntimeError)
+{
+    // Callers that only know std::exception / std::runtime_error must
+    // still catch SimErrors (the sweep engine's generic handler, and
+    // pre-existing EXPECT_THROW(..., std::runtime_error) tests).
+    EXPECT_THROW(
+        util::raiseError(SimErrorCode::Internal, "wrapped"),
+        std::runtime_error);
+}
+
+// parallelFor is fail-fast and first-exception-wins. The documented
+// contract: concurrent failures are counted, the first is rethrown,
+// and no combination of throwing bodies may deadlock the pool.
+
+TEST(ParallelFor, SingleThrowPropagates)
+{
+    EXPECT_THROW(parallelFor(8, 4,
+                             [](std::size_t i) {
+                                 if (i == 3)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ParallelFor, TwoThrowingBodiesNeitherDeadlockNorCrash)
+{
+    for (unsigned workers : {1u, 2u, 8u}) {
+        std::atomic<unsigned> ran{0};
+        try {
+            parallelFor(16, workers, [&ran](std::size_t i) {
+                ran.fetch_add(1);
+                if (i == 2 || i == 11)
+                    throw SimError(SimErrorCode::Internal,
+                                   "fault " + std::to_string(i));
+            });
+            FAIL() << "workers=" << workers
+                   << ": an exception must propagate";
+        } catch (const SimError &e) {
+            // First-exception-wins: one of the two faulting indices.
+            const std::string what = e.what();
+            EXPECT_TRUE(what.find("fault 2") != std::string::npos ||
+                        what.find("fault 11") != std::string::npos)
+                << what;
+        }
+        EXPECT_GE(ran.load(), 1u);
+    }
+}
+
+TEST(ParallelFor, AllBodiesThrowingStillJoins)
+{
+    EXPECT_THROW(parallelFor(32, 8,
+                             [](std::size_t) {
+                                 throw std::runtime_error("everyone");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ParallelFor, SerialPathPropagatesImmediately)
+{
+    std::atomic<unsigned> ran{0};
+    EXPECT_THROW(parallelFor(10, 1,
+                             [&ran](std::size_t i) {
+                                 ran.fetch_add(1);
+                                 if (i == 4)
+                                     throw std::runtime_error("stop");
+                             }),
+                 std::runtime_error);
+    EXPECT_EQ(ran.load(), 5u)
+        << "serial mode must stop at the throwing index";
+}
+
+} // namespace

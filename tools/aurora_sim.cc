@@ -15,15 +15,23 @@
  *   --describe        print the fully resolved configuration and exit
  *   --pipeline-trace N  print per-cycle issue/stall/retire events for
  *                     the first N cycles (single benchmark only)
+ *   --cycle-budget N  abort any run that reaches simulated cycle N
+ *                     with a CycleBudgetExceeded error (0 = unlimited)
  *
  * Remaining key=value arguments configure the machine; see
  * `src/core/config_io.hh` (model=, icache=, mshr=, latency=,
  * fp_policy=, ...).
  *
+ * Error handling: recoverable user errors (bad key=value, corrupt
+ * trace file, a machine that stops making forward progress — see
+ * docs/robustness.md) surface as util::SimError; main() catches them
+ * and exits 1 with a one-line diagnostic instead of a stack trace.
+ *
  * Examples:
  *   aurora_sim --bench gcc model=large latency=35
  *   aurora_sim --bench int model=baseline mshr=4 icache=4096
  *   aurora_sim --bench fp fp_policy=inorder
+ *   aurora_sim --bench nasa7 --cycle-budget 2000000 fp_buses=1
  */
 
 #include <cstdlib>
@@ -38,6 +46,8 @@
 #include "trace/spec_profiles.hh"
 #include "trace/synthetic_workload.hh"
 #include "trace/trace_io.hh"
+#include "util/env.hh"
+#include "util/sim_error.hh"
 
 namespace
 {
@@ -51,14 +61,29 @@ usage()
     std::cerr
         << "usage: aurora_sim [--bench NAME|int|fp|all] [--insts N]\n"
         << "                  [--trace FILE] [--csv] [--describe]\n"
+        << "                  [--pipeline-trace N] [--cycle-budget N]\n"
         << "                  [key=value ...]\n";
     std::exit(2);
 }
 
-} // namespace
+/**
+ * Parse a numeric option strictly: strtoull's silent acceptance of
+ * "2OOOOO" as 2 would misconfigure a run without a trace, so anything
+ * but a complete non-negative decimal is a BadConfig error.
+ */
+Count
+numericOption(const std::string &option, const std::string &value)
+{
+    const auto parsed = parseCount(value);
+    if (!parsed)
+        util::raiseError(util::SimErrorCode::BadConfig, "option ",
+                         option, ": bad numeric value '", value,
+                         "' (accepted: a non-negative decimal integer)");
+    return *parsed;
+}
 
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::string bench = "espresso";
     std::string trace_file;
@@ -67,17 +92,20 @@ main(int argc, char **argv)
     bool csv = false;
     bool describe_only = false;
     std::string spec;
+    WatchdogConfig watchdog = defaultWatchdog();
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--bench" && i + 1 < argc) {
             bench = argv[++i];
         } else if (arg == "--insts" && i + 1 < argc) {
-            insts = std::strtoull(argv[++i], nullptr, 10);
+            insts = numericOption(arg, argv[++i]);
         } else if (arg == "--trace" && i + 1 < argc) {
             trace_file = argv[++i];
         } else if (arg == "--pipeline-trace" && i + 1 < argc) {
-            trace_cycles = std::strtoull(argv[++i], nullptr, 10);
+            trace_cycles = numericOption(arg, argv[++i]);
+        } else if (arg == "--cycle-budget" && i + 1 < argc) {
+            watchdog.cycle_budget = numericOption(arg, argv[++i]);
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--describe") {
@@ -101,7 +129,7 @@ main(int argc, char **argv)
     if (!trace_file.empty()) {
         trace::FileTraceSource src(trace_file);
         trace::LimitedTraceSource limited(src, insts);
-        Processor cpu(machine, limited);
+        Processor cpu(machine, limited, watchdog);
         RunResult r = cpu.run();
         r.benchmark = trace_file;
         std::cout << runReport(r);
@@ -125,7 +153,7 @@ main(int argc, char **argv)
         if (trace_cycles > 0) {
             trace::SyntheticWorkload workload(suite.front());
             trace::LimitedTraceSource limited(workload, insts);
-            Processor cpu(machine, limited);
+            Processor cpu(machine, limited, watchdog);
             PipelineTracer tracer(std::cout, trace_cycles);
             cpu.setObserver(&tracer);
             RunResult r = cpu.run();
@@ -133,12 +161,13 @@ main(int argc, char **argv)
             std::cout << runReport(r);
             return 0;
         }
-        const RunResult r = simulate(machine, suite.front(), insts);
+        const RunResult r =
+            simulate(machine, suite.front(), insts, watchdog);
         std::cout << runReport(r);
         return 0;
     }
 
-    const SuiteResult res = runSuite(machine, suite, insts);
+    const SuiteResult res = runSuite(machine, suite, insts, watchdog);
     if (csv) {
         std::cout << suiteTable(res).csv();
     } else {
@@ -149,4 +178,20 @@ main(int argc, char **argv)
                   << formatFixed(res.avgCpi(), 3) << "\n";
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const util::SimError &e) {
+        // A recoverable user error: bad configuration, corrupt trace,
+        // or a wedged machine caught by the watchdog. One line, no
+        // core dump — the message already names the offending input.
+        std::cerr << "aurora_sim: " << e.what() << "\n";
+        return 1;
+    }
 }
