@@ -15,23 +15,30 @@
  *   2. every trace-corruption mode is caught as BadTrace;
  *   3. the hard cycle budget trips deterministically;
  *   4. the retry policy turns a transiently failing job into a
- *      success and is visible in the report.
+ *      success and is visible in the report;
+ *   5. a sweep SIGKILLed mid-grid leaves a half-written journal from
+ *      which resume completes bit-identically at 1, 2 and 8 workers;
+ *   6. a wedged machine under a wall-clock deadline becomes a Timeout
+ *      outcome without blocking the rest of the grid.
  *
  * Exits non-zero if any expectation fails, so scripts/check.sh can
  * use it as a smoke test.
  */
 
 #include <atomic>
+#include <csignal>
 #include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "bench_common.hh"
 #include "core/watchdog.hh"
 #include "faultinject/faultinject.hh"
+#include "harness/journal.hh"
 #include "trace/synthetic_workload.hh"
 #include "trace/trace_io.hh"
 
@@ -278,6 +285,142 @@ retryStorm(Count insts)
            "without retries the transient fault is terminal");
 }
 
+void
+journalResumeStorm(Count insts)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() /
+                         ("aurora_journal_storm." +
+                          std::to_string(::getpid()));
+    fs::create_directories(dir);
+    const std::string journal = (dir / "sweep.ajrn").string();
+
+    const auto grid = healthyGrid(insts);
+    const std::size_t n = grid.size();
+
+    SweepOptions base;
+    base.base_seed = STORM_SEED;
+
+    // Uninterrupted reference (no journal).
+    SweepRunner ref_runner(base);
+    const auto reference = ref_runner.runOutcomes(grid);
+
+    // Child process runs the journaled sweep and SIGKILLs itself the
+    // moment half the grid has been flushed — the honest equivalent
+    // of a machine dying overnight: no destructors, no atexit, at
+    // most one torn record.
+    const pid_t child = ::fork();
+    expect(child >= 0, "fork() for the mid-grid kill");
+    if (child == 0) {
+        SweepOptions opts = base;
+        opts.workers = 2;
+        opts.journal = journal;
+        opts.on_job_done = [n](std::size_t done, std::size_t) {
+            if (done >= n / 2)
+                ::kill(::getpid(), SIGKILL);
+        };
+        SweepRunner runner(opts);
+        runner.runOutcomes(grid);
+        ::_exit(0); // unreachable: the hook killed us mid-grid
+    }
+    int status = 0;
+    ::waitpid(child, &status, 0);
+    expect(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL,
+           "sweep process died by SIGKILL mid-grid");
+
+    const auto loaded = loadJournal(journal);
+    expect(loaded.jobs == n && !loaded.records.empty() &&
+               loaded.records.size() < n,
+           "journal holds a strict subset of the grid (" +
+               std::to_string(loaded.records.size()) + "/" +
+               std::to_string(n) + " jobs)");
+
+    for (unsigned workers : {1u, 2u, 8u}) {
+        const std::string tag =
+            " (workers=" + std::to_string(workers) + ")";
+        // Resume a fresh copy per worker count so each one faces the
+        // same half-written journal.
+        const std::string copy =
+            (dir / ("resume-" + std::to_string(workers) + ".ajrn"))
+                .string();
+        fs::copy_file(journal, copy,
+                      fs::copy_options::overwrite_existing);
+
+        SweepOptions opts = base;
+        opts.workers = workers;
+        opts.journal = copy;
+        opts.resume = true;
+        SweepRunner runner(opts);
+        const auto outcomes = runner.runOutcomes(grid);
+
+        bool identical = true;
+        std::size_t resumed = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            identical &= outcomes[i].ok &&
+                         sameRun(outcomes[i].result,
+                                 reference[i].result);
+            resumed += outcomes[i].resumed ? 1 : 0;
+        }
+        expect(identical,
+               "resumed sweep bit-identical to uninterrupted" + tag);
+        expect(resumed > 0 && resumed < n &&
+                   runner.report().resumed_jobs == resumed &&
+                   runner.report().ok_jobs == n,
+               "report counts replayed jobs" + tag);
+
+        // And the resumed journal is now complete: resuming again
+        // replays everything without executing a single job.
+        SweepRunner again(opts);
+        const auto replayed = again.runOutcomes(grid);
+        bool all_replayed = true;
+        for (const auto &out : replayed)
+            all_replayed &= out.ok && out.resumed;
+        expect(all_replayed && again.report().resumed_jobs == n,
+               "second resume is a pure replay" + tag);
+    }
+    fs::remove_all(dir);
+}
+
+void
+deadlineStorm(Count insts)
+{
+    // Three healthy jobs and one wedged machine that validates but
+    // never retires. With the stall watchdog disabled, only the
+    // wall-clock deadline can end the wedged run.
+    std::vector<SweepJob> grid;
+    for (int i = 0; i < 3; ++i)
+        grid.push_back({baselineModel(), trace::espresso(), insts});
+    grid.push_back(
+        {fi::wedgeConfig(baselineModel()), trace::nasa7(), insts});
+
+    SweepOptions opts;
+    opts.base_seed = STORM_SEED;
+    opts.workers = 4; // hung + healthy genuinely concurrent
+    opts.watchdog = WatchdogConfig{0, 0}; // no stall/cycle policing
+    // Generous: sanitizer builds slow the healthy jobs too, and only
+    // the wedge may ever expire.
+    opts.deadline_ms = 2000;
+    opts.retries = 2; // must NOT apply to the timeout
+    SweepRunner runner(opts);
+    const auto outcomes = runner.runOutcomes(grid);
+
+    expect(outcomes[0].ok && outcomes[1].ok && outcomes[2].ok,
+           "healthy jobs complete despite the hung one");
+    expect(!outcomes[3].ok &&
+               outcomes[3].code == util::SimErrorCode::Timeout,
+           "wedged job converted into a Timeout outcome");
+    expect(outcomes[3].attempts == 1,
+           "a timed-out job is not retried");
+    const auto &report = runner.report();
+    expect(report.timed_out_jobs == 1 && report.failed_jobs == 0,
+           "report counts the timeout separately from failures");
+    expect(report.jobs == report.ok_jobs + report.failed_jobs +
+                              report.timed_out_jobs +
+                              report.skipped_jobs,
+           "job accounting balances (ok+failed+timed_out+skipped)");
+    std::cout << "  " << report.summary() << "\n";
+}
+
 } // namespace
 
 int
@@ -294,6 +437,10 @@ main()
     cycleBudgetStorm();
     std::cout << "\n-- retry policy --\n";
     retryStorm(insts / 10 ? insts / 10 : 1);
+    std::cout << "\n-- journal + resume after SIGKILL --\n";
+    journalResumeStorm(insts);
+    std::cout << "\n-- wall-clock deadline --\n";
+    deadlineStorm(insts);
 
     std::cout << "\nfault storm: "
               << (failures ? "FAILED" : "all expectations met")

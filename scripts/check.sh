@@ -7,7 +7,10 @@
 #   scripts/check.sh tsan       # ThreadSanitizer; runs the sweep
 #                               # harness / logging / simulator tests
 #                               # with AURORA_JOBS=8 to surface races
-#   scripts/check.sh all        # all four in sequence
+#   scripts/check.sh resume     # crash/resume drill: SIGKILL a
+#                               # journaled sweep mid-grid, resume it,
+#                               # and diff against an uninterrupted run
+#   scripts/check.sh all        # all four presets plus the drill
 #
 # Every full-suite preset includes the fault-storm smoke test
 # (bench_ext_fault_storm via ctest), which proves every injected
@@ -25,18 +28,63 @@ run_preset() {
     ctest --preset "${preset}" -j "$(nproc)"
 }
 
+# Crash/resume drill against the real CLI binary: start a journaled
+# suite sweep, SIGKILL it once the journal has content, resume it, and
+# demand byte-identical CSV output versus an uninterrupted run. Races
+# are tolerated by construction — if the sweep finishes before the
+# kill lands, the resume degenerates to a pure replay and the diff
+# still must pass.
+run_resume_drill() {
+    echo "==== check: resume ===="
+    cmake --preset release
+    cmake --build --preset release -j "$(nproc)" --target aurora_sim
+    local sim=build/tools/aurora_sim
+    local dir
+    dir="$(mktemp -d)"
+    trap 'rm -rf "${dir}"' RETURN
+    local insts="${AURORA_CHECK_RESUME_INSTS:-200000}"
+
+    "${sim}" --bench all --insts "${insts}" --csv \
+        > "${dir}/golden.csv"
+
+    "${sim}" --bench all --insts "${insts}" --csv \
+        --journal "${dir}/sweep.ajrn" > "${dir}/victim.csv" 2>&1 &
+    local pid=$!
+    # Wait for the journal header to land, then kill mid-grid.
+    while [ ! -s "${dir}/sweep.ajrn" ] && kill -0 "${pid}" 2>/dev/null
+    do
+        sleep 0.02
+    done
+    sleep 0.1
+    if kill -9 "${pid}" 2>/dev/null; then
+        echo "resume drill: sweep killed mid-grid"
+    else
+        echo "resume drill: sweep finished before the kill (replay)"
+    fi
+    wait "${pid}" 2>/dev/null || true
+
+    "${sim}" --bench all --insts "${insts}" --csv \
+        --journal "${dir}/sweep.ajrn" --resume > "${dir}/resumed.csv"
+    diff -u "${dir}/golden.csv" "${dir}/resumed.csv"
+    echo "resume drill: resumed output is byte-identical"
+}
+
 case "${1:-release}" in
   all)
     run_preset release
     run_preset asan
     run_preset ubsan
     run_preset tsan
+    run_resume_drill
     ;;
   release|asan|ubsan|tsan)
     run_preset "$1"
     ;;
+  resume)
+    run_resume_drill
+    ;;
   *)
-    echo "usage: $0 [release|asan|ubsan|tsan|all]" >&2
+    echo "usage: $0 [release|asan|ubsan|tsan|resume|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,92 @@
+#include "audit.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+
+#include "util/sim_error.hh"
+
+namespace aurora::core
+{
+
+bool
+auditEnabled()
+{
+    // Read dynamically (not cached): tests toggle it with setenv.
+    const char *v = std::getenv("AURORA_AUDIT");
+    return v && std::strcmp(v, "1") == 0;
+}
+
+namespace
+{
+
+/** Fail the audit: name the invariant and dump the whole ledger. */
+[[noreturn]] void
+violation(const RunResult &r, const std::string &what)
+{
+    util::raiseError(util::SimErrorCode::Internal,
+                     "run audit failed for '", r.model, "'/'",
+                     r.benchmark, "': ", what,
+                     "; ledger: ", r.ledger.toString(),
+                     " | cycles=", r.cycles,
+                     " issuing=", r.issuing_cycles,
+                     " tail=", r.tail_cycles,
+                     " instructions=", r.instructions);
+}
+
+} // namespace
+
+void
+auditRun(const RunResult &r)
+{
+    const RunLedger &l = r.ledger;
+
+    // 1. Instruction conservation: everything the trace delivered
+    //    was issued, and everything issued was retired.
+    if (l.retired != r.instructions)
+        violation(r, detail::concat(
+                         "retired (", l.retired,
+                         ") != issued instructions (", r.instructions,
+                         ")"));
+    if (l.trace_instructions != r.instructions)
+        violation(r, detail::concat(
+                         "trace length (", l.trace_instructions,
+                         ") != issued instructions (", r.instructions,
+                         ")"));
+
+    // 2. Cycle conservation: every cycle is charged exactly once —
+    //    to an issue, to one stall cause, or to the post-trace tail.
+    const Cycle stall_sum =
+        std::accumulate(r.stalls.begin(), r.stalls.end(), Cycle{0});
+    if (stall_sum + r.issuing_cycles + r.tail_cycles != r.cycles)
+        violation(r, detail::concat(
+                         "stall cycles (", stall_sum,
+                         ") + issuing (", r.issuing_cycles,
+                         ") + tail (", r.tail_cycles,
+                         ") != total cycles (", r.cycles, ")"));
+
+    // 3. Cache access conservation.
+    if (l.icache_hits + l.icache_misses != l.icache_accesses)
+        violation(r, detail::concat(
+                         "icache hits (", l.icache_hits,
+                         ") + misses (", l.icache_misses,
+                         ") != accesses (", l.icache_accesses, ")"));
+    if (l.dcache_hits + l.dcache_misses != l.dcache_accesses)
+        violation(r, detail::concat(
+                         "dcache hits (", l.dcache_hits,
+                         ") + misses (", l.dcache_misses,
+                         ") != accesses (", l.dcache_accesses, ")"));
+
+    // 4. MSHR conservation: balanced ledger, nothing leaked past the
+    //    end-of-run drain.
+    if (l.mshr_allocations != l.mshr_releases)
+        violation(r, detail::concat(
+                         "MSHR allocations (", l.mshr_allocations,
+                         ") != releases (", l.mshr_releases, ")"));
+    if (l.mshr_outstanding != 0)
+        violation(r, detail::concat(
+                         l.mshr_outstanding,
+                         " MSHR(s) still outstanding after drain"));
+}
+
+} // namespace aurora::core

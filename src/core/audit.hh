@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Post-run invariant auditor.
+ *
+ * A simulation result is only worth journaling, resuming from, and
+ * publishing if it is internally consistent. The auditor checks
+ * end-of-run conservation laws that hold for *every* healthy run by
+ * construction:
+ *
+ *   1. retired instructions == issued instructions == trace length;
+ *   2. per-cause stall cycles + issuing cycles + drain-tail cycles
+ *      == total cycles (each cycle is charged exactly once);
+ *   3. cache hits + misses == accesses, for both primary caches;
+ *   4. MSHR allocations == releases, with none outstanding after the
+ *      end-of-run drain.
+ *
+ * A violation raises SimError{Internal} carrying the full failing
+ * ledger: it means either a simulator accounting bug (the counters
+ * were written by different components and disagree) or a corrupted
+ * replayed result (a journal record altered in a CRC-surviving way).
+ * Either way the number must not be reported.
+ *
+ * The audit is pure arithmetic over RunResult, so it can re-check
+ * journaled results on resume just as it checks fresh ones.
+ */
+
+#ifndef AURORA_CORE_AUDIT_HH
+#define AURORA_CORE_AUDIT_HH
+
+#include "processor.hh"
+
+namespace aurora::core
+{
+
+/**
+ * Is auditing globally enabled? True when the AURORA_AUDIT
+ * environment variable is "1". Processor::run() audits every
+ * completed run when enabled; the ctest suites and sanitizer presets
+ * set it, production sweeps opt in.
+ */
+bool auditEnabled();
+
+/**
+ * Check every conservation invariant of @p result; throws
+ * util::SimError (Internal) naming the violated invariant and the
+ * full ledger on the first failure. Pure — safe to call on fresh
+ * and journal-replayed results alike.
+ */
+void auditRun(const RunResult &result);
+
+} // namespace aurora::core
+
+#endif // AURORA_CORE_AUDIT_HH

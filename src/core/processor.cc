@@ -1,7 +1,11 @@
 #include "processor.hh"
 
+#include <sstream>
+
+#include "audit.hh"
 #include "isa/predecode.hh"
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace aurora::core
 {
@@ -226,9 +230,25 @@ Processor::snapshot() const
     return diag;
 }
 
+std::string
+RunLedger::toString() const
+{
+    std::ostringstream os;
+    os << "trace_instructions=" << trace_instructions
+       << " retired=" << retired << " icache=" << icache_hits << "+"
+       << icache_misses << "/" << icache_accesses << " dcache="
+       << dcache_hits << "+" << dcache_misses << "/"
+       << dcache_accesses << " mshr_alloc=" << mshr_allocations
+       << " mshr_release=" << mshr_releases << " mshr_outstanding="
+       << mshr_outstanding;
+    return os.str();
+}
+
 RunResult
 Processor::run()
 {
+    const bool deadline_armed = watchdog_.deadline_ms > 0;
+    const WallTimer run_timer;
     while (!done()) {
         // Liveness checks live here rather than in step() so the
         // cycle accounting of a healthy run is untouched and unit
@@ -240,6 +260,14 @@ Processor::run()
             now_ - lastRetire_ >= watchdog_.stall_limit)
             throw WatchdogError(
                 util::SimErrorCode::NoForwardProgress, snapshot());
+        // The wall-clock deadline is sampled every 1024 cycles: a
+        // steady_clock read per cycle would dominate the simulation,
+        // and millisecond deadlines do not need cycle resolution.
+        if (deadline_armed && (now_ & 1023u) == 0 &&
+            run_timer.seconds() * 1000.0 >=
+                static_cast<double>(watchdog_.deadline_ms))
+            throw WatchdogError(util::SimErrorCode::Timeout,
+                                snapshot());
         step();
     }
     if (!drained_) {
@@ -267,6 +295,26 @@ Processor::run()
     res.issue_width_cycles = issueWidthCycles_;
     res.avg_rob_occupancy = robOccupancy_.mean();
     res.avg_mshr_occupancy = mshrOccupancy_.mean();
+
+    // Conservation ledger: each count captured at its source, so
+    // auditRun() cross-checks genuinely independent counters.
+    res.ledger.trace_instructions = ifu_.fetchedFromSource();
+    res.ledger.retired = rob_.retired();
+    res.ledger.icache_hits = ifu_.icache().hitRate().hits();
+    res.ledger.icache_misses = ifu_.icache().hitRate().misses();
+    res.ledger.icache_accesses = ifu_.icache().hitRate().total();
+    res.ledger.dcache_hits = lsu_.dcache().hitRate().hits();
+    res.ledger.dcache_misses = lsu_.dcache().hitRate().misses();
+    res.ledger.dcache_accesses = lsu_.dcache().hitRate().total();
+    res.ledger.mshr_allocations = lsu_.mshrs().allocations();
+    res.ledger.mshr_releases = lsu_.mshrs().releases();
+    res.ledger.mshr_outstanding = lsu_.mshrs().inUse();
+
+    // Self-check before the result is trusted (AURORA_AUDIT=1; the
+    // test suites enable it globally). A violation is a simulator
+    // bug, not a property of the machine under study.
+    if (auditEnabled())
+        auditRun(res);
     return res;
 }
 

@@ -37,6 +37,37 @@
 namespace aurora::core
 {
 
+/**
+ * Raw end-of-run conservation counters. Every count is captured
+ * independently at its source component, so the ledger can be
+ * *audited*: retired instructions must equal the trace length, stall
+ * plus issue plus tail cycles must sum to total cycles, cache hits
+ * plus misses must equal accesses, and every MSHR allocated must
+ * have been released (see core/audit.hh). A violation means either
+ * a simulator accounting bug or a corrupted (journal-replayed)
+ * result — both worth refusing to report.
+ */
+struct RunLedger
+{
+    /** Instructions the trace source delivered (the trace length). */
+    Count trace_instructions = 0;
+    /** Instructions retired through the reorder buffer. */
+    Count retired = 0;
+    Count icache_hits = 0;
+    Count icache_misses = 0;
+    Count icache_accesses = 0;
+    Count dcache_hits = 0;
+    Count dcache_misses = 0;
+    Count dcache_accesses = 0;
+    Count mshr_allocations = 0;
+    Count mshr_releases = 0;
+    /** MSHRs still occupied after the end-of-run drain (must be 0). */
+    Count mshr_outstanding = 0;
+
+    /** Multi-line "key=value" rendering for audit failure reports. */
+    std::string toString() const;
+};
+
 /** Everything a benchmark harness needs from one simulation. */
 struct RunResult
 {
@@ -63,6 +94,9 @@ struct RunResult
     fpu::FpuStats fpu;
 
     double rbe_cost = 0.0;
+
+    /** Raw conservation counters for the post-run auditor. */
+    RunLedger ledger;
 
     /** Cycles that issued 0 / 1 / 2 instructions. */
     std::array<Cycle, 3> issue_width_cycles{};

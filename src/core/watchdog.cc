@@ -43,6 +43,9 @@ tripMessage(util::SimErrorCode code, const WatchdogDiagnostic &diag)
     if (code == util::SimErrorCode::NoForwardProgress)
         os << "no instruction retired for " << diag.watchdog.stall_limit
            << " cycles; ";
+    else if (code == util::SimErrorCode::Timeout)
+        os << "wall-clock deadline of " << diag.watchdog.deadline_ms
+           << " ms expired; ";
     else
         os << "cycle budget of " << diag.watchdog.cycle_budget
            << " exhausted; ";

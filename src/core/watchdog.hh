@@ -50,6 +50,19 @@ struct WatchdogConfig
      * grid points whose run time is unknown by construction.
      */
     Cycle cycle_budget = 0;
+
+    /**
+     * Trip with Timeout once the run has consumed this much
+     * *wall-clock* time, in milliseconds. 0 means unlimited. Unlike
+     * the two simulated-time knobs this bounds host time: a job that
+     * is merely pathologically slow (live but crawling) cannot hold a
+     * sweep worker hostage for unbounded real time. Checked every
+     * 1024 simulated cycles, so a healthy run pays nothing
+     * measurable. Which *outcome* a job produces near the boundary
+     * is timing-dependent by nature; the simulated statistics of a
+     * run that completes are never affected.
+     */
+    std::uint64_t deadline_ms = 0;
 };
 
 /**

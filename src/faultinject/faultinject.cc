@@ -1,5 +1,6 @@
 #include "faultinject.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
@@ -190,6 +191,59 @@ corruptTraceFile(const std::string &path, TraceFault fault,
         break; // handled above
     }
     std::fclose(f);
+}
+
+const char *
+journalFaultName(JournalFault fault)
+{
+    switch (fault) {
+      case JournalFault::BitFlip:
+        return "bit-flip";
+      case JournalFault::TruncateTail:
+        return "truncate-tail";
+    }
+    AURORA_PANIC("unknown JournalFault ", static_cast<int>(fault));
+}
+
+JournalFault
+anyJournalFault(std::uint64_t seed)
+{
+    return static_cast<JournalFault>(mix64(seed) % NUM_JOURNAL_FAULTS);
+}
+
+void
+corruptJournalFile(const std::string &path, JournalFault fault,
+                   std::uint64_t seed)
+{
+    const auto size = std::filesystem::file_size(path);
+    AURORA_ASSERT(size > 0,
+                  "fault injection: empty journal in ", path);
+
+    if (fault == JournalFault::TruncateTail) {
+        const std::uintmax_t cut =
+            1 + mix64(seed) % std::min<std::uintmax_t>(15, size);
+        std::filesystem::resize_file(path, size - cut);
+        return;
+    }
+
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    AURORA_ASSERT(f != nullptr,
+                  "fault injection: cannot open journal ", path);
+    const long off = static_cast<long>(mix64(seed) % size);
+    unsigned char byte = 0;
+    AURORA_ASSERT(std::fseek(f, off, SEEK_SET) == 0 &&
+                      std::fread(&byte, 1, 1, f) == 1,
+                  "fault injection: cannot read journal byte");
+    byte ^= static_cast<unsigned char>(1u << (mix64(seed + 1) % 8));
+    writeByte(f, off, byte);
+    std::fclose(f);
+}
+
+void
+miscountStall(core::RunResult &result, std::uint64_t seed)
+{
+    const auto cause = mix64(seed) % result.stalls.size();
+    result.stalls[cause] += 1;
 }
 
 } // namespace aurora::faultinject

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "core/machine_config.hh"
+#include "core/processor.hh"
 
 namespace aurora::faultinject
 {
@@ -111,6 +112,44 @@ TraceFault anyTraceFault(std::uint64_t seed);
  */
 void corruptTraceFile(const std::string &path, TraceFault fault,
                       std::uint64_t seed = 0);
+
+/** Byte-level sweep-journal defects loadJournal() must classify. */
+enum class JournalFault
+{
+    /** Flip one seed-chosen bit anywhere in the file. */
+    BitFlip,
+    /** Cut 1–15 seed-chosen bytes off the end (a torn append). */
+    TruncateTail,
+};
+
+inline constexpr std::size_t NUM_JOURNAL_FAULTS = 2;
+
+/** Short display name ("bit-flip", "truncate-tail"). */
+const char *journalFaultName(JournalFault fault);
+
+/** Seed-driven fault choice, uniform over all JournalFaults. */
+JournalFault anyJournalFault(std::uint64_t seed);
+
+/**
+ * Corrupt the sweep journal at @p path in place. Loading afterwards
+ * must never crash: a TruncateTail lands in the final record and is
+ * dropped as a torn tail (or, if it reaches the header, raises
+ * BadJournal); a BitFlip raises BadJournal wherever the CRC or frame
+ * catches it — except a flip in the *length* field of the last
+ * record, which can masquerade as a torn tail and merely costs that
+ * one record a re-run.
+ */
+void corruptJournalFile(const std::string &path, JournalFault fault,
+                        std::uint64_t seed = 0);
+
+/**
+ * Break one conservation invariant of @p result: bump a seed-chosen
+ * stall-cause counter by one cycle, so stall + issuing + tail cycles
+ * no longer equals total cycles. Models the class of accounting bug
+ * the post-run auditor (core::auditRun) exists to catch; the audit
+ * must reject the altered result with SimError{Internal}.
+ */
+void miscountStall(core::RunResult &result, std::uint64_t seed);
 
 } // namespace aurora::faultinject
 

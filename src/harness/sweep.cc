@@ -2,9 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <sstream>
+#include <thread>
 
+#include "core/audit.hh"
 #include "core/config_io.hh"
+#include "journal.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -84,9 +91,17 @@ SweepReport::summary() const
        << " M sim-insts/s over " << total_instructions << " insts";
     // Isolation accounting only appears once an outcome run happened,
     // so fail-fast sweeps keep the historical one-line shape.
-    if (ok_jobs || failed_jobs || retried_jobs)
+    if (ok_jobs || failed_jobs || retried_jobs || timed_out_jobs ||
+        skipped_jobs) {
         os << " | ok " << ok_jobs << " / failed " << failed_jobs
            << " / retried " << retried_jobs;
+        if (timed_out_jobs)
+            os << " / timed out " << timed_out_jobs;
+        if (skipped_jobs)
+            os << " / skipped " << skipped_jobs;
+    }
+    if (resumed_jobs)
+        os << " | resumed " << resumed_jobs;
     return os.str();
 }
 
@@ -107,6 +122,22 @@ SweepRunner::retries() const
         envCount("AURORA_SWEEP_RETRIES", 0, /*min=*/0));
 }
 
+std::uint64_t
+SweepRunner::deadlineMs() const
+{
+    if (options_.deadline_ms)
+        return *options_.deadline_ms;
+    return envCount("AURORA_SWEEP_DEADLINE_MS", 0, /*min=*/0);
+}
+
+std::uint64_t
+SweepRunner::backoffMs() const
+{
+    if (options_.backoff_ms)
+        return *options_.backoff_ms;
+    return envCount("AURORA_SWEEP_BACKOFF_MS", 0, /*min=*/0);
+}
+
 namespace
 {
 
@@ -114,12 +145,17 @@ namespace
  * Turn a job grid into closures, resolving the seed-derivation and
  * watchdog policy once so run() and runOutcomes() simulate each job
  * identically (healthy results stay bit-comparable between the two).
+ * @p deadline_ms fills the watchdog's wall-clock deadline only where
+ * an explicit watchdog policy left it unset.
  */
 std::vector<std::function<core::RunResult()>>
-gridTasks(const std::vector<SweepJob> &grid, const SweepOptions &options)
+gridTasks(const std::vector<SweepJob> &grid, const SweepOptions &options,
+          std::uint64_t deadline_ms)
 {
-    const core::WatchdogConfig watchdog =
+    core::WatchdogConfig watchdog =
         options.watchdog ? *options.watchdog : core::defaultWatchdog();
+    if (watchdog.deadline_ms == 0)
+        watchdog.deadline_ms = deadline_ms;
     std::vector<std::function<core::RunResult()>> tasks;
     tasks.reserve(grid.size());
     for (const SweepJob &job : grid) {
@@ -136,18 +172,137 @@ gridTasks(const std::vector<SweepJob> &grid, const SweepOptions &options)
     return tasks;
 }
 
+/** Seed a grid job actually runs with (what the journal records). */
+std::uint64_t
+resolvedSeed(const SweepJob &job, const SweepOptions &options)
+{
+    return options.base_seed
+               ? deriveJobSeed(*options.base_seed,
+                               machineHash(job.machine),
+                               job.profile.name)
+               : job.profile.seed;
+}
+
+/**
+ * Deterministic exponential backoff before retry attempt @p attempt
+ * (>= 2): base << (attempt - 2) ms, capped at 10 s. Doubling by loop
+ * keeps the arithmetic overflow-proof for any attempt count.
+ */
+std::uint64_t
+backoffDelayMs(std::uint64_t base_ms, unsigned attempt)
+{
+    constexpr std::uint64_t CAP_MS = 10'000;
+    std::uint64_t delay = base_ms;
+    for (unsigned doublings = attempt - 2;
+         doublings > 0 && delay < CAP_MS; --doublings)
+        delay *= 2;
+    return std::min(delay, CAP_MS);
+}
+
 } // namespace
 
 std::vector<core::RunResult>
 SweepRunner::run(const std::vector<SweepJob> &grid)
 {
-    return runTasks(gridTasks(grid, options_));
+    return runTasks(gridTasks(grid, options_, deadlineMs()));
 }
 
 std::vector<SweepOutcome>
 SweepRunner::runOutcomes(const std::vector<SweepJob> &grid)
 {
-    return runTaskOutcomes(gridTasks(grid, options_));
+    if (options_.journal.empty())
+        return runTaskOutcomes(gridTasks(grid, options_, deadlineMs()));
+
+    const std::size_t n = grid.size();
+    const std::uint64_t fingerprint =
+        gridFingerprint(grid, options_.base_seed);
+    std::vector<SweepOutcome> outcomes(n);
+    std::vector<char> replayed(n, 0);
+
+    // Resuming against a journal that was never created (e.g. the
+    // previous run died before its first flush) degrades to a fresh
+    // run — there is nothing to replay, not an error.
+    const bool resuming = options_.resume && [&] {
+        return std::ifstream(options_.journal).good();
+    }();
+
+    std::unique_ptr<JournalWriter> writer;
+    if (resuming) {
+        LoadedJournal loaded = loadJournal(options_.journal);
+        if (loaded.fingerprint != fingerprint || loaded.jobs != n)
+            util::raiseError(
+                util::SimErrorCode::BadJournal, "journal '",
+                options_.journal,
+                "' was written by a different grid (fingerprint ",
+                loaded.fingerprint, " over ", loaded.jobs,
+                " jobs; this launch is ", fingerprint, " over ", n,
+                " jobs) — it cannot replay results for this sweep");
+        for (JournalRecord &rec : loaded.records) {
+            if (!rec.outcome.ok)
+                continue; // failed/timed-out jobs get a fresh attempt
+            const auto i = static_cast<std::size_t>(rec.job_index);
+            outcomes[i] = std::move(rec.outcome);
+            outcomes[i].resumed = true;
+            replayed[i] = 1;
+        }
+        // A replayed result is only as trustworthy as its record:
+        // re-audit what came off disk just like a fresh run.
+        if (core::auditEnabled())
+            for (std::size_t i = 0; i < n; ++i)
+                if (replayed[i])
+                    core::auditRun(outcomes[i].result);
+        // Cut a torn tail fragment off before appending: left in
+        // place it would sit mid-file and read as Corrupt next time.
+        if (loaded.dropped_tail)
+            std::filesystem::resize_file(options_.journal,
+                                         loaded.valid_bytes);
+        writer = std::make_unique<JournalWriter>(options_.journal);
+    } else {
+        writer = std::make_unique<JournalWriter>(options_.journal,
+                                                 fingerprint, n);
+    }
+
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < n; ++i)
+        if (!replayed[i])
+            pending.push_back(i);
+    if (options_.progress && pending.size() < n)
+        inform(detail::concat("sweep: resuming '", options_.journal,
+                              "': ", n - pending.size(), "/", n,
+                              " jobs replayed from the journal"));
+
+    auto all_tasks = gridTasks(grid, options_, deadlineMs());
+    std::vector<std::function<core::RunResult()>> tasks;
+    tasks.reserve(pending.size());
+    for (const std::size_t i : pending)
+        tasks.push_back(std::move(all_tasks[i]));
+
+    // Completion counter spans the whole grid (replays included) so
+    // on_job_done sees grid-relative progress.
+    std::atomic<std::size_t> done{n - pending.size()};
+    const auto on_complete = [&](std::size_t k,
+                                 const SweepOutcome &out) {
+        const std::size_t i = pending[k];
+        JournalRecord rec;
+        rec.job_index = i;
+        rec.machine_hash = machineHash(grid[i].machine);
+        rec.seed = resolvedSeed(grid[i], options_);
+        rec.outcome = out;
+        writer->append(rec);
+        const std::size_t d =
+            done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (options_.on_job_done)
+            options_.on_job_done(d, n);
+    };
+
+    WallTimer wall;
+    std::vector<SweepOutcome> executed =
+        executeOutcomes(tasks, on_complete);
+    for (std::size_t k = 0; k < pending.size(); ++k)
+        outcomes[pending[k]] = std::move(executed[k]);
+
+    accountOutcomes(outcomes, wall.seconds());
+    return outcomes;
 }
 
 std::vector<core::RunResult>
@@ -161,21 +316,57 @@ SweepRunner::runTasks(
 
     const unsigned pool = workers();
     WallTimer wall;
-    parallelFor(n, pool, [&](std::size_t i) {
-        WallTimer job_timer;
-        results[i] = tasks[i]();
-        job_seconds[i] = job_timer.seconds();
-        const std::size_t done =
-            completed.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (options_.progress)
-            inform(detail::concat(
-                "sweep: ", done, "/", n, " done (",
-                results[i].benchmark.empty() ? "job"
-                                             : results[i].benchmark,
-                "@",
-                results[i].model.empty() ? "machine" : results[i].model,
-                ", ", formatFixed(job_seconds[i], 3), " s)"));
-    });
+    ParallelResult accounting;
+    try {
+        parallelFor(
+            n, pool,
+            [&](std::size_t i) {
+                WallTimer job_timer;
+                results[i] = tasks[i]();
+                job_seconds[i] = job_timer.seconds();
+                const std::size_t done =
+                    completed.fetch_add(1, std::memory_order_relaxed) +
+                    1;
+                if (options_.progress)
+                    inform(detail::concat(
+                        "sweep: ", done, "/", n, " done (",
+                        results[i].benchmark.empty()
+                            ? "job"
+                            : results[i].benchmark,
+                        "@",
+                        results[i].model.empty() ? "machine"
+                                                 : results[i].model,
+                        ", ", formatFixed(job_seconds[i], 3), " s)"));
+            },
+            &accounting);
+    } catch (...) {
+        // Fail-fast abort: still balance the books — every queued
+        // body that never ran is counted, so
+        // jobs == ok + failed + timed_out + skipped holds. The
+        // propagating exception classifies as Timeout or failure;
+        // any further suppressed failures count as failed.
+        bool timed_out = false;
+        try {
+            throw;
+        } catch (const util::SimError &e) {
+            timed_out = e.code() == util::SimErrorCode::Timeout;
+        } catch (...) {
+        }
+        report_.workers = static_cast<unsigned>(std::min<std::size_t>(
+            pool, std::max<std::size_t>(n, 1)));
+        report_.jobs += n;
+        report_.wall_seconds += wall.seconds();
+        report_.job_seconds = std::move(job_seconds);
+        report_.ok_jobs += accounting.ran - accounting.failed;
+        report_.skipped_jobs += accounting.skipped;
+        if (timed_out && accounting.failed > 0) {
+            ++report_.timed_out_jobs;
+            report_.failed_jobs += accounting.failed - 1;
+        } else {
+            report_.failed_jobs += accounting.failed;
+        }
+        throw;
+    }
 
     report_.workers = static_cast<unsigned>(
         std::min<std::size_t>(pool, std::max<std::size_t>(n, 1)));
@@ -193,13 +384,25 @@ std::vector<SweepOutcome>
 SweepRunner::runTaskOutcomes(
     const std::vector<std::function<core::RunResult()>> &tasks)
 {
+    WallTimer wall;
+    std::vector<SweepOutcome> outcomes = executeOutcomes(tasks, {});
+    accountOutcomes(outcomes, wall.seconds());
+    return outcomes;
+}
+
+std::vector<SweepOutcome>
+SweepRunner::executeOutcomes(
+    const std::vector<std::function<core::RunResult()>> &tasks,
+    const std::function<void(std::size_t, const SweepOutcome &)>
+        &on_complete)
+{
     const std::size_t n = tasks.size();
     std::vector<SweepOutcome> outcomes(n);
     std::atomic<std::size_t> completed{0};
 
     const unsigned pool = workers();
     const unsigned max_attempts = retries() + 1;
-    WallTimer wall;
+    const std::uint64_t backoff = backoffMs();
     // The body never throws: every failure is captured into its
     // outcome slot, so one poisoned job cannot abort the grid and
     // parallelFor's fail-fast path stays untouched.
@@ -207,6 +410,9 @@ SweepRunner::runTaskOutcomes(
         SweepOutcome &out = outcomes[i];
         WallTimer job_timer;
         for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+            if (attempt > 1 && backoff)
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    backoffDelayMs(backoff, attempt)));
             out.attempts = attempt;
             try {
                 out.result = tasks[i]();
@@ -217,6 +423,11 @@ SweepRunner::runTaskOutcomes(
                 out.ok = false;
                 out.code = e.code();
                 out.error = e.what();
+                // A deadline expiry is deterministic for a hung
+                // simulation: retrying would only re-spend the whole
+                // deadline. Fail the job now.
+                if (out.code == util::SimErrorCode::Timeout)
+                    break;
             } catch (const std::exception &e) {
                 out.ok = false;
                 out.code = util::SimErrorCode::Internal;
@@ -228,6 +439,8 @@ SweepRunner::runTaskOutcomes(
             }
         }
         out.seconds = job_timer.seconds();
+        if (on_complete)
+            on_complete(i, out);
         const std::size_t done =
             completed.fetch_add(1, std::memory_order_relaxed) + 1;
         if (options_.progress) {
@@ -241,32 +454,52 @@ SweepRunner::runTaskOutcomes(
                                              : out.result.model,
                     ", ", out.attempts, " attempt(s), ",
                     formatFixed(out.seconds, 3), " s)"));
+            else if (out.code == util::SimErrorCode::Timeout)
+                inform(detail::concat(
+                    "sweep: ", done, "/", n, " TIMED OUT after ",
+                    formatFixed(out.seconds, 3), " s: ", out.error));
             else
                 inform(detail::concat(
                     "sweep: ", done, "/", n, " FAILED after ",
                     out.attempts, " attempt(s): ", out.error));
         }
     });
+    return outcomes;
+}
 
-    report_.workers = static_cast<unsigned>(
-        std::min<std::size_t>(pool, std::max<std::size_t>(n, 1)));
+void
+SweepRunner::accountOutcomes(const std::vector<SweepOutcome> &outcomes,
+                             double wall_seconds)
+{
+    const std::size_t n = outcomes.size();
+    report_.workers = static_cast<unsigned>(std::min<std::size_t>(
+        workers(), std::max<std::size_t>(n, 1)));
     report_.jobs += n;
-    report_.wall_seconds += wall.seconds();
+    report_.wall_seconds += wall_seconds;
     report_.job_seconds.assign(n, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
         const SweepOutcome &out = outcomes[i];
         report_.job_seconds[i] = out.seconds;
+        if (out.resumed) {
+            // Replayed, not executed: counts toward ok/resumed but
+            // is excluded from throughput (busy time, instructions)
+            // so resumed sweeps report honest execution rates.
+            ++report_.ok_jobs;
+            ++report_.resumed_jobs;
+            continue;
+        }
         report_.busy_seconds += out.seconds;
         if (out.ok) {
             ++report_.ok_jobs;
             report_.total_instructions += out.result.instructions;
+        } else if (out.code == util::SimErrorCode::Timeout) {
+            ++report_.timed_out_jobs;
         } else {
             ++report_.failed_jobs;
         }
         if (out.attempts > 1)
             ++report_.retried_jobs;
     }
-    return outcomes;
 }
 
 std::vector<SweepJob>

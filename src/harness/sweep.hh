@@ -95,6 +95,49 @@ struct SweepOptions
      * perturb machineHash() and hence derived seeds.
      */
     std::optional<core::WatchdogConfig> watchdog;
+
+    /**
+     * Per-job wall-clock deadline in milliseconds, applied on top of
+     * the watchdog (only where the watchdog leaves deadline_ms
+     * unset). A job past its deadline raises a Timeout outcome
+     * without blocking the rest of the grid; Timeout jobs are never
+     * retried — a deterministic simulation that hung once will hang
+     * again, and retrying would double the worst-case wall time.
+     * Unset reads AURORA_SWEEP_DEADLINE_MS (default 0 = unlimited).
+     */
+    std::optional<std::uint64_t> deadline_ms;
+
+    /**
+     * Base delay in milliseconds for the deterministic exponential
+     * backoff between retry attempts of one job: attempt k (k >= 2)
+     * waits base << (k - 2) ms first, capped at 10 s. Unset reads
+     * AURORA_SWEEP_BACKOFF_MS (default 0 = retry immediately).
+     */
+    std::optional<std::uint64_t> backoff_ms;
+
+    /**
+     * Crash-safe journal file for runOutcomes(): every completed
+     * job's outcome is appended (and flushed) as it finishes, so a
+     * killed sweep can be resumed. Empty = no journal.
+     */
+    std::string journal;
+
+    /**
+     * Resume from an existing journal instead of starting fresh:
+     * jobs with a journaled ok outcome replay those results
+     * bit-identically (marked SweepOutcome::resumed) and only
+     * missing/failed jobs execute. The journal's grid fingerprint
+     * must match the grid being launched (else BadJournal).
+     */
+    bool resume = false;
+
+    /**
+     * Called after each job completes (journaled runs only), with
+     * (jobs done so far, grid size). Invoked from worker threads
+     * under the journal lock — keep it cheap. The fault-storm bench
+     * uses it to kill a sweep mid-grid at a deterministic point.
+     */
+    std::function<void(std::size_t, std::size_t)> on_job_done;
 };
 
 /**
@@ -116,6 +159,11 @@ struct SweepOutcome
     unsigned attempts = 1;
     /** Wall seconds across all attempts of this job. */
     double seconds = 0.0;
+    /**
+     * Result was replayed from a journal rather than executed
+     * (resume runs only; seconds then reports the journaled time).
+     */
+    bool resumed = false;
 };
 
 /** Aggregate timing over every grid a runner has executed. */
@@ -139,6 +187,15 @@ struct SweepReport
     std::size_t failed_jobs = 0;
     /** Isolated jobs that needed more than one attempt. */
     std::size_t retried_jobs = 0;
+    /** Isolated jobs whose wall-clock deadline expired (subset of
+     *  neither ok nor failed: jobs == ok + failed + timed_out +
+     *  skipped always balances). */
+    std::size_t timed_out_jobs = 0;
+    /** Jobs replayed from a journal (subset of ok_jobs). */
+    std::size_t resumed_jobs = 0;
+    /** Jobs never attempted: queued bodies left behind when a
+     *  fail-fast run aborted on the first exception. */
+    std::size_t skipped_jobs = 0;
 
     /** Aggregate simulated instructions per wall-clock second. */
     double instsPerSecond() const;
@@ -180,6 +237,12 @@ class SweepRunner
      * completion. Healthy jobs return results bit-identical to run()'s
      * at any worker count; failed jobs carry the error class and
      * message instead of aborting the sweep.
+     *
+     * When SweepOptions::journal names a file, every completed job is
+     * appended to it (flushed, CRC-framed) as it finishes; with
+     * SweepOptions::resume also set and the file present, journaled
+     * ok results replay bit-identically (SweepOutcome::resumed) and
+     * only missing or previously-failed jobs execute.
      */
     std::vector<SweepOutcome>
     runOutcomes(const std::vector<SweepJob> &grid);
@@ -197,7 +260,29 @@ class SweepRunner
     /** Resolved retry budget runOutcomes() grants each job. */
     unsigned retries() const;
 
+    /** Resolved per-job wall-clock deadline (ms; 0 = unlimited). */
+    std::uint64_t deadlineMs() const;
+
+    /** Resolved retry-backoff base delay (ms; 0 = immediate). */
+    std::uint64_t backoffMs() const;
+
   private:
+    /**
+     * Shared executor behind the outcome entry points: runs @p tasks
+     * through the pool with per-job isolation, retry + deterministic
+     * backoff, and Timeout classification. @p on_complete (when set)
+     * observes each finished outcome from its worker thread — the
+     * journal write-through hook. Does not touch report_.
+     */
+    std::vector<SweepOutcome> executeOutcomes(
+        const std::vector<std::function<core::RunResult()>> &tasks,
+        const std::function<void(std::size_t, const SweepOutcome &)>
+            &on_complete);
+
+    /** Fold a grid-ordered outcome vector into report_. */
+    void accountOutcomes(const std::vector<SweepOutcome> &outcomes,
+                         double wall_seconds);
+
     SweepOptions options_;
     SweepReport report_;
 };

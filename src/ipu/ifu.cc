@@ -21,10 +21,12 @@ Ifu::pump()
 {
     if (done_ || haveNext_)
         return;
-    if (source_.next(nextInst_))
+    if (source_.next(nextInst_)) {
         haveNext_ = true;
-    else
+        ++fetchedFromSource_;
+    } else {
         done_ = true;
+    }
 }
 
 void

@@ -82,6 +82,12 @@ class Ifu
     /** True when the trace ended and the buffer has drained. */
     bool exhausted() const { return done_ && buffer_.empty(); }
 
+    /**
+     * Instructions delivered by the trace source so far — the trace
+     * length once exhausted() holds (the auditor's reference count).
+     */
+    Count fetchedFromSource() const { return fetchedFromSource_; }
+
     /** I-cache statistics. */
     const mem::DirectMappedCache &icache() const { return icache_; }
 
@@ -100,6 +106,7 @@ class Ifu
     trace::Inst nextInst_{};
     bool haveNext_ = false;
     bool done_ = false;
+    Count fetchedFromSource_ = 0;
 
     Cycle resumeAt_ = 0;    ///< fetch blocked before this cycle
     bool missStall_ = false; ///< current block is an I-miss

@@ -96,6 +96,10 @@ void
 Lsu::drain(Cycle now)
 {
     writeCache_.drain(now);
+    // In-flight fills past the last cycle (store occupancy tails,
+    // end-of-trace loads) are released here so the allocation ledger
+    // balances: every MSHR allocated is eventually released.
+    mshrs_.drainAll();
 }
 
 } // namespace aurora::ipu

@@ -41,6 +41,7 @@ MshrFile::retire(Cycle now)
         if (entry.valid && entry.ready <= now) {
             entry.valid = false;
             --inUse_;
+            ++releases_;
         }
     }
 }

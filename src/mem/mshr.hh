@@ -63,12 +63,19 @@ class MshrFile
     /** Release every register whose fetch completed by @p now. */
     void retire(Cycle now);
 
+    /**
+     * Release every occupied register (end-of-run drain). Keeps the
+     * allocation/release ledger balanced for the post-run auditor.
+     */
+    void drainAll() { retire(NEVER); }
+
     /** Earliest completion among occupied registers (NEVER if none). */
     Cycle nextReady() const;
 
     /// @name Statistics
     /// @{
     Count allocations() const { return allocations_; }
+    Count releases() const { return releases_; }
     Count coalesced() const { return coalesced_; }
     /// @}
 
@@ -79,6 +86,7 @@ class MshrFile
     std::vector<Entry> entries_;
     unsigned inUse_ = 0;
     Count allocations_ = 0;
+    Count releases_ = 0;
     Count coalesced_ = 0;
 };
 

@@ -12,6 +12,8 @@ errorCodeName(SimErrorCode code)
       case SimErrorCode::NoForwardProgress: return "NoForwardProgress";
       case SimErrorCode::CycleBudgetExceeded:
         return "CycleBudgetExceeded";
+      case SimErrorCode::Timeout: return "Timeout";
+      case SimErrorCode::BadJournal: return "BadJournal";
       case SimErrorCode::Internal: return "Internal";
     }
     return "Unknown";

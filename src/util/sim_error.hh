@@ -36,6 +36,10 @@ enum class SimErrorCode
     NoForwardProgress,
     /** Watchdog: the hard cycle budget was exhausted. */
     CycleBudgetExceeded,
+    /** Watchdog: the per-job wall-clock deadline expired. */
+    Timeout,
+    /** Corrupt, mismatched, or unreadable sweep journal. */
+    BadJournal,
     /** Unclassified failure escaping a sweep job. */
     Internal,
 };

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Post-run invariant auditor tests: healthy runs satisfy every
+ * conservation law, each tampered counter class is detected as
+ * SimError{Internal} with the failing ledger attached, and the
+ * AURORA_AUDIT gate wires the audit into Processor::run().
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/audit.hh"
+#include "core/simulator.hh"
+#include "faultinject/faultinject.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+namespace fi = aurora::faultinject;
+using util::SimErrorCode;
+
+constexpr Count N = 20000;
+
+RunResult
+healthyRun(const char *bench = "espresso")
+{
+    return simulate(baselineModel(), trace::profileByName(bench), N);
+}
+
+/** Expect auditRun to throw Internal mentioning @p needle. */
+void
+expectViolation(const RunResult &r, const std::string &needle)
+{
+    try {
+        auditRun(r);
+        FAIL() << "audit passed a tampered result (" << needle << ")";
+    } catch (const util::SimError &e) {
+        EXPECT_EQ(e.code(), SimErrorCode::Internal);
+        const std::string what = e.what();
+        EXPECT_NE(what.find(needle), std::string::npos) << what;
+        // The failing ledger rides along for diagnosis.
+        EXPECT_NE(what.find("retired="), std::string::npos) << what;
+    }
+}
+
+TEST(Audit, HealthyRunsPassEveryInvariant)
+{
+    // Integer-heavy, FP-heavy, and a second model: the conservation
+    // laws hold by construction, not by coincidence of one workload.
+    for (const char *bench : {"espresso", "compress", "nasa7"}) {
+        SCOPED_TRACE(bench);
+        EXPECT_NO_THROW(auditRun(healthyRun(bench)));
+    }
+    EXPECT_NO_THROW(auditRun(
+        simulate(largeModel(), trace::profileByName("doduc"), N)));
+}
+
+TEST(Audit, MiscountedStallCycleIsDetected)
+{
+    // The injected fault: one stall cause charged one extra cycle —
+    // exactly the accounting-bug class the cycle-conservation law
+    // exists to catch.
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        RunResult r = healthyRun();
+        fi::miscountStall(r, seed);
+        expectViolation(r, "total cycles");
+    }
+}
+
+TEST(Audit, RetiredInstructionMismatchIsDetected)
+{
+    RunResult r = healthyRun();
+    r.ledger.retired -= 1;
+    expectViolation(r, "retired");
+}
+
+TEST(Audit, TraceLengthMismatchIsDetected)
+{
+    RunResult r = healthyRun();
+    r.ledger.trace_instructions += 1;
+    expectViolation(r, "trace length");
+}
+
+TEST(Audit, CacheAccessImbalanceIsDetected)
+{
+    RunResult r = healthyRun();
+    r.ledger.icache_hits += 1;
+    expectViolation(r, "icache");
+
+    RunResult r2 = healthyRun();
+    r2.ledger.dcache_misses += 1;
+    expectViolation(r2, "dcache");
+}
+
+TEST(Audit, MshrLeakIsDetected)
+{
+    RunResult r = healthyRun();
+    r.ledger.mshr_releases -= 1;
+    expectViolation(r, "MSHR");
+
+    RunResult r2 = healthyRun();
+    r2.ledger.mshr_outstanding = 1;
+    r2.ledger.mshr_allocations += 1; // keep alloc==release passing
+    r2.ledger.mshr_releases += 1;
+    expectViolation(r2, "outstanding");
+}
+
+TEST(Audit, EnableFlagReadsEnvironmentDynamically)
+{
+    const char *old = std::getenv("AURORA_AUDIT");
+    const std::string saved = old ? old : "";
+
+    ::setenv("AURORA_AUDIT", "1", 1);
+    EXPECT_TRUE(auditEnabled());
+    ::setenv("AURORA_AUDIT", "0", 1);
+    EXPECT_FALSE(auditEnabled());
+    ::unsetenv("AURORA_AUDIT");
+    EXPECT_FALSE(auditEnabled());
+
+    if (old)
+        ::setenv("AURORA_AUDIT", saved.c_str(), 1);
+}
+
+TEST(Audit, ProcessorRunAuditsWhenEnabled)
+{
+    // With the gate set, every simulate() is audited on the way out —
+    // a healthy machine must still complete normally.
+    const char *old = std::getenv("AURORA_AUDIT");
+    const std::string saved = old ? old : "";
+    ::setenv("AURORA_AUDIT", "1", 1);
+
+    const RunResult r = healthyRun();
+    EXPECT_EQ(r.ledger.retired, r.instructions);
+    EXPECT_EQ(r.ledger.mshr_allocations, r.ledger.mshr_releases);
+
+    if (old)
+        ::setenv("AURORA_AUDIT", saved.c_str(), 1);
+    else
+        ::unsetenv("AURORA_AUDIT");
+}
+
+} // namespace

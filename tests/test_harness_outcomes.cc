@@ -246,4 +246,138 @@ TEST(SweepOutcomes, EmptyGridIsHarmless)
     EXPECT_EQ(runner.report().failed_jobs, 0u);
 }
 
+TEST(SweepOutcomes, DeadlineConvertsHangIntoTimeout)
+{
+    // One wedged machine (validates, never retires) among healthy
+    // jobs. The stall watchdog is disabled, so only the wall-clock
+    // deadline can end the hung run. The deadline is generous and the
+    // healthy jobs small: sanitizer builds slow every job down, and
+    // only the wedge may ever expire.
+    std::vector<SweepJob> grid;
+    grid.push_back({baselineModel(), trace::espresso(), 5000});
+    grid.push_back(
+        {fi::wedgeConfig(baselineModel()), trace::nasa7(), 5000});
+    grid.push_back({baselineModel(), trace::li(), 5000});
+
+    SweepOptions opts;
+    opts.workers = 4;
+    opts.base_seed = 0xfeedface;
+    opts.watchdog = WatchdogConfig{0, 0};
+    opts.deadline_ms = 2000;
+    opts.retries = 3; // must not apply to the deterministic hang
+    SweepRunner runner(opts);
+    const auto outcomes = runner.runOutcomes(grid);
+
+    EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_TRUE(outcomes[2].ok) << outcomes[2].error;
+    EXPECT_FALSE(outcomes[1].ok);
+    EXPECT_EQ(outcomes[1].code, SimErrorCode::Timeout);
+    EXPECT_EQ(outcomes[1].attempts, 1u);
+    EXPECT_NE(outcomes[1].error.find("deadline"), std::string::npos)
+        << outcomes[1].error;
+
+    const auto &rep = runner.report();
+    EXPECT_EQ(rep.timed_out_jobs, 1u);
+    EXPECT_EQ(rep.failed_jobs, 0u);
+    EXPECT_EQ(rep.ok_jobs, 2u);
+    EXPECT_EQ(rep.jobs, rep.ok_jobs + rep.failed_jobs +
+                            rep.timed_out_jobs + rep.skipped_jobs);
+    EXPECT_NE(rep.summary().find("timed out 1"), std::string::npos)
+        << rep.summary();
+}
+
+TEST(SweepOutcomes, DeadlineZeroMeansUnlimited)
+{
+    std::vector<SweepJob> grid;
+    grid.push_back({baselineModel(), trace::espresso(), N});
+    SweepOptions opts;
+    opts.deadline_ms = 0;
+    SweepRunner runner(opts);
+    const auto outcomes = runner.runOutcomes(grid);
+    ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+}
+
+TEST(SweepOutcomes, FailFastAbortBalancesTheBooks)
+{
+    // Serial fail-fast: task 1 throws, tasks 2 and 3 are drained
+    // unrun. The report must still balance
+    // jobs == ok + failed + timed_out + skipped.
+    std::vector<std::function<RunResult()>> tasks;
+    tasks.push_back([]() {
+        return simulate(baselineModel(), trace::espresso(), 2000);
+    });
+    tasks.push_back([]() -> RunResult {
+        util::raiseError(SimErrorCode::BadConfig, "abort the sweep");
+    });
+    tasks.push_back([]() {
+        return simulate(baselineModel(), trace::li(), 2000);
+    });
+    tasks.push_back([]() {
+        return simulate(baselineModel(), trace::gcc(), 2000);
+    });
+
+    SweepOptions opts;
+    opts.workers = 1;
+    SweepRunner runner(opts);
+    EXPECT_THROW(runner.runTasks(tasks), util::SimError);
+
+    const auto &rep = runner.report();
+    EXPECT_EQ(rep.jobs, 4u);
+    EXPECT_EQ(rep.ok_jobs, 1u);
+    EXPECT_EQ(rep.failed_jobs, 1u);
+    EXPECT_EQ(rep.timed_out_jobs, 0u);
+    EXPECT_EQ(rep.skipped_jobs, 2u);
+    EXPECT_EQ(rep.jobs, rep.ok_jobs + rep.failed_jobs +
+                            rep.timed_out_jobs + rep.skipped_jobs);
+    EXPECT_NE(rep.summary().find("skipped 2"), std::string::npos)
+        << rep.summary();
+}
+
+TEST(SweepOutcomes, PooledFailFastAbortStillBalances)
+{
+    std::vector<std::function<RunResult()>> tasks;
+    for (int i = 0; i < 12; ++i) {
+        if (i == 2)
+            tasks.push_back([]() -> RunResult {
+                util::raiseError(SimErrorCode::BadTrace, "poisoned");
+            });
+        else
+            tasks.push_back([]() {
+                return simulate(baselineModel(), trace::espresso(),
+                                2000);
+            });
+    }
+    SweepOptions opts;
+    opts.workers = 4;
+    SweepRunner runner(opts);
+    EXPECT_THROW(runner.runTasks(tasks), util::SimError);
+    const auto &rep = runner.report();
+    EXPECT_EQ(rep.jobs, 12u);
+    EXPECT_GE(rep.skipped_jobs, 1u); // the abort drained a tail
+    EXPECT_EQ(rep.jobs, rep.ok_jobs + rep.failed_jobs +
+                            rep.timed_out_jobs + rep.skipped_jobs);
+}
+
+TEST(SweepOutcomes, RetryBackoffDelaysTheSecondAttempt)
+{
+    std::atomic<unsigned> calls{0};
+    std::vector<std::function<RunResult()>> tasks;
+    tasks.push_back([&calls]() {
+        if (calls.fetch_add(1) == 0)
+            util::raiseError(SimErrorCode::Internal, "transient");
+        return simulate(baselineModel(), trace::espresso(), 2000);
+    });
+
+    SweepOptions opts;
+    opts.retries = 1;
+    opts.backoff_ms = 60;
+    SweepRunner runner(opts);
+    const WallTimer timer;
+    const auto outcomes = runner.runTaskOutcomes(tasks);
+    EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_EQ(outcomes[0].attempts, 2u);
+    // The second attempt waited the base backoff delay first.
+    EXPECT_GE(timer.seconds(), 0.055);
+}
+
 } // namespace

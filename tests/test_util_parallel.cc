@@ -1,0 +1,127 @@
+/**
+ * @file
+ * parallelFor accounting tests: the `ran + skipped == n` identity
+ * must hold on success and through the fail-fast abort path, in both
+ * the serial and the pooled executor — it is what lets a sweep
+ * report balance jobs == ok + failed + timed_out + skipped after an
+ * aborted run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel.hh"
+
+namespace
+{
+
+using aurora::ParallelResult;
+using aurora::parallelFor;
+
+TEST(ParallelFor, SerialSuccessAccountsEveryBody)
+{
+    std::atomic<int> calls{0};
+    ParallelResult acc;
+    parallelFor(
+        7, 1, [&](std::size_t) { calls.fetch_add(1); }, &acc);
+    EXPECT_EQ(calls.load(), 7);
+    EXPECT_EQ(acc.ran, 7u);
+    EXPECT_EQ(acc.failed, 0u);
+    EXPECT_EQ(acc.skipped, 0u);
+}
+
+TEST(ParallelFor, SerialFailureCountsTheUnrunTail)
+{
+    // Serial fail-fast stops at the throwing index: everything after
+    // it was queued but never invoked, and must be reported skipped.
+    std::atomic<int> calls{0};
+    ParallelResult acc;
+    EXPECT_THROW(parallelFor(
+                     10, 1,
+                     [&](std::size_t i) {
+                         calls.fetch_add(1);
+                         if (i == 3)
+                             throw std::runtime_error("boom");
+                     },
+                     &acc),
+                 std::runtime_error);
+    EXPECT_EQ(calls.load(), 4);
+    EXPECT_EQ(acc.ran, 4u);
+    EXPECT_EQ(acc.failed, 1u);
+    EXPECT_EQ(acc.skipped, 6u);
+    EXPECT_EQ(acc.ran + acc.skipped, 10u);
+}
+
+TEST(ParallelFor, PooledSuccessAccountsEveryBody)
+{
+    std::atomic<int> calls{0};
+    ParallelResult acc;
+    parallelFor(
+        100, 4, [&](std::size_t) { calls.fetch_add(1); }, &acc);
+    EXPECT_EQ(calls.load(), 100);
+    EXPECT_EQ(acc.ran, 100u);
+    EXPECT_EQ(acc.failed, 0u);
+    EXPECT_EQ(acc.skipped, 0u);
+}
+
+TEST(ParallelFor, PooledFailureBalancesAcrossWorkerCounts)
+{
+    for (unsigned workers : {2u, 4u, 8u}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        std::atomic<int> calls{0};
+        ParallelResult acc;
+        EXPECT_THROW(parallelFor(
+                         64, workers,
+                         [&](std::size_t i) {
+                             calls.fetch_add(1);
+                             if (i == 5)
+                                 throw std::runtime_error("boom");
+                         },
+                         &acc),
+                     std::runtime_error);
+        // Which indices ran before the abort is scheduling-dependent;
+        // the books balancing is not.
+        EXPECT_EQ(acc.ran,
+                  static_cast<std::size_t>(calls.load()));
+        EXPECT_GE(acc.failed, 1u);
+        EXPECT_EQ(acc.ran + acc.skipped, 64u);
+    }
+}
+
+TEST(ParallelFor, EveryFailureIsCounted)
+{
+    // All bodies throw: in-flight invocations may complete after the
+    // first failure, and each one must land in `failed`.
+    ParallelResult acc;
+    EXPECT_THROW(parallelFor(
+                     8, 4,
+                     [&](std::size_t) {
+                         throw std::runtime_error("all broken");
+                     },
+                     &acc),
+                 std::runtime_error);
+    EXPECT_EQ(acc.failed, acc.ran);
+    EXPECT_GE(acc.failed, 1u);
+    EXPECT_EQ(acc.ran + acc.skipped, 8u);
+}
+
+TEST(ParallelFor, EmptyRangeIsHarmless)
+{
+    ParallelResult acc{99, 99, 99};
+    parallelFor(0, 4, [&](std::size_t) { FAIL(); }, &acc);
+    EXPECT_EQ(acc.ran, 0u);
+    EXPECT_EQ(acc.failed, 0u);
+    EXPECT_EQ(acc.skipped, 0u);
+}
+
+TEST(ParallelFor, NullAccountingStaysSupported)
+{
+    std::atomic<int> calls{0};
+    parallelFor(5, 2, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 5);
+}
+
+} // namespace

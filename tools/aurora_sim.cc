@@ -17,6 +17,10 @@
  *                     the first N cycles (single benchmark only)
  *   --cycle-budget N  abort any run that reaches simulated cycle N
  *                     with a CycleBudgetExceeded error (0 = unlimited)
+ *   --journal FILE    append every completed run to a crash-safe
+ *                     sweep journal (synthetic benchmarks only)
+ *   --resume          with --journal: replay completed runs from the
+ *                     journal and execute only the missing ones
  *
  * Remaining key=value arguments configure the machine; see
  * `src/core/config_io.hh` (model=, icache=, mshr=, latency=,
@@ -43,6 +47,7 @@
 #include "core/pipeline_trace.hh"
 #include "core/report.hh"
 #include "core/simulator.hh"
+#include "harness/sweep.hh"
 #include "trace/spec_profiles.hh"
 #include "trace/synthetic_workload.hh"
 #include "trace/trace_io.hh"
@@ -62,6 +67,7 @@ usage()
         << "usage: aurora_sim [--bench NAME|int|fp|all] [--insts N]\n"
         << "                  [--trace FILE] [--csv] [--describe]\n"
         << "                  [--pipeline-trace N] [--cycle-budget N]\n"
+        << "                  [--journal FILE] [--resume]\n"
         << "                  [key=value ...]\n";
     std::exit(2);
 }
@@ -91,6 +97,8 @@ run(int argc, char **argv)
     Cycle trace_cycles = 0;
     bool csv = false;
     bool describe_only = false;
+    std::string journal;
+    bool resume = false;
     std::string spec;
     WatchdogConfig watchdog = defaultWatchdog();
 
@@ -106,6 +114,10 @@ run(int argc, char **argv)
             trace_cycles = numericOption(arg, argv[++i]);
         } else if (arg == "--cycle-budget" && i + 1 < argc) {
             watchdog.cycle_budget = numericOption(arg, argv[++i]);
+        } else if (arg == "--journal" && i + 1 < argc) {
+            journal = argv[++i];
+        } else if (arg == "--resume") {
+            resume = true;
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--describe") {
@@ -127,6 +139,10 @@ run(int argc, char **argv)
     }
 
     if (!trace_file.empty()) {
+        if (!journal.empty() || resume)
+            util::raiseError(util::SimErrorCode::BadConfig,
+                             "--journal/--resume apply to synthetic "
+                             "benchmarks, not --trace replays");
         trace::FileTraceSource src(trace_file);
         trace::LimitedTraceSource limited(src, insts);
         Processor cpu(machine, limited, watchdog);
@@ -148,6 +164,56 @@ run(int argc, char **argv)
     } else {
         suite.push_back(trace::profileByName(bench));
     }
+
+    if (!journal.empty()) {
+        if (trace_cycles > 0)
+            util::raiseError(util::SimErrorCode::BadConfig,
+                             "--journal cannot be combined with "
+                             "--pipeline-trace");
+        // Synthetic runs through the sweep engine share its journal:
+        // every completed benchmark is flushed to disk, and --resume
+        // replays finished ones bit-identically (see docs/harness.md).
+        harness::SweepOptions sweep_options;
+        sweep_options.watchdog = watchdog;
+        sweep_options.journal = journal;
+        sweep_options.resume = resume;
+        harness::SweepRunner runner(sweep_options);
+        const auto outcomes =
+            runner.runOutcomes(harness::suiteJobs(machine, suite, insts));
+
+        SuiteResult res;
+        res.machine = machine;
+        bool any_failed = false;
+        for (const auto &out : outcomes) {
+            if (out.ok) {
+                res.runs.push_back(out.result);
+            } else {
+                any_failed = true;
+                std::cerr << "aurora_sim: job failed ("
+                          << util::errorCodeName(out.code)
+                          << "): " << out.error << "\n";
+            }
+        }
+        if (any_failed)
+            return 1;
+        if (res.runs.size() == 1 && !csv) {
+            std::cout << runReport(res.runs.front());
+            return 0;
+        }
+        if (csv) {
+            std::cout << suiteTable(res).csv();
+        } else {
+            suiteTable(res).print(std::cout,
+                                  "machine: " + describe(machine));
+            stallTable(res).print(std::cout, "stall breakdown (CPI)");
+            std::cout << "suite average CPI: "
+                      << formatFixed(res.avgCpi(), 3) << "\n";
+        }
+        return 0;
+    }
+    if (resume)
+        util::raiseError(util::SimErrorCode::BadConfig,
+                         "--resume requires --journal FILE");
 
     if (suite.size() == 1 && !csv) {
         if (trace_cycles > 0) {
