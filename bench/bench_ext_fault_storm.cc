@@ -35,6 +35,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "analyze/lint_config.hh"
 #include "bench_common.hh"
 #include "core/watchdog.hh"
 #include "faultinject/faultinject.hh"
@@ -72,6 +73,13 @@ sameRun(const RunResult &a, const RunResult &b)
            a.stalls == b.stalls && a.stores == b.stores &&
            a.fp_dispatched == b.fp_dispatched &&
            a.issue_width_cycles == b.issue_width_cycles;
+}
+
+/** Did the static linter flag @p machine with an error? */
+bool
+staticallyCaught(const MachineConfig &machine)
+{
+    return analyze::hasErrors(analyze::lintConfig(machine));
 }
 
 /** The storm grid: 3 models x (3 integer + 3 FP) benchmarks. */
@@ -131,6 +139,10 @@ poisonedGridStorm(Count insts)
     // healthy run of this length never goes 3000 cycles without a
     // retirement.
     base.watchdog = WatchdogConfig{3000, 0};
+    // This storm exercises the RUNTIME detectors (validate() in the
+    // worker, the watchdog); the static preflight would reject the
+    // grid before any of them ran. preflightStorm() covers that path.
+    base.preflight = false;
 
     // All-healthy reference, then the storm at three worker counts.
     SweepRunner ref_runner(base);
@@ -176,6 +188,73 @@ poisonedGridStorm(Count insts)
         if (workers == 8)
             std::cout << "  " << runner.report().summary() << "\n";
     }
+}
+
+void
+preflightStorm(Count insts)
+{
+    // The same poisoned 18-job grid the runtime storm grinds
+    // through, presented to a runner with the preflight at its
+    // default (ON): the launch must be rejected before any worker
+    // starts, with the report showing zero jobs executed.
+    std::vector<SweepJob> grid = healthyGrid(insts);
+    std::size_t planted = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (!fi::poisoned(STORM_SEED, i, POISON_FRACTION))
+            continue;
+        ++planted;
+        if (isFpSlot(i))
+            grid[i].machine = fi::wedgeConfig(grid[i].machine);
+        else
+            grid[i].machine = fi::poisonConfig(
+                grid[i].machine,
+                fi::anyConfigFault(fi::mix64(STORM_SEED + i)));
+    }
+
+    SweepOptions opts;
+    opts.base_seed = STORM_SEED;
+    SweepRunner runner(opts);
+    bool rejected = false;
+    std::string message;
+    try {
+        runner.runOutcomes(grid);
+    } catch (const util::SimError &e) {
+        rejected = e.code() == util::SimErrorCode::BadConfig;
+        message = e.what();
+    }
+    expect(rejected, "default-on preflight rejects the poisoned grid");
+    expect(message.find("preflight") != std::string::npos,
+           "rejection names the preflight");
+    expect(runner.report().jobs == 0,
+           "no worker started: the report shows zero jobs");
+
+    // Static-catch vs runtime-catch census over every fault mode.
+    // The runtime detector column is what poisonedGridStorm and the
+    // watchdog prove; the static column is the linter on the same
+    // machine. The wedge is the headline: validate() passes it, the
+    // watchdog needs the whole stall window, the graph check rejects
+    // it instantly.
+    std::size_t static_catches = 0;
+    for (std::size_t k = 0; k < fi::NUM_CONFIG_FAULTS; ++k) {
+        const auto fault = static_cast<fi::ConfigFault>(k);
+        const bool caught =
+            staticallyCaught(fi::poisonConfig(baselineModel(), fault));
+        static_catches += caught ? 1 : 0;
+        std::cout << "  fault " << fi::configFaultName(fault)
+                  << ": static " << (caught ? "CAUGHT" : "missed")
+                  << " | runtime validate()\n";
+    }
+    const bool wedge_static =
+        staticallyCaught(fi::wedgeConfig(baselineModel()));
+    static_catches += wedge_static ? 1 : 0;
+    std::cout << "  fault wedge: static "
+              << (wedge_static ? "CAUGHT" : "missed")
+              << " | runtime watchdog (full stall window)\n";
+    std::cout << "  static catches: " << static_catches << "/"
+              << (fi::NUM_CONFIG_FAULTS + 1) << " fault modes ("
+              << planted << " jobs planted in this grid)\n";
+    expect(static_catches == fi::NUM_CONFIG_FAULTS + 1,
+           "every config fault mode is caught statically");
 }
 
 void
@@ -401,6 +480,7 @@ deadlineStorm(Count insts)
     // the wedge may ever expire.
     opts.deadline_ms = 2000;
     opts.retries = 2; // must NOT apply to the timeout
+    opts.preflight = false; // the wedge must reach a worker
     SweepRunner runner(opts);
     const auto outcomes = runner.runOutcomes(grid);
 
@@ -431,6 +511,8 @@ main()
 
     std::cout << "-- poisoned-grid isolation --\n";
     poisonedGridStorm(insts);
+    std::cout << "\n-- static preflight --\n";
+    preflightStorm(insts);
     std::cout << "\n-- trace corruption --\n";
     traceCorruptionStorm();
     std::cout << "\n-- cycle budget --\n";

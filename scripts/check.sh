@@ -10,7 +10,12 @@
 #   scripts/check.sh resume     # crash/resume drill: SIGKILL a
 #                               # journaled sweep mid-grid, resume it,
 #                               # and diff against an uninterrupted run
-#   scripts/check.sh all        # all four presets plus the drill
+#   scripts/check.sh lint       # static analysis: the determinism
+#                               # lint (always) and clang-tidy over
+#                               # compile_commands.json (when
+#                               # clang-tidy is installed)
+#   scripts/check.sh all        # all four presets, the drill, and
+#                               # the lint stage
 #
 # Every full-suite preset includes the fault-storm smoke test
 # (bench_ext_fault_storm via ctest), which proves every injected
@@ -69,6 +74,31 @@ run_resume_drill() {
     echo "resume drill: resumed output is byte-identical"
 }
 
+# Static analysis. The determinism lint is pure grep and always runs.
+# clang-tidy consumes the compile_commands.json the release preset
+# exports (CMAKE_EXPORT_COMPILE_COMMANDS in the top-level
+# CMakeLists.txt) and is gated on availability: the reference
+# container ships only gcc, so its absence is a skip, not a failure.
+run_lint() {
+    echo "==== check: lint ===="
+    scripts/lint_determinism.sh
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "lint: clang-tidy not installed; skipping tidy stage"
+        return 0
+    fi
+    cmake --preset release
+    local db=build/compile_commands.json
+    if [ ! -f "${db}" ]; then
+        echo "lint: ${db} missing" >&2
+        return 1
+    fi
+    # Project sources only: generated/third-party TUs in the database
+    # (GTest, google-benchmark) are not ours to lint.
+    git ls-files 'src/*.cc' 'tools/*.cc' |
+        xargs clang-tidy -p build --quiet
+    echo "lint: clang-tidy OK"
+}
+
 case "${1:-release}" in
   all)
     run_preset release
@@ -76,6 +106,7 @@ case "${1:-release}" in
     run_preset ubsan
     run_preset tsan
     run_resume_drill
+    run_lint
     ;;
   release|asan|ubsan|tsan)
     run_preset "$1"
@@ -83,8 +114,11 @@ case "${1:-release}" in
   resume)
     run_resume_drill
     ;;
+  lint)
+    run_lint
+    ;;
   *)
-    echo "usage: $0 [release|asan|ubsan|tsan|resume|all]" >&2
+    echo "usage: $0 [release|asan|ubsan|tsan|resume|lint|all]" >&2
     exit 2
     ;;
 esac

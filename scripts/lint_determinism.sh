@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Determinism lint: the simulation core must be a pure function of its
+# inputs, or golden stats, sweep replay, and journal resume all break.
+#
+# Bans, in src/core src/ipu src/fpu src/mem src/trace:
+#   - wall-clock reads: std::chrono::system_clock, time(
+#   - libc randomness:  rand(, std::random_device
+#   - environment reads: getenv (env access belongs in util/env, so
+#     every knob is named, typed, defaulted and logged in one place)
+#
+# std::chrono::steady_clock is deliberately ALLOWED: it measures how
+# long a computation took (watchdog deadlines, sweep timing) without
+# feeding back into what the computation produces.
+#
+# Exits non-zero listing every offending line.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DIRS=(src/core src/ipu src/fpu src/mem src/trace)
+STATUS=0
+
+# pattern -> human explanation. Word boundaries keep e.g.
+# "timestamp(" or "strand(" from matching.
+check() {
+    local pattern="$1" why="$2"
+    # shellcheck disable=SC2046
+    if hits=$(grep -RInE "${pattern}" "${DIRS[@]}" \
+                  --include='*.cc' --include='*.hh' || true); then
+        if [ -n "${hits}" ]; then
+            echo "determinism lint: ${why}:"
+            echo "${hits}" | sed 's/^/  /'
+            STATUS=1
+        fi
+    fi
+}
+
+check 'std::chrono::system_clock' \
+      'wall-clock time in the simulation core'
+check '(^|[^a-zA-Z0-9_])time\(' \
+      'libc time() in the simulation core'
+check '(^|[^a-zA-Z0-9_])rand\(' \
+      'libc rand() in the simulation core'
+check 'std::random_device' \
+      'nondeterministic seed source in the simulation core'
+check '(^|[^a-zA-Z0-9_:])getenv' \
+      'raw environment read outside util/env'
+
+if [ "${STATUS}" -ne 0 ]; then
+    echo "determinism lint: FAILED"
+    exit 1
+fi
+echo "determinism lint: OK (${DIRS[*]})"

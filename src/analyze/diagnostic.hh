@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Structured diagnostics for the static machine-model analyzers.
+ *
+ * Every check in aurora::analyze reports through a Diagnostic carrying
+ * a *stable* identifier (AUR001, AUR002, ...) so the harness, the
+ * fault-storm bench, and CI assert on IDs rather than message text.
+ * The catalog below is the single source of truth: each entry fixes an
+ * ID's severity, one-line title, fix hint, and the paper relationship
+ * it encodes (rendered by `aurora_lint explain AURxxx` and documented
+ * in docs/analysis.md).
+ *
+ * ID ranges:
+ *   AUR0xx  machine-configuration lints (lintConfig, checkPipelineGraph)
+ *   AUR1xx  trace-file lints (verifyTrace)
+ */
+
+#ifndef AURORA_ANALYZE_DIAGNOSTIC_HH
+#define AURORA_ANALYZE_DIAGNOSTIC_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aurora::analyze
+{
+
+/** How bad is a finding? Errors reject the artifact; warnings don't. */
+enum class Severity
+{
+    /** Suspicious sizing: legal to run, but the paper's relationships
+     *  say it will stall or waste area. */
+    Warning,
+    /** The artifact is unusable: validation would reject it, the trace
+     *  reader would refuse it, or the machine cannot make progress. */
+    Error,
+};
+
+/** Stable display name ("warning" / "error"). */
+const char *severityName(Severity severity);
+
+/** One finding of a static analyzer. */
+struct Diagnostic
+{
+    /** Stable catalog identifier ("AUR012"). */
+    std::string id;
+    /** Severity fixed by the catalog entry for @p id. */
+    Severity severity = Severity::Error;
+    /** Offending field(s), dotted-path style ("fpu.result_buses"). */
+    std::string field;
+    /** Offending value(s), rendered ("0"). */
+    std::string value;
+    /** Full human-readable explanation with the concrete numbers. */
+    std::string message;
+    /** Actionable fix hint from the catalog. */
+    std::string hint;
+
+    /** "AUR012 error fpu.rob_entries=4: <message> (hint: ...)". */
+    std::string toString() const;
+};
+
+/** Immutable catalog entry describing one diagnostic ID. */
+struct DiagnosticInfo
+{
+    const char *id;
+    Severity severity;
+    /** One-line summary of the defect class. */
+    const char *title;
+    /** Which paper relationship (Table 1/2, Figure, section) the
+     *  check encodes — the `explain` text. */
+    const char *rationale;
+    /** Generic fix hint. */
+    const char *hint;
+};
+
+/** Every known diagnostic, in ID order. */
+const std::vector<DiagnosticInfo> &catalog();
+
+/** Catalog lookup; nullptr when @p id names no known diagnostic. */
+const DiagnosticInfo *findDiagnostic(std::string_view id);
+
+/**
+ * Build a Diagnostic from its catalog entry. @p id must exist in the
+ * catalog (AURORA_PANIC otherwise — an unknown ID is an analyzer bug,
+ * not a user error). @p detail extends the catalog title with the
+ * concrete offending numbers.
+ */
+Diagnostic makeDiagnostic(std::string_view id, std::string field,
+                          std::string value, std::string detail);
+
+/** Any error-severity finding in @p diagnostics? */
+bool hasErrors(const std::vector<Diagnostic> &diagnostics);
+
+/** Count of error-severity findings. */
+std::size_t errorCount(const std::vector<Diagnostic> &diagnostics);
+
+/** One line per finding; empty string for a clean report. */
+std::string formatDiagnostics(const std::vector<Diagnostic> &diagnostics);
+
+/** JSON array of findings for CI consumption (aurora_lint --json). */
+std::string toJson(const std::vector<Diagnostic> &diagnostics);
+
+} // namespace aurora::analyze
+
+#endif // AURORA_ANALYZE_DIAGNOSTIC_HH

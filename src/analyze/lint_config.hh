@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Static machine-model linter.
+ *
+ * MachineConfig::validate() answers "can this configuration be
+ * instantiated at all" and throws on the first violation. The linter
+ * answers a broader question without ever constructing a Processor:
+ * it re-states validate()'s rejections as *stable catalog IDs* (so a
+ * sweep preflight or CI job can assert on which defect, not just
+ * that one exists), collects every finding instead of stopping at the
+ * first, adds the cross-field sizing relationships the paper derives
+ * (§5) that are legal but known-bad, runs the structural deadlock
+ * detector over the resource graph, and optionally prices the
+ * configuration against an RBE area budget (§4.2).
+ */
+
+#ifndef AURORA_ANALYZE_LINT_CONFIG_HH
+#define AURORA_ANALYZE_LINT_CONFIG_HH
+
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "diagnostic.hh"
+
+namespace aurora::analyze
+{
+
+/** Linter knobs. */
+struct LintOptions
+{
+    /**
+     * Total RBE area budget (IPU + FPU) to check against; 0 disables
+     * the budget check. The paper's recommended machine prices at
+     * ~66K RBE, so e.g. 80000 is a plausible die budget.
+     */
+    double rbe_budget = 0.0;
+};
+
+/**
+ * Lint @p machine: every catalog AUR0xx check, in ID order, errors
+ * and warnings interleaved as encountered. Never throws on a bad
+ * configuration — a linter that dies on its input is useless — and a
+ * clean vector means validate() would also accept the machine.
+ */
+std::vector<Diagnostic> lintConfig(const core::MachineConfig &machine,
+                                   const LintOptions &options = {});
+
+} // namespace aurora::analyze
+
+#endif // AURORA_ANALYZE_LINT_CONFIG_HH

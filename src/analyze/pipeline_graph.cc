@@ -1,0 +1,257 @@
+#include "pipeline_graph.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace aurora::analyze
+{
+
+std::size_t
+PipelineGraph::index(const std::string &name) const
+{
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        if (nodes[i].name == name)
+            return i;
+    AURORA_PANIC("pipeline graph has no node named '", name, "'");
+}
+
+namespace
+{
+
+/** Incremental graph builder with name-based edge wiring. */
+class GraphBuilder
+{
+  public:
+    void node(std::string name, long capacity, bool sink = false)
+    {
+        graph_.nodes.push_back(
+            ResourceNode{std::move(name), capacity, sink});
+    }
+
+    void edge(const std::string &from, const std::string &to)
+    {
+        graph_.edges.push_back(
+            DrainEdge{graph_.index(from), graph_.index(to)});
+    }
+
+    PipelineGraph take() { return std::move(graph_); }
+
+  private:
+    PipelineGraph graph_;
+};
+
+/** In-flight capacity of one FP functional unit. */
+long
+fpUnitCapacity(const fpu::FpUnitConfig &unit)
+{
+    // A pipelined unit holds one op per stage; an iterative unit is
+    // busy with exactly one op regardless of latency.
+    return unit.pipelined ? static_cast<long>(unit.latency) : 1;
+}
+
+} // namespace
+
+PipelineGraph
+buildPipelineGraph(const core::MachineConfig &machine)
+{
+    GraphBuilder b;
+
+    // --- nodes: every finite resource work can occupy -------------
+    // "trace" is the unbounded work source; "retired" and "memory"
+    // are the sinks work must be able to reach.
+    b.node("trace", ResourceNode::UNBOUNDED);
+    b.node("fetch-buffer",
+           static_cast<long>(machine.ifu.buffer_entries));
+    b.node("issue-slots", static_cast<long>(machine.issue_width));
+    b.node("ipu-rob", static_cast<long>(machine.rob_entries));
+    b.node("mshr", static_cast<long>(machine.lsu.mshr_entries));
+    b.node("write-cache", static_cast<long>(machine.write_cache.lines));
+    b.node("biu-queue", static_cast<long>(machine.biu.queue_depth));
+    if (machine.prefetch.enabled)
+        b.node("prefetch-buffers",
+               static_cast<long>(machine.prefetch.num_buffers *
+                                 machine.prefetch.depth));
+    b.node("fp-inst-queue", static_cast<long>(machine.fpu.inst_queue));
+    b.node("fp-load-queue", static_cast<long>(machine.fpu.load_queue));
+    b.node("fp-store-queue",
+           static_cast<long>(machine.fpu.store_queue));
+    b.node("fp-add", fpUnitCapacity(machine.fpu.add));
+    b.node("fp-mul", fpUnitCapacity(machine.fpu.mul));
+    b.node("fp-div", fpUnitCapacity(machine.fpu.div));
+    b.node("fp-cvt", fpUnitCapacity(machine.fpu.cvt));
+    b.node("fp-result-bus", static_cast<long>(machine.fpu.result_buses));
+    b.node("fp-rob", static_cast<long>(machine.fpu.rob_entries));
+    b.node("retired", ResourceNode::UNBOUNDED, /*sink=*/true);
+    b.node("memory", ResourceNode::UNBOUNDED, /*sink=*/true);
+
+    // --- drain edges: work leaves `from` by entering `to` ----------
+    b.edge("trace", "fetch-buffer");
+    b.edge("fetch-buffer", "issue-slots");
+    b.edge("issue-slots", "ipu-rob");
+    b.edge("ipu-rob", "retired");
+
+    // Memory operations: every access holds an MSHR; misses become
+    // BIU transactions, stores land in the write cache, FP load data
+    // is delivered into the FPU's load queue (§2.3, §3).
+    b.edge("issue-slots", "mshr");
+    b.edge("mshr", "biu-queue");
+    b.edge("mshr", "write-cache");
+    b.edge("mshr", "fp-load-queue");
+    b.edge("write-cache", "biu-queue");
+    b.edge("biu-queue", "memory");
+    if (machine.prefetch.enabled) {
+        // Stream-buffer lines leave by being consumed on a miss or
+        // discarded by LRU reallocation — the discard path always
+        // exists, so the buffers drain unconditionally (§2.2).
+        b.edge("prefetch-buffers", "memory");
+    }
+
+    // FP side: the §3 decoupled pipeline. Operands and operations
+    // meet at the functional units; every unit writes back over a
+    // shared result bus into the FPU reorder buffer; results retire
+    // or leave through the store queue into the write cache.
+    b.edge("issue-slots", "fp-inst-queue");
+    for (const char *queue : {"fp-inst-queue", "fp-load-queue"})
+        for (const char *unit : {"fp-add", "fp-mul", "fp-div", "fp-cvt"})
+            b.edge(queue, unit);
+    for (const char *unit : {"fp-add", "fp-mul", "fp-div", "fp-cvt"})
+        b.edge(unit, "fp-result-bus");
+    b.edge("fp-result-bus", "fp-rob");
+    b.edge("fp-rob", "retired");
+    b.edge("fp-rob", "fp-store-queue");
+    b.edge("fp-store-queue", "write-cache");
+
+    return b.take();
+}
+
+namespace
+{
+
+/**
+ * drains[n]: work resting in n can reach a sink through passable
+ * nodes. Fixed point of: a sink drains; n drains if some edge n->m
+ * has m passable (work can enter it) and m drains.
+ */
+std::vector<bool>
+computeDrains(const PipelineGraph &g)
+{
+    std::vector<bool> drains(g.nodes.size(), false);
+    for (std::size_t i = 0; i < g.nodes.size(); ++i)
+        drains[i] = g.nodes[i].sink;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const DrainEdge &e : g.edges) {
+            const ResourceNode &to = g.nodes[e.to];
+            const bool ok =
+                to.sink || (to.passable() && drains[e.to]);
+            if (ok && !drains[e.from]) {
+                drains[e.from] = true;
+                changed = true;
+            }
+        }
+    }
+    return drains;
+}
+
+/** Forward reachability from "trace" through passable nodes. */
+std::vector<bool>
+computeReachable(const PipelineGraph &g)
+{
+    std::vector<bool> reach(g.nodes.size(), false);
+    reach[g.index("trace")] = true;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const DrainEdge &e : g.edges) {
+            const ResourceNode &from = g.nodes[e.from];
+            if (reach[e.from] && from.passable() && !reach[e.to]) {
+                reach[e.to] = true;
+                changed = true;
+            }
+        }
+    }
+    return reach;
+}
+
+/** Zero-capacity nodes in @p trapped's forward cone (its chokes). */
+std::vector<std::string>
+chokesFor(const PipelineGraph &g, std::size_t trapped)
+{
+    std::vector<bool> seen(g.nodes.size(), false);
+    seen[trapped] = true;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const DrainEdge &e : g.edges)
+            if (seen[e.from] && !seen[e.to]) {
+                seen[e.to] = true;
+                changed = true;
+            }
+    }
+    std::vector<std::string> chokes;
+    for (std::size_t i = 0; i < g.nodes.size(); ++i)
+        if (seen[i] && !g.nodes[i].sink && g.nodes[i].capacity == 0)
+            chokes.push_back(g.nodes[i].name);
+    std::sort(chokes.begin(), chokes.end());
+    return chokes;
+}
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += names[i];
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+checkPipelineGraph(const core::MachineConfig &machine)
+{
+    const PipelineGraph g = buildPipelineGraph(machine);
+    const std::vector<bool> drains = computeDrains(g);
+    const std::vector<bool> reachable = computeReachable(g);
+
+    // Group trapped resources by their choke set: one zeroed resource
+    // that wedges the whole FP side reads as one finding, not six.
+    std::map<std::string, std::vector<std::string>> trapped_by_choke;
+    std::map<std::string, std::vector<std::string>> choke_names;
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+        const ResourceNode &n = g.nodes[i];
+        const bool holds_work = !n.sink && n.passable();
+        if (!holds_work || !reachable[i] || drains[i])
+            continue;
+        std::vector<std::string> chokes = chokesFor(g, i);
+        const std::string key = joinNames(chokes);
+        trapped_by_choke[key].push_back(n.name);
+        choke_names[key] = std::move(chokes);
+    }
+
+    std::vector<Diagnostic> out;
+    for (auto &[key, trapped] : trapped_by_choke) {
+        std::sort(trapped.begin(), trapped.end());
+        std::ostringstream detail;
+        detail << "work held in {" << joinNames(trapped) << "} of '"
+               << machine.name << "' can never reach retirement or "
+               << "memory";
+        if (!key.empty())
+            detail << "; every drain path passes through "
+                   << "zero-capacity {" << key << "}";
+        else
+            detail << "; no drain edge leads to a sink";
+        out.push_back(makeDiagnostic("AUR010", key.empty() ? "-" : key,
+                                     "0", detail.str()));
+    }
+    return out;
+}
+
+} // namespace aurora::analyze

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Resource-dependency graph of the machine, as data.
+ *
+ * The simulator wires fetch, issue, the scoreboards, the FP
+ * decoupling queues, the functional units, the result buses, the
+ * reorder buffers and the memory hierarchy together implicitly,
+ * through code. This module builds the same topology explicitly — a
+ * graph whose nodes are finite resources and whose edges say "work
+ * leaves A by entering B" — so liveness can be checked *statically*:
+ *
+ *   a machine is structurally live iff every resource that can hold
+ *   work has a drain path to a sink (retirement / memory) passing
+ *   only through resources of nonzero capacity.
+ *
+ * The canonical prey is faultinject::wedgeConfig: result_buses = 0
+ * validates (no per-field check fails) but starves every FP unit of a
+ * writeback slot, so the decoupling queue fills and issue blocks
+ * forever. At runtime only the forward-progress watchdog ends that
+ * run, after burning the whole cycle budget; here it is a graph
+ * reachability query that costs microseconds before any worker starts.
+ */
+
+#ifndef AURORA_ANALYZE_PIPELINE_GRAPH_HH
+#define AURORA_ANALYZE_PIPELINE_GRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "diagnostic.hh"
+
+namespace aurora::analyze
+{
+
+/** One finite resource (queue, buffer, bus, register file port). */
+struct ResourceNode
+{
+    /** Stable name ("fp-result-bus", "biu-queue", ...). */
+    std::string name;
+    /**
+     * Capacity in work items. 0 = a zero-capacity choke: work can
+     * never pass through. UNBOUNDED for resources the model does not
+     * limit (the external memory system absorbs everything).
+     */
+    long capacity = 0;
+    /** Work that reaches a sink has left the machine. */
+    bool sink = false;
+
+    static constexpr long UNBOUNDED = -1;
+
+    /** Can work pass through / rest in this node? */
+    bool passable() const
+    {
+        return sink || capacity == UNBOUNDED || capacity > 0;
+    }
+};
+
+/** Directed drain edge: work leaves `from` by entering `to`. */
+struct DrainEdge
+{
+    std::size_t from = 0;
+    std::size_t to = 0;
+};
+
+/** The machine's resource topology. */
+struct PipelineGraph
+{
+    std::vector<ResourceNode> nodes;
+    std::vector<DrainEdge> edges;
+
+    /** Index of the node named @p name; PANICs if absent. */
+    std::size_t index(const std::string &name) const;
+};
+
+/**
+ * Build the resource graph for @p machine. Pure data transformation:
+ * reads capacities out of the config, never constructs a Processor.
+ */
+PipelineGraph buildPipelineGraph(const core::MachineConfig &machine);
+
+/**
+ * Check structural liveness of @p machine's graph.
+ *
+ * Emits AUR010 (error) for every work-holding resource with no drain
+ * path to a sink through passable nodes, naming the trapped resource
+ * and the zero-capacity choke(s) that sever its paths. One diagnostic
+ * per distinct choke set, so a single zeroed resource that wedges ten
+ * upstream queues reads as one finding, not ten.
+ */
+std::vector<Diagnostic>
+checkPipelineGraph(const core::MachineConfig &machine);
+
+} // namespace aurora::analyze
+
+#endif // AURORA_ANALYZE_PIPELINE_GRAPH_HH

@@ -1,0 +1,330 @@
+#include "verify_trace.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace aurora::analyze
+{
+
+namespace
+{
+
+using trace::OpClass;
+
+// The layout facts below mirror trace_io.cc's writer. They are
+// restated rather than shared on purpose: the verifier must judge the
+// format independently, so a layout bug in the reader cannot hide
+// itself by also steering the checker.
+constexpr char MAGIC[4] = {'A', 'U', 'R', '3'};
+constexpr std::size_t HEADER_BYTES = 16;
+constexpr std::size_t RECORD_BYTES = 24;
+constexpr std::uint32_t SUPPORTED_VERSION = 1;
+constexpr unsigned NUM_REGS = 32;
+
+std::uint32_t
+unpackU32(const unsigned char *p)
+{
+    return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+           (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+/** Collects diagnostics with a per-ID emission cap. */
+class Reporter
+{
+  public:
+    Reporter(TraceReport &report, std::size_t max_per_id)
+        : report_(report), max_per_id_(max_per_id)
+    {
+    }
+
+    void
+    emit(const char *id, std::string field, std::string value,
+         std::string detail)
+    {
+        const std::size_t seen = ++seen_[id];
+        if (seen <= max_per_id_)
+            report_.diagnostics.push_back(
+                makeDiagnostic(id, std::move(field), std::move(value),
+                               std::move(detail)));
+    }
+
+    /** Occurrences of @p id, including capped ones. */
+    std::size_t count(const char *id) const
+    {
+        const auto it = seen_.find(id);
+        return it == seen_.end() ? 0 : it->second;
+    }
+
+  private:
+    TraceReport &report_;
+    std::size_t max_per_id_;
+    std::map<std::string, std::size_t> seen_;
+};
+
+/** Raw record view with named accessors (offsets per trace_io.cc). */
+struct RawRecord
+{
+    const unsigned char *p;
+
+    Addr pc() const { return unpackU32(p + 0); }
+    Addr nextPc() const { return unpackU32(p + 4); }
+    Addr effAddr() const { return unpackU32(p + 8); }
+    unsigned opByte() const { return p[12]; }
+    unsigned char reg(std::size_t i) const { return p[13 + i]; }
+    unsigned char dst() const { return p[15]; }
+    unsigned char fdst() const { return p[18]; }
+    unsigned size() const { return p[19]; }
+};
+
+const char *REG_NAMES[6] = {"src_a", "src_b", "dst",
+                            "fsrc_a", "fsrc_b", "fdst"};
+
+/** Tracks def-before-use over one register file. */
+struct RegFileScan
+{
+    std::array<bool, NUM_REGS> defined{};
+    std::array<bool, NUM_REGS> live_in{};
+
+    void read(unsigned char reg)
+    {
+        if (reg < NUM_REGS && !defined[reg])
+            live_in[reg] = true;
+    }
+
+    void write(unsigned char reg)
+    {
+        if (reg < NUM_REGS)
+            defined[reg] = true;
+    }
+
+    unsigned liveIns() const
+    {
+        unsigned n = 0;
+        for (const bool b : live_in)
+            n += b ? 1 : 0;
+        return n;
+    }
+};
+
+void
+checkRecord(const RawRecord &r, Count index, Reporter &rep,
+            RegFileScan &int_regs, RegFileScan &fp_regs)
+{
+    std::string at = detail::concat("record ", index);
+
+    // Register indices must name the 32-entry files or the sentinel.
+    for (std::size_t i = 0; i < 6; ++i) {
+        const unsigned char reg = r.reg(i);
+        if (reg >= NUM_REGS && reg != NO_REG)
+            rep.emit("AUR105", detail::concat(at, ".", REG_NAMES[i]),
+                     detail::concat(static_cast<unsigned>(reg)),
+                     detail::concat("register ",
+                                    static_cast<unsigned>(reg),
+                                    " >= ", NUM_REGS));
+    }
+
+    const auto op = static_cast<OpClass>(r.opByte());
+    if (trace::isMem(op)) {
+        const unsigned size = r.size();
+        const Addr addr = r.effAddr();
+        if (size != 4 && size != 8)
+            rep.emit("AUR106", detail::concat(at, ".size"),
+                     detail::concat(size),
+                     detail::concat("access size ", size,
+                                    " is not 4 or 8"));
+        else if (addr % size != 0)
+            rep.emit("AUR106", detail::concat(at, ".eff_addr"),
+                     detail::concat("0x", std::hex, addr),
+                     detail::concat("0x", std::hex, addr, std::dec,
+                                    " not aligned to ", size));
+    }
+
+    // Operand shape: the op class dictates which operands must exist.
+    if (op == OpClass::Load && r.dst() == NO_REG)
+        rep.emit("AUR109", detail::concat(at, ".dst"), "none",
+                 "integer load with no destination register");
+    if (op == OpClass::FpLoad && r.fdst() == NO_REG)
+        rep.emit("AUR109", detail::concat(at, ".fdst"), "none",
+                 "FP load with no destination register");
+    if (trace::isFpArith(op) && r.fdst() == NO_REG)
+        rep.emit("AUR109", detail::concat(at, ".fdst"), "none",
+                 detail::concat(trace::opClassName(op),
+                                " with no FP destination register"));
+
+    // Def-before-use bookkeeping: reads first, then the write — an
+    // instruction may legally source the register it overwrites.
+    int_regs.read(r.reg(0));
+    int_regs.read(r.reg(1));
+    fp_regs.read(r.reg(3));
+    fp_regs.read(r.reg(4));
+    int_regs.write(r.dst());
+    fp_regs.write(r.fdst());
+}
+
+void
+checkMix(const TraceReport &report, const trace::WorkloadProfile &profile,
+         double tolerance, Reporter &rep)
+{
+    // Below a few thousand records the sampling noise of the
+    // generator's random draws swamps any real mismatch.
+    if (report.records < 2048)
+        return;
+    const double n = static_cast<double>(report.records);
+    const auto frac = [&](OpClass op) {
+        return static_cast<double>(
+                   report.histogram[static_cast<std::size_t>(op)]) /
+               n;
+    };
+    const struct
+    {
+        const char *what;
+        double declared;
+        double measured;
+    } mixes[] = {
+        {"load", profile.frac_load, frac(OpClass::Load)},
+        {"store", profile.frac_store, frac(OpClass::Store)},
+        {"fp_arith", profile.frac_fp_arith,
+         frac(OpClass::FpAdd) + frac(OpClass::FpMul) +
+             frac(OpClass::FpDiv) + frac(OpClass::FpCvt)},
+        {"fp_load", profile.frac_fp_load, frac(OpClass::FpLoad)},
+        {"fp_store", profile.frac_fp_store, frac(OpClass::FpStore)},
+    };
+    for (const auto &m : mixes) {
+        const double drift = m.measured - m.declared;
+        if (drift > tolerance || drift < -tolerance)
+            rep.emit("AUR108", detail::concat("mix.", m.what),
+                     detail::concat(m.measured),
+                     detail::concat("measured ", m.what, " fraction ",
+                                    m.measured, " vs declared ",
+                                    m.declared, " for profile '",
+                                    profile.name, "' (tolerance ",
+                                    tolerance, ")"));
+    }
+}
+
+} // namespace
+
+std::string
+TraceReport::summary() const
+{
+    std::ostringstream os;
+    os << (ok() ? "OK" : "BAD") << ": " << records << "/" << promised
+       << " records, " << errorCount(diagnostics) << " error(s), "
+       << (diagnostics.size() - errorCount(diagnostics))
+       << " warning(s)\n";
+    os << "live-ins: " << int_live_ins << " int, " << fp_live_ins
+       << " fp; pc discontinuities: " << discontinuities << "\n";
+    for (std::size_t i = 0; i < histogram.size(); ++i)
+        if (histogram[i] > 0)
+            os << "  " << trace::opClassName(static_cast<OpClass>(i))
+               << ": " << histogram[i] << "\n";
+    return os.str();
+}
+
+TraceReport
+verifyTrace(const std::string &path, const TraceCheckOptions &options)
+{
+    TraceReport report;
+    Reporter rep(report, options.max_per_id);
+
+    const std::unique_ptr<std::FILE, int (*)(std::FILE *)> file(
+        std::fopen(path.c_str(), "rb"), &std::fclose);
+    if (!file) {
+        rep.emit("AUR101", "file", path,
+                 detail::concat("cannot open '", path, "'"));
+        return report;
+    }
+
+    unsigned char header[HEADER_BYTES];
+    if (std::fread(header, 1, HEADER_BYTES, file.get()) !=
+        HEADER_BYTES) {
+        rep.emit("AUR101", "header", "",
+                 "file ends inside the 16-byte header");
+        return report;
+    }
+    if (std::memcmp(header, MAGIC, sizeof(MAGIC)) != 0) {
+        rep.emit("AUR101", "magic",
+                 detail::concat("0x", std::hex,
+                                unpackU32(header)),
+                 "expected 'AUR3'");
+        return report;
+    }
+    const std::uint32_t version = unpackU32(header + 4);
+    if (version != SUPPORTED_VERSION) {
+        // The record layout of an unknown version is unknown; any
+        // "checks" on the body would be noise, so stop here.
+        rep.emit("AUR102", "version", detail::concat(version),
+                 detail::concat("expected ", SUPPORTED_VERSION));
+        return report;
+    }
+    report.promised = Count{unpackU32(header + 8)} |
+                      (Count{unpackU32(header + 12)} << 32);
+
+    RegFileScan int_regs;
+    RegFileScan fp_regs;
+    Addr prev_next_pc = 0;
+    unsigned char rec[RECORD_BYTES];
+    while (report.records < report.promised) {
+        const std::size_t got =
+            std::fread(rec, 1, RECORD_BYTES, file.get());
+        if (got != RECORD_BYTES) {
+            rep.emit("AUR104", "records",
+                     detail::concat(report.records),
+                     detail::concat("header promised ", report.promised,
+                                    " records but the body ends after ",
+                                    report.records));
+            break;
+        }
+        const RawRecord r{rec};
+        const Count index = report.records;
+
+        if (r.opByte() >= trace::NUM_OP_CLASSES) {
+            rep.emit("AUR103", detail::concat("record ", index, ".op"),
+                     detail::concat(r.opByte()),
+                     detail::concat("op class ", r.opByte(),
+                                    " >= ", trace::NUM_OP_CLASSES));
+        } else {
+            report.histogram[r.opByte()] += 1;
+            checkRecord(r, index, rep, int_regs, fp_regs);
+        }
+
+        if (index > 0 && r.pc() != prev_next_pc) {
+            report.discontinuities += 1;
+            rep.emit("AUR107", detail::concat("record ", index, ".pc"),
+                     detail::concat("0x", std::hex, r.pc()),
+                     detail::concat("predecessor's next_pc is 0x",
+                                    std::hex, prev_next_pc));
+        }
+        prev_next_pc = r.nextPc();
+        report.records += 1;
+    }
+
+    report.int_live_ins = int_regs.liveIns();
+    report.fp_live_ins = fp_regs.liveIns();
+
+    // A long trace reading mostly-undefined registers is shuffled or
+    // spliced input. Legitimate traces carry real live-ins (the
+    // synthetic generators read ~9 int and up to 16 FP registers
+    // before first writing them), so the threshold is half of the
+    // 64 architectural registers, far above that floor.
+    if (report.records >= 64 &&
+        report.int_live_ins + report.fp_live_ins > 32)
+        rep.emit("AUR110", "live-ins",
+                 detail::concat(report.int_live_ins + report.fp_live_ins),
+                 detail::concat(report.int_live_ins, " int + ",
+                                report.fp_live_ins,
+                                " fp registers read before any "
+                                "definition"));
+
+    if (options.profile != nullptr)
+        checkMix(report, *options.profile, options.mix_tolerance, rep);
+
+    return report;
+}
+
+} // namespace aurora::analyze

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Single-pass trace-file verifier.
+ *
+ * The trace reader (trace::FileTraceSource) throws on the *first*
+ * structural defect and understands nothing about semantics — a trace
+ * full of reads of never-written registers or misaligned accesses
+ * replays "successfully" and silently produces garbage statistics.
+ * verifyTrace() reads the raw bytes once, independently of the
+ * reader, and reports *every* problem as catalog diagnostics:
+ * structural (header, version, record count, op classes), semantic
+ * (register indices, alignment, operand shape, PC continuity,
+ * def-before-use), and statistical (measured op-class mix vs. the
+ * declared WorkloadProfile). It never throws on bad input: a verifier
+ * that dies on the file it exists to judge is useless.
+ */
+
+#ifndef AURORA_ANALYZE_VERIFY_TRACE_HH
+#define AURORA_ANALYZE_VERIFY_TRACE_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "diagnostic.hh"
+#include "trace/op_class.hh"
+#include "trace/workload_profile.hh"
+#include "util/types.hh"
+
+namespace aurora::analyze
+{
+
+/** Verifier knobs. */
+struct TraceCheckOptions
+{
+    /**
+     * Profile the trace claims to implement; nullptr skips the mix
+     * check. The pointee must outlive the verifyTrace() call.
+     */
+    const trace::WorkloadProfile *profile = nullptr;
+    /**
+     * Absolute tolerance on each instruction-mix fraction before
+     * AUR108 fires. Generous by design: the generators dilute the
+     * nominal mix with loop branches and delay-slot NOPs, so the
+     * measured fractions sit a few points below the profile's.
+     */
+    double mix_tolerance = 0.10;
+    /** Emission cap per diagnostic ID (further hits are counted). */
+    std::size_t max_per_id = 8;
+};
+
+/** Everything one pass over the file established. */
+struct TraceReport
+{
+    /** All findings, capped per ID by TraceCheckOptions::max_per_id. */
+    std::vector<Diagnostic> diagnostics;
+    /** Records the header promised. */
+    Count promised = 0;
+    /** Records actually present and scanned. */
+    Count records = 0;
+    /** Per-op-class record counts. */
+    std::array<Count, trace::NUM_OP_CLASSES> histogram{};
+    /** Distinct integer registers read before any record wrote them. */
+    unsigned int_live_ins = 0;
+    /** Distinct FP registers read before any record wrote them. */
+    unsigned fp_live_ins = 0;
+    /** pc/next_pc continuity breaks seen (reported via AUR107). */
+    Count discontinuities = 0;
+
+    /** No error-severity findings (warnings permitted). */
+    bool ok() const { return !hasErrors(diagnostics); }
+
+    /** Multi-line human summary: verdict, counts, histogram. */
+    std::string summary() const;
+};
+
+/** Verify the trace file at @p path in one pass. */
+TraceReport verifyTrace(const std::string &path,
+                        const TraceCheckOptions &options = {});
+
+} // namespace aurora::analyze
+
+#endif // AURORA_ANALYZE_VERIFY_TRACE_HH

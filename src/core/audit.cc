@@ -1,9 +1,8 @@
 #include "audit.hh"
 
-#include <cstdlib>
-#include <cstring>
 #include <numeric>
 
+#include "util/env.hh"
 #include "util/sim_error.hh"
 
 namespace aurora::core
@@ -12,9 +11,11 @@ namespace aurora::core
 bool
 auditEnabled()
 {
-    // Read dynamically (not cached): tests toggle it with setenv.
-    const char *v = std::getenv("AURORA_AUDIT");
-    return v && std::strcmp(v, "1") == 0;
+    // envFlag reads dynamically (not cached): tests toggle it with
+    // setenv. Routing through util/env also keeps src/core free of
+    // raw environment reads, which scripts/lint_determinism.sh
+    // enforces.
+    return envFlag("AURORA_AUDIT", false);
 }
 
 namespace

@@ -16,11 +16,15 @@ using util::raiseError;
 
 /** Every key applyOverride understands, for the unknown-key message. */
 constexpr const char *KNOWN_KEYS =
-    "model, name, issue, icache, dcache, wc_lines, rob, mshr, latency, "
-    "collisions, prefetch, pf_buffers, pf_depth, folding, victim_lines, "
-    "validate_writes, retire, alu_lat, fp_policy, fp_instq, fp_loadq, "
-    "fp_storeq, fp_rob, fp_buses, fp_add_lat, fp_mul_lat, fp_div_lat, "
-    "fp_cvt_lat, fp_add_piped, fp_mul_piped, fp_precise, fp_safe_frac";
+    "model, name, issue, fetch, icache, iline, ifu_buffer, dcache, "
+    "dline, dcache_lat, fill_cycles, store_occ, wc_lines, wc_line, "
+    "wc_page, rob, mshr, latency, biu_occ, biu_queue, collisions, "
+    "collision_penalty, prefetch, pf_buffers, pf_depth, pf_line, "
+    "folding, victim_lines, victim_swap, validate_writes, retire, "
+    "alu_lat, fp_policy, fp_instq, fp_loadq, fp_storeq, fp_rob, "
+    "fp_buses, fp_add_lat, fp_mul_lat, fp_div_lat, fp_cvt_lat, "
+    "fp_add_piped, fp_mul_piped, fp_div_piped, fp_cvt_piped, "
+    "fp_precise, fp_safe_frac";
 
 std::uint64_t
 parseUnsigned(const std::string &key, const std::string &value)
@@ -118,15 +122,42 @@ applyOverride(MachineConfig &config, const std::string &key,
                        "got '", value, "'");
         config.issue_width = width;
         config.ifu.fetch_width = width;
+    } else if (key == "fetch") {
+        // Normally tied to issue= (which sets both); exposed so the
+        // serialization covers deliberately inconsistent configs —
+        // the linter, not the parser, rejects the mismatch.
+        config.ifu.fetch_width =
+            static_cast<unsigned>(parseUnsigned(key, value));
     } else if (key == "icache") {
         config.ifu.icache_bytes =
             static_cast<std::uint32_t>(parseUnsigned(key, value));
+    } else if (key == "iline") {
+        config.ifu.line_bytes =
+            static_cast<std::uint32_t>(parseUnsigned(key, value));
+    } else if (key == "ifu_buffer") {
+        config.ifu.buffer_entries =
+            static_cast<unsigned>(parseUnsigned(key, value));
     } else if (key == "dcache") {
         config.lsu.dcache_bytes =
             static_cast<std::uint32_t>(parseUnsigned(key, value));
+    } else if (key == "dline") {
+        config.lsu.line_bytes =
+            static_cast<std::uint32_t>(parseUnsigned(key, value));
+    } else if (key == "dcache_lat") {
+        config.lsu.dcache_latency = parseUnsigned(key, value);
+    } else if (key == "fill_cycles") {
+        config.lsu.fill_port_cycles = parseUnsigned(key, value);
+    } else if (key == "store_occ") {
+        config.lsu.store_occupancy = parseUnsigned(key, value);
     } else if (key == "wc_lines") {
         config.write_cache.lines =
             static_cast<unsigned>(parseUnsigned(key, value));
+    } else if (key == "wc_line") {
+        config.write_cache.line_bytes =
+            static_cast<std::uint32_t>(parseUnsigned(key, value));
+    } else if (key == "wc_page") {
+        config.write_cache.page_bytes =
+            static_cast<std::uint32_t>(parseUnsigned(key, value));
     } else if (key == "rob") {
         config.rob_entries =
             static_cast<unsigned>(parseUnsigned(key, value));
@@ -135,8 +166,15 @@ applyOverride(MachineConfig &config, const std::string &key,
             static_cast<unsigned>(parseUnsigned(key, value));
     } else if (key == "latency") {
         config.biu.latency = parseUnsigned(key, value);
+    } else if (key == "biu_occ") {
+        config.biu.line_occupancy = parseUnsigned(key, value);
+    } else if (key == "biu_queue") {
+        config.biu.queue_depth =
+            static_cast<unsigned>(parseUnsigned(key, value));
     } else if (key == "collisions") {
         config.biu.model_collisions = parseBool(key, value);
+    } else if (key == "collision_penalty") {
+        config.biu.collision_penalty = parseUnsigned(key, value);
     } else if (key == "prefetch") {
         config.prefetch.enabled = parseBool(key, value);
     } else if (key == "pf_buffers") {
@@ -145,11 +183,16 @@ applyOverride(MachineConfig &config, const std::string &key,
     } else if (key == "pf_depth") {
         config.prefetch.depth =
             static_cast<unsigned>(parseUnsigned(key, value));
+    } else if (key == "pf_line") {
+        config.prefetch.line_bytes =
+            static_cast<std::uint32_t>(parseUnsigned(key, value));
     } else if (key == "folding") {
         config.ifu.branch_folding = parseBool(key, value);
     } else if (key == "victim_lines") {
         config.lsu.victim_lines =
             static_cast<unsigned>(parseUnsigned(key, value));
+    } else if (key == "victim_swap") {
+        config.lsu.victim_swap_cycles = parseUnsigned(key, value);
     } else if (key == "validate_writes") {
         config.write_cache.validate_writes = parseBool(key, value);
     } else if (key == "retire") {
@@ -187,6 +230,10 @@ applyOverride(MachineConfig &config, const std::string &key,
         config.fpu.add.pipelined = parseBool(key, value);
     } else if (key == "fp_mul_piped") {
         config.fpu.mul.pipelined = parseBool(key, value);
+    } else if (key == "fp_div_piped") {
+        config.fpu.div.pipelined = parseBool(key, value);
+    } else if (key == "fp_cvt_piped") {
+        config.fpu.cvt.pipelined = parseBool(key, value);
     } else if (key == "fp_precise") {
         config.fpu.precise_exceptions = parseBool(key, value);
     } else if (key == "fp_safe_frac") {
@@ -218,24 +265,42 @@ parseMachineSpec(const std::string &spec)
 std::string
 describe(const MachineConfig &config)
 {
+    // Serialize EVERY knob: machineHash() digests this string, so a
+    // field omitted here silently escapes seed derivation and journal
+    // fingerprints (tests/test_machine_hash.cc walks all fields).
+    // fetch= must follow issue= because issue= overwrites fetch_width.
     std::ostringstream os;
     os << "name=" << config.name
        << " issue=" << config.issue_width
+       << " fetch=" << config.ifu.fetch_width
        << " retire=" << config.retire_width
        << " alu_lat=" << config.alu_latency
        << " icache=" << config.ifu.icache_bytes
+       << " iline=" << config.ifu.line_bytes
+       << " ifu_buffer=" << config.ifu.buffer_entries
        << " dcache=" << config.lsu.dcache_bytes
+       << " dline=" << config.lsu.line_bytes
+       << " dcache_lat=" << config.lsu.dcache_latency
+       << " fill_cycles=" << config.lsu.fill_port_cycles
+       << " store_occ=" << config.lsu.store_occupancy
        << " wc_lines=" << config.write_cache.lines
+       << " wc_line=" << config.write_cache.line_bytes
+       << " wc_page=" << config.write_cache.page_bytes
        << " rob=" << config.rob_entries
        << " mshr=" << config.lsu.mshr_entries
        << " latency=" << config.biu.latency
+       << " biu_occ=" << config.biu.line_occupancy
+       << " biu_queue=" << config.biu.queue_depth
        << " collisions="
        << (config.biu.model_collisions ? "on" : "off")
+       << " collision_penalty=" << config.biu.collision_penalty
        << " prefetch=" << (config.prefetch.enabled ? "on" : "off")
        << " pf_buffers=" << config.prefetch.num_buffers
        << " pf_depth=" << config.prefetch.depth
+       << " pf_line=" << config.prefetch.line_bytes
        << " folding=" << (config.ifu.branch_folding ? "on" : "off")
        << " victim_lines=" << config.lsu.victim_lines
+       << " victim_swap=" << config.lsu.victim_swap_cycles
        << " validate_writes="
        << (config.write_cache.validate_writes ? "on" : "off")
        << " fp_policy=" << policyToken(config.fpu.policy)
@@ -252,8 +317,13 @@ describe(const MachineConfig &config)
        << (config.fpu.add.pipelined ? "on" : "off")
        << " fp_mul_piped="
        << (config.fpu.mul.pipelined ? "on" : "off")
+       << " fp_div_piped="
+       << (config.fpu.div.pipelined ? "on" : "off")
+       << " fp_cvt_piped="
+       << (config.fpu.cvt.pipelined ? "on" : "off")
        << " fp_precise="
-       << (config.fpu.precise_exceptions ? "on" : "off");
+       << (config.fpu.precise_exceptions ? "on" : "off")
+       << " fp_safe_frac=" << config.fpu.provably_safe_frac;
     return os.str();
 }
 

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <thread>
 
+#include "analyze/lint_config.hh"
 #include "core/audit.hh"
 #include "core/config_io.hh"
 #include "journal.hh"
@@ -138,8 +139,56 @@ SweepRunner::backoffMs() const
     return envCount("AURORA_SWEEP_BACKOFF_MS", 0, /*min=*/0);
 }
 
+bool
+SweepRunner::preflightEnabled() const
+{
+    if (options_.preflight)
+        return *options_.preflight;
+    return envFlag("AURORA_PREFLIGHT", true);
+}
+
 namespace
 {
+
+/**
+ * Lint every machine in @p grid before any worker launches. Errors
+ * (not warnings) abort the launch: one BadConfig naming every bad
+ * job and its diagnostic IDs, truncated past a dozen lines so an
+ * 18000-job grid with a systematic defect stays readable.
+ */
+void
+preflightGrid(const std::vector<SweepJob> &grid)
+{
+    constexpr std::size_t MAX_LINES = 12;
+    std::size_t bad_jobs = 0;
+    std::string lines;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const std::vector<analyze::Diagnostic> findings =
+            analyze::lintConfig(grid[i].machine);
+        if (!analyze::hasErrors(findings))
+            continue;
+        ++bad_jobs;
+        if (bad_jobs > MAX_LINES)
+            continue;
+        lines += detail::concat("\n  job ", i, " (",
+                                grid[i].profile.name, "@",
+                                grid[i].machine.name, "):");
+        for (const analyze::Diagnostic &d : findings)
+            if (d.severity == analyze::Severity::Error)
+                lines += detail::concat(" ", d.id);
+    }
+    if (bad_jobs == 0)
+        return;
+    if (bad_jobs > MAX_LINES)
+        lines += detail::concat("\n  ... and ", bad_jobs - MAX_LINES,
+                                " more");
+    util::raiseError(
+        util::SimErrorCode::BadConfig, "sweep preflight rejected ",
+        bad_jobs, " of ", grid.size(),
+        " jobs before any worker started (aurora_lint explain <ID> "
+        "describes each diagnostic; AURORA_PREFLIGHT=0 disables the "
+        "check):", lines);
+}
 
 /**
  * Turn a job grid into closures, resolving the seed-derivation and
@@ -204,12 +253,16 @@ backoffDelayMs(std::uint64_t base_ms, unsigned attempt)
 std::vector<core::RunResult>
 SweepRunner::run(const std::vector<SweepJob> &grid)
 {
+    if (preflightEnabled())
+        preflightGrid(grid);
     return runTasks(gridTasks(grid, options_, deadlineMs()));
 }
 
 std::vector<SweepOutcome>
 SweepRunner::runOutcomes(const std::vector<SweepJob> &grid)
 {
+    if (preflightEnabled())
+        preflightGrid(grid);
     if (options_.journal.empty())
         return runTaskOutcomes(gridTasks(grid, options_, deadlineMs()));
 

@@ -132,6 +132,19 @@ struct SweepOptions
     bool resume = false;
 
     /**
+     * Statically lint every grid job's machine (analyze::lintConfig)
+     * before any worker launches; lint *errors* — including the
+     * structural-deadlock check that validate() cannot express — fail
+     * the whole launch with BadConfig listing job, machine, and
+     * diagnostic IDs. Catching a wedged configuration here costs
+     * microseconds; catching it in a worker costs the full watchdog
+     * budget. Unset reads AURORA_PREFLIGHT (default on). Applies to
+     * run()/runOutcomes(); the task-based entry points carry no
+     * configs to inspect. Warnings never block a launch.
+     */
+    std::optional<bool> preflight;
+
+    /**
      * Called after each job completes (journaled runs only), with
      * (jobs done so far, grid size). Invoked from worker threads
      * under the journal lock — keep it cheap. The fault-storm bench
@@ -265,6 +278,9 @@ class SweepRunner
 
     /** Resolved retry-backoff base delay (ms; 0 = immediate). */
     std::uint64_t backoffMs() const;
+
+    /** Resolved preflight policy (options override, else env). */
+    bool preflightEnabled() const;
 
   private:
     /**

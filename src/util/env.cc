@@ -56,4 +56,21 @@ envCount(const char *name, Count fallback, Count min)
     return *parsed;
 }
 
+bool
+envFlag(const char *name, bool fallback)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr)
+        return fallback;
+    const std::string value(raw);
+    if (value == "1" || value == "on" || value == "true")
+        return true;
+    if (value == "0" || value == "off" || value == "false")
+        return false;
+    warn(detail::concat(name, "=\"", raw,
+                        "\" is not a valid flag (accepted: 1/on/true, "
+                        "0/off/false); using ", fallback ? "1" : "0"));
+    return fallback;
+}
+
 } // namespace aurora

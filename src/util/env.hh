@@ -37,6 +37,16 @@ std::optional<Count> parseCount(const std::string &text);
  */
 Count envCount(const char *name, Count fallback, Count min = 1);
 
+/**
+ * Read environment variable @p name as a boolean flag.
+ *
+ * Accepted values: "1"/"on"/"true" and "0"/"off"/"false". Unset
+ * returns @p fallback; a set-but-unrecognized value warns and also
+ * returns @p fallback. The variable is read on every call (never
+ * cached) so tests may toggle flags with setenv().
+ */
+bool envFlag(const char *name, bool fallback);
+
 } // namespace aurora
 
 #endif // AURORA_UTIL_ENV_HH

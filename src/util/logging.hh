@@ -41,7 +41,9 @@ std::string
 concat(Args &&...args)
 {
     std::ostringstream os;
-    (os << ... << std::forward<Args>(args));
+    // void-cast: with an empty pack the fold collapses to plain `os`,
+    // which -Wunused-value would otherwise flag.
+    static_cast<void>((os << ... << std::forward<Args>(args)));
     return os.str();
 }
 

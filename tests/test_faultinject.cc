@@ -14,6 +14,8 @@
 #include <iterator>
 #include <string>
 
+#include "analyze/lint_config.hh"
+#include "analyze/verify_trace.hh"
 #include "core/simulator.hh"
 #include "core/watchdog.hh"
 #include "faultinject/faultinject.hh"
@@ -124,6 +126,88 @@ TEST(FaultInject, EveryTraceFaultIsCaught)
         } catch (const SimError &e) {
             EXPECT_EQ(e.code(), SimErrorCode::BadTrace);
         }
+        std::remove(victim.c_str());
+    }
+    std::remove(pristine.c_str());
+}
+
+TEST(FaultInject, EveryConfigFaultHasAStableStaticDiagnostic)
+{
+    // Cross-check against the static analyzer: each injected defect
+    // must surface as its catalog ID, so the sweep preflight and the
+    // fault-storm bench can assert on *which* fault was planted.
+    const struct
+    {
+        fi::ConfigFault fault;
+        const char *id;
+    } expected[] = {
+        {fi::ConfigFault::ZeroRob, "AUR001"},
+        {fi::ConfigFault::ZeroMshr, "AUR002"},
+        {fi::ConfigFault::MismatchedLineSize, "AUR003"},
+        {fi::ConfigFault::FetchWidthMismatch, "AUR004"},
+        {fi::ConfigFault::ZeroFpInstQueue, "AUR005"},
+        {fi::ConfigFault::BadSafeFrac, "AUR006"},
+        {fi::ConfigFault::OverlongFpLatency, "AUR007"},
+    };
+    static_assert(std::size(expected) == fi::NUM_CONFIG_FAULTS);
+    for (const auto &c : expected) {
+        SCOPED_TRACE(fi::configFaultName(c.fault));
+        const auto bad = fi::poisonConfig(baselineModel(), c.fault);
+        const auto findings = analyze::lintConfig(bad);
+        bool found = false;
+        for (const auto &d : findings)
+            found |= d.id == c.id;
+        EXPECT_TRUE(found) << "expected " << c.id;
+        EXPECT_TRUE(analyze::hasErrors(findings));
+    }
+}
+
+TEST(FaultInject, WedgeIsCaughtStaticallyAsAur010)
+{
+    // The wedge passes validate() and at runtime burns the watchdog
+    // window; the deadlock detector rejects it in microseconds.
+    const auto wedged = fi::wedgeConfig(baselineModel());
+    const auto findings = analyze::lintConfig(wedged);
+    bool found = false;
+    for (const auto &d : findings)
+        found |= d.id == "AUR010";
+    EXPECT_TRUE(found);
+}
+
+TEST(FaultInject, EveryTraceFaultHasAStableVerifierDiagnostic)
+{
+    namespace fs = std::filesystem;
+    const struct
+    {
+        fi::TraceFault fault;
+        const char *id;
+    } expected[] = {
+        {fi::TraceFault::Magic, "AUR101"},
+        {fi::TraceFault::Version, "AUR102"},
+        {fi::TraceFault::OpClass, "AUR103"},
+        {fi::TraceFault::Truncate, "AUR104"},
+    };
+    static_assert(std::size(expected) == fi::NUM_TRACE_FAULTS);
+
+    trace::SyntheticWorkload w(trace::espresso());
+    const auto insts = trace::collect(w, 64);
+    const std::string pristine =
+        std::string(::testing::TempDir()) + "fi_lint_pristine.aur3";
+    trace::writeTrace(pristine, insts);
+
+    for (const auto &c : expected) {
+        SCOPED_TRACE(fi::traceFaultName(c.fault));
+        const std::string victim = std::string(::testing::TempDir()) +
+                                   "fi_lint_victim.aur3";
+        fs::copy_file(pristine, victim,
+                      fs::copy_options::overwrite_existing);
+        fi::corruptTraceFile(victim, c.fault, /*seed=*/3);
+        const auto report = analyze::verifyTrace(victim);
+        EXPECT_FALSE(report.ok());
+        bool found = false;
+        for (const auto &d : report.diagnostics)
+            found |= d.id == c.id;
+        EXPECT_TRUE(found) << "expected " << c.id;
         std::remove(victim.c_str());
     }
     std::remove(pristine.c_str());

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -89,6 +90,10 @@ isolationOptions(unsigned workers)
     // Tight stall window so the wedged job fails in milliseconds; far
     // above any healthy retirement gap at these run lengths.
     opts.watchdog = WatchdogConfig{2000, 0};
+    // These tests exercise the *runtime* detectors (validate() in the
+    // worker, the forward-progress watchdog); the static preflight
+    // would reject the poisoned grids before any worker started.
+    opts.preflight = false;
     return opts;
 }
 
@@ -265,6 +270,7 @@ TEST(SweepOutcomes, DeadlineConvertsHangIntoTimeout)
     opts.watchdog = WatchdogConfig{0, 0};
     opts.deadline_ms = 2000;
     opts.retries = 3; // must not apply to the deterministic hang
+    opts.preflight = false; // the wedge must reach a worker
     SweepRunner runner(opts);
     const auto outcomes = runner.runOutcomes(grid);
 
@@ -356,6 +362,69 @@ TEST(SweepOutcomes, PooledFailFastAbortStillBalances)
     EXPECT_GE(rep.skipped_jobs, 1u); // the abort drained a tail
     EXPECT_EQ(rep.jobs, rep.ok_jobs + rep.failed_jobs +
                             rep.timed_out_jobs + rep.skipped_jobs);
+}
+
+TEST(SweepPreflight, RejectsPoisonedGridBeforeAnyWorkerStarts)
+{
+    // Default-on preflight: the same poisoned grid the isolation
+    // tests run to completion is rejected up front — including job 5,
+    // the wedged machine that validate() accepts — and no job
+    // executes (report().jobs stays zero).
+    const auto g = poisonedGrid();
+    SweepOptions opts;
+    opts.workers = 4;
+    try {
+        SweepRunner runner(opts);
+        runner.runOutcomes(g.jobs);
+        FAIL() << "preflight accepted a poisoned grid";
+    } catch (const util::SimError &e) {
+        EXPECT_EQ(e.code(), SimErrorCode::BadConfig);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("preflight"), std::string::npos) << what;
+        EXPECT_NE(what.find("job 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("job 5"), std::string::npos) << what;
+        EXPECT_NE(what.find("job 8"), std::string::npos) << what;
+        EXPECT_NE(what.find("AUR001"), std::string::npos) << what;
+        EXPECT_NE(what.find("AUR010"), std::string::npos) << what;
+        EXPECT_NE(what.find("AUR007"), std::string::npos) << what;
+    }
+
+    SweepRunner fresh(opts);
+    EXPECT_THROW(fresh.run(g.jobs), util::SimError);
+    EXPECT_EQ(fresh.report().jobs, 0u);
+}
+
+TEST(SweepPreflight, CleanGridPassesAndWarningsDoNotBlock)
+{
+    SweepOptions opts;
+    opts.workers = 2;
+    SweepRunner runner(opts);
+    ASSERT_TRUE(runner.preflightEnabled());
+
+    // A warning-only machine (write cache narrower than the issue
+    // width) must still launch: only errors gate.
+    MachineConfig warn_only = baselineModel();
+    warn_only.write_cache.lines = 1;
+    std::vector<SweepJob> grid;
+    grid.push_back({warn_only, trace::espresso(), 2000});
+    const auto outcomes = runner.runOutcomes(grid);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+}
+
+TEST(SweepPreflight, EnvironmentVariableDisablesIt)
+{
+    ASSERT_EQ(setenv("AURORA_PREFLIGHT", "0", 1), 0);
+    SweepOptions opts;
+    SweepRunner env_off(opts);
+    EXPECT_FALSE(env_off.preflightEnabled());
+    // An explicit option always beats the environment.
+    opts.preflight = true;
+    SweepRunner opt_on(opts);
+    EXPECT_TRUE(opt_on.preflightEnabled());
+    ASSERT_EQ(unsetenv("AURORA_PREFLIGHT"), 0);
+    SweepRunner fresh;
+    EXPECT_TRUE(fresh.preflightEnabled());
 }
 
 TEST(SweepOutcomes, RetryBackoffDelaysTheSecondAttempt)

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * machineHash() coverage: every field of MachineConfig — including
+ * every nested component config — must perturb the hash. The hash
+ * feeds deriveJobSeed() and the sweep journal's grid fingerprint, so
+ * a field that describe() forgets would let two different machines
+ * share seeds and replay each other's journaled results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "harness/sweep.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+using harness::machineHash;
+
+struct FieldCase
+{
+    const char *field;
+    std::function<void(MachineConfig &)> mutate;
+};
+
+const std::vector<FieldCase> &
+allFields()
+{
+    static const std::vector<FieldCase> cases = {
+        {"name", [](MachineConfig &m) { m.name = "mutant"; }},
+        {"issue_width", [](MachineConfig &m) { m.issue_width = 1; }},
+        {"rob_entries", [](MachineConfig &m) { m.rob_entries = 7; }},
+        {"retire_width", [](MachineConfig &m) { m.retire_width = 3; }},
+        {"alu_latency", [](MachineConfig &m) { m.alu_latency = 2; }},
+
+        {"ifu.icache_bytes",
+         [](MachineConfig &m) { m.ifu.icache_bytes = 4096; }},
+        {"ifu.line_bytes",
+         [](MachineConfig &m) { m.ifu.line_bytes = 64; }},
+        {"ifu.fetch_width",
+         [](MachineConfig &m) { m.ifu.fetch_width = 1; }},
+        {"ifu.branch_folding",
+         [](MachineConfig &m) { m.ifu.branch_folding = false; }},
+        {"ifu.buffer_entries",
+         [](MachineConfig &m) { m.ifu.buffer_entries = 8; }},
+
+        {"lsu.dcache_bytes",
+         [](MachineConfig &m) { m.lsu.dcache_bytes = 64 * 1024; }},
+        {"lsu.line_bytes",
+         [](MachineConfig &m) { m.lsu.line_bytes = 64; }},
+        {"lsu.dcache_latency",
+         [](MachineConfig &m) { m.lsu.dcache_latency = 4; }},
+        {"lsu.mshr_entries",
+         [](MachineConfig &m) { m.lsu.mshr_entries = 4; }},
+        {"lsu.fill_port_cycles",
+         [](MachineConfig &m) { m.lsu.fill_port_cycles = 3; }},
+        {"lsu.store_occupancy",
+         [](MachineConfig &m) { m.lsu.store_occupancy = 2; }},
+        {"lsu.victim_lines",
+         [](MachineConfig &m) { m.lsu.victim_lines = 4; }},
+        {"lsu.victim_swap_cycles",
+         [](MachineConfig &m) { m.lsu.victim_swap_cycles = 2; }},
+
+        {"write_cache.lines",
+         [](MachineConfig &m) { m.write_cache.lines = 8; }},
+        {"write_cache.line_bytes",
+         [](MachineConfig &m) { m.write_cache.line_bytes = 64; }},
+        {"write_cache.page_bytes",
+         [](MachineConfig &m) { m.write_cache.page_bytes = 8192; }},
+        {"write_cache.validate_writes",
+         [](MachineConfig &m) {
+             m.write_cache.validate_writes = false;
+         }},
+
+        {"prefetch.num_buffers",
+         [](MachineConfig &m) { m.prefetch.num_buffers = 8; }},
+        {"prefetch.depth",
+         [](MachineConfig &m) { m.prefetch.depth = 4; }},
+        {"prefetch.line_bytes",
+         [](MachineConfig &m) { m.prefetch.line_bytes = 64; }},
+        {"prefetch.enabled",
+         [](MachineConfig &m) { m.prefetch.enabled = false; }},
+
+        {"biu.latency", [](MachineConfig &m) { m.biu.latency = 35; }},
+        {"biu.line_occupancy",
+         [](MachineConfig &m) { m.biu.line_occupancy = 8; }},
+        {"biu.queue_depth",
+         [](MachineConfig &m) { m.biu.queue_depth = 4; }},
+        {"biu.model_collisions",
+         [](MachineConfig &m) { m.biu.model_collisions = true; }},
+        {"biu.collision_penalty",
+         [](MachineConfig &m) { m.biu.collision_penalty = 5; }},
+
+        {"fpu.policy",
+         [](MachineConfig &m) {
+             m.fpu.policy = fpu::IssuePolicy::InOrderComplete;
+         }},
+        {"fpu.inst_queue",
+         [](MachineConfig &m) { m.fpu.inst_queue = 8; }},
+        {"fpu.load_queue",
+         [](MachineConfig &m) { m.fpu.load_queue = 4; }},
+        {"fpu.store_queue",
+         [](MachineConfig &m) { m.fpu.store_queue = 5; }},
+        {"fpu.rob_entries",
+         [](MachineConfig &m) { m.fpu.rob_entries = 8; }},
+        {"fpu.result_buses",
+         [](MachineConfig &m) { m.fpu.result_buses = 1; }},
+        {"fpu.add.latency",
+         [](MachineConfig &m) { m.fpu.add.latency = 4; }},
+        {"fpu.add.pipelined",
+         [](MachineConfig &m) { m.fpu.add.pipelined = false; }},
+        {"fpu.mul.latency",
+         [](MachineConfig &m) { m.fpu.mul.latency = 4; }},
+        {"fpu.mul.pipelined",
+         [](MachineConfig &m) { m.fpu.mul.pipelined = false; }},
+        {"fpu.div.latency",
+         [](MachineConfig &m) { m.fpu.div.latency = 25; }},
+        {"fpu.div.pipelined",
+         [](MachineConfig &m) { m.fpu.div.pipelined = true; }},
+        {"fpu.cvt.latency",
+         [](MachineConfig &m) { m.fpu.cvt.latency = 3; }},
+        {"fpu.cvt.pipelined",
+         [](MachineConfig &m) { m.fpu.cvt.pipelined = false; }},
+        {"fpu.precise_exceptions",
+         [](MachineConfig &m) { m.fpu.precise_exceptions = true; }},
+        {"fpu.provably_safe_frac",
+         [](MachineConfig &m) { m.fpu.provably_safe_frac = 0.5; }},
+    };
+    return cases;
+}
+
+TEST(MachineHash, EveryFieldPerturbsTheHash)
+{
+    const std::uint64_t base = machineHash(baselineModel());
+    for (const FieldCase &c : allFields()) {
+        SCOPED_TRACE(c.field);
+        MachineConfig m = baselineModel();
+        c.mutate(m);
+        EXPECT_NE(machineHash(m), base)
+            << c.field << " does not reach describe()/machineHash()";
+    }
+}
+
+TEST(MachineHash, MutantsArePairwiseDistinct)
+{
+    // Stronger than differing from the baseline: no two single-field
+    // mutants may collide either, or their jobs would share derived
+    // seeds.
+    std::set<std::uint64_t> seen{machineHash(baselineModel())};
+    for (const FieldCase &c : allFields()) {
+        MachineConfig m = baselineModel();
+        c.mutate(m);
+        EXPECT_TRUE(seen.insert(machineHash(m)).second)
+            << c.field << " collides with another mutant";
+    }
+}
+
+TEST(MachineHash, IsDeterministicAcrossCalls)
+{
+    EXPECT_EQ(machineHash(baselineModel()),
+              machineHash(baselineModel()));
+    EXPECT_NE(machineHash(smallModel()), machineHash(largeModel()));
+}
+
+TEST(MachineHash, SameKnobsDifferentNameStillDiffer)
+{
+    // Two models with identical parameterization but different names
+    // are different experiment points; the hash keeps them apart.
+    MachineConfig renamed = baselineModel();
+    renamed.name = "baseline-copy";
+    EXPECT_NE(machineHash(renamed), machineHash(baselineModel()));
+}
+
+} // namespace

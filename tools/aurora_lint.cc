@@ -1,0 +1,201 @@
+/**
+ * @file
+ * aurora_lint — static analyzer front end.
+ *
+ * Usage:
+ *   aurora_lint lint-config [--budget RBE] [--json] [key=value ...]
+ *   aurora_lint lint-trace FILE [--profile NAME] [--json]
+ *   aurora_lint explain AURxxx
+ *   aurora_lint list
+ *
+ * lint-config builds a machine exactly as aurora_sim would (same
+ * key=value overrides, see src/core/config_io.hh), then runs every
+ * static check — the cross-field lints, the structural deadlock
+ * detector over the resource graph, and optionally the Table 2 RBE
+ * area budget — without ever executing a cycle. lint-trace verifies a
+ * captured trace file in one pass, optionally against the instruction
+ * mix of a declared workload profile. explain prints the catalog
+ * entry behind any diagnostic ID; list enumerates the catalog.
+ *
+ * Exit status: 0 clean (warnings allowed), 1 any error-severity
+ * finding or a usage/SimError failure — so CI can gate on it.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyze/lint_config.hh"
+#include "analyze/verify_trace.hh"
+#include "core/config_io.hh"
+#include "trace/spec_profiles.hh"
+#include "util/env.hh"
+#include "util/sim_error.hh"
+
+namespace
+{
+
+using namespace aurora;
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: aurora_lint lint-config [--budget RBE] [--json]\n"
+        << "                               [key=value ...]\n"
+        << "       aurora_lint lint-trace FILE [--profile NAME] "
+           "[--json]\n"
+        << "       aurora_lint explain AURxxx\n"
+        << "       aurora_lint list\n";
+    std::exit(2);
+}
+
+double
+realOption(const std::string &option, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(value, &pos);
+        if (pos == value.size())
+            return v;
+    } catch (const std::exception &) {
+    }
+    util::raiseError(util::SimErrorCode::BadConfig, "option ", option,
+                     ": bad numeric value '", value, "'");
+}
+
+/** Print findings (text or JSON) and map them to an exit status. */
+int
+report(const std::vector<analyze::Diagnostic> &findings, bool json)
+{
+    if (json) {
+        std::cout << analyze::toJson(findings);
+    } else if (findings.empty()) {
+        std::cout << "clean\n";
+    } else {
+        std::cout << analyze::formatDiagnostics(findings);
+    }
+    return analyze::hasErrors(findings) ? 1 : 0;
+}
+
+int
+lintConfigCmd(const std::vector<std::string> &args)
+{
+    analyze::LintOptions options;
+    bool json = false;
+    std::string spec;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--budget" && i + 1 < args.size()) {
+            ++i;
+            options.rbe_budget = realOption("--budget", args[i]);
+        } else if (args[i] == "--json") {
+            json = true;
+        } else if (args[i].find('=') != std::string::npos) {
+            spec += args[i] + " ";
+        } else {
+            std::cerr << "unknown argument: " << args[i] << "\n";
+            usage();
+        }
+    }
+    const core::MachineConfig machine = core::parseMachineSpec(spec);
+    return report(analyze::lintConfig(machine, options), json);
+}
+
+int
+lintTraceCmd(const std::vector<std::string> &args)
+{
+    std::string path;
+    std::string profile_name;
+    bool json = false;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--profile" && i + 1 < args.size()) {
+            profile_name = args[++i];
+        } else if (args[i] == "--json") {
+            json = true;
+        } else if (path.empty() && !args[i].empty() &&
+                   args[i][0] != '-') {
+            path = args[i];
+        } else {
+            std::cerr << "unknown argument: " << args[i] << "\n";
+            usage();
+        }
+    }
+    if (path.empty())
+        usage();
+
+    trace::WorkloadProfile profile;
+    analyze::TraceCheckOptions options;
+    if (!profile_name.empty()) {
+        profile = trace::profileByName(profile_name);
+        options.profile = &profile;
+    }
+    const analyze::TraceReport result =
+        analyze::verifyTrace(path, options);
+    if (!json)
+        std::cout << result.summary();
+    return report(result.diagnostics, json);
+}
+
+int
+explainCmd(const std::string &id)
+{
+    const analyze::DiagnosticInfo *info = analyze::findDiagnostic(id);
+    if (info == nullptr) {
+        std::cerr << "aurora_lint: unknown diagnostic '" << id
+                  << "' (try 'aurora_lint list')\n";
+        return 1;
+    }
+    std::cout << info->id << " (" << analyze::severityName(info->severity)
+              << "): " << info->title << "\n\n"
+              << info->rationale << "\n\nfix: " << info->hint << "\n";
+    return 0;
+}
+
+int
+listCmd()
+{
+    for (const analyze::DiagnosticInfo &info : analyze::catalog())
+        std::cout << info.id << "  "
+                  << analyze::severityName(info.severity) << "  "
+                  << info.title << "\n";
+    return 0;
+}
+
+int
+run(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    if (command == "lint-config")
+        return lintConfigCmd(args);
+    if (command == "lint-trace")
+        return lintTraceCmd(args);
+    if (command == "explain") {
+        if (args.size() != 1)
+            usage();
+        return explainCmd(args[0]);
+    }
+    if (command == "list")
+        return listCmd();
+    if (command == "--help" || command == "-h")
+        usage();
+    std::cerr << "unknown command: " << command << "\n";
+    usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const util::SimError &e) {
+        std::cerr << "aurora_lint: " << e.what() << "\n";
+        return 1;
+    }
+}
