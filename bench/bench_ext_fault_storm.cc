@@ -19,7 +19,10 @@
  *   5. a sweep SIGKILLed mid-grid leaves a half-written journal from
  *      which resume completes bit-identically at 1, 2 and 8 workers;
  *   6. a wedged machine under a wall-clock deadline becomes a Timeout
- *      outcome without blocking the rest of the grid.
+ *      outcome without blocking the rest of the grid;
+ *   7. the sweep timeline records retry, timeout, and resume spans
+ *      and exports them as a loadable trace-event artifact
+ *      (AURORA_TIMELINE_OUT=path keeps it for Perfetto).
  *
  * Exits non-zero if any expectation fails, so scripts/check.sh can
  * use it as a smoke test.
@@ -27,8 +30,11 @@
 
 #include <atomic>
 #include <csignal>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -40,6 +46,8 @@
 #include "core/watchdog.hh"
 #include "faultinject/faultinject.hh"
 #include "harness/journal.hh"
+#include "harness/sweep_trace.hh"
+#include "telemetry/json.hh"
 #include "trace/synthetic_workload.hh"
 #include "trace/trace_io.hh"
 
@@ -194,9 +202,11 @@ void
 preflightStorm(Count insts)
 {
     // The same poisoned 18-job grid the runtime storm grinds
-    // through, presented to a runner with the preflight at its
-    // default (ON): the launch must be rejected before any worker
-    // starts, with the report showing zero jobs executed.
+    // through, presented to a runner with the preflight pinned ON
+    // (explicitly, so an AURORA_PREFLIGHT=0 environment — the obs
+    // drill uses it — cannot disarm this section): the launch must
+    // be rejected before any worker starts, with the report showing
+    // zero jobs executed.
     std::vector<SweepJob> grid = healthyGrid(insts);
     std::size_t planted = 0;
     for (std::size_t i = 0; i < grid.size(); ++i) {
@@ -213,6 +223,7 @@ preflightStorm(Count insts)
 
     SweepOptions opts;
     opts.base_seed = STORM_SEED;
+    opts.preflight = true;
     SweepRunner runner(opts);
     bool rejected = false;
     std::string message;
@@ -222,7 +233,7 @@ preflightStorm(Count insts)
         rejected = e.code() == util::SimErrorCode::BadConfig;
         message = e.what();
     }
-    expect(rejected, "default-on preflight rejects the poisoned grid");
+    expect(rejected, "preflight rejects the poisoned grid");
     expect(message.find("preflight") != std::string::npos,
            "rejection names the preflight");
     expect(runner.report().jobs == 0,
@@ -501,6 +512,118 @@ deadlineStorm(Count insts)
     std::cout << "  " << report.summary() << "\n";
 }
 
+void
+timelineStorm(Count insts)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() /
+                         ("aurora_timeline_storm." +
+                          std::to_string(::getpid()));
+    fs::create_directories(dir);
+
+    // One timeline across both acts, so retry, timeout, and resume
+    // spans land in a single trace-event artifact.
+    SweepTimeline timeline;
+
+    // Act 1: two healthy tasks, one transiently flaky one (retry
+    // recovers it), and one wedged machine under a short wall-clock
+    // deadline (converted to Timeout by the in-task watchdog).
+    std::atomic<unsigned> flaky_calls{0};
+    std::vector<std::function<RunResult()>> tasks;
+    for (int i = 0; i < 2; ++i)
+        tasks.push_back([insts]() {
+            return simulate(baselineModel(), trace::espresso(),
+                            insts);
+        });
+    tasks.push_back([&flaky_calls, insts]() {
+        if (flaky_calls.fetch_add(1) == 0)
+            util::raiseError(util::SimErrorCode::Internal,
+                             "transient timeline failure");
+        return simulate(baselineModel(), trace::li(), insts);
+    });
+    tasks.push_back([insts]() {
+        return simulate(fi::wedgeConfig(baselineModel()),
+                        trace::nasa7(), insts,
+                        WatchdogConfig{0, 0, 500});
+    });
+
+    SweepOptions opts;
+    opts.base_seed = STORM_SEED;
+    opts.workers = 4;
+    opts.retries = 2;
+    opts.timeline = &timeline;
+    SweepRunner runner(opts);
+    const auto outcomes = runner.runTaskOutcomes(tasks);
+    expect(outcomes[2].ok && outcomes[2].attempts == 2,
+           "timeline storm: flaky job recovered on retry");
+    expect(!outcomes[3].ok &&
+               outcomes[3].code == util::SimErrorCode::Timeout,
+           "timeline storm: wedged job timed out");
+
+    // Act 2: a journaled mini-sweep run to completion, then resumed
+    // on the same timeline — every job replays as a resumed instant.
+    std::vector<SweepJob> grid;
+    for (const auto *name : {"espresso", "li"})
+        grid.push_back(
+            {baselineModel(), trace::profileByName(name), insts});
+    const std::string journal = (dir / "timeline.ajrn").string();
+    {
+        SweepOptions jopts;
+        jopts.base_seed = STORM_SEED;
+        jopts.journal = journal;
+        SweepRunner first(jopts);
+        first.runOutcomes(grid);
+    }
+    SweepOptions ropts;
+    ropts.base_seed = STORM_SEED;
+    ropts.journal = journal;
+    ropts.resume = true;
+    ropts.timeline = &timeline;
+    SweepRunner replayer(ropts);
+    replayer.runOutcomes(grid);
+
+    // The artifact must witness every span class the storm produced.
+    std::size_t retried = 0, timed_out = 0, resumed = 0;
+    for (const auto &span : timeline.spans()) {
+        retried += span.kind == SpanKind::Ok && span.attempt == 2;
+        timed_out += span.kind == SpanKind::TimedOut;
+        resumed += span.kind == SpanKind::Resumed;
+    }
+    expect(retried == 1, "timeline records the retry span (attempt 2)");
+    expect(timed_out == 1, "timeline records the timeout span");
+    expect(resumed == grid.size(),
+           "timeline records every resumed replay");
+
+    // Emit the trace-event artifact. AURORA_TIMELINE_OUT keeps it for
+    // Perfetto; by default it lands in the scratch dir and is only
+    // validated.
+    const char *out_env = std::getenv("AURORA_TIMELINE_OUT");
+    const std::string artifact =
+        out_env && *out_env ? std::string(out_env)
+                            : (dir / "fault_storm_timeline.json")
+                                  .string();
+    {
+        std::ofstream os(artifact);
+        writeTimelineTrace(os, timeline, "fault storm sweep");
+    }
+    std::ifstream is(artifact);
+    std::stringstream text;
+    text << is.rdbuf();
+    std::string parse_error;
+    const auto doc =
+        telemetry::parseJson(text.str(), &parse_error);
+    expect(doc && doc->isObject() && doc->find("traceEvents") &&
+               doc->find("traceEvents")->isArray(),
+           "timeline artifact parses as a trace-event document" +
+               (parse_error.empty() ? "" : " (" + parse_error + ")"));
+    std::cout << "  timeline artifact: " << artifact << " ("
+              << timeline.size() << " spans)\n";
+
+    // The scratch dir (journal + default artifact location) goes;
+    // an AURORA_TIMELINE_OUT artifact lives outside it and survives.
+    fs::remove_all(dir);
+}
+
 } // namespace
 
 int
@@ -523,6 +646,8 @@ main()
     journalResumeStorm(insts);
     std::cout << "\n-- wall-clock deadline --\n";
     deadlineStorm(insts);
+    std::cout << "\n-- sweep timeline artifact --\n";
+    timelineStorm(insts / 10 ? insts / 10 : 1);
 
     std::cout << "\nfault storm: "
               << (failures ? "FAILED" : "all expectations met")

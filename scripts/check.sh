@@ -14,7 +14,12 @@
 #                               # lint (always) and clang-tidy over
 #                               # compile_commands.json (when
 #                               # clang-tidy is installed)
-#   scripts/check.sh all        # all four presets, the drill, and
+#   scripts/check.sh obs        # observability drill: exercise every
+#                               # exporter (--stats-json, --stats-csv,
+#                               # --trace-events, --sweep-trace, the
+#                               # fault-storm timeline artifact) and
+#                               # validate each with aurora_obs_check
+#   scripts/check.sh all        # all four presets, both drills, and
 #                               # the lint stage
 #
 # Every full-suite preset includes the fault-storm smoke test
@@ -74,6 +79,54 @@ run_resume_drill() {
     echo "resume drill: resumed output is byte-identical"
 }
 
+# Observability drill against the real binaries: produce every export
+# format the telemetry subsystem offers and validate each one with
+# aurora_obs_check (well-formed JSON, schema discriminator, monotonic
+# trace timestamps, rectangular CSV). The fault-storm bench runs with
+# the preflight off so its wedged grid points reach the runtime
+# detectors and the timeline artifact gains retry/timeout/resume
+# spans.
+run_obs() {
+    echo "==== check: obs ===="
+    cmake --preset release
+    cmake --build --preset release -j "$(nproc)" \
+        --target aurora_sim aurora_obs_check bench_ext_fault_storm
+    local sim=build/tools/aurora_sim
+    local check=build/tools/aurora_obs_check
+    local dir
+    dir="$(mktemp -d)"
+    trap 'rm -rf "${dir}"' RETURN
+    local insts="${AURORA_CHECK_OBS_INSTS:-50000}"
+
+    # Single run: structured stats, CSV, and the per-cycle pipeline
+    # trace, each validated.
+    "${sim}" --bench espresso --insts "${insts}" \
+        --stats-json "${dir}/run.json" --stats-csv "${dir}/run.csv" \
+        --trace-events "${dir}/pipeline.json" \
+        --trace-event-cycles 2000 > /dev/null
+    "${check}" stats "${dir}/run.json"
+    "${check}" csv "${dir}/run.csv"
+    "${check}" trace "${dir}/pipeline.json"
+
+    # Suite sweep with per-job metric registries.
+    "${sim}" --bench int --insts "${insts}" --csv \
+        --stats-json "${dir}/suite.json" > /dev/null
+    "${check}" stats "${dir}/suite.json"
+
+    # Journaled sweep with the per-worker execution timeline.
+    "${sim}" --bench int --insts "${insts}" --csv \
+        --journal "${dir}/sweep.ajrn" \
+        --sweep-trace "${dir}/sweep.json" > /dev/null
+    "${check}" trace "${dir}/sweep.json"
+
+    # Fault-storm timeline artifact with retry/timeout/resume spans.
+    AURORA_BENCH_INSTS=20000 AURORA_PREFLIGHT=0 \
+        AURORA_TIMELINE_OUT="${dir}/fault_storm.json" \
+        build/bench/bench_ext_fault_storm > /dev/null
+    "${check}" trace "${dir}/fault_storm.json"
+    echo "obs drill: every exporter validated"
+}
+
 # Static analysis. The determinism lint is pure grep and always runs.
 # clang-tidy consumes the compile_commands.json the release preset
 # exports (CMAKE_EXPORT_COMPILE_COMMANDS in the top-level
@@ -106,6 +159,7 @@ case "${1:-release}" in
     run_preset ubsan
     run_preset tsan
     run_resume_drill
+    run_obs
     run_lint
     ;;
   release|asan|ubsan|tsan)
@@ -114,11 +168,14 @@ case "${1:-release}" in
   resume)
     run_resume_drill
     ;;
+  obs)
+    run_obs
+    ;;
   lint)
     run_lint
     ;;
   *)
-    echo "usage: $0 [release|asan|ubsan|tsan|resume|lint|all]" >&2
+    echo "usage: $0 [release|asan|ubsan|tsan|resume|obs|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -2,7 +2,7 @@
 # Determinism lint: the simulation core must be a pure function of its
 # inputs, or golden stats, sweep replay, and journal resume all break.
 #
-# Bans, in src/core src/ipu src/fpu src/mem src/trace:
+# Bans, in src/core src/ipu src/fpu src/mem src/trace src/telemetry:
 #   - wall-clock reads: std::chrono::system_clock, time(
 #   - libc randomness:  rand(, std::random_device
 #   - environment reads: getenv (env access belongs in util/env, so
@@ -16,7 +16,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-DIRS=(src/core src/ipu src/fpu src/mem src/trace)
+# src/telemetry is covered too: samplers and exporters take
+# timestamps as event payloads, they never read clocks themselves
+# (wall-clock sweep timelines live in src/harness, outside the core).
+DIRS=(src/core src/ipu src/fpu src/mem src/trace src/telemetry)
 STATUS=0
 
 # pattern -> human explanation. Word boundaries keep e.g.

@@ -4,9 +4,113 @@
 #include <ostream>
 
 #include "isa/encoding.hh"
+#include "util/logging.hh"
 
 namespace aurora::core
 {
+
+std::string_view
+cacheUnitName(CacheUnit unit)
+{
+    switch (unit) {
+      case CacheUnit::ICache:
+        return "icache";
+      case CacheUnit::DCache:
+        return "dcache";
+      case CacheUnit::WriteCache:
+        return "write_cache";
+    }
+    AURORA_PANIC("bad CacheUnit ", static_cast<int>(unit));
+}
+
+std::string_view
+fpQueueName(FpQueueKind queue)
+{
+    switch (queue) {
+      case FpQueueKind::Inst:
+        return "fp_instq";
+      case FpQueueKind::Load:
+        return "fp_loadq";
+      case FpQueueKind::Store:
+        return "fp_storeq";
+    }
+    AURORA_PANIC("bad FpQueueKind ", static_cast<int>(queue));
+}
+
+void
+ObserverFanout::onIssue(Cycle now, const trace::Inst &inst,
+                        unsigned slot)
+{
+    for (PipelineObserver *o : observers_)
+        o->onIssue(now, inst, slot);
+}
+
+void
+ObserverFanout::onStall(Cycle now, StallCause cause)
+{
+    for (PipelineObserver *o : observers_)
+        o->onStall(now, cause);
+}
+
+void
+ObserverFanout::onRetire(Cycle now, unsigned count)
+{
+    for (PipelineObserver *o : observers_)
+        o->onRetire(now, count);
+}
+
+void
+ObserverFanout::onCacheAccess(Cycle now, CacheUnit unit, unsigned hits,
+                              unsigned misses)
+{
+    for (PipelineObserver *o : observers_)
+        o->onCacheAccess(now, unit, hits, misses);
+}
+
+void
+ObserverFanout::onLoadIssue(Cycle now, Cycle latency, bool miss)
+{
+    for (PipelineObserver *o : observers_)
+        o->onLoadIssue(now, latency, miss);
+}
+
+void
+ObserverFanout::onMshr(Cycle now, unsigned allocated, unsigned released,
+                       unsigned in_use)
+{
+    for (PipelineObserver *o : observers_)
+        o->onMshr(now, allocated, released, in_use);
+}
+
+void
+ObserverFanout::onFpQueue(Cycle now, FpQueueKind queue,
+                          unsigned enqueued, unsigned dequeued,
+                          unsigned depth)
+{
+    for (PipelineObserver *o : observers_)
+        o->onFpQueue(now, queue, enqueued, dequeued, depth);
+}
+
+void
+ObserverFanout::onDrainStart(Cycle now)
+{
+    for (PipelineObserver *o : observers_)
+        o->onDrainStart(now);
+}
+
+void
+ObserverFanout::onDrainEnd(Cycle now, unsigned mshr_releases)
+{
+    for (PipelineObserver *o : observers_)
+        o->onDrainEnd(now, mshr_releases);
+}
+
+void
+ObserverFanout::onCycleEnd(Cycle now, const OccupancySample &occ)
+{
+    for (PipelineObserver *o : observers_)
+        o->onCycleEnd(now, occ);
+}
 
 PipelineTracer::PipelineTracer(std::ostream &os, Cycle max_cycles)
     : os_(os), maxCycles_(max_cycles)
@@ -44,6 +148,64 @@ PipelineTracer::onRetire(Cycle now, unsigned count)
     if (!active(now) || count == 0)
         return;
     os_ << std::setw(8) << now << "  retire   x" << count << '\n';
+}
+
+void
+PipelineTracer::onCacheAccess(Cycle now, CacheUnit unit, unsigned hits,
+                              unsigned misses)
+{
+    if (!active(now))
+        return;
+    os_ << std::setw(8) << now << "  cache    " << cacheUnitName(unit)
+        << " " << hits << " hit / " << misses << " miss\n";
+}
+
+void
+PipelineTracer::onLoadIssue(Cycle now, Cycle latency, bool miss)
+{
+    if (!active(now))
+        return;
+    os_ << std::setw(8) << now << "  load     latency=" << latency
+        << (miss ? "  (miss)" : "  (hit)") << '\n';
+}
+
+void
+PipelineTracer::onMshr(Cycle now, unsigned allocated, unsigned released,
+                       unsigned in_use)
+{
+    if (!active(now))
+        return;
+    os_ << std::setw(8) << now << "  mshr     +" << allocated << "/-"
+        << released << "  (" << in_use << " in use)\n";
+}
+
+void
+PipelineTracer::onFpQueue(Cycle now, FpQueueKind queue,
+                          unsigned enqueued, unsigned dequeued,
+                          unsigned depth)
+{
+    if (!active(now))
+        return;
+    os_ << std::setw(8) << now << "  fpq      " << fpQueueName(queue)
+        << " +" << enqueued << "/-" << dequeued << "  (depth " << depth
+        << ")\n";
+}
+
+void
+PipelineTracer::onDrainStart(Cycle now)
+{
+    if (!active(now))
+        return;
+    os_ << std::setw(8) << now << "  drain    begin (trace exhausted)\n";
+}
+
+void
+PipelineTracer::onDrainEnd(Cycle now, unsigned mshr_releases)
+{
+    if (!active(now))
+        return;
+    os_ << std::setw(8) << now << "  drain    end (+" << mshr_releases
+        << " mshr released)\n";
 }
 
 } // namespace aurora::core

@@ -2,17 +2,24 @@
  * @file
  * Pipeline observability: per-cycle event hooks and a text tracer.
  *
- * A PipelineObserver attached to a Processor receives issue, stall
- * and retire events as they happen — the facility used to debug the
- * pipeline model and to teach what the machine is doing cycle by
- * cycle (aurora_sim --pipeline-trace N). Observation is optional and
- * free when absent.
+ * A PipelineObserver attached to a Processor receives issue, stall,
+ * retire, cache-access, MSHR, FP-queue, drain and end-of-cycle
+ * occupancy events as they happen — the facility used to debug the
+ * pipeline model, to teach what the machine is doing cycle by cycle
+ * (aurora_sim --pipeline-trace N), and to feed the telemetry layer
+ * (metric registries and Chrome trace-event export, see
+ * docs/observability.md). Observation is optional and free when
+ * absent: every hook site is guarded by a single pointer test, and
+ * an attached observer only *reads* machine state, so enabling one
+ * can never perturb simulation results, seeds, or machineHash.
  */
 
 #ifndef AURORA_CORE_PIPELINE_TRACE_HH
 #define AURORA_CORE_PIPELINE_TRACE_HH
 
 #include <iosfwd>
+#include <string_view>
+#include <vector>
 
 #include "stall.hh"
 #include "trace/inst.hh"
@@ -20,6 +27,48 @@
 
 namespace aurora::core
 {
+
+/** Cache named by an onCacheAccess() event. */
+enum class CacheUnit
+{
+    ICache,
+    DCache,
+    WriteCache,
+};
+
+inline constexpr std::size_t NUM_CACHE_UNITS = 3;
+
+/** Short stable name of @p unit ("icache", "dcache", "write_cache"). */
+std::string_view cacheUnitName(CacheUnit unit);
+
+/** FPU decoupling queue named by an onFpQueue() event. */
+enum class FpQueueKind
+{
+    Inst,
+    Load,
+    Store,
+};
+
+inline constexpr std::size_t NUM_FP_QUEUES = 3;
+
+/** Short stable name of @p queue ("fp_instq", "fp_loadq", "fp_storeq"). */
+std::string_view fpQueueName(FpQueueKind queue);
+
+/**
+ * End-of-cycle occupancy snapshot of every bounded structure the
+ * paper sizes (delivered by onCycleEnd()).
+ */
+struct OccupancySample
+{
+    unsigned rob = 0;         ///< IPU reorder buffer entries
+    unsigned mshr = 0;        ///< MSHRs in flight
+    unsigned write_cache = 0; ///< valid write-cache lines
+    unsigned prefetch = 0;    ///< prefetch-buffer entries in flight
+    unsigned fp_instq = 0;    ///< FP instruction queue depth
+    unsigned fp_loadq = 0;    ///< FP load data queue depth
+    unsigned fp_storeq = 0;   ///< FP store data queue depth
+    unsigned fp_rob = 0;      ///< FPU reorder buffer entries
+};
 
 /** Receives pipeline events; default implementations ignore them. */
 class PipelineObserver
@@ -51,12 +100,133 @@ class PipelineObserver
         (void)now;
         (void)count;
     }
+
+    /**
+     * @p unit serviced @p hits + @p misses accesses this cycle.
+     * Emitted at most once per unit per cycle (counts are the cycle's
+     * deltas, so their run totals match the RunLedger exactly).
+     */
+    virtual void
+    onCacheAccess(Cycle now, CacheUnit unit, unsigned hits,
+                  unsigned misses)
+    {
+        (void)now;
+        (void)unit;
+        (void)hits;
+        (void)misses;
+    }
+
+    /**
+     * A data-side load entered the LSU: its result is due @p latency
+     * cycles from now; @p miss when the D-cache missed.
+     */
+    virtual void
+    onLoadIssue(Cycle now, Cycle latency, bool miss)
+    {
+        (void)now;
+        (void)latency;
+        (void)miss;
+    }
+
+    /**
+     * MSHR file activity this cycle: @p allocated entries claimed,
+     * @p released entries freed, @p in_use currently outstanding.
+     */
+    virtual void
+    onMshr(Cycle now, unsigned allocated, unsigned released,
+           unsigned in_use)
+    {
+        (void)now;
+        (void)allocated;
+        (void)released;
+        (void)in_use;
+    }
+
+    /**
+     * FPU decoupling-queue activity this cycle: @p enqueued entries
+     * accepted, @p dequeued entries drained, @p depth at cycle end.
+     */
+    virtual void
+    onFpQueue(Cycle now, FpQueueKind queue, unsigned enqueued,
+              unsigned dequeued, unsigned depth)
+    {
+        (void)now;
+        (void)queue;
+        (void)enqueued;
+        (void)dequeued;
+        (void)depth;
+    }
+
+    /** The trace is exhausted; the machine began its drain tail. */
+    virtual void
+    onDrainStart(Cycle now)
+    {
+        (void)now;
+    }
+
+    /**
+     * The end-of-run LSU drain completed, force-releasing
+     * @p mshr_releases MSHRs that were still in flight.
+     */
+    virtual void
+    onDrainEnd(Cycle now, unsigned mshr_releases)
+    {
+        (void)now;
+        (void)mshr_releases;
+    }
+
+    /** End of cycle @p now with occupancies @p occ (every cycle). */
+    virtual void
+    onCycleEnd(Cycle now, const OccupancySample &occ)
+    {
+        (void)now;
+        (void)occ;
+    }
+};
+
+/**
+ * Fans one Processor observer slot out to several observers (e.g. a
+ * PipelineTracer plus a telemetry sampler plus a trace-event
+ * exporter). Events forward in attach() order.
+ */
+class ObserverFanout : public PipelineObserver
+{
+  public:
+    /** Add @p observer (ignored when nullptr); must outlive the run. */
+    void
+    attach(PipelineObserver *observer)
+    {
+        if (observer)
+            observers_.push_back(observer);
+    }
+
+    bool empty() const { return observers_.empty(); }
+
+    void onIssue(Cycle now, const trace::Inst &inst,
+                 unsigned slot) override;
+    void onStall(Cycle now, StallCause cause) override;
+    void onRetire(Cycle now, unsigned count) override;
+    void onCacheAccess(Cycle now, CacheUnit unit, unsigned hits,
+                       unsigned misses) override;
+    void onLoadIssue(Cycle now, Cycle latency, bool miss) override;
+    void onMshr(Cycle now, unsigned allocated, unsigned released,
+                unsigned in_use) override;
+    void onFpQueue(Cycle now, FpQueueKind queue, unsigned enqueued,
+                   unsigned dequeued, unsigned depth) override;
+    void onDrainStart(Cycle now) override;
+    void onDrainEnd(Cycle now, unsigned mshr_releases) override;
+    void onCycleEnd(Cycle now, const OccupancySample &occ) override;
+
+  private:
+    std::vector<PipelineObserver *> observers_;
 };
 
 /**
  * Textual tracer: one line per event, MIPS disassembly included.
  * Stops emitting after @p max_cycles (the stream would otherwise be
- * enormous); counting continues so statistics stay exact.
+ * enormous); counting continues so statistics stay exact. End-of-
+ * cycle occupancy samples are deliberately not printed (they fire
+ * every cycle; the trace-event exporter carries them instead).
  */
 class PipelineTracer : public PipelineObserver
 {
@@ -67,6 +237,15 @@ class PipelineTracer : public PipelineObserver
                  unsigned slot) override;
     void onStall(Cycle now, StallCause cause) override;
     void onRetire(Cycle now, unsigned count) override;
+    void onCacheAccess(Cycle now, CacheUnit unit, unsigned hits,
+                       unsigned misses) override;
+    void onLoadIssue(Cycle now, Cycle latency, bool miss) override;
+    void onMshr(Cycle now, unsigned allocated, unsigned released,
+                unsigned in_use) override;
+    void onFpQueue(Cycle now, FpQueueKind queue, unsigned enqueued,
+                   unsigned dequeued, unsigned depth) override;
+    void onDrainStart(Cycle now) override;
+    void onDrainEnd(Cycle now, unsigned mshr_releases) override;
 
   private:
     bool active(Cycle now) const { return now < maxCycles_; }

@@ -22,9 +22,26 @@ Processor::Processor(const MachineConfig &config,
       ifu_(config.ifu, source, prefetch_),
       lsu_(config.lsu, config.write_cache, biu_, prefetch_),
       fpu_(config.fpu), rob_(config.rob_entries, config.retire_width),
-      watchdog_(watchdog)
+      watchdog_(watchdog),
+      // One unit-width bucket per possible occupancy value [0, cap].
+      robOccupancy_(config.rob_entries + 1),
+      mshrOccupancy_(config.lsu.mshr_entries + 1),
+      fpInstqOccupancy_(config.fpu.inst_queue + 1),
+      fpLoadqOccupancy_(config.fpu.load_queue + 1),
+      fpStoreqOccupancy_(config.fpu.store_queue + 1)
 {
     config_.validate();
+}
+
+OccupancyStats
+OccupancyStats::fromHistogram(const Histogram &h)
+{
+    OccupancyStats s;
+    s.mean = h.mean();
+    s.p50 = h.percentile(0.50);
+    s.p95 = h.percentile(0.95);
+    s.max = h.maxSample();
+    return s;
 }
 
 bool
@@ -89,7 +106,7 @@ Processor::doIssue(const Inst &inst)
         break;
       }
       case OpClass::Load: {
-        const Cycle ready = lsu_.load(inst.eff_addr, inst.size, now_);
+        const Cycle ready = observedLoad(inst);
         scoreboard_.setWriter(inst.dst, ready, /*is_load=*/true);
         rob_.allocate(ready);
         break;
@@ -100,7 +117,7 @@ Processor::doIssue(const Inst &inst)
         break;
       }
       case OpClass::FpLoad: {
-        const Cycle ready = lsu_.load(inst.eff_addr, inst.size, now_);
+        const Cycle ready = observedLoad(inst);
         fpu_.dispatchLoad(inst.fdst, ready, now_);
         rob_.allocate(now_ + 1);
         ++fpDispatched_;
@@ -127,6 +144,19 @@ Processor::doIssue(const Inst &inst)
                      static_cast<int>(inst.op));
     }
     ++instructions_;
+}
+
+Cycle
+Processor::observedLoad(const Inst &inst)
+{
+    if (!observer_)
+        return lsu_.load(inst.eff_addr, inst.size, now_);
+    const Count misses_before = lsu_.dcache().hitRate().misses();
+    const Cycle ready = lsu_.load(inst.eff_addr, inst.size, now_);
+    observer_->onLoadIssue(
+        now_, ready - now_,
+        lsu_.dcache().hitRate().misses() != misses_before);
+    return ready;
 }
 
 bool
@@ -191,9 +221,98 @@ Processor::issueStage()
     ++issueWidthCycles_[issued];
 }
 
+Processor::ObsSnapshot
+Processor::obsCapture() const
+{
+    ObsSnapshot s;
+    s.icache_hits = ifu_.icache().hitRate().hits();
+    s.icache_misses = ifu_.icache().hitRate().misses();
+    s.dcache_hits = lsu_.dcache().hitRate().hits();
+    s.dcache_misses = lsu_.dcache().hitRate().misses();
+    s.wcache_hits = lsu_.writeCache().hitRate().hits();
+    s.wcache_misses = lsu_.writeCache().hitRate().misses();
+    s.mshr_allocs = lsu_.mshrs().allocations();
+    s.mshr_releases = lsu_.mshrs().releases();
+    s.fp_loads = fpu_.stats().loads;
+    s.fp_stores = fpu_.stats().stores;
+    s.fp_dispatched = fpDispatched_;
+    s.fp_instq = fpu_.instQueueSize();
+    s.fp_loadq = fpu_.loadQueueSize();
+    s.fp_storeq = fpu_.storeQueueSize();
+    return s;
+}
+
+void
+Processor::obsEmit(const ObsSnapshot &pre)
+{
+    const ObsSnapshot cur = obsCapture();
+    const auto delta = [](Count now_v, Count before) {
+        return static_cast<unsigned>(now_v - before);
+    };
+
+    const unsigned ich = delta(cur.icache_hits, pre.icache_hits);
+    const unsigned icm = delta(cur.icache_misses, pre.icache_misses);
+    if (ich || icm)
+        observer_->onCacheAccess(now_, CacheUnit::ICache, ich, icm);
+    const unsigned dch = delta(cur.dcache_hits, pre.dcache_hits);
+    const unsigned dcm = delta(cur.dcache_misses, pre.dcache_misses);
+    if (dch || dcm)
+        observer_->onCacheAccess(now_, CacheUnit::DCache, dch, dcm);
+    const unsigned wch = delta(cur.wcache_hits, pre.wcache_hits);
+    const unsigned wcm = delta(cur.wcache_misses, pre.wcache_misses);
+    if (wch || wcm)
+        observer_->onCacheAccess(now_, CacheUnit::WriteCache, wch, wcm);
+
+    const unsigned ma = delta(cur.mshr_allocs, pre.mshr_allocs);
+    const unsigned mr = delta(cur.mshr_releases, pre.mshr_releases);
+    if (ma || mr)
+        observer_->onMshr(now_, ma, mr,
+                          static_cast<unsigned>(lsu_.mshrs().inUse()));
+
+    // Queue enqueue counts come from producer-side counters; dequeue
+    // counts fall out of the depth balance (pre + enq - deq == cur).
+    const unsigned loads = delta(cur.fp_loads, pre.fp_loads);
+    const unsigned stores = delta(cur.fp_stores, pre.fp_stores);
+    const unsigned arith =
+        delta(cur.fp_dispatched, pre.fp_dispatched) - loads - stores;
+    const auto queue_event = [&](FpQueueKind kind, unsigned enq,
+                                 std::size_t before, std::size_t now_d) {
+        const auto deq = static_cast<unsigned>(before + enq - now_d);
+        if (enq || deq)
+            observer_->onFpQueue(now_, kind, enq, deq,
+                                 static_cast<unsigned>(now_d));
+    };
+    queue_event(FpQueueKind::Inst, arith, pre.fp_instq, cur.fp_instq);
+    queue_event(FpQueueKind::Load, loads, pre.fp_loadq, cur.fp_loadq);
+    queue_event(FpQueueKind::Store, stores, pre.fp_storeq,
+                cur.fp_storeq);
+
+    if (!drainObserved_ && ifu_.exhausted()) {
+        drainObserved_ = true;
+        observer_->onDrainStart(now_);
+    }
+
+    OccupancySample occ;
+    occ.rob = static_cast<unsigned>(rob_.size());
+    occ.mshr = static_cast<unsigned>(lsu_.mshrs().inUse());
+    occ.write_cache = lsu_.writeCache().linesInUse();
+    occ.prefetch = prefetch_.entriesInFlight();
+    occ.fp_instq = static_cast<unsigned>(cur.fp_instq);
+    occ.fp_loadq = static_cast<unsigned>(cur.fp_loadq);
+    occ.fp_storeq = static_cast<unsigned>(cur.fp_storeq);
+    occ.fp_rob = static_cast<unsigned>(fpu_.robSize());
+    observer_->onCycleEnd(now_, occ);
+}
+
 void
 Processor::step()
 {
+    // Snapshot source counters up front so the whole step — LSU/FPU
+    // ticks, retirement, issue, fetch — lands in one set of per-cycle
+    // delta events. Pure reads: results are identical either way.
+    ObsSnapshot pre;
+    if (observer_)
+        pre = obsCapture();
     lsu_.tick(now_);
     fpu_.tick(now_);
     const unsigned retired = rob_.retire(now_);
@@ -203,8 +322,13 @@ Processor::step()
         observer_->onRetire(now_, retired);
     issueStage();
     ifu_.tick(now_);
-    robOccupancy_.add(static_cast<double>(rob_.size()));
-    mshrOccupancy_.add(static_cast<double>(lsu_.mshrs().inUse()));
+    robOccupancy_.add(rob_.size());
+    mshrOccupancy_.add(lsu_.mshrs().inUse());
+    fpInstqOccupancy_.add(fpu_.instQueueSize());
+    fpLoadqOccupancy_.add(fpu_.loadQueueSize());
+    fpStoreqOccupancy_.add(fpu_.storeQueueSize());
+    if (observer_)
+        obsEmit(pre);
     ++now_;
 }
 
@@ -271,8 +395,13 @@ Processor::run()
         step();
     }
     if (!drained_) {
+        const Count releases_before = lsu_.mshrs().releases();
         lsu_.drain(now_);
         drained_ = true;
+        if (observer_)
+            observer_->onDrainEnd(
+                now_, static_cast<unsigned>(lsu_.mshrs().releases() -
+                                            releases_before));
     }
 
     RunResult res;
@@ -293,8 +422,16 @@ Processor::run()
     res.fpu = fpu_.stats();
     res.rbe_cost = config_.rbeCost();
     res.issue_width_cycles = issueWidthCycles_;
-    res.avg_rob_occupancy = robOccupancy_.mean();
-    res.avg_mshr_occupancy = mshrOccupancy_.mean();
+    res.rob_occupancy = OccupancyStats::fromHistogram(robOccupancy_);
+    res.mshr_occupancy = OccupancyStats::fromHistogram(mshrOccupancy_);
+    res.fp_instq_occupancy =
+        OccupancyStats::fromHistogram(fpInstqOccupancy_);
+    res.fp_loadq_occupancy =
+        OccupancyStats::fromHistogram(fpLoadqOccupancy_);
+    res.fp_storeq_occupancy =
+        OccupancyStats::fromHistogram(fpStoreqOccupancy_);
+    res.avg_rob_occupancy = res.rob_occupancy.mean;
+    res.avg_mshr_occupancy = res.mshr_occupancy.mean;
 
     // Conservation ledger: each count captured at its source, so
     // auditRun() cross-checks genuinely independent counters.

@@ -68,6 +68,24 @@ struct RunLedger
     std::string toString() const;
 };
 
+/**
+ * Distribution summary of a per-cycle occupancy series, derived from
+ * the always-on unit-width histogram the Processor keeps for each
+ * bounded structure. The percentiles are integer sample values (a
+ * structure holds a whole number of entries), so the summary is
+ * bit-stable across platforms and worker counts.
+ */
+struct OccupancyStats
+{
+    double mean = 0.0;
+    Count p50 = 0;
+    Count p95 = 0;
+    Count max = 0;
+
+    /** Summarize @p h (mean / p50 / p95 / max). */
+    static OccupancyStats fromHistogram(const Histogram &h);
+};
+
 /** Everything a benchmark harness needs from one simulation. */
 struct RunResult
 {
@@ -100,10 +118,19 @@ struct RunResult
 
     /** Cycles that issued 0 / 1 / 2 instructions. */
     std::array<Cycle, 3> issue_width_cycles{};
-    /** Mean reorder-buffer occupancy (sampled every cycle). */
+    /** Mean reorder-buffer occupancy (== rob_occupancy.mean). */
     double avg_rob_occupancy = 0.0;
-    /** Mean MSHR occupancy (sampled every cycle). */
+    /** Mean MSHR occupancy (== mshr_occupancy.mean). */
     double avg_mshr_occupancy = 0.0;
+
+    /// @name Per-cycle occupancy distributions (Figures 7 and 9)
+    /// @{
+    OccupancyStats rob_occupancy;
+    OccupancyStats mshr_occupancy;
+    OccupancyStats fp_instq_occupancy;
+    OccupancyStats fp_loadq_occupancy;
+    OccupancyStats fp_storeq_occupancy;
+    /// @}
 
     /** Fraction of cycles that issued exactly @p width. */
     double
@@ -214,6 +241,38 @@ class Processor
     WatchdogDiagnostic snapshot() const;
 
   private:
+    /**
+     * Pre-step counter snapshot for observer delta events. Captured
+     * only while an observer is attached, so detached runs pay one
+     * pointer test per cycle and nothing else.
+     */
+    struct ObsSnapshot
+    {
+        Count icache_hits = 0;
+        Count icache_misses = 0;
+        Count dcache_hits = 0;
+        Count dcache_misses = 0;
+        Count wcache_hits = 0;
+        Count wcache_misses = 0;
+        Count mshr_allocs = 0;
+        Count mshr_releases = 0;
+        Count fp_loads = 0;
+        Count fp_stores = 0;
+        Count fp_dispatched = 0;
+        std::size_t fp_instq = 0;
+        std::size_t fp_loadq = 0;
+        std::size_t fp_storeq = 0;
+    };
+
+    /** Capture the counters obsEmit() diffs against. */
+    ObsSnapshot obsCapture() const;
+
+    /** Diff against @p pre and fire the cycle's aggregate events. */
+    void obsEmit(const ObsSnapshot &pre);
+
+    /** lsu_.load() wrapper that reports latency/miss to the observer. */
+    Cycle observedLoad(const trace::Inst &inst);
+
     /** Resource/operand check; nullopt means issuable. */
     std::optional<StallCause> issueCheck(const trace::Inst &inst) const;
 
@@ -249,10 +308,20 @@ class Processor
     Cycle tailCycles_ = 0;
     StallCycles stalls_{};
     std::array<Cycle, 3> issueWidthCycles_{};
-    Accumulator robOccupancy_;
-    Accumulator mshrOccupancy_;
+    // Always-on per-cycle occupancy histograms (one unit-width bucket
+    // per possible occupancy, so overflow is impossible). These feed
+    // the RunResult OccupancyStats and cost a handful of array
+    // increments per cycle whether or not telemetry is attached —
+    // keeping the *results* identical with and without observers.
+    Histogram robOccupancy_;
+    Histogram mshrOccupancy_;
+    Histogram fpInstqOccupancy_;
+    Histogram fpLoadqOccupancy_;
+    Histogram fpStoreqOccupancy_;
     PipelineObserver *observer_ = nullptr;
     bool drained_ = false;
+    /** onDrainStart() already delivered. */
+    bool drainObserved_ = false;
 };
 
 } // namespace aurora::core

@@ -32,9 +32,21 @@ runReport(const RunResult &result)
        << formatFixed(result.storeTrafficPct(), 1)
        << "% of stores\n"
        << "  ROB occupancy    "
-       << formatFixed(result.avg_rob_occupancy, 2) << " avg\n"
+       << formatFixed(result.rob_occupancy.mean, 2) << " avg / p50 "
+       << result.rob_occupancy.p50 << " / p95 "
+       << result.rob_occupancy.p95 << " / max "
+       << result.rob_occupancy.max << "\n"
        << "  MSHR occupancy   "
-       << formatFixed(result.avg_mshr_occupancy, 2) << " avg\n"
+       << formatFixed(result.mshr_occupancy.mean, 2) << " avg / p50 "
+       << result.mshr_occupancy.p50 << " / p95 "
+       << result.mshr_occupancy.p95 << " / max "
+       << result.mshr_occupancy.max << "\n"
+       << "  FP queue depth   iq p95 " << result.fp_instq_occupancy.p95
+       << " (max " << result.fp_instq_occupancy.max << ") / lq p95 "
+       << result.fp_loadq_occupancy.p95 << " (max "
+       << result.fp_loadq_occupancy.max << ") / sq p95 "
+       << result.fp_storeq_occupancy.p95 << " (max "
+       << result.fp_storeq_occupancy.max << ")\n"
        << "  IPU cost         " << formatFixed(result.rbe_cost, 0)
        << " RBE\n"
        << "  stall CPI        ";

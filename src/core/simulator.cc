@@ -9,11 +9,12 @@ namespace aurora::core
 RunResult
 simulate(const MachineConfig &machine,
          const trace::WorkloadProfile &profile, Count instructions,
-         const WatchdogConfig &watchdog)
+         const WatchdogConfig &watchdog, PipelineObserver *observer)
 {
     trace::SyntheticWorkload workload(profile);
     trace::LimitedTraceSource limited(workload, instructions);
     Processor cpu(machine, limited, watchdog);
+    cpu.setObserver(observer);
     RunResult res = cpu.run();
     res.benchmark = profile.name;
     return res;

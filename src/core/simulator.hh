@@ -31,11 +31,15 @@ inline constexpr Count DEFAULT_RUN_INSTS = 400'000;
  *        default derives from AURORA_WATCHDOG_CYCLES. A run that
  *        trips it throws WatchdogError; an invalid @p machine throws
  *        util::SimError (BadConfig).
+ * @param observer optional pipeline observer attached for the run
+ *        (telemetry samplers, tracers). Observers only read machine
+ *        state: results are bit-identical with or without one.
  */
 RunResult simulate(const MachineConfig &machine,
                    const trace::WorkloadProfile &profile,
                    Count instructions = DEFAULT_RUN_INSTS,
-                   const WatchdogConfig &watchdog = defaultWatchdog());
+                   const WatchdogConfig &watchdog = defaultWatchdog(),
+                   PipelineObserver *observer = nullptr);
 
 /** A full benchmark-suite sweep on one machine. */
 struct SuiteResult

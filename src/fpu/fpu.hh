@@ -101,6 +101,8 @@ class Fpu
     std::size_t instQueueSize() const { return instQueue_.size(); }
     std::size_t loadQueueSize() const { return loadQueue_.size(); }
     std::size_t storeQueueSize() const { return storeQueue_.size(); }
+    /** FPU reorder-buffer occupancy (telemetry sampling). */
+    std::size_t robSize() const { return rob_.size(); }
     /// @}
 
     /// @name Functional unit access (statistics)

@@ -20,6 +20,26 @@ constexpr std::uint8_t MAX_ERROR_CODE =
     static_cast<std::uint8_t>(util::SimErrorCode::Internal);
 
 void
+putOccupancy(ByteWriter &w, const core::OccupancyStats &o)
+{
+    w.f64(o.mean);
+    w.u64(o.p50);
+    w.u64(o.p95);
+    w.u64(o.max);
+}
+
+core::OccupancyStats
+getOccupancy(ByteReader &rd)
+{
+    core::OccupancyStats o;
+    o.mean = rd.f64();
+    o.p50 = rd.u64();
+    o.p95 = rd.u64();
+    o.max = rd.u64();
+    return o;
+}
+
+void
 putRunResult(ByteWriter &w, const core::RunResult &r)
 {
     w.str(r.model);
@@ -63,6 +83,11 @@ putRunResult(ByteWriter &w, const core::RunResult &r)
         w.u64(c);
     w.f64(r.avg_rob_occupancy);
     w.f64(r.avg_mshr_occupancy);
+    putOccupancy(w, r.rob_occupancy);
+    putOccupancy(w, r.mshr_occupancy);
+    putOccupancy(w, r.fp_instq_occupancy);
+    putOccupancy(w, r.fp_loadq_occupancy);
+    putOccupancy(w, r.fp_storeq_occupancy);
 }
 
 core::RunResult
@@ -113,6 +138,11 @@ getRunResult(ByteReader &rd)
         c = rd.u64();
     r.avg_rob_occupancy = rd.f64();
     r.avg_mshr_occupancy = rd.f64();
+    r.rob_occupancy = getOccupancy(rd);
+    r.mshr_occupancy = getOccupancy(rd);
+    r.fp_instq_occupancy = getOccupancy(rd);
+    r.fp_loadq_occupancy = getOccupancy(rd);
+    r.fp_storeq_occupancy = getOccupancy(rd);
     return r;
 }
 

@@ -50,8 +50,13 @@
 namespace aurora::harness
 {
 
-/** Journal format version (header record). */
-inline constexpr std::uint32_t JOURNAL_VERSION = 1;
+/**
+ * Journal format version (header record). Version 2 added the
+ * occupancy-distribution stats (OccupancyStats p50/p95/max) to the
+ * serialized RunResult; version-1 journals are refused with
+ * BadJournal rather than misread field-by-field.
+ */
+inline constexpr std::uint32_t JOURNAL_VERSION = 2;
 
 /** One journaled job completion. */
 struct JournalRecord

@@ -13,6 +13,7 @@
 #include "core/audit.hh"
 #include "core/config_io.hh"
 #include "journal.hh"
+#include "sweep_trace.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -103,6 +104,21 @@ SweepReport::summary() const
     }
     if (resumed_jobs)
         os << " | resumed " << resumed_jobs;
+    return os.str();
+}
+
+std::string
+SweepProgress::toString() const
+{
+    std::ostringstream os;
+    os << "sweep progress: " << done << "/" << total << " done | ok "
+       << ok << " / failed " << failed << " / timed out " << timed_out
+       << " / retried " << retried;
+    if (resumed)
+        os << " / resumed " << resumed;
+    os << " | elapsed " << formatFixed(elapsed_seconds, 2) << " s";
+    if (done < total)
+        os << " | eta " << formatFixed(eta_seconds, 2) << " s";
     return os.str();
 }
 
@@ -248,6 +264,93 @@ backoffDelayMs(std::uint64_t base_ms, unsigned attempt)
     return std::min(delay, CAP_MS);
 }
 
+/**
+ * Serialized progress accounting for one grid. Heartbeats fire when
+ * the done count crosses a multiple of the cadence and once at grid
+ * completion — emission points depend only on job counts, so a grid
+ * heartbeats identically at any worker count (the *values* of
+ * elapsed/eta are wall-clock, the *schedule* is deterministic).
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(const SweepOptions &options, std::size_t total,
+                  std::size_t already_done)
+        : total_(total),
+          every_(options.progress_every
+                     ? options.progress_every
+                     : std::max<std::size_t>(1, total / 20)),
+          callback_(options.on_progress),
+          log_(envFlag("AURORA_PROGRESS", false))
+    {
+        progress_.total = total;
+        progress_.done = already_done;
+        progress_.ok = already_done;
+        progress_.resumed = already_done;
+        executedBase_ = already_done;
+    }
+
+    bool enabled() const { return callback_ || log_; }
+
+    /** Record one completed isolated job. */
+    void
+    onOutcome(const SweepOutcome &out)
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++progress_.done;
+        if (out.ok)
+            ++progress_.ok;
+        else if (out.code == util::SimErrorCode::Timeout)
+            ++progress_.timed_out;
+        else
+            ++progress_.failed;
+        if (out.attempts > 1)
+            ++progress_.retried;
+        maybeEmit();
+    }
+
+    /** Record one completed fail-fast job (always a result). */
+    void
+    onResult()
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++progress_.done;
+        ++progress_.ok;
+        maybeEmit();
+    }
+
+  private:
+    void
+    maybeEmit()
+    {
+        if (progress_.done % every_ != 0 && progress_.done != total_)
+            return;
+        progress_.elapsed_seconds = timer_.seconds();
+        const std::size_t executed = progress_.done - executedBase_;
+        const std::size_t remaining = total_ - progress_.done;
+        progress_.eta_seconds =
+            executed ? progress_.elapsed_seconds /
+                           static_cast<double>(executed) *
+                           static_cast<double>(remaining)
+                     : 0.0;
+        if (callback_)
+            callback_(progress_);
+        if (log_)
+            inform(progress_.toString());
+    }
+
+    std::mutex mutex_;
+    WallTimer timer_;
+    SweepProgress progress_;
+    std::size_t total_;
+    std::size_t every_;
+    /** Jobs replayed before execution began (excluded from the ETA
+     *  rate so resumed sweeps do not extrapolate from free jobs). */
+    std::size_t executedBase_ = 0;
+    std::function<void(const SweepProgress &)> callback_;
+    bool log_;
+};
+
 } // namespace
 
 std::vector<core::RunResult>
@@ -263,8 +366,14 @@ SweepRunner::runOutcomes(const std::vector<SweepJob> &grid)
 {
     if (preflightEnabled())
         preflightGrid(grid);
-    if (options_.journal.empty())
-        return runTaskOutcomes(gridTasks(grid, options_, deadlineMs()));
+    if (options_.journal.empty()) {
+        WallTimer wall;
+        std::vector<SweepOutcome> outcomes = executeOutcomes(
+            gridTasks(grid, options_, deadlineMs()), {}, grid.size(),
+            /*already_done=*/0);
+        accountOutcomes(outcomes, wall.seconds());
+        return outcomes;
+    }
 
     const std::size_t n = grid.size();
     const std::uint64_t fingerprint =
@@ -319,6 +428,20 @@ SweepRunner::runOutcomes(const std::vector<SweepJob> &grid)
     for (std::size_t i = 0; i < n; ++i)
         if (!replayed[i])
             pending.push_back(i);
+    if (options_.timeline)
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!replayed[i])
+                continue;
+            TimelineSpan span;
+            span.job = i;
+            span.label = grid[i].profile.name + "@" +
+                         grid[i].machine.name;
+            span.attempt = 0;
+            span.worker = options_.timeline->workerId();
+            span.start_ms = span.end_ms = options_.timeline->nowMs();
+            span.kind = SpanKind::Resumed;
+            options_.timeline->record(std::move(span));
+        }
     if (options_.progress && pending.size() < n)
         inform(detail::concat("sweep: resuming '", options_.journal,
                               "': ", n - pending.size(), "/", n,
@@ -349,8 +472,8 @@ SweepRunner::runOutcomes(const std::vector<SweepJob> &grid)
     };
 
     WallTimer wall;
-    std::vector<SweepOutcome> executed =
-        executeOutcomes(tasks, on_complete);
+    std::vector<SweepOutcome> executed = executeOutcomes(
+        tasks, on_complete, n, n - pending.size(), &pending);
     for (std::size_t k = 0; k < pending.size(); ++k)
         outcomes[pending[k]] = std::move(executed[k]);
 
@@ -370,6 +493,7 @@ SweepRunner::runTasks(
     const unsigned pool = workers();
     WallTimer wall;
     ParallelResult accounting;
+    ProgressMeter meter(options_, n, /*already_done=*/0);
     try {
         parallelFor(
             n, pool,
@@ -377,6 +501,8 @@ SweepRunner::runTasks(
                 WallTimer job_timer;
                 results[i] = tasks[i]();
                 job_seconds[i] = job_timer.seconds();
+                if (meter.enabled())
+                    meter.onResult();
                 const std::size_t done =
                     completed.fetch_add(1, std::memory_order_relaxed) +
                     1;
@@ -438,7 +564,8 @@ SweepRunner::runTaskOutcomes(
     const std::vector<std::function<core::RunResult()>> &tasks)
 {
     WallTimer wall;
-    std::vector<SweepOutcome> outcomes = executeOutcomes(tasks, {});
+    std::vector<SweepOutcome> outcomes =
+        executeOutcomes(tasks, {}, tasks.size(), /*already_done=*/0);
     accountOutcomes(outcomes, wall.seconds());
     return outcomes;
 }
@@ -447,7 +574,9 @@ std::vector<SweepOutcome>
 SweepRunner::executeOutcomes(
     const std::vector<std::function<core::RunResult()>> &tasks,
     const std::function<void(std::size_t, const SweepOutcome &)>
-        &on_complete)
+        &on_complete,
+    std::size_t grid_total, std::size_t already_done,
+    const std::vector<std::size_t> *grid_indices)
 {
     const std::size_t n = tasks.size();
     std::vector<SweepOutcome> outcomes(n);
@@ -456,31 +585,29 @@ SweepRunner::executeOutcomes(
     const unsigned pool = workers();
     const unsigned max_attempts = retries() + 1;
     const std::uint64_t backoff = backoffMs();
+    SweepTimeline *timeline = options_.timeline;
+    ProgressMeter meter(options_, grid_total, already_done);
     // The body never throws: every failure is captured into its
     // outcome slot, so one poisoned job cannot abort the grid and
     // parallelFor's fail-fast path stays untouched.
     parallelFor(n, pool, [&](std::size_t i) {
         SweepOutcome &out = outcomes[i];
+        const std::size_t job = grid_indices ? (*grid_indices)[i] : i;
         WallTimer job_timer;
         for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
             if (attempt > 1 && backoff)
                 std::this_thread::sleep_for(std::chrono::milliseconds(
                     backoffDelayMs(backoff, attempt)));
             out.attempts = attempt;
+            const double span_start = timeline ? timeline->nowMs() : 0.0;
             try {
                 out.result = tasks[i]();
                 out.ok = true;
                 out.error.clear();
-                break;
             } catch (const util::SimError &e) {
                 out.ok = false;
                 out.code = e.code();
                 out.error = e.what();
-                // A deadline expiry is deterministic for a hung
-                // simulation: retrying would only re-spend the whole
-                // deadline. Fail the job now.
-                if (out.code == util::SimErrorCode::Timeout)
-                    break;
             } catch (const std::exception &e) {
                 out.ok = false;
                 out.code = util::SimErrorCode::Internal;
@@ -490,10 +617,43 @@ SweepRunner::executeOutcomes(
                 out.code = util::SimErrorCode::Internal;
                 out.error = "unknown exception";
             }
+            if (timeline) {
+                TimelineSpan span;
+                span.job = job;
+                span.attempt = attempt;
+                span.worker = timeline->workerId();
+                span.start_ms = span_start;
+                span.end_ms = timeline->nowMs();
+                if (out.ok) {
+                    span.kind = SpanKind::Ok;
+                    span.label =
+                        out.result.benchmark.empty()
+                            ? "job " + std::to_string(job)
+                            : out.result.benchmark + "@" +
+                                  out.result.model;
+                } else {
+                    span.kind =
+                        out.code == util::SimErrorCode::Timeout
+                            ? SpanKind::TimedOut
+                            : SpanKind::Failed;
+                    span.label = "job " + std::to_string(job);
+                    span.error = out.error;
+                }
+                timeline->record(std::move(span));
+            }
+            if (out.ok)
+                break;
+            // A deadline expiry is deterministic for a hung
+            // simulation: retrying would only re-spend the whole
+            // deadline. Fail the job now.
+            if (out.code == util::SimErrorCode::Timeout)
+                break;
         }
         out.seconds = job_timer.seconds();
         if (on_complete)
             on_complete(i, out);
+        if (meter.enabled())
+            meter.onOutcome(out);
         const std::size_t done =
             completed.fetch_add(1, std::memory_order_relaxed) + 1;
         if (options_.progress) {

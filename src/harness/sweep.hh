@@ -50,6 +50,31 @@
 namespace aurora::harness
 {
 
+class SweepTimeline;
+
+/**
+ * One heartbeat of a sweep in flight, delivered through
+ * SweepOptions::on_progress (and logged when AURORA_PROGRESS=1).
+ * Counts cover the whole grid, replayed jobs included; ETA is a
+ * straight-line extrapolation from the executed jobs' elapsed time.
+ */
+struct SweepProgress
+{
+    std::size_t done = 0;
+    std::size_t total = 0;
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t timed_out = 0;
+    std::size_t retried = 0;
+    std::size_t resumed = 0;
+    double elapsed_seconds = 0.0;
+    /** 0 until at least one job has executed (or when done). */
+    double eta_seconds = 0.0;
+
+    /** One-line human-readable rendering. */
+    std::string toString() const;
+};
+
 /** One (machine, workload, budget) point of a sweep grid. */
 struct SweepJob
 {
@@ -151,6 +176,31 @@ struct SweepOptions
      * uses it to kill a sweep mid-grid at a deterministic point.
      */
     std::function<void(std::size_t, std::size_t)> on_job_done;
+
+    /**
+     * Progress heartbeat: invoked (from worker threads, serialized)
+     * every progress_every completed jobs and at grid completion,
+     * with grid-wide counts, elapsed wall time, and an ETA. The
+     * emission points depend only on job counts, so a given grid
+     * heartbeats at the same `done` values at any worker count.
+     * AURORA_PROGRESS=1 additionally logs each heartbeat through
+     * util::inform() even when no callback is installed.
+     */
+    std::function<void(const SweepProgress &)> on_progress;
+
+    /**
+     * Heartbeat cadence in completed jobs. 0 = automatic:
+     * max(1, total/20), i.e. roughly every 5% of the grid.
+     */
+    std::size_t progress_every = 0;
+
+    /**
+     * When set, every job attempt (and journal replay) is recorded as
+     * a span on this timeline — the input to writeTimelineTrace()'s
+     * Chrome trace-event export. The timeline must outlive the run.
+     * Pure observation: results, seeds, and scheduling are unchanged.
+     */
+    SweepTimeline *timeline = nullptr;
 };
 
 /**
@@ -289,11 +339,18 @@ class SweepRunner
      * backoff, and Timeout classification. @p on_complete (when set)
      * observes each finished outcome from its worker thread — the
      * journal write-through hook. Does not touch report_.
+     *
+     * @p grid_total and @p already_done scope the progress heartbeat
+     * to the whole grid when only a subset executes (journal resume);
+     * @p grid_indices, when non-null, maps task index -> grid job
+     * index for timeline spans (identity when null).
      */
     std::vector<SweepOutcome> executeOutcomes(
         const std::vector<std::function<core::RunResult()>> &tasks,
         const std::function<void(std::size_t, const SweepOutcome &)>
-            &on_complete);
+            &on_complete,
+        std::size_t grid_total, std::size_t already_done,
+        const std::vector<std::size_t> *grid_indices = nullptr);
 
     /** Fold a grid-ordered outcome vector into report_. */
     void accountOutcomes(const std::vector<SweepOutcome> &outcomes,

@@ -1,0 +1,104 @@
+#include "sweep_trace.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "telemetry/trace_event.hh"
+#include "util/logging.hh"
+
+namespace aurora::harness
+{
+
+std::string_view
+spanKindName(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::Ok:       return "ok";
+      case SpanKind::Failed:   return "failed";
+      case SpanKind::TimedOut: return "timeout";
+      case SpanKind::Resumed:  return "resumed";
+      default:
+        AURORA_PANIC("unknown span kind ",
+                     static_cast<int>(kind));
+    }
+}
+
+std::uint32_t
+SweepTimeline::workerId()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = workerIds_.try_emplace(
+        std::this_thread::get_id(),
+        static_cast<std::uint32_t>(workerIds_.size()));
+    (void)inserted;
+    return it->second;
+}
+
+void
+SweepTimeline::record(TimelineSpan span)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(std::move(span));
+}
+
+std::vector<TimelineSpan>
+SweepTimeline::spans() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+std::size_t
+SweepTimeline::size() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.size();
+}
+
+void
+writeTimelineTrace(std::ostream &os, const SweepTimeline &timeline,
+                   std::string_view process_name)
+{
+    std::vector<TimelineSpan> spans = timeline.spans();
+    // Per-track (worker) event order must be non-decreasing in ts for
+    // trace viewers; workers record their own spans in time order,
+    // but the shared vector interleaves threads.
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TimelineSpan &a, const TimelineSpan &b) {
+                         if (a.worker != b.worker)
+                             return a.worker < b.worker;
+                         return a.start_ms < b.start_ms;
+                     });
+
+    telemetry::TraceEventLog log;
+    constexpr std::uint32_t PID = 0;
+    log.nameProcess(PID, process_name);
+    std::set<std::uint32_t> workers;
+    for (const TimelineSpan &span : spans)
+        if (workers.insert(span.worker).second)
+            log.nameThread(PID, span.worker,
+                           "worker " + std::to_string(span.worker));
+
+    for (const TimelineSpan &span : spans) {
+        // 1 ms of wall clock = 1000 trace-event µs.
+        const double ts = span.start_ms * 1e3;
+        const double dur = (span.end_ms - span.start_ms) * 1e3;
+        std::vector<telemetry::TraceArg> args;
+        args.push_back(telemetry::traceArg(
+            "job", static_cast<std::uint64_t>(span.job)));
+        args.push_back(telemetry::traceArg(
+            "attempt", static_cast<std::uint64_t>(span.attempt)));
+        if (!span.error.empty())
+            args.push_back(telemetry::traceArg(
+                "error", std::string_view(span.error)));
+        if (span.kind == SpanKind::Resumed)
+            log.instant(span.label, spanKindName(span.kind), PID,
+                        span.worker, ts, std::move(args));
+        else
+            log.complete(span.label, spanKindName(span.kind), PID,
+                         span.worker, ts, dur, std::move(args));
+    }
+    log.write(os);
+}
+
+} // namespace aurora::harness

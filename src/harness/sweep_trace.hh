@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Sweep execution timeline: per-job spans for trace-event export.
+ *
+ * A SweepTimeline is the sweep-level zoom of the telemetry subsystem:
+ * where TraceEventObserver renders one run cycle by cycle, a timeline
+ * records one wall-clock span per job *attempt* — including retries,
+ * timeouts, and journal-replayed (resumed) jobs — tagged with the
+ * worker thread that executed it. writeTimelineTrace() renders the
+ * collected spans as a Chrome trace-event document with one thread
+ * track per worker, which makes sweep load-balance, retry storms, and
+ * resume behaviour visible in Perfetto.
+ *
+ * Timelines are wall-clock instruments: they observe the harness, not
+ * the simulation, and never feed back into results or seeds.
+ */
+
+#ifndef AURORA_HARNESS_SWEEP_TRACE_HH
+#define AURORA_HARNESS_SWEEP_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace aurora::harness
+{
+
+/** How one job attempt span ended. */
+enum class SpanKind
+{
+    Ok,       ///< attempt produced a result
+    Failed,   ///< attempt raised (non-timeout)
+    TimedOut, ///< wall-clock deadline expired
+    Resumed,  ///< replayed from a journal (zero-length span)
+};
+
+/** Stable lower-case tag for a span kind ("ok", "timeout", ...). */
+std::string_view spanKindName(SpanKind kind);
+
+/** One job attempt on the sweep timeline. */
+struct TimelineSpan
+{
+    /** Grid index of the job. */
+    std::size_t job = 0;
+    /** "benchmark@model" when known, else "job <index>". */
+    std::string label;
+    /** 1-based attempt number (0 for resumed replays). */
+    unsigned attempt = 1;
+    /** Dense id of the executing worker thread. */
+    std::uint32_t worker = 0;
+    /** Milliseconds since the timeline's epoch. */
+    double start_ms = 0.0;
+    double end_ms = 0.0;
+    SpanKind kind = SpanKind::Ok;
+    /** Failure message for Failed/TimedOut spans. */
+    std::string error;
+};
+
+/**
+ * Thread-safe collector of job attempt spans. One timeline may span
+ * several SweepRunner grids (the fault-storm bench records healthy,
+ * flaky, and resumed sweeps on one clock).
+ */
+class SweepTimeline
+{
+  public:
+    /** Milliseconds since construction (the trace epoch). */
+    double nowMs() const { return timer_.seconds() * 1e3; }
+
+    /** Dense id for the calling thread (first call assigns it). */
+    std::uint32_t workerId();
+
+    /** Append one span. */
+    void record(TimelineSpan span);
+
+    /** Snapshot of every span recorded so far. */
+    std::vector<TimelineSpan> spans() const;
+
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    WallTimer timer_;
+    std::map<std::thread::id, std::uint32_t> workerIds_;
+    std::vector<TimelineSpan> spans_;
+};
+
+/**
+ * Write @p timeline as a Chrome trace-event document: one complete
+ * span per executed attempt on its worker's thread track (category =
+ * spanKindName, args job/attempt/error), resumed replays as instants.
+ */
+void writeTimelineTrace(std::ostream &os, const SweepTimeline &timeline,
+                        std::string_view process_name = "aurora sweep");
+
+} // namespace aurora::harness
+
+#endif // AURORA_HARNESS_SWEEP_TRACE_HH

@@ -79,6 +79,16 @@ class PrefetchUnit
     const Ratio &instHitRate() const { return iHits_; }
     /** D-stream prefetch hit rate (Table 4). */
     const Ratio &dataHitRate() const { return dHits_; }
+    /** Prefetched lines held across all active buffers. */
+    unsigned
+    entriesInFlight() const
+    {
+        unsigned entries = 0;
+        for (const Buffer &buf : buffers_)
+            if (buf.active)
+                entries += static_cast<unsigned>(buf.entries.size());
+        return entries;
+    }
 
     const PrefetchConfig &config() const { return config_; }
 

@@ -81,6 +81,16 @@ class WriteCache
     Count storeTransactions() const { return transactions_; }
     /** Micro-TLB page-match rate for stores. */
     const Ratio &validationRate() const { return validations_; }
+    /** Valid lines currently buffered (occupancy sampling). */
+    unsigned
+    linesInUse() const
+    {
+        unsigned used = 0;
+        for (const Line &line : lines_)
+            if (line.valid)
+                ++used;
+        return used;
+    }
     /// @}
 
     const WriteCacheConfig &config() const { return config_; }

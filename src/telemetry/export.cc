@@ -1,0 +1,232 @@
+#include "export.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "core/stall.hh"
+#include "json.hh"
+#include "sampler.hh"
+
+namespace aurora::telemetry
+{
+
+namespace
+{
+
+void
+writeOccupancy(JsonWriter &w, const core::OccupancyStats &occ)
+{
+    w.beginObject();
+    w.key("mean").value(occ.mean);
+    w.key("p50").value(occ.p50);
+    w.key("p95").value(occ.p95);
+    w.key("max").value(occ.max);
+    w.endObject();
+}
+
+void
+writeMetrics(JsonWriter &w, const Registry &registry)
+{
+    w.beginObject();
+    w.key("counters").beginArray();
+    for (const auto &entry : registry.counters()) {
+        w.beginObject();
+        w.key("name").value(entry.name);
+        w.key("description").value(entry.description);
+        w.key("value").value(entry.counter.value());
+        w.endObject();
+    }
+    w.endArray();
+    w.key("histograms").beginArray();
+    for (const auto &entry : registry.histograms()) {
+        const Histogram &h = entry.histogram;
+        w.beginObject();
+        w.key("name").value(entry.name);
+        w.key("description").value(entry.description);
+        w.key("count").value(h.count());
+        w.key("sum").value(h.sum());
+        w.key("mean").value(h.mean());
+        w.key("p50").value(h.percentile(0.50));
+        w.key("p95").value(h.percentile(0.95));
+        w.key("max").value(h.maxSample());
+        w.key("overflow").value(h.overflow());
+        w.key("buckets").beginArray();
+        for (std::size_t i = 0; i < h.numBuckets(); ++i)
+            w.value(h.bucket(i));
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+/** CSV field with RFC 4180 quoting when the text needs it. */
+std::string
+csvField(std::string_view text)
+{
+    if (text.find_first_of(",\"\n") == std::string_view::npos)
+        return std::string(text);
+    std::string out = "\"";
+    for (const char c : text) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+appendOccupancyColumns(std::ostringstream &os,
+                       const core::OccupancyStats &occ)
+{
+    os << ',' << jsonNumber(occ.mean) << ',' << occ.p50 << ','
+       << occ.p95 << ',' << occ.max;
+}
+
+} // namespace
+
+void
+writeRunJson(JsonWriter &w, const core::RunResult &result,
+             const Registry *registry)
+{
+    w.beginObject();
+    w.key("model").value(result.model);
+    w.key("benchmark").value(result.benchmark);
+    w.key("instructions").value(result.instructions);
+    w.key("cycles").value(std::uint64_t{result.cycles});
+    w.key("cpi").value(result.cpi());
+    w.key("issuing_cycles").value(std::uint64_t{result.issuing_cycles});
+    w.key("tail_cycles").value(std::uint64_t{result.tail_cycles});
+    w.key("issue_width_cycles").beginArray();
+    for (const Cycle c : result.issue_width_cycles)
+        w.value(std::uint64_t{c});
+    w.endArray();
+    w.key("stalls").beginObject();
+    for (std::size_t c = 0; c < core::NUM_STALL_CAUSES; ++c)
+        w.key(stallSlug(static_cast<core::StallCause>(c)))
+            .value(result.stalls[c]);
+    w.endObject();
+    w.key("caches").beginObject();
+    w.key("icache_hit_pct").value(result.icache_hit_pct);
+    w.key("dcache_hit_pct").value(result.dcache_hit_pct);
+    w.key("iprefetch_hit_pct").value(result.iprefetch_hit_pct);
+    w.key("dprefetch_hit_pct").value(result.dprefetch_hit_pct);
+    w.key("write_cache_hit_pct").value(result.write_cache_hit_pct);
+    w.endObject();
+    w.key("stores").value(result.stores);
+    w.key("store_transactions").value(result.store_transactions);
+    w.key("store_traffic_pct").value(result.storeTrafficPct());
+    w.key("fp").beginObject();
+    w.key("dispatched").value(result.fp_dispatched);
+    w.key("issued").value(result.fpu.issued);
+    w.key("dual_cycles").value(result.fpu.dual_cycles);
+    w.key("blocked_operand").value(result.fpu.blocked_operand);
+    w.key("blocked_unit").value(result.fpu.blocked_unit);
+    w.key("blocked_rob").value(result.fpu.blocked_rob);
+    w.key("blocked_bus").value(result.fpu.blocked_bus);
+    w.key("loads").value(result.fpu.loads);
+    w.key("stores").value(result.fpu.stores);
+    w.endObject();
+    w.key("rbe_cost").value(result.rbe_cost);
+    w.key("occupancy").beginObject();
+    w.key("rob");
+    writeOccupancy(w, result.rob_occupancy);
+    w.key("mshr");
+    writeOccupancy(w, result.mshr_occupancy);
+    w.key("fp_instq");
+    writeOccupancy(w, result.fp_instq_occupancy);
+    w.key("fp_loadq");
+    writeOccupancy(w, result.fp_loadq_occupancy);
+    w.key("fp_storeq");
+    writeOccupancy(w, result.fp_storeq_occupancy);
+    w.endObject();
+    w.key("ledger").beginObject();
+    w.key("trace_instructions").value(result.ledger.trace_instructions);
+    w.key("retired").value(result.ledger.retired);
+    w.key("icache_hits").value(result.ledger.icache_hits);
+    w.key("icache_misses").value(result.ledger.icache_misses);
+    w.key("icache_accesses").value(result.ledger.icache_accesses);
+    w.key("dcache_hits").value(result.ledger.dcache_hits);
+    w.key("dcache_misses").value(result.ledger.dcache_misses);
+    w.key("dcache_accesses").value(result.ledger.dcache_accesses);
+    w.key("mshr_allocations").value(result.ledger.mshr_allocations);
+    w.key("mshr_releases").value(result.ledger.mshr_releases);
+    w.key("mshr_outstanding").value(result.ledger.mshr_outstanding);
+    w.endObject();
+    if (registry) {
+        w.key("metrics");
+        writeMetrics(w, *registry);
+    }
+    w.endObject();
+}
+
+void
+writeRunDocument(std::ostream &os, const core::RunResult &result,
+                 const Registry *registry)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value(RUN_SCHEMA);
+    w.key("run");
+    writeRunJson(w, result, registry);
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeSuiteDocument(std::ostream &os,
+                   const std::vector<SuiteEntry> &entries)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value(SUITE_SCHEMA);
+    w.key("runs").beginArray();
+    for (const SuiteEntry &entry : entries)
+        writeRunJson(w, *entry.result, entry.registry);
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+std::string
+statsCsvHeader()
+{
+    std::ostringstream os;
+    os << "model,benchmark,instructions,cycles,cpi,issuing_cycles,"
+          "tail_cycles";
+    for (std::size_t c = 0; c < core::NUM_STALL_CAUSES; ++c)
+        os << ",stall_" << stallSlug(static_cast<core::StallCause>(c));
+    os << ",icache_hit_pct,dcache_hit_pct,iprefetch_hit_pct,"
+          "dprefetch_hit_pct,write_cache_hit_pct,stores,"
+          "store_transactions,store_traffic_pct,fp_dispatched";
+    for (const std::string_view name : {"rob", "mshr"})
+        os << ',' << name << "_mean," << name << "_p50," << name
+           << "_p95," << name << "_max";
+    return os.str();
+}
+
+std::string
+statsCsvRow(const core::RunResult &result)
+{
+    std::ostringstream os;
+    os << csvField(result.model) << ',' << csvField(result.benchmark)
+       << ',' << result.instructions << ',' << result.cycles << ','
+       << jsonNumber(result.cpi()) << ',' << result.issuing_cycles
+       << ',' << result.tail_cycles;
+    for (std::size_t c = 0; c < core::NUM_STALL_CAUSES; ++c)
+        os << ',' << result.stalls[c];
+    os << ',' << jsonNumber(result.icache_hit_pct) << ','
+       << jsonNumber(result.dcache_hit_pct) << ','
+       << jsonNumber(result.iprefetch_hit_pct) << ','
+       << jsonNumber(result.dprefetch_hit_pct) << ','
+       << jsonNumber(result.write_cache_hit_pct) << ','
+       << result.stores << ',' << result.store_transactions << ','
+       << jsonNumber(result.storeTrafficPct()) << ','
+       << result.fp_dispatched;
+    appendOccupancyColumns(os, result.rob_occupancy);
+    appendOccupancyColumns(os, result.mshr_occupancy);
+    return os.str();
+}
+
+} // namespace aurora::telemetry

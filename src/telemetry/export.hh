@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Structured statistics exporters: --stats-json and --stats-csv.
+ *
+ * The JSON documents carry a "schema" discriminator so downstream
+ * tooling can detect incompatible changes: "aurora.run.v1" wraps one
+ * RunResult (optionally with the telemetry registry's metrics),
+ * "aurora.suite.v1" wraps an ordered list of runs. The CSV exporter
+ * emits one flat row per run with a fixed header — the spreadsheet
+ * view of the same numbers. Field order is stable in both formats;
+ * numbers round-trip bit-exactly (see json.hh).
+ */
+
+#ifndef AURORA_TELEMETRY_EXPORT_HH
+#define AURORA_TELEMETRY_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/processor.hh"
+#include "registry.hh"
+
+namespace aurora::telemetry
+{
+
+/** Schema tags written into the exported documents. */
+inline constexpr std::string_view RUN_SCHEMA = "aurora.run.v1";
+inline constexpr std::string_view SUITE_SCHEMA = "aurora.suite.v1";
+
+class JsonWriter;
+
+/**
+ * Emit one run as a JSON object (no surrounding document) through
+ * @p w. @p registry, when non-null, adds a "metrics" member with
+ * every registered counter and histogram.
+ */
+void writeRunJson(JsonWriter &w, const core::RunResult &result,
+                  const Registry *registry = nullptr);
+
+/** Complete {"schema": "aurora.run.v1", "run": {...}} document. */
+void writeRunDocument(std::ostream &os, const core::RunResult &result,
+                      const Registry *registry = nullptr);
+
+/** One run/registry pair for the suite document. */
+struct SuiteEntry
+{
+    const core::RunResult *result = nullptr;
+    const Registry *registry = nullptr; ///< optional
+};
+
+/** Complete {"schema": "aurora.suite.v1", "runs": [...]} document. */
+void writeSuiteDocument(std::ostream &os,
+                        const std::vector<SuiteEntry> &entries);
+
+/** The fixed --stats-csv header row (no trailing newline). */
+std::string statsCsvHeader();
+
+/** One CSV row for @p result (no trailing newline). */
+std::string statsCsvRow(const core::RunResult &result);
+
+} // namespace aurora::telemetry
+
+#endif // AURORA_TELEMETRY_EXPORT_HH

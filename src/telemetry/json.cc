@@ -1,0 +1,448 @@
+#include "json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace aurora::telemetry
+{
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    // JSON has no Inf/NaN; the exporters never produce them, but a
+    // defensive null keeps the document parseable if one ever leaks.
+    if (!std::isfinite(value))
+        return "null";
+    // Try increasing precision until the rendering round-trips: most
+    // values (counts, small ratios) stay short, while 17 significant
+    // digits always suffice for a bit-exact double.
+    char buf[40];
+    for (const int precision : {15, 16, 17}) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+        if (std::strtod(buf, nullptr) == value)
+            break;
+    }
+    return buf;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << '{';
+    hasValue_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    AURORA_ASSERT(!hasValue_.empty(), "endObject with no open scope");
+    hasValue_.pop_back();
+    os_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << '[';
+    hasValue_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    AURORA_ASSERT(!hasValue_.empty(), "endArray with no open scope");
+    hasValue_.pop_back();
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    separate();
+    os_ << '"' << jsonEscape(k) << "\":";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    separate();
+    os_ << '"' << jsonEscape(s) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    os_ << jsonNumber(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(std::string_view json)
+{
+    separate();
+    os_ << json;
+    return *this;
+}
+
+void
+JsonWriter::separate()
+{
+    if (afterKey_) {
+        // The key already emitted its ':'; this value follows it.
+        afterKey_ = false;
+        return;
+    }
+    if (!hasValue_.empty()) {
+        if (hasValue_.back())
+            os_ << ',';
+        hasValue_.back() = true;
+    }
+}
+
+const JsonValue *
+JsonValue::find(std::string_view k) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : object)
+        if (name == k)
+            return &value;
+    return nullptr;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a string_view with offset errors. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *error)
+        : text_(text), error_(error)
+    {}
+
+    std::optional<JsonValue>
+    parse()
+    {
+        JsonValue v;
+        if (!parseValue(v))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing content after the document");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string &what)
+    {
+        if (error_ && error_->empty())
+            *error_ = what + " at byte " + std::to_string(pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"')) {
+            fail("expected a string");
+            return false;
+        }
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':  out += '"';  break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/';  break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return false;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("bad \\u escape digit");
+                        return false;
+                    }
+                }
+                // The writers only escape control characters; decode
+                // BMP code points as UTF-8 for completeness.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+                return false;
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        const auto digits = [&] {
+            std::size_t n = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        if (digits() == 0) {
+            fail("expected a number");
+            return false;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0) {
+                fail("expected digits after the decimal point");
+                return false;
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (digits() == 0) {
+                fail("expected exponent digits");
+                return false;
+            }
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(token.c_str(), nullptr);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            for (;;) {
+                std::string k;
+                if (!parseString(k))
+                    return false;
+                if (!consume(':')) {
+                    fail("expected ':' after an object key");
+                    return false;
+                }
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.object.emplace_back(std::move(k), std::move(v));
+                if (consume(','))
+                    { skipWs(); continue; }
+                if (consume('}'))
+                    return true;
+                fail("expected ',' or '}' in an object");
+                return false;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            for (;;) {
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.array.push_back(std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                fail("expected ',' or ']' in an array");
+                return false;
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+        }
+        if (literal("true")) {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (literal("false")) {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (literal("null")) {
+            out.kind = JsonValue::Kind::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    std::string_view text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(std::string_view text, std::string *error)
+{
+    if (error)
+        error->clear();
+    return Parser(text, error).parse();
+}
+
+} // namespace aurora::telemetry

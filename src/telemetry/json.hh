@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Minimal JSON toolkit for the telemetry exporters.
+ *
+ * JsonWriter is a streaming writer with automatic comma/nesting
+ * management — the exporters use it so every document they emit is
+ * structurally valid by construction. Doubles are rendered with
+ * enough digits to round-trip bit-exactly, which is what makes
+ * --stats-json a faithful machine-readable RunResult.
+ *
+ * parseJson() is a small recursive-descent parser used by the schema
+ * tests and the aurora_obs_check validator: it accepts exactly the
+ * JSON the writers produce (objects, arrays, strings with the
+ * standard escapes, finite numbers, booleans, null) — enough to
+ * verify exported documents without an external dependency.
+ */
+
+#ifndef AURORA_TELEMETRY_JSON_HH
+#define AURORA_TELEMETRY_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aurora::telemetry
+{
+
+/** @p text with JSON string escaping applied (no quotes added). */
+std::string jsonEscape(std::string_view text);
+
+/** Shortest decimal rendering of @p value that parses back bit-equal. */
+std::string jsonNumber(double value);
+
+/** Streaming JSON writer with automatic separators. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next value/begin* call is its value. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s) { return value(std::string_view(s)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(bool v);
+
+    /**
+     * Emit @p json verbatim as one value (caller guarantees it is a
+     * valid JSON fragment — pre-rendered trace-event args use this).
+     */
+    JsonWriter &raw(std::string_view json);
+
+  private:
+    /** Emit the separator owed before the next value at this level. */
+    void separate();
+
+    std::ostream &os_;
+    /** Per-nesting-level "a value has been written" flags. */
+    std::vector<bool> hasValue_;
+    bool afterKey_ = false;
+};
+
+/** Parsed JSON document node. */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Key/value pairs in document order. */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Member lookup on an object; nullptr when absent or non-object. */
+    const JsonValue *find(std::string_view k) const;
+};
+
+/**
+ * Parse @p text as one JSON document (trailing whitespace allowed).
+ * Returns nullopt on malformed input; @p error (when non-null)
+ * receives a one-line description with the byte offset.
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string *error = nullptr);
+
+} // namespace aurora::telemetry
+
+#endif // AURORA_TELEMETRY_JSON_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Metrics registry: named counters and fixed-bucket histograms.
+ *
+ * A Registry is the collection point for one run's metrics, in the
+ * spirit of gem5's stats framework: every metric is registered with a
+ * stable name and a one-line description, registration order is
+ * preserved (so exports have a stable field order), and looking a
+ * name up twice returns the same metric. The registry itself is
+ * deterministic — it never reads clocks or the environment — and a
+ * run that records into one produces bit-identical RunResults to a
+ * run that does not (observers only read machine state; see
+ * docs/observability.md).
+ *
+ * Not thread-safe: one registry belongs to one run/owner. Sweeps use
+ * one registry per job.
+ */
+
+#ifndef AURORA_TELEMETRY_REGISTRY_HH
+#define AURORA_TELEMETRY_REGISTRY_HH
+
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace aurora::telemetry
+{
+
+/** One named monotonic counter. */
+class Counter
+{
+  public:
+    void add(Count delta = 1) { value_ += delta; }
+    Count value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    Count value_ = 0;
+};
+
+/** Ordered collection of named counters and histograms. */
+class Registry
+{
+  public:
+    struct CounterEntry
+    {
+        std::string name;
+        std::string description;
+        Counter counter;
+    };
+
+    struct HistogramEntry
+    {
+        HistogramEntry(std::string n, std::string d,
+                       std::size_t num_buckets)
+            : name(std::move(n)), description(std::move(d)),
+              histogram(num_buckets)
+        {}
+
+        std::string name;
+        std::string description;
+        Histogram histogram;
+    };
+
+    /**
+     * Find-or-create the counter @p name. The description is recorded
+     * on first registration; later calls return the existing counter.
+     */
+    Counter &counter(std::string_view name,
+                     std::string_view description);
+
+    /**
+     * Find-or-create the histogram @p name with @p num_buckets
+     * unit-width buckets. Re-registering an existing name must agree
+     * on the bucket count (panics otherwise — two metrics may not
+     * share a name).
+     */
+    Histogram &histogram(std::string_view name,
+                         std::string_view description,
+                         std::size_t num_buckets);
+
+    /** Registered counters, in registration order. */
+    const std::deque<CounterEntry> &counters() const
+    {
+        return counters_;
+    }
+    /** Registered histograms, in registration order. */
+    const std::deque<HistogramEntry> &histograms() const
+    {
+        return histograms_;
+    }
+
+    /** Lookup without creating; nullptr when absent. */
+    const Counter *findCounter(std::string_view name) const;
+    /** Lookup without creating; nullptr when absent. */
+    const Histogram *findHistogram(std::string_view name) const;
+
+  private:
+    // Deques keep metric addresses stable across registrations, so a
+    // sampler can hold references while later metrics are added.
+    std::deque<CounterEntry> counters_;
+    std::deque<HistogramEntry> histograms_;
+};
+
+} // namespace aurora::telemetry
+
+#endif // AURORA_TELEMETRY_REGISTRY_HH

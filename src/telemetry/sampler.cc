@@ -1,0 +1,203 @@
+#include "sampler.hh"
+
+#include <string>
+
+#include "util/logging.hh"
+
+namespace aurora::telemetry
+{
+
+std::string_view
+stallSlug(core::StallCause cause)
+{
+    switch (cause) {
+      case core::StallCause::ICache:  return "icache";
+      case core::StallCause::Load:    return "load";
+      case core::StallCause::LsuBusy: return "lsu_busy";
+      case core::StallCause::RobFull: return "rob_full";
+      case core::StallCause::FpQueue: return "fp_queue";
+      default:
+        AURORA_PANIC("unknown stall cause ",
+                     static_cast<std::size_t>(cause));
+    }
+}
+
+namespace
+{
+
+// Unit-width bucket counts for the up-front histogram registrations.
+// Each count is one past the largest resource size any machine model
+// configures, so typical samples land in exact buckets; anything
+// larger lands in the overflow bucket and still counts toward n/sum.
+constexpr std::size_t ROB_BUCKETS = 65;
+constexpr std::size_t MSHR_BUCKETS = 33;
+constexpr std::size_t WRITE_CACHE_BUCKETS = 17;
+constexpr std::size_t PREFETCH_BUCKETS = 33;
+constexpr std::size_t FP_QUEUE_BUCKETS = 33;
+constexpr std::size_t FP_ROB_BUCKETS = 65;
+constexpr std::size_t LATENCY_BUCKETS = 129;
+constexpr std::size_t RETIRE_BURST_BUCKETS = 9;
+
+constexpr std::array<std::string_view, 3> CACHE_SLUGS = {
+    "icache", "dcache", "write_cache"};
+constexpr std::array<std::string_view, 3> FP_QUEUE_SLUGS = {
+    "fp_instq", "fp_loadq", "fp_storeq"};
+
+} // namespace
+
+RunSampler::RunSampler(Registry &registry) : registry_(registry)
+{
+    const auto c = [&](std::string_view name,
+                       std::string_view description) {
+        return &registry_.counter(name, description);
+    };
+    const auto h = [&](std::string_view name,
+                       std::string_view description,
+                       std::size_t buckets) {
+        return &registry_.histogram(name, description, buckets);
+    };
+
+    cycles_ = c("sim.cycles", "cycles simulated (issue loop)");
+    issued_ = c("issue.instructions", "instructions issued");
+    for (std::size_t i = 0; i < core::NUM_STALL_CAUSES; ++i) {
+        const auto cause = static_cast<core::StallCause>(i);
+        stalls_[i] = c("stall." + std::string(stallSlug(cause)),
+                       "cycles stalled on " +
+                           std::string(core::stallCauseName(cause)));
+    }
+    retireEvents_ = c("retire.events", "cycles that retired >= 1 inst");
+    retired_ = c("retire.instructions", "instructions retired");
+    for (std::size_t i = 0; i < CACHE_SLUGS.size(); ++i) {
+        const std::string slug(CACHE_SLUGS[i]);
+        cacheHits_[i] = c(slug + ".hits", slug + " hits");
+        cacheMisses_[i] = c(slug + ".misses", slug + " misses");
+    }
+    loads_ = c("lsu.loads", "integer + FP loads issued to the LSU");
+    loadMisses_ = c("lsu.load_misses", "loads that missed the dcache");
+    mshrAllocs_ = c("mshr.allocations", "MSHR entries allocated");
+    mshrReleases_ = c("mshr.releases",
+                      "MSHR entries released while issuing");
+    mshrDrainReleases_ = c("mshr.drain_releases",
+                           "MSHR entries released by the final drain");
+    for (std::size_t i = 0; i < FP_QUEUE_SLUGS.size(); ++i) {
+        const std::string slug(FP_QUEUE_SLUGS[i]);
+        fpEnqueued_[i] = c(slug + ".enqueued", slug + " enqueues");
+        fpDequeued_[i] = c(slug + ".dequeued", slug + " dequeues");
+    }
+    drains_ = c("sim.drains", "end-of-trace drain phases");
+
+    retireBurst_ = h("retire.burst",
+                     "instructions retired per retiring cycle",
+                     RETIRE_BURST_BUCKETS);
+    loadLatency_ = h("latency.load", "load-to-ready latency, cycles",
+                     LATENCY_BUCKETS);
+    loadMissLatency_ = h("latency.load_miss",
+                         "dcache-miss load latency, cycles",
+                         LATENCY_BUCKETS);
+    occRob_ = h("occupancy.rob", "ROB entries in use per cycle",
+                ROB_BUCKETS);
+    occMshr_ = h("occupancy.mshr", "MSHRs in use per cycle",
+                 MSHR_BUCKETS);
+    occWriteCache_ = h("occupancy.write_cache",
+                       "write-cache lines valid per cycle",
+                       WRITE_CACHE_BUCKETS);
+    occPrefetch_ = h("occupancy.prefetch",
+                     "stream-buffer entries in flight per cycle",
+                     PREFETCH_BUCKETS);
+    occFpInstq_ = h("occupancy.fp_instq",
+                    "FP instruction-queue depth per cycle",
+                    FP_QUEUE_BUCKETS);
+    occFpLoadq_ = h("occupancy.fp_loadq",
+                    "FP load-queue depth per cycle", FP_QUEUE_BUCKETS);
+    occFpStoreq_ = h("occupancy.fp_storeq",
+                     "FP store-queue depth per cycle",
+                     FP_QUEUE_BUCKETS);
+    occFpRob_ = h("occupancy.fp_rob",
+                  "FP reorder-buffer entries per cycle",
+                  FP_ROB_BUCKETS);
+}
+
+void
+RunSampler::onIssue(Cycle, const trace::Inst &, unsigned)
+{
+    issued_->add();
+}
+
+void
+RunSampler::onStall(Cycle, core::StallCause cause)
+{
+    stalls_[static_cast<std::size_t>(cause)]->add();
+}
+
+void
+RunSampler::onRetire(Cycle, unsigned count)
+{
+    retireEvents_->add();
+    retired_->add(count);
+    retireBurst_->add(count);
+}
+
+void
+RunSampler::onCacheAccess(Cycle, core::CacheUnit unit, unsigned hits,
+                          unsigned misses)
+{
+    const auto i = static_cast<std::size_t>(unit);
+    cacheHits_[i]->add(hits);
+    cacheMisses_[i]->add(misses);
+}
+
+void
+RunSampler::onLoadIssue(Cycle, Cycle latency, bool miss)
+{
+    loads_->add();
+    loadLatency_->add(latency);
+    if (miss) {
+        loadMisses_->add();
+        loadMissLatency_->add(latency);
+    }
+}
+
+void
+RunSampler::onMshr(Cycle, unsigned allocated, unsigned released,
+                   unsigned)
+{
+    mshrAllocs_->add(allocated);
+    mshrReleases_->add(released);
+}
+
+void
+RunSampler::onFpQueue(Cycle, core::FpQueueKind queue, unsigned enqueued,
+                      unsigned dequeued, unsigned)
+{
+    const auto i = static_cast<std::size_t>(queue);
+    fpEnqueued_[i]->add(enqueued);
+    fpDequeued_[i]->add(dequeued);
+}
+
+void
+RunSampler::onDrainStart(Cycle)
+{
+    drains_->add();
+}
+
+void
+RunSampler::onDrainEnd(Cycle, unsigned mshr_releases)
+{
+    mshrDrainReleases_->add(mshr_releases);
+}
+
+void
+RunSampler::onCycleEnd(Cycle, const core::OccupancySample &occ)
+{
+    cycles_->add();
+    occRob_->add(occ.rob);
+    occMshr_->add(occ.mshr);
+    occWriteCache_->add(occ.write_cache);
+    occPrefetch_->add(occ.prefetch);
+    occFpInstq_->add(occ.fp_instq);
+    occFpLoadq_->add(occ.fp_loadq);
+    occFpStoreq_->add(occ.fp_storeq);
+    occFpRob_->add(occ.fp_rob);
+}
+
+} // namespace aurora::telemetry

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * RunSampler: pipeline observer that records into a Registry.
+ *
+ * The sampler registers the full metric catalog up front (so exports
+ * have a stable schema even for metrics that stay zero) and then
+ * translates PipelineObserver events into counter increments and
+ * histogram samples: per-cause stall cycles, cache hit/miss tallies,
+ * MSHR allocation/release balance, FP queue flow, load latencies, and
+ * per-cycle occupancy histograms for every bounded resource the paper
+ * sizes (ROB, MSHRs, write cache, prefetch buffers, FP queues).
+ *
+ * Attaching a sampler never changes simulation results: it only reads
+ * event payloads. docs/observability.md lists the catalog with the
+ * paper figures each metric reproduces.
+ */
+
+#ifndef AURORA_TELEMETRY_SAMPLER_HH
+#define AURORA_TELEMETRY_SAMPLER_HH
+
+#include <array>
+
+#include "core/pipeline_trace.hh"
+#include "core/stall.hh"
+#include "registry.hh"
+
+namespace aurora::telemetry
+{
+
+/** Stable lower-case slug for metric/export names ("lsu_busy"). */
+std::string_view stallSlug(core::StallCause cause);
+
+/** Observer that records every pipeline event into a Registry. */
+class RunSampler : public core::PipelineObserver
+{
+  public:
+    /** Registers the metric catalog in @p registry (kept by ref). */
+    explicit RunSampler(Registry &registry);
+
+    Registry &registry() { return registry_; }
+
+    void onIssue(Cycle now, const trace::Inst &inst,
+                 unsigned slot) override;
+    void onStall(Cycle now, core::StallCause cause) override;
+    void onRetire(Cycle now, unsigned count) override;
+    void onCacheAccess(Cycle now, core::CacheUnit unit, unsigned hits,
+                       unsigned misses) override;
+    void onLoadIssue(Cycle now, Cycle latency, bool miss) override;
+    void onMshr(Cycle now, unsigned allocated, unsigned released,
+                unsigned in_use) override;
+    void onFpQueue(Cycle now, core::FpQueueKind queue,
+                   unsigned enqueued, unsigned dequeued,
+                   unsigned depth) override;
+    void onDrainStart(Cycle now) override;
+    void onDrainEnd(Cycle now, unsigned mshr_releases) override;
+    void onCycleEnd(Cycle now,
+                    const core::OccupancySample &occ) override;
+
+  private:
+    Registry &registry_;
+
+    Counter *cycles_;
+    Counter *issued_;
+    std::array<Counter *, core::NUM_STALL_CAUSES> stalls_;
+    Counter *retireEvents_;
+    Counter *retired_;
+    std::array<Counter *, 3> cacheHits_;   ///< indexed by CacheUnit
+    std::array<Counter *, 3> cacheMisses_; ///< indexed by CacheUnit
+    Counter *loads_;
+    Counter *loadMisses_;
+    Counter *mshrAllocs_;
+    Counter *mshrReleases_;
+    Counter *mshrDrainReleases_;
+    std::array<Counter *, 3> fpEnqueued_;  ///< indexed by FpQueueKind
+    std::array<Counter *, 3> fpDequeued_;  ///< indexed by FpQueueKind
+    Counter *drains_;
+
+    Histogram *retireBurst_;
+    Histogram *loadLatency_;
+    Histogram *loadMissLatency_;
+    Histogram *occRob_;
+    Histogram *occMshr_;
+    Histogram *occWriteCache_;
+    Histogram *occPrefetch_;
+    Histogram *occFpInstq_;
+    Histogram *occFpLoadq_;
+    Histogram *occFpStoreq_;
+    Histogram *occFpRob_;
+};
+
+} // namespace aurora::telemetry
+
+#endif // AURORA_TELEMETRY_SAMPLER_HH

@@ -1,5 +1,6 @@
 #include "stats.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -10,6 +11,27 @@ double
 Accumulator::stddev() const
 {
     return std::sqrt(variance());
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (n_ == 0)
+        return 0;
+    p = std::min(std::max(p, 0.0), 1.0);
+    // The sample rank is computed in integer space so the result is
+    // bit-stable across platforms: ceil(p * n) without going through
+    // a rounded double.
+    const auto rank = static_cast<Count>(
+        std::ceil(p * static_cast<double>(n_)));
+    const Count needed = std::max<Count>(rank, 1);
+    Count seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= needed)
+            return i;
+    }
+    return max_;
 }
 
 std::string

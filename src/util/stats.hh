@@ -133,6 +133,8 @@ class Histogram
     {
         ++n_;
         sum_ += x;
+        if (x > max_)
+            max_ = x;
         if (x < buckets_.size())
             ++buckets_[static_cast<std::size_t>(x)];
         else
@@ -141,6 +143,10 @@ class Histogram
 
     Count count() const { return n_; }
     Count overflow() const { return overflow_; }
+    /** Sum of all recorded samples. */
+    std::uint64_t sum() const { return sum_; }
+    /** Largest recorded sample (0 when empty). */
+    std::uint64_t maxSample() const { return max_; }
     /** Mean of all recorded samples. */
     double
     mean() const
@@ -148,6 +154,13 @@ class Histogram
         return n_ ? static_cast<double>(sum_) / static_cast<double>(n_)
                   : 0.0;
     }
+    /**
+     * Smallest sample value v such that at least ceil(p * count)
+     * samples are <= v (the inverse empirical CDF). Samples that
+     * landed in the overflow bucket report maxSample(). 0 when empty;
+     * @p p is clamped to [0, 1].
+     */
+    std::uint64_t percentile(double p) const;
     /** Occupancy of bucket i. */
     Count bucket(std::size_t i) const { return buckets_.at(i); }
     std::size_t numBuckets() const { return buckets_.size(); }
@@ -157,6 +170,7 @@ class Histogram
     Count overflow_ = 0;
     Count n_ = 0;
     std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
 };
 
 /** Monotonic wall-clock stopwatch (per-job and sweep timing). */

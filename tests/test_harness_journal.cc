@@ -85,6 +85,18 @@ expectRunEq(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.issue_width_cycles, b.issue_width_cycles);
     EXPECT_EQ(a.avg_rob_occupancy, b.avg_rob_occupancy);
     EXPECT_EQ(a.avg_mshr_occupancy, b.avg_mshr_occupancy);
+    const auto occ_eq = [](const OccupancyStats &x,
+                           const OccupancyStats &y) {
+        EXPECT_EQ(x.mean, y.mean);
+        EXPECT_EQ(x.p50, y.p50);
+        EXPECT_EQ(x.p95, y.p95);
+        EXPECT_EQ(x.max, y.max);
+    };
+    occ_eq(a.rob_occupancy, b.rob_occupancy);
+    occ_eq(a.mshr_occupancy, b.mshr_occupancy);
+    occ_eq(a.fp_instq_occupancy, b.fp_instq_occupancy);
+    occ_eq(a.fp_loadq_occupancy, b.fp_loadq_occupancy);
+    occ_eq(a.fp_storeq_occupancy, b.fp_storeq_occupancy);
 }
 
 /** Run the grid journal-free as the bit-exactness reference. */

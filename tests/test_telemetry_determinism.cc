@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Telemetry inertness: attaching observers — the metrics sampler,
+ * the trace-event exporter, or both through a fanout — must never
+ * change a simulation result. Every field of RunResult, including
+ * the occupancy distributions and the auditor's ledger, must be
+ * bit-identical with telemetry on and off, for single runs and for
+ * sweeps at 1, 2, and 8 workers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/report.hh"
+#include "core/simulator.hh"
+#include "harness/sweep.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/trace_event.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+using namespace aurora::telemetry;
+
+constexpr Count N = 20000;
+
+/** Every-field RunResult equality (bit-identical doubles). */
+void
+expectRunEq(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.issuing_cycles, b.issuing_cycles);
+    EXPECT_EQ(a.tail_cycles, b.tail_cycles);
+    EXPECT_EQ(a.stalls, b.stalls);
+    EXPECT_EQ(a.icache_hit_pct, b.icache_hit_pct);
+    EXPECT_EQ(a.dcache_hit_pct, b.dcache_hit_pct);
+    EXPECT_EQ(a.iprefetch_hit_pct, b.iprefetch_hit_pct);
+    EXPECT_EQ(a.dprefetch_hit_pct, b.dprefetch_hit_pct);
+    EXPECT_EQ(a.write_cache_hit_pct, b.write_cache_hit_pct);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.store_transactions, b.store_transactions);
+    EXPECT_EQ(a.fp_dispatched, b.fp_dispatched);
+    EXPECT_EQ(a.fpu.issued, b.fpu.issued);
+    EXPECT_EQ(a.fpu.dual_cycles, b.fpu.dual_cycles);
+    EXPECT_EQ(a.rbe_cost, b.rbe_cost);
+    EXPECT_EQ(a.issue_width_cycles, b.issue_width_cycles);
+    EXPECT_EQ(a.ledger.retired, b.ledger.retired);
+    EXPECT_EQ(a.ledger.icache_accesses, b.ledger.icache_accesses);
+    EXPECT_EQ(a.ledger.dcache_accesses, b.ledger.dcache_accesses);
+    EXPECT_EQ(a.ledger.mshr_allocations, b.ledger.mshr_allocations);
+    EXPECT_EQ(a.ledger.mshr_releases, b.ledger.mshr_releases);
+    EXPECT_EQ(a.avg_rob_occupancy, b.avg_rob_occupancy);
+    EXPECT_EQ(a.avg_mshr_occupancy, b.avg_mshr_occupancy);
+    const auto occ_eq = [](const OccupancyStats &x,
+                           const OccupancyStats &y) {
+        EXPECT_EQ(x.mean, y.mean);
+        EXPECT_EQ(x.p50, y.p50);
+        EXPECT_EQ(x.p95, y.p95);
+        EXPECT_EQ(x.max, y.max);
+    };
+    occ_eq(a.rob_occupancy, b.rob_occupancy);
+    occ_eq(a.mshr_occupancy, b.mshr_occupancy);
+    occ_eq(a.fp_instq_occupancy, b.fp_instq_occupancy);
+    occ_eq(a.fp_loadq_occupancy, b.fp_loadq_occupancy);
+    occ_eq(a.fp_storeq_occupancy, b.fp_storeq_occupancy);
+}
+
+TEST(TelemetryDeterminism, ObserversDoNotPerturbSingleRuns)
+{
+    for (const char *bench : {"espresso", "nasa7"}) {
+        SCOPED_TRACE(bench);
+        const auto profile = trace::profileByName(bench);
+        const RunResult off =
+            simulate(baselineModel(), profile, N);
+
+        Registry registry;
+        RunSampler sampler(registry);
+        const RunResult with_sampler = simulate(
+            baselineModel(), profile, N, WatchdogConfig{}, &sampler);
+        expectRunEq(off, with_sampler);
+
+        // Both observers at once through the fanout.
+        Registry registry2;
+        RunSampler sampler2(registry2);
+        TraceEventLog log;
+        TraceEventObserver events(log, 500);
+        ObserverFanout fanout;
+        fanout.attach(&sampler2);
+        fanout.attach(&events);
+        const RunResult with_both = simulate(
+            baselineModel(), profile, N, WatchdogConfig{}, &fanout);
+        expectRunEq(off, with_both);
+        EXPECT_GT(log.size(), 0u);
+
+        // Two sampled runs also agree with each other metric by
+        // metric — the sampler reads state, it never consumes it.
+        ASSERT_EQ(registry.counters().size(),
+                  registry2.counters().size());
+        auto it = registry2.counters().begin();
+        for (const auto &entry : registry.counters()) {
+            EXPECT_EQ(entry.counter.value(), it->counter.value())
+                << entry.name;
+            ++it;
+        }
+    }
+}
+
+TEST(TelemetryDeterminism, ReportIsUnchangedByTelemetry)
+{
+    // The golden-stats suite diffs rendered reports verbatim; a
+    // telemetry run must render the identical report.
+    const RunResult off =
+        simulate(baselineModel(), trace::espresso(), N);
+    Registry registry;
+    RunSampler sampler(registry);
+    const RunResult on = simulate(baselineModel(), trace::espresso(),
+                                  N, WatchdogConfig{}, &sampler);
+    EXPECT_EQ(runReport(off), runReport(on));
+}
+
+TEST(TelemetryDeterminism, SweepsAreBitIdenticalAcrossWorkerCounts)
+{
+    // A mixed integer/FP grid, run plain and with one sampler per
+    // job, at three worker counts: every result must match the
+    // telemetry-free single-worker reference exactly.
+    std::vector<harness::SweepJob> grid;
+    for (const char *bench : {"espresso", "li", "nasa7", "doduc"})
+        grid.push_back(
+            {baselineModel(), trace::profileByName(bench), N});
+    for (const char *bench : {"espresso", "nasa7"})
+        grid.push_back(
+            {largeModel(), trace::profileByName(bench), N});
+
+    harness::SweepOptions ref_opts;
+    ref_opts.workers = 1;
+    harness::SweepRunner ref_runner(ref_opts);
+    const auto reference = ref_runner.run(grid);
+
+    for (const unsigned workers : {1u, 2u, 8u}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        std::vector<Registry> registries(grid.size());
+        std::vector<std::unique_ptr<RunSampler>> samplers;
+        std::vector<std::function<RunResult()>> tasks;
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            samplers.push_back(
+                std::make_unique<RunSampler>(registries[i]));
+            RunSampler *sampler = samplers.back().get();
+            const harness::SweepJob &job = grid[i];
+            tasks.push_back([job, sampler]() {
+                return simulate(job.machine, job.profile,
+                                job.instructions, WatchdogConfig{},
+                                sampler);
+            });
+        }
+        harness::SweepOptions opts;
+        opts.workers = workers;
+        harness::SweepRunner runner(opts);
+        const auto sampled = runner.runTasks(tasks);
+        ASSERT_EQ(sampled.size(), reference.size());
+        for (std::size_t i = 0; i < sampled.size(); ++i) {
+            SCOPED_TRACE("job " + std::to_string(i));
+            expectRunEq(reference[i], sampled[i]);
+        }
+        // And the metric streams themselves are deterministic: the
+        // same job samples the same counters at every worker count.
+        EXPECT_EQ(registries[0]
+                      .findCounter("sim.cycles")
+                      ->value(),
+                  reference[0].cycles);
+    }
+}
+
+} // namespace

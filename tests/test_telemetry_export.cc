@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Exporter tests: --stats-json documents round-trip through the
+ * parser with the advertised schema, observer-derived metrics obey
+ * the same conservation laws the post-run auditor enforces on the
+ * simulator's own ledger, histogram bucket accounting balances, the
+ * CSV stays rectangular, and trace-event documents are valid Chrome
+ * trace JSON with non-decreasing timestamps per track.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "core/audit.hh"
+#include "core/simulator.hh"
+#include "telemetry/export.hh"
+#include "telemetry/json.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/trace_event.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+using namespace aurora::telemetry;
+
+constexpr Count N = 20000;
+
+/** One run with a sampler attached, plus its registry. */
+struct SampledRun
+{
+    Registry registry;
+    RunResult result;
+};
+
+SampledRun
+sampledRun(const char *bench = "espresso",
+           const MachineConfig &machine = baselineModel())
+{
+    SampledRun out;
+    RunSampler sampler(out.registry);
+    out.result = simulate(machine, trace::profileByName(bench), N,
+                          WatchdogConfig{}, &sampler);
+    return out;
+}
+
+Count
+counterValue(const Registry &reg, std::string_view name)
+{
+    const Counter *c = reg.findCounter(name);
+    EXPECT_NE(c, nullptr) << name;
+    return c ? c->value() : 0;
+}
+
+TEST(Export, RunDocumentRoundTripsWithSchema)
+{
+    SampledRun run = sampledRun();
+    std::ostringstream os;
+    writeRunDocument(os, run.result, &run.registry);
+
+    std::string error;
+    const auto doc = parseJson(os.str(), &error);
+    ASSERT_TRUE(doc) << error;
+    EXPECT_EQ(doc->find("schema")->string, RUN_SCHEMA);
+    const JsonValue *r = doc->find("run");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->find("model")->string, run.result.model);
+    EXPECT_EQ(r->find("benchmark")->string, run.result.benchmark);
+    EXPECT_EQ(r->find("instructions")->number,
+              static_cast<double>(run.result.instructions));
+    EXPECT_EQ(r->find("cycles")->number,
+              static_cast<double>(run.result.cycles));
+    // Doubles round-trip bit-exactly through the document.
+    EXPECT_EQ(r->find("cpi")->number, run.result.cpi());
+
+    // Occupancy summaries are ordered percentiles.
+    const JsonValue *occ = r->find("occupancy");
+    ASSERT_NE(occ, nullptr);
+    for (const char *key :
+         {"rob", "mshr", "fp_instq", "fp_loadq", "fp_storeq"}) {
+        const JsonValue *o = occ->find(key);
+        ASSERT_NE(o, nullptr) << key;
+        EXPECT_LE(o->find("p50")->number, o->find("p95")->number)
+            << key;
+        EXPECT_LE(o->find("p95")->number, o->find("max")->number)
+            << key;
+    }
+
+    // The metrics member carries the full registered catalog.
+    const JsonValue *metrics = r->find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_EQ(metrics->find("counters")->array.size(),
+              run.registry.counters().size());
+    EXPECT_EQ(metrics->find("histograms")->array.size(),
+              run.registry.histograms().size());
+}
+
+TEST(Export, ObserverMetricsObeyLedgerConservation)
+{
+    // The sampler's counters are built purely from observer events;
+    // the ledger is the simulator's own accounting. Both views must
+    // agree — the observer stream neither drops nor invents events.
+    for (const char *bench : {"espresso", "nasa7"}) {
+        SCOPED_TRACE(bench);
+        SampledRun run = sampledRun(bench);
+        const Registry &reg = run.registry;
+        const RunResult &res = run.result;
+        EXPECT_NO_THROW(auditRun(res));
+
+        EXPECT_EQ(counterValue(reg, "sim.cycles"), res.cycles);
+        EXPECT_EQ(counterValue(reg, "issue.instructions"),
+                  res.instructions);
+        EXPECT_EQ(counterValue(reg, "retire.instructions"),
+                  res.ledger.retired);
+        EXPECT_EQ(counterValue(reg, "icache.hits"),
+                  res.ledger.icache_hits);
+        EXPECT_EQ(counterValue(reg, "icache.misses"),
+                  res.ledger.icache_misses);
+        EXPECT_EQ(counterValue(reg, "dcache.hits"),
+                  res.ledger.dcache_hits);
+        EXPECT_EQ(counterValue(reg, "dcache.misses"),
+                  res.ledger.dcache_misses);
+        EXPECT_EQ(counterValue(reg, "mshr.allocations"),
+                  res.ledger.mshr_allocations);
+        // Drain releases happen after the last cycle's delta event;
+        // the dedicated drain counter closes the balance.
+        EXPECT_EQ(counterValue(reg, "mshr.releases") +
+                      counterValue(reg, "mshr.drain_releases"),
+                  res.ledger.mshr_releases);
+
+        // Each stall cause observed exactly as charged.
+        for (std::size_t c = 0; c < NUM_STALL_CAUSES; ++c) {
+            const auto cause = static_cast<StallCause>(c);
+            EXPECT_EQ(counterValue(
+                          reg, std::string("stall.") +
+                                   std::string(stallSlug(cause))),
+                      res.stalls[c])
+                << stallSlug(cause);
+        }
+
+        // Retirement burst histogram: count = retire events, sample
+        // sum = retired instructions.
+        const Histogram *burst = reg.findHistogram("retire.burst");
+        ASSERT_NE(burst, nullptr);
+        EXPECT_EQ(burst->count(),
+                  counterValue(reg, "retire.events"));
+        EXPECT_EQ(burst->sum(), res.ledger.retired);
+
+        // The sampler's per-cycle ROB occupancy must reproduce the
+        // processor's always-on summary exactly.
+        const Histogram *rob = reg.findHistogram("occupancy.rob");
+        ASSERT_NE(rob, nullptr);
+        EXPECT_EQ(rob->count(), res.cycles);
+        EXPECT_EQ(rob->mean(), res.avg_rob_occupancy);
+        EXPECT_EQ(rob->percentile(0.50), res.rob_occupancy.p50);
+        EXPECT_EQ(rob->percentile(0.95), res.rob_occupancy.p95);
+        EXPECT_EQ(rob->maxSample(), res.rob_occupancy.max);
+
+        // FP queue flow balances: everything enqueued is dequeued by
+        // the end of a completed run.
+        for (const char *q : {"fp_instq", "fp_loadq", "fp_storeq"}) {
+            EXPECT_EQ(counterValue(reg, std::string(q) + ".enqueued"),
+                      counterValue(reg, std::string(q) + ".dequeued"))
+                << q;
+        }
+
+        // Load latency histograms partition the observed loads.
+        const Histogram *lat = reg.findHistogram("latency.load");
+        const Histogram *miss =
+            reg.findHistogram("latency.load_miss");
+        ASSERT_NE(lat, nullptr);
+        ASSERT_NE(miss, nullptr);
+        EXPECT_EQ(lat->count(), counterValue(reg, "lsu.loads"));
+        EXPECT_EQ(miss->count(),
+                  counterValue(reg, "lsu.load_misses"));
+        EXPECT_LE(miss->count(), lat->count());
+    }
+}
+
+TEST(Export, HistogramBucketAccountingBalancesInTheDocument)
+{
+    SampledRun run = sampledRun("nasa7");
+    std::ostringstream os;
+    writeRunDocument(os, run.result, &run.registry);
+    std::string error;
+    const auto doc = parseJson(os.str(), &error);
+    ASSERT_TRUE(doc) << error;
+    const JsonValue *hists =
+        doc->find("run")->find("metrics")->find("histograms");
+    ASSERT_TRUE(hists && hists->isArray());
+    EXPECT_FALSE(hists->array.empty());
+    for (const JsonValue &h : hists->array) {
+        const std::string &name = h.find("name")->string;
+        double in_buckets = 0;
+        for (const JsonValue &b : h.find("buckets")->array)
+            in_buckets += b.number;
+        EXPECT_EQ(in_buckets + h.find("overflow")->number,
+                  h.find("count")->number)
+            << name;
+        EXPECT_LE(h.find("p50")->number, h.find("p95")->number)
+            << name;
+        EXPECT_LE(h.find("p95")->number, h.find("max")->number)
+            << name;
+    }
+}
+
+TEST(Export, SuiteDocumentCarriesOrderedRuns)
+{
+    SampledRun a = sampledRun("espresso");
+    RunResult plain =
+        simulate(baselineModel(), trace::li(), N);
+    std::vector<SuiteEntry> entries;
+    entries.push_back({&a.result, &a.registry});
+    entries.push_back({&plain, nullptr});
+
+    std::ostringstream os;
+    writeSuiteDocument(os, entries);
+    std::string error;
+    const auto doc = parseJson(os.str(), &error);
+    ASSERT_TRUE(doc) << error;
+    EXPECT_EQ(doc->find("schema")->string, SUITE_SCHEMA);
+    const JsonValue *runs = doc->find("runs");
+    ASSERT_TRUE(runs && runs->isArray());
+    ASSERT_EQ(runs->array.size(), 2u);
+    EXPECT_EQ(runs->array[0].find("benchmark")->string, "espresso");
+    EXPECT_NE(runs->array[0].find("metrics"), nullptr);
+    EXPECT_EQ(runs->array[1].find("benchmark")->string, "li");
+    EXPECT_EQ(runs->array[1].find("metrics"), nullptr);
+}
+
+TEST(Export, CsvIsRectangularAndQuoted)
+{
+    const std::string header = statsCsvHeader();
+    const auto count_fields = [](const std::string &line) {
+        std::size_t fields = 1;
+        bool quoted = false;
+        for (const char c : line) {
+            if (c == '"')
+                quoted = !quoted;
+            else if (c == ',' && !quoted)
+                ++fields;
+        }
+        return fields;
+    };
+
+    SampledRun run = sampledRun();
+    const std::string row = statsCsvRow(run.result);
+    EXPECT_EQ(count_fields(header), count_fields(row));
+    EXPECT_EQ(row.find(run.result.model), 0u);
+
+    // RFC 4180 quoting: a name with a comma and a quote survives.
+    RunResult odd = run.result;
+    odd.model = "model,\"odd\"";
+    const std::string odd_row = statsCsvRow(odd);
+    EXPECT_EQ(count_fields(odd_row), count_fields(header));
+    EXPECT_NE(odd_row.find("\"model,\"\"odd\"\"\""),
+              std::string::npos);
+}
+
+TEST(TraceEvents, DocumentIsValidAndMonotonicPerTrack)
+{
+    constexpr Cycle MAX_CYCLES = 400;
+    TraceEventLog log;
+    TraceEventObserver observer(log, MAX_CYCLES);
+    simulate(baselineModel(), trace::profileByName("nasa7"), 3000,
+             WatchdogConfig{}, &observer);
+    ASSERT_GT(log.size(), 0u);
+
+    std::ostringstream os;
+    log.write(os);
+    std::string error;
+    const auto doc = parseJson(os.str(), &error);
+    ASSERT_TRUE(doc) << error;
+    const JsonValue *events = doc->find("traceEvents");
+    ASSERT_TRUE(events && events->isArray());
+    EXPECT_EQ(events->array.size(), log.size());
+
+    std::map<std::pair<double, double>, double> last_ts;
+    std::size_t spans = 0;
+    for (const JsonValue &e : events->array) {
+        ASSERT_TRUE(e.find("name") && e.find("name")->isString());
+        ASSERT_TRUE(e.find("ph") && e.find("ph")->isString());
+        const std::string &ph = e.find("ph")->string;
+        ASSERT_EQ(ph.size(), 1u);
+        if (ph == "M")
+            continue; // metadata is timeless
+        ASSERT_TRUE(e.find("ts") && e.find("ts")->isNumber());
+        const double ts = e.find("ts")->number;
+        // The observer stops recording at its cycle bound.
+        EXPECT_LT(ts, static_cast<double>(MAX_CYCLES));
+        const std::pair<double, double> track(
+            e.find("pid")->number, e.find("tid")->number);
+        const auto it = last_ts.find(track);
+        if (it != last_ts.end()) {
+            EXPECT_GE(ts, it->second);
+        }
+        last_ts[track] = ts;
+        if (ph == "X") {
+            ++spans;
+            EXPECT_GE(e.find("dur")->number, 0.0);
+        }
+        if (ph == "i") {
+            EXPECT_EQ(e.find("s")->string, "t");
+        }
+    }
+    EXPECT_GT(spans, 0u);
+    EXPECT_GT(last_ts.size(), 1u); // more than one lane in use
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * JSON toolkit tests: the writer emits structurally valid documents
+ * (commas, nesting, escapes, raw fragments), numbers round-trip
+ * bit-exactly, and the parser accepts everything the writer produces
+ * while rejecting malformed input with a byte offset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "telemetry/json.hh"
+
+namespace
+{
+
+using namespace aurora::telemetry;
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+    EXPECT_EQ(jsonEscape(std::string("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(JsonNumber, RoundTripsBitExactly)
+{
+    for (const double v :
+         {0.0, 1.0, -1.0, 0.1, 1.0 / 3.0, 1e300, 5e-324,
+          123456789.123456789,
+          std::numeric_limits<double>::max()}) {
+        const std::string text = jsonNumber(v);
+        EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+    }
+    // Integral doubles stay short and exact.
+    EXPECT_EQ(jsonNumber(42.0), "42");
+    // JSON has no NaN/Inf: the defensive rendering is null.
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(JsonWriter, NestedDocumentParsesBack)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("name").value("aurora");
+    w.key("count").value(std::uint64_t{3});
+    w.key("ratio").value(0.5);
+    w.key("flag").value(true);
+    w.key("list").beginArray();
+    w.value(std::uint64_t{1}).value(std::uint64_t{2});
+    w.beginObject().key("nested").value("yes").endObject();
+    w.endArray();
+    w.key("empty").beginObject().endObject();
+    w.endObject();
+
+    std::string error;
+    const auto doc = parseJson(os.str(), &error);
+    ASSERT_TRUE(doc) << error << " in " << os.str();
+    ASSERT_TRUE(doc->isObject());
+    EXPECT_EQ(doc->find("name")->string, "aurora");
+    EXPECT_EQ(doc->find("count")->number, 3.0);
+    EXPECT_EQ(doc->find("ratio")->number, 0.5);
+    EXPECT_TRUE(doc->find("flag")->boolean);
+    ASSERT_TRUE(doc->find("list")->isArray());
+    ASSERT_EQ(doc->find("list")->array.size(), 3u);
+    EXPECT_EQ(doc->find("list")->array[2].find("nested")->string,
+              "yes");
+    EXPECT_TRUE(doc->find("empty")->isObject());
+    EXPECT_TRUE(doc->find("empty")->object.empty());
+}
+
+TEST(JsonWriter, RawFragmentsKeepSeparatorsConsistent)
+{
+    // raw() is how pre-rendered trace-event args enter a document;
+    // the separator state machine must treat it as a normal value.
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("args").beginObject();
+    w.key("a").raw("1");
+    w.key("b").raw("\"two\"");
+    w.endObject();
+    w.key("after").value(std::uint64_t{3});
+    w.endObject();
+
+    std::string error;
+    std::ostringstream os2;
+    JsonWriter w2(os2);
+    w2.beginArray();
+    w2.raw("1").raw("2").beginObject().endObject();
+    w2.endArray();
+
+    EXPECT_TRUE(parseJson(os.str(), &error)) << error;
+    const auto arr = parseJson(os2.str(), &error);
+    ASSERT_TRUE(arr) << error << " in " << os2.str();
+    ASSERT_EQ(arr->array.size(), 3u);
+    EXPECT_EQ(arr->array[1].number, 2.0);
+}
+
+TEST(JsonParse, AcceptsEscapesAndUnicode)
+{
+    std::string error;
+    const auto doc =
+        parseJson("{\"s\": \"a\\n\\t\\\"\\\\\\u0041\\u00e9\"}", &error);
+    ASSERT_TRUE(doc) << error;
+    EXPECT_EQ(doc->find("s")->string, "a\n\t\"\\A\xc3\xa9");
+}
+
+TEST(JsonParse, ParsesNumbersAndLiterals)
+{
+    std::string error;
+    const auto doc = parseJson(
+        "[0, -1, 3.25, 1e3, 2.5E-2, true, false, null]", &error);
+    ASSERT_TRUE(doc) << error;
+    ASSERT_EQ(doc->array.size(), 8u);
+    EXPECT_EQ(doc->array[1].number, -1.0);
+    EXPECT_EQ(doc->array[2].number, 3.25);
+    EXPECT_EQ(doc->array[3].number, 1000.0);
+    EXPECT_EQ(doc->array[4].number, 0.025);
+    EXPECT_EQ(doc->array[7].kind, JsonValue::Kind::Null);
+}
+
+TEST(JsonParse, RejectsMalformedInputWithOffset)
+{
+    const char *bad[] = {
+        "",                  // empty
+        "{",                 // unterminated object
+        "[1, 2",             // unterminated array
+        "{\"a\" 1}",         // missing colon
+        "{\"a\": 1,}",       // trailing comma (strict)
+        "\"unterminated",    // unterminated string
+        "12.",               // digits required after the point
+        "1e",                // exponent digits required
+        "tru",               // bad literal
+        "{} extra",          // trailing content
+        "\"bad \\q escape\"" // unknown escape
+    };
+    for (const char *text : bad) {
+        std::string error;
+        EXPECT_FALSE(parseJson(text, &error)) << text;
+        EXPECT_NE(error.find("at byte"), std::string::npos)
+            << text << " -> " << error;
+    }
+}
+
+} // namespace

@@ -21,6 +21,18 @@
  *                     sweep journal (synthetic benchmarks only)
  *   --resume          with --journal: replay completed runs from the
  *                     journal and execute only the missing ones
+ *   --stats-json FILE write the run (or suite) as a structured JSON
+ *                     document, schema aurora.run.v1/aurora.suite.v1,
+ *                     including the telemetry metrics registry
+ *                     ('-' = stdout; see docs/observability.md)
+ *   --stats-csv FILE  write one flat CSV row per run ('-' = stdout)
+ *   --trace-events FILE  write a Chrome trace-event (Perfetto)
+ *                     rendering of the pipeline, bounded by
+ *                     --trace-event-cycles (single benchmark only)
+ *   --trace-event-cycles N  cycles captured by --trace-events
+ *                     (default 50000)
+ *   --sweep-trace FILE  with --journal: write the sweep's per-job
+ *                     worker timeline as a Chrome trace-event file
  *
  * Remaining key=value arguments configure the machine; see
  * `src/core/config_io.hh` (model=, icache=, mshr=, latency=,
@@ -36,10 +48,14 @@
  *   aurora_sim --bench int model=baseline mshr=4 icache=4096
  *   aurora_sim --bench fp fp_policy=inorder
  *   aurora_sim --bench nasa7 --cycle-budget 2000000 fp_buses=1
+ *   aurora_sim --bench espresso --stats-json - --trace-events t.json
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,6 +64,10 @@
 #include "core/report.hh"
 #include "core/simulator.hh"
 #include "harness/sweep.hh"
+#include "harness/sweep_trace.hh"
+#include "telemetry/export.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/trace_event.hh"
 #include "trace/spec_profiles.hh"
 #include "trace/synthetic_workload.hh"
 #include "trace/trace_io.hh"
@@ -68,6 +88,10 @@ usage()
         << "                  [--trace FILE] [--csv] [--describe]\n"
         << "                  [--pipeline-trace N] [--cycle-budget N]\n"
         << "                  [--journal FILE] [--resume]\n"
+        << "                  [--stats-json FILE] [--stats-csv FILE]\n"
+        << "                  [--trace-events FILE]\n"
+        << "                  [--trace-event-cycles N]\n"
+        << "                  [--sweep-trace FILE]\n"
         << "                  [key=value ...]\n";
     std::exit(2);
 }
@@ -88,6 +112,86 @@ numericOption(const std::string &option, const std::string &value)
     return *parsed;
 }
 
+/** Export destination: a file, or stdout when the path is "-". */
+class Output
+{
+  public:
+    explicit Output(const std::string &path)
+    {
+        if (path == "-")
+            return;
+        file_.open(path);
+        if (!file_)
+            util::raiseError(util::SimErrorCode::BadConfig,
+                             "cannot open output file '", path, "'");
+    }
+
+    std::ostream &stream() { return file_.is_open() ? file_ : std::cout; }
+
+  private:
+    std::ofstream file_;
+};
+
+/** Everything --stats-json/--stats-csv/--trace-events asked for. */
+struct ExportRequest
+{
+    std::string stats_json;
+    std::string stats_csv;
+    std::string trace_events;
+    Cycle trace_event_cycles = 50'000;
+    std::string sweep_trace;
+
+    bool wantsStats() const
+    {
+        return !stats_json.empty() || !stats_csv.empty();
+    }
+};
+
+/** Write the single-run exports (JSON document, CSV, trace events). */
+void
+exportRun(const ExportRequest &request, const RunResult &result,
+          const telemetry::Registry *registry,
+          const telemetry::TraceEventLog *events)
+{
+    if (!request.stats_json.empty()) {
+        Output out(request.stats_json);
+        telemetry::writeRunDocument(out.stream(), result, registry);
+    }
+    if (!request.stats_csv.empty()) {
+        Output out(request.stats_csv);
+        out.stream() << telemetry::statsCsvHeader() << '\n'
+                     << telemetry::statsCsvRow(result) << '\n';
+    }
+    if (!request.trace_events.empty()) {
+        Output out(request.trace_events);
+        events->write(out.stream());
+    }
+}
+
+/** Write the suite exports; @p registries may be empty (no metrics). */
+void
+exportSuite(const ExportRequest &request,
+            const std::vector<RunResult> &runs,
+            const std::vector<telemetry::Registry> &registries)
+{
+    if (!request.stats_json.empty()) {
+        std::vector<telemetry::SuiteEntry> entries;
+        entries.reserve(runs.size());
+        for (std::size_t i = 0; i < runs.size(); ++i)
+            entries.push_back({&runs[i], i < registries.size()
+                                             ? &registries[i]
+                                             : nullptr});
+        Output out(request.stats_json);
+        telemetry::writeSuiteDocument(out.stream(), entries);
+    }
+    if (!request.stats_csv.empty()) {
+        Output out(request.stats_csv);
+        out.stream() << telemetry::statsCsvHeader() << '\n';
+        for (const RunResult &r : runs)
+            out.stream() << telemetry::statsCsvRow(r) << '\n';
+    }
+}
+
 int
 run(int argc, char **argv)
 {
@@ -99,6 +203,7 @@ run(int argc, char **argv)
     bool describe_only = false;
     std::string journal;
     bool resume = false;
+    ExportRequest request;
     std::string spec;
     WatchdogConfig watchdog = defaultWatchdog();
 
@@ -118,6 +223,16 @@ run(int argc, char **argv)
             journal = argv[++i];
         } else if (arg == "--resume") {
             resume = true;
+        } else if (arg == "--stats-json" && i + 1 < argc) {
+            request.stats_json = argv[++i];
+        } else if (arg == "--stats-csv" && i + 1 < argc) {
+            request.stats_csv = argv[++i];
+        } else if (arg == "--trace-events" && i + 1 < argc) {
+            request.trace_events = argv[++i];
+        } else if (arg == "--trace-event-cycles" && i + 1 < argc) {
+            request.trace_event_cycles = numericOption(arg, argv[++i]);
+        } else if (arg == "--sweep-trace" && i + 1 < argc) {
+            request.sweep_trace = argv[++i];
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--describe") {
@@ -137,18 +252,35 @@ run(int argc, char **argv)
         std::cout << describe(machine) << "\n";
         return 0;
     }
+    if (!request.sweep_trace.empty() && journal.empty())
+        util::raiseError(util::SimErrorCode::BadConfig,
+                         "--sweep-trace requires --journal FILE (it "
+                         "renders the sweep engine's job timeline)");
 
     if (!trace_file.empty()) {
         if (!journal.empty() || resume)
             util::raiseError(util::SimErrorCode::BadConfig,
                              "--journal/--resume apply to synthetic "
                              "benchmarks, not --trace replays");
+        telemetry::Registry registry;
+        telemetry::TraceEventLog events;
+        std::optional<telemetry::RunSampler> sampler;
+        std::optional<telemetry::TraceEventObserver> event_observer;
+        ObserverFanout fanout;
+        if (!request.stats_json.empty())
+            fanout.attach(&sampler.emplace(registry));
+        if (!request.trace_events.empty())
+            fanout.attach(&event_observer.emplace(
+                events, request.trace_event_cycles));
         trace::FileTraceSource src(trace_file);
         trace::LimitedTraceSource limited(src, insts);
         Processor cpu(machine, limited, watchdog);
+        if (!fanout.empty())
+            cpu.setObserver(&fanout);
         RunResult r = cpu.run();
         r.benchmark = trace_file;
         std::cout << runReport(r);
+        exportRun(request, r, sampler ? &registry : nullptr, &events);
         return 0;
     }
 
@@ -164,22 +296,38 @@ run(int argc, char **argv)
     } else {
         suite.push_back(trace::profileByName(bench));
     }
+    if (!request.trace_events.empty() && (suite.size() != 1 || csv))
+        util::raiseError(util::SimErrorCode::BadConfig,
+                         "--trace-events renders one pipeline: pick a "
+                         "single benchmark (like --pipeline-trace)");
 
     if (!journal.empty()) {
         if (trace_cycles > 0)
             util::raiseError(util::SimErrorCode::BadConfig,
                              "--journal cannot be combined with "
                              "--pipeline-trace");
+        if (!request.trace_events.empty())
+            util::raiseError(util::SimErrorCode::BadConfig,
+                             "--journal cannot be combined with "
+                             "--trace-events (use --sweep-trace for "
+                             "the sweep-level timeline)");
         // Synthetic runs through the sweep engine share its journal:
         // every completed benchmark is flushed to disk, and --resume
         // replays finished ones bit-identically (see docs/harness.md).
+        harness::SweepTimeline timeline;
         harness::SweepOptions sweep_options;
         sweep_options.watchdog = watchdog;
         sweep_options.journal = journal;
         sweep_options.resume = resume;
+        if (!request.sweep_trace.empty())
+            sweep_options.timeline = &timeline;
         harness::SweepRunner runner(sweep_options);
         const auto outcomes =
             runner.runOutcomes(harness::suiteJobs(machine, suite, insts));
+        if (!request.sweep_trace.empty()) {
+            Output out(request.sweep_trace);
+            harness::writeTimelineTrace(out.stream(), timeline);
+        }
 
         SuiteResult res;
         res.machine = machine;
@@ -196,6 +344,9 @@ run(int argc, char **argv)
         }
         if (any_failed)
             return 1;
+        // Journal replays carry no live registry, so these exports
+        // contain the RunResults without per-run metrics.
+        exportSuite(request, res.runs, {});
         if (res.runs.size() == 1 && !csv) {
             std::cout << runReport(res.runs.front());
             return 0;
@@ -216,20 +367,67 @@ run(int argc, char **argv)
                          "--resume requires --journal FILE");
 
     if (suite.size() == 1 && !csv) {
-        if (trace_cycles > 0) {
-            trace::SyntheticWorkload workload(suite.front());
-            trace::LimitedTraceSource limited(workload, insts);
-            Processor cpu(machine, limited, watchdog);
-            PipelineTracer tracer(std::cout, trace_cycles);
-            cpu.setObserver(&tracer);
-            RunResult r = cpu.run();
-            r.benchmark = suite.front().name;
-            std::cout << runReport(r);
-            return 0;
-        }
-        const RunResult r =
-            simulate(machine, suite.front(), insts, watchdog);
+        telemetry::Registry registry;
+        telemetry::TraceEventLog events;
+        std::optional<PipelineTracer> tracer;
+        std::optional<telemetry::RunSampler> sampler;
+        std::optional<telemetry::TraceEventObserver> event_observer;
+        ObserverFanout fanout;
+        if (trace_cycles > 0)
+            fanout.attach(&tracer.emplace(std::cout, trace_cycles));
+        if (!request.stats_json.empty())
+            fanout.attach(&sampler.emplace(registry));
+        if (!request.trace_events.empty())
+            fanout.attach(&event_observer.emplace(
+                events, request.trace_event_cycles));
+
+        trace::SyntheticWorkload workload(suite.front());
+        trace::LimitedTraceSource limited(workload, insts);
+        Processor cpu(machine, limited, watchdog);
+        if (!fanout.empty())
+            cpu.setObserver(&fanout);
+        RunResult r = cpu.run();
+        r.benchmark = suite.front().name;
         std::cout << runReport(r);
+        exportRun(request, r, sampler ? &registry : nullptr, &events);
+        return 0;
+    }
+
+    if (request.wantsStats()) {
+        // Suite exports keep the sweep engine's parallelism: one
+        // registry+sampler pair per job, results in submission order.
+        std::vector<telemetry::Registry> registries(suite.size());
+        std::vector<std::unique_ptr<telemetry::RunSampler>> samplers;
+        std::vector<std::function<RunResult()>> tasks;
+        samplers.reserve(suite.size());
+        tasks.reserve(suite.size());
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            samplers.push_back(std::make_unique<telemetry::RunSampler>(
+                registries[i]));
+            telemetry::RunSampler *sampler = samplers.back().get();
+            const trace::WorkloadProfile &profile = suite[i];
+            tasks.push_back([&machine, &profile, insts, watchdog,
+                             sampler]() {
+                return simulate(machine, profile, insts, watchdog,
+                                sampler);
+            });
+        }
+        harness::SweepOptions sweep_options;
+        sweep_options.watchdog = watchdog;
+        harness::SweepRunner runner(sweep_options);
+        SuiteResult res;
+        res.machine = machine;
+        res.runs = runner.runTasks(tasks);
+        exportSuite(request, res.runs, registries);
+        if (csv) {
+            std::cout << suiteTable(res).csv();
+        } else {
+            suiteTable(res).print(std::cout,
+                                  "machine: " + describe(machine));
+            stallTable(res).print(std::cout, "stall breakdown (CPI)");
+            std::cout << "suite average CPI: "
+                      << formatFixed(res.avgCpi(), 3) << "\n";
+        }
         return 0;
     }
 
