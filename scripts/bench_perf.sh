@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Performance baseline: run the google-benchmark microbenchmarks and a
+# timed per-benchmark sweep of the full SPEC profile suite, then write
+# the combined numbers to BENCH_perf.json (ROADMAP item 1's perf
+# trajectory baseline).
+#
+#   scripts/bench_perf.sh                 # writes ./BENCH_perf.json
+#   AURORA_BENCH_PERF_OUT=out.json \
+#   AURORA_BENCH_PERF_INSTS=50000 scripts/bench_perf.sh
+#
+# The sweep section reports, per benchmark: simulated instructions,
+# simulated cycles, wall-clock seconds, and the derived simulator
+# throughput (insts/sec and cycles/sec of host time). The microbench
+# section embeds google-benchmark's own JSON verbatim so its schema
+# (items_per_second etc.) is preserved bit-for-bit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${AURORA_BENCH_PERF_OUT:-BENCH_perf.json}"
+insts="${AURORA_BENCH_PERF_INSTS:-100000}"
+
+cmake --preset release
+cmake --build --preset release -j "$(nproc)" \
+    --target bench_perf_microbench aurora_sim
+sim=build/tools/aurora_sim
+
+dir="$(mktemp -d)"
+trap 'rm -rf "${dir}"' EXIT
+
+# ---- microbenchmarks ------------------------------------------------
+build/bench/bench_perf_microbench \
+    --benchmark_out="${dir}/micro.json" \
+    --benchmark_out_format=json > /dev/null
+
+# ---- timed sweep, one run per profile -------------------------------
+# Times each benchmark individually so the JSON carries a per-bench
+# wall-time trajectory, not just a suite aggregate.
+benches="espresso li eqntott compress sc gcc \
+         alvinn doduc ear hydro2d mdljdp2 nasa7 ora spice2g6 su2cor"
+{
+    first=1
+    printf '['
+    total_insts=0
+    total_cycles=0
+    total_ns=0
+    for bench in ${benches}; do
+        start="$(date +%s%N)"
+        "${sim}" --bench "${bench}" --insts "${insts}" \
+            --stats-csv "${dir}/row.csv" > /dev/null
+        end="$(date +%s%N)"
+        ns=$((end - start))
+        # CSV columns: model,benchmark,instructions,cycles,...
+        read -r row_insts row_cycles < <(
+            awk -F, 'NR == 2 { print $3, $4 }' "${dir}/row.csv")
+        total_insts=$((total_insts + row_insts))
+        total_cycles=$((total_cycles + row_cycles))
+        total_ns=$((total_ns + ns))
+        [ "${first}" -eq 1 ] || printf ','
+        first=0
+        awk -v bench="${bench}" -v insts="${row_insts}" \
+            -v cycles="${row_cycles}" -v ns="${ns}" 'BEGIN {
+            secs = ns / 1e9
+            printf "\n  {\"benchmark\": \"%s\", ", bench
+            printf "\"instructions\": %d, \"cycles\": %d, ",
+                   insts, cycles
+            printf "\"wall_seconds\": %.6f, ", secs
+            printf "\"insts_per_sec\": %.1f, ", insts / secs
+            printf "\"cycles_per_sec\": %.1f}", cycles / secs
+        }'
+    done
+    printf '\n]'
+} > "${dir}/sweep.json"
+
+# ---- assemble -------------------------------------------------------
+{
+    printf '{\n'
+    printf '"schema": "aurora.bench_perf.v1",\n'
+    printf '"insts_per_bench": %d,\n' "${insts}"
+    awk -v insts="${total_insts}" -v cycles="${total_cycles}" \
+        -v ns="${total_ns}" 'BEGIN {
+        secs = ns / 1e9
+        printf "\"sweep_total\": {\"instructions\": %d, ", insts
+        printf "\"cycles\": %d, \"wall_seconds\": %.6f, ",
+               cycles, secs
+        printf "\"insts_per_sec\": %.1f, ", insts / secs
+        printf "\"cycles_per_sec\": %.1f},\n", cycles / secs
+    }'
+    printf '"sweep": '
+    cat "${dir}/sweep.json"
+    printf ',\n"microbench": '
+    cat "${dir}/micro.json"
+    printf '\n}\n'
+} > "${out}"
+
+# Validate when a JSON tool is on the host; absence is a skip.
+if command -v jq > /dev/null 2>&1; then
+    jq -e '.schema == "aurora.bench_perf.v1"' "${out}" > /dev/null
+    echo "bench_perf: ${out} validated"
+fi
+echo "bench_perf: wrote ${out}"

@@ -14,13 +14,22 @@
 #                               # lint (always) and clang-tidy over
 #                               # compile_commands.json (when
 #                               # clang-tidy is installed)
+#   scripts/check.sh serve      # service load drill: hundreds of
+#                               # small grids from parallel
+#                               # aurora_submit clients, SIGKILL the
+#                               # daemon mid-load, restart it, and
+#                               # demand every resumed grid stream
+#                               # bit-identical stats versus a serial
+#                               # aurora_sim run; also checks quota and
+#                               # preflight rejections and SIGTERM
+#                               # drain exit status
 #   scripts/check.sh obs        # observability drill: exercise every
 #                               # exporter (--stats-json, --stats-csv,
 #                               # --trace-events, --sweep-trace, the
 #                               # fault-storm timeline artifact) and
 #                               # validate each with aurora_obs_check
-#   scripts/check.sh all        # all four presets, both drills, and
-#                               # the lint stage
+#   scripts/check.sh all        # all four presets, all three drills,
+#                               # and the lint stage
 #
 # Every full-suite preset includes the fault-storm smoke test
 # (bench_ext_fault_storm via ctest), which proves every injected
@@ -127,6 +136,151 @@ run_obs() {
     echo "obs drill: every exporter validated"
 }
 
+# Service load drill against the real daemon and client binaries.
+#
+# Phase 1 — load + crash: N parallel aurora_submit clients (distinct
+# tenants) each fire a burst of unique single-job grids at one daemon
+# with --no-wait, collecting fingerprints. The daemon is SIGKILLed
+# while work is still in flight, then restarted on the same spool.
+# Phase 2 — resume + bit-identity: every fingerprint is re-attached;
+# each grid must finish and its stats CSV must be byte-identical to a
+# serial aurora_sim run of the same benchmark/instruction budget. The
+# restarted daemon must then drain on SIGTERM and exit 0.
+# Phase 3 — admission: a quota-1 daemon must refuse a second grid with
+# AUR201 and a preflight-rejected machine spec with AUR010, and still
+# drain cleanly.
+#
+# Races are tolerated by construction: if the daemon finishes the
+# whole load before the kill lands, the attach phase degenerates to a
+# pure journal replay and the byte-compare still must pass.
+run_serve_drill() {
+    echo "==== check: serve ===="
+    cmake --preset release
+    cmake --build --preset release -j "$(nproc)" \
+        --target aurora_serve aurora_submit aurora_sim
+    local serve=build/tools/aurora_serve
+    local submit=build/tools/aurora_submit
+    local sim=build/tools/aurora_sim
+    local dir
+    dir="$(mktemp -d)"
+    trap 'rm -rf "${dir}"' RETURN
+    local sock="${dir}/serve.sock"
+    local spool="${dir}/spool"
+    local clients="${AURORA_CHECK_SERVE_CLIENTS:-8}"
+    local grids="${AURORA_CHECK_SERVE_GRIDS:-25}"
+    local insts="${AURORA_CHECK_SERVE_INSTS:-20000}"
+
+    # Readiness probe: the socket file alone is not enough (a stale
+    # file from a SIGKILLed daemon lingers until the next bind), so
+    # demand an actual status round-trip.
+    wait_for_daemon() {
+        local i=0
+        while [ "${i}" -lt 200 ]; do
+            if "${submit}" --socket "$1" --tenant probe --status \
+                    > /dev/null 2>&1; then
+                return 0
+            fi
+            sleep 0.05
+            i=$((i + 1))
+        done
+        echo "serve drill: daemon on $1 never became ready" >&2
+        return 1
+    }
+
+    # ---- phase 1: parallel submission storm, then SIGKILL ----------
+    "${serve}" --socket "${sock}" --spool "${spool}" \
+        --workers "$(nproc)" --quota-grids 64 --quiet &
+    local daemon=$!
+    wait_for_daemon "${sock}"
+
+    local c
+    local pids=()
+    for c in $(seq 1 "${clients}"); do
+        (
+            set -e
+            for g in $(seq 1 "${grids}"); do
+                # Unique instruction budget per (client, grid) keeps
+                # every fingerprint distinct across all tenants.
+                n=$((insts + c * 101 + g))
+                "${submit}" --socket "${sock}" --tenant "tenant${c}" \
+                    --bench espresso --insts "${n}" --no-wait \
+                    --timeout-ms 120000 --quiet |
+                    awk -v n="${n}" '/^accepted/ { print $2, n }'
+            done > "${dir}/fps.${c}"
+        ) &
+        pids+=("$!")
+    done
+    local pid
+    for pid in "${pids[@]}"; do
+        wait "${pid}"
+    done
+    for c in $(seq 1 "${clients}"); do
+        if [ "$(wc -l < "${dir}/fps.${c}")" -ne "${grids}" ]; then
+            echo "serve drill: client ${c} lost submissions" >&2
+            exit 1
+        fi
+    done
+
+    if kill -9 "${daemon}" 2>/dev/null; then
+        echo "serve drill: daemon SIGKILLed mid-load"
+    fi
+    wait "${daemon}" 2>/dev/null || true
+
+    # ---- phase 2: restart, re-attach everything, byte-compare ------
+    "${serve}" --socket "${sock}" --spool "${spool}" \
+        --workers "$(nproc)" --quota-grids 64 --quiet &
+    daemon=$!
+    wait_for_daemon "${sock}"
+
+    local total=0
+    local fp n
+    for c in $(seq 1 "${clients}"); do
+        while read -r fp n; do
+            "${submit}" --socket "${sock}" --tenant "tenant${c}" \
+                --attach "${fp}" --timeout-ms 120000 --quiet \
+                --stats-csv "${dir}/grid.csv" > /dev/null
+            "${sim}" --bench espresso --insts "${n}" \
+                --stats-csv "${dir}/serial.csv" > /dev/null
+            cmp "${dir}/grid.csv" "${dir}/serial.csv"
+            total=$((total + 1))
+        done < "${dir}/fps.${c}"
+    done
+    echo "serve drill: ${total} grids resumed bit-identical to serial"
+
+    kill -TERM "${daemon}"
+    wait "${daemon}"
+    echo "serve drill: SIGTERM drain exited 0"
+
+    # ---- phase 3: admission control ---------------------------------
+    local sock2="${dir}/admit.sock"
+    "${serve}" --socket "${sock2}" --spool "${dir}/spool2" \
+        --workers 1 --quota-grids 1 --quiet &
+    daemon=$!
+    wait_for_daemon "${sock2}"
+
+    "${submit}" --socket "${sock2}" --tenant alice --bench espresso \
+        --insts 400000 --no-wait --quiet > /dev/null
+    if "${submit}" --socket "${sock2}" --tenant alice \
+            --bench espresso --insts 400001 --no-wait --quiet \
+            2> "${dir}/reject.err" > /dev/null; then
+        echo "serve drill: over-quota grid was not refused" >&2
+        exit 1
+    fi
+    grep -q AUR201 "${dir}/reject.err"
+    if "${submit}" --socket "${sock2}" --tenant bob \
+            --bench espresso --insts 10000 --no-wait --quiet \
+            fp_buses=0 2> "${dir}/preflight.err" > /dev/null; then
+        echo "serve drill: preflight-rejected grid was accepted" >&2
+        exit 1
+    fi
+    grep -q AUR010 "${dir}/preflight.err"
+    echo "serve drill: AUR201 quota and AUR010 preflight refusals OK"
+
+    kill -TERM "${daemon}"
+    wait "${daemon}"
+    echo "serve drill: admission daemon drained, exited 0"
+}
+
 # Static analysis. The determinism lint is pure grep and always runs.
 # clang-tidy consumes the compile_commands.json the release preset
 # exports (CMAKE_EXPORT_COMPILE_COMMANDS in the top-level
@@ -159,6 +313,7 @@ case "${1:-release}" in
     run_preset ubsan
     run_preset tsan
     run_resume_drill
+    run_serve_drill
     run_obs
     run_lint
     ;;
@@ -168,6 +323,9 @@ case "${1:-release}" in
   resume)
     run_resume_drill
     ;;
+  serve)
+    run_serve_drill
+    ;;
   obs)
     run_obs
     ;;
@@ -175,7 +333,7 @@ case "${1:-release}" in
     run_lint
     ;;
   *)
-    echo "usage: $0 [release|asan|ubsan|tsan|resume|obs|lint|all]" >&2
+    echo "usage: $0 [release|asan|ubsan|tsan|resume|serve|obs|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -19,7 +19,12 @@ cd "$(dirname "$0")/.."
 # src/telemetry is covered too: samplers and exporters take
 # timestamps as event payloads, they never read clocks themselves
 # (wall-clock sweep timelines live in src/harness, outside the core).
-DIRS=(src/core src/ipu src/fpu src/mem src/trace src/telemetry)
+# src/serve is covered because resumed grids must replay
+# bit-identically: the daemon may time things with steady_clock, but
+# nothing in the service layer may consult wall clocks, randomness, or
+# raw environment state when producing results.
+DIRS=(src/core src/ipu src/fpu src/mem src/trace src/telemetry
+      src/serve)
 STATUS=0
 
 # pattern -> human explanation. Word boundaries keep e.g.

@@ -228,6 +228,49 @@ catalog()
          "spliced input; dependence-driven stalls would be "
          "meaningless on it.",
          "regenerate the trace from a single continuous run"},
+
+        // ---- sweep-service admission and protocol (aurora_serve) ----
+        {"AUR201", Severity::Error, "tenant grid quota exceeded",
+         "The service bounds how many grids one tenant may have "
+         "queued or running at once so a single guided-search client "
+         "cannot monopolize the shared worker pool (ROADMAP item 2's "
+         "fairness requirement).",
+         "wait for an active grid to finish, or raise --quota-grids"},
+        {"AUR202", Severity::Error, "tenant job quota exceeded",
+         "Per-tenant queued-job budgets keep one enormous grid from "
+         "starving every other tenant's small ones; round-robin "
+         "scheduling is only fair when no queue is unbounded.",
+         "split the grid, or raise --quota-jobs"},
+        {"AUR203", Severity::Error, "service overloaded (global queue full)",
+         "The submission queue is bounded; past the limit the service "
+         "sheds load with a structured rejection instead of buffering "
+         "without bound — the client should back off and retry.",
+         "retry with backoff, or raise --queue-depth"},
+        {"AUR204", Severity::Error, "service draining",
+         "A SIGTERM put the daemon in drain mode: running jobs "
+         "finish, queued work persists in the spool for the next "
+         "instance, and new submissions are refused.",
+         "resubmit after the replacement daemon starts"},
+        {"AUR205", Severity::Error, "malformed submission",
+         "The grid could not be built: empty job list, a job count "
+         "past --max-grid-jobs, an unparseable machine spec, or an "
+         "unknown profile name.",
+         "fix the submission; aurora_submit --help shows the shape"},
+        {"AUR206", Severity::Error, "duplicate grid fingerprint",
+         "A grid with this fingerprint is already spooled; running "
+         "it twice would burn workers to produce bit-identical "
+         "results. Re-attach to the existing grid instead.",
+         "use aurora_submit --attach <fingerprint>"},
+        {"AUR207", Severity::Error, "wire protocol violation",
+         "A frame failed its CRC or arrived malformed (bad magic, "
+         "implausible length, unknown or out-of-order message type). "
+         "The connection is closed; journaled state is unaffected.",
+         "reconnect; check client and server protocol versions"},
+        {"AUR208", Severity::Error, "unknown grid fingerprint",
+         "Attach/cancel named a fingerprint the spool does not hold "
+         "— mistyped, or the grid belongs to a different spool "
+         "directory.",
+         "list active grids with aurora_submit --status"},
     };
     return entries;
 }

@@ -13,6 +13,8 @@
  * ID ranges:
  *   AUR0xx  machine-configuration lints (lintConfig, checkPipelineGraph)
  *   AUR1xx  trace-file lints (verifyTrace)
+ *   AUR2xx  sweep-service admission and protocol rejections
+ *           (aurora_serve; see docs/service.md)
  */
 
 #ifndef AURORA_ANALYZE_DIAGNOSTIC_HH

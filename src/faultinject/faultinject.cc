@@ -239,6 +239,73 @@ corruptJournalFile(const std::string &path, JournalFault fault,
     std::fclose(f);
 }
 
+const char *
+wireFaultName(WireFault fault)
+{
+    switch (fault) {
+      case WireFault::TruncateFrame:
+        return "truncate-frame";
+      case WireFault::MidFrameCut:
+        return "mid-frame-cut";
+      case WireFault::CrcFlip:
+        return "crc-flip";
+    }
+    AURORA_PANIC("unknown WireFault ", static_cast<int>(fault));
+}
+
+WireFault
+anyWireFault(std::uint64_t seed)
+{
+    return static_cast<WireFault>(mix64(seed) % NUM_WIRE_FAULTS);
+}
+
+const char *
+wireFaultDiagnosticId(WireFault)
+{
+    // Every wire-level defect surfaces at the daemon as a protocol
+    // violation: the session is refused with AUR207 and dropped.
+    return "AUR207";
+}
+
+std::string
+corruptWireFrame(const std::string &frame, WireFault fault,
+                 std::uint64_t seed)
+{
+    constexpr std::size_t HEADER = 12;
+    AURORA_ASSERT(frame.size() >= HEADER,
+                  "fault injection: ", frame.size(),
+                  " bytes is not a complete wire frame");
+    std::string out = frame;
+    switch (fault) {
+      case WireFault::TruncateFrame:
+        out.resize(1 + mix64(seed) % (HEADER - 1));
+        return out;
+      case WireFault::MidFrameCut:
+        // Keep the header and a strict prefix of the payload, so the
+        // decoder waits for bytes that never come (an empty-payload
+        // frame falls back to cutting the header's last byte).
+        out.resize(std::min(
+            frame.size() - 1,
+            HEADER + mix64(seed) % std::max<std::size_t>(
+                         1, frame.size() - HEADER)));
+        return out;
+      case WireFault::CrcFlip: {
+        // Flip a payload bit when there is a payload; an empty
+        // payload gets its CRC field flipped instead. Either way the
+        // stored CRC no longer matches the bytes.
+        const std::size_t lo = frame.size() > HEADER ? HEADER : 8;
+        const std::size_t span =
+            (frame.size() > HEADER ? frame.size() : HEADER) - lo;
+        const std::size_t off = lo + mix64(seed) % span;
+        out[off] = static_cast<char>(
+            static_cast<unsigned char>(out[off]) ^
+            static_cast<unsigned char>(1u << (mix64(seed + 1) % 8)));
+        return out;
+      }
+    }
+    AURORA_PANIC("unknown WireFault ", static_cast<int>(fault));
+}
+
 void
 miscountStall(core::RunResult &result, std::uint64_t seed)
 {

@@ -142,6 +142,43 @@ JournalFault anyJournalFault(std::uint64_t seed);
 void corruptJournalFile(const std::string &path, JournalFault fault,
                         std::uint64_t seed = 0);
 
+/** Byte-level wire-frame defects the serve FrameDecoder must
+ *  detect (all map to catalog ID AUR207 at the daemon). */
+enum class WireFault
+{
+    /** Cut the frame inside its 12-byte header — the torn-frame
+     *  shape of a read that raced a dying peer. */
+    TruncateFrame,
+    /** Keep the header but cut the payload short — a peer that
+     *  disconnected mid-frame. */
+    MidFrameCut,
+    /** Flip one seed-chosen payload bit, leaving the CRC stale. */
+    CrcFlip,
+};
+
+inline constexpr std::size_t NUM_WIRE_FAULTS = 3;
+
+/** Short display name ("truncate-frame", "crc-flip", ...). */
+const char *wireFaultName(WireFault fault);
+
+/** Seed-driven fault choice, uniform over all WireFaults. */
+WireFault anyWireFault(std::uint64_t seed);
+
+/** Catalog diagnostic the daemon raises for @p fault ("AUR207"). */
+const char *wireFaultDiagnosticId(WireFault fault);
+
+/**
+ * Return @p frame (one complete serve wire frame: 12-byte header +
+ * payload) corrupted with @p fault. Pure — the wire has no file to
+ * damage in place, so this is the socket-side mirror of
+ * corruptJournalFile(). Feeding the result to a FrameDecoder must
+ * yield NeedMore-then-starve for the two cut faults (the peer-
+ * vanished signature) and Corrupt for CrcFlip; it must never yield
+ * a valid payload.
+ */
+std::string corruptWireFrame(const std::string &frame, WireFault fault,
+                             std::uint64_t seed = 0);
+
 /**
  * Break one conservation invariant of @p result: bump a seed-chosen
  * stall-cause counter by one cycle, so stall + issuing + tail cycles

@@ -17,7 +17,7 @@ constexpr std::uint8_t REC_HEADER = 1;
 constexpr std::uint8_t REC_JOB = 2;
 
 constexpr std::uint8_t MAX_ERROR_CODE =
-    static_cast<std::uint8_t>(util::SimErrorCode::Internal);
+    static_cast<std::uint8_t>(util::SimErrorCode::BadWire);
 
 void
 putOccupancy(ByteWriter &w, const core::OccupancyStats &o)
@@ -203,6 +203,30 @@ parseJobPayload(ByteReader &rd)
 }
 
 } // namespace
+
+std::string
+encodeJournalRecord(const JournalRecord &record)
+{
+    return jobPayload(record);
+}
+
+JournalRecord
+decodeJournalRecord(const std::string &payload)
+{
+    ByteReader rd(payload);
+    if (rd.u8() != REC_JOB)
+        util::raiseError(util::SimErrorCode::BadJournal,
+                         "payload is not a job record");
+    return parseJobPayload(rd);
+}
+
+std::string
+runResultBytes(const core::RunResult &result)
+{
+    ByteWriter w;
+    putRunResult(w, result);
+    return w.bytes();
+}
 
 std::uint64_t
 gridFingerprint(const std::vector<SweepJob> &grid,

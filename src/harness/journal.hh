@@ -107,6 +107,27 @@ std::uint64_t gridFingerprint(
 LoadedJournal loadJournal(const std::string &path);
 
 /**
+ * Serialize one journal record to its payload bytes — the exact
+ * encoding a JournalWriter appends (type tag included), reused by the
+ * sweep service as the wire form of a streamed job result so a
+ * re-attached client replays the same bytes the journal holds.
+ */
+std::string encodeJournalRecord(const JournalRecord &record);
+
+/**
+ * Invert encodeJournalRecord. Throws util::SimError (BadJournal) on
+ * a wrong type tag, out-of-range error code, or size mismatch.
+ */
+JournalRecord decodeJournalRecord(const std::string &payload);
+
+/**
+ * Bit-exact serialization of a RunResult alone (doubles by bit
+ * pattern). Two results serialize equal iff every statistic matches
+ * exactly — the equality probe the service's resume drills use.
+ */
+std::string runResultBytes(const core::RunResult &result);
+
+/**
  * Append-side of the journal. Thread-safe: worker threads append
  * completion records concurrently; every record is flushed before
  * append() returns, so a SIGKILL never loses a completed job (and

@@ -94,13 +94,15 @@ SweepReport::summary() const
     // Isolation accounting only appears once an outcome run happened,
     // so fail-fast sweeps keep the historical one-line shape.
     if (ok_jobs || failed_jobs || retried_jobs || timed_out_jobs ||
-        skipped_jobs) {
+        skipped_jobs || cancelled_jobs) {
         os << " | ok " << ok_jobs << " / failed " << failed_jobs
            << " / retried " << retried_jobs;
         if (timed_out_jobs)
             os << " / timed out " << timed_out_jobs;
         if (skipped_jobs)
             os << " / skipped " << skipped_jobs;
+        if (cancelled_jobs)
+            os << " / cancelled " << cancelled_jobs;
     }
     if (resumed_jobs)
         os << " | resumed " << resumed_jobs;
@@ -590,11 +592,24 @@ SweepRunner::executeOutcomes(
     // The body never throws: every failure is captured into its
     // outcome slot, so one poisoned job cannot abort the grid and
     // parallelFor's fail-fast path stays untouched.
+    const std::atomic<bool> *cancel = options_.cancel;
     parallelFor(n, pool, [&](std::size_t i) {
         SweepOutcome &out = outcomes[i];
         const std::size_t job = grid_indices ? (*grid_indices)[i] : i;
         WallTimer job_timer;
         for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+            // Cooperative cancellation: refuse to *start* an attempt
+            // once the flag is up; an attempt already simulating is
+            // left to finish (and journal) normally.
+            if (cancel && cancel->load(std::memory_order_relaxed)) {
+                out.ok = false;
+                out.code = util::SimErrorCode::Cancelled;
+                out.error = attempt == 1
+                                ? "cancelled before execution"
+                                : "cancelled before retry";
+                out.attempts = attempt - 1;
+                break;
+            }
             if (attempt > 1 && backoff)
                 std::this_thread::sleep_for(std::chrono::milliseconds(
                     backoffDelayMs(backoff, attempt)));
@@ -707,6 +722,8 @@ SweepRunner::accountOutcomes(const std::vector<SweepOutcome> &outcomes,
             report_.total_instructions += out.result.instructions;
         } else if (out.code == util::SimErrorCode::Timeout) {
             ++report_.timed_out_jobs;
+        } else if (out.code == util::SimErrorCode::Cancelled) {
+            ++report_.cancelled_jobs;
         } else {
             ++report_.failed_jobs;
         }

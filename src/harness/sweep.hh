@@ -34,6 +34,7 @@
 #ifndef AURORA_HARNESS_SWEEP_HH
 #define AURORA_HARNESS_SWEEP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -201,6 +202,18 @@ struct SweepOptions
      * Pure observation: results, seeds, and scheduling are unchanged.
      */
     SweepTimeline *timeline = nullptr;
+
+    /**
+     * Cooperative cancellation for the outcome entry points: checked
+     * before every job attempt. Once the flag reads true, jobs not
+     * yet started (and pending retries) complete immediately as
+     * Cancelled outcomes without executing; attempts already inside
+     * core::simulate() run to completion — a finished, journaled
+     * result is always preferable to a half-abandoned one. The flag
+     * must outlive the run. aurora_serve sets it when a tenant
+     * cancels a grid or disconnects with the cancel policy.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /**
@@ -218,7 +231,8 @@ struct SweepOutcome
     util::SimErrorCode code = util::SimErrorCode::Internal;
     /** what() of the final attempt's exception; empty when ok. */
     std::string error;
-    /** Attempts consumed (1 = succeeded or failed first try). */
+    /** Attempts consumed (1 = succeeded or failed first try; 0 =
+     *  cancelled before any attempt started). */
     unsigned attempts = 1;
     /** Wall seconds across all attempts of this job. */
     double seconds = 0.0;
@@ -259,6 +273,10 @@ struct SweepReport
     /** Jobs never attempted: queued bodies left behind when a
      *  fail-fast run aborted on the first exception. */
     std::size_t skipped_jobs = 0;
+    /** Jobs cancelled through SweepOptions::cancel before executing
+     *  (subset of neither ok nor failed; the balance becomes
+     *  jobs == ok + failed + timed_out + skipped + cancelled). */
+    std::size_t cancelled_jobs = 0;
 
     /** Aggregate simulated instructions per wall-clock second. */
     double instsPerSecond() const;

@@ -1,0 +1,185 @@
+#include "scheduler.hh"
+
+#include "analyze/diagnostic.hh"
+#include "util/logging.hh"
+
+namespace aurora::serve
+{
+
+namespace
+{
+
+/** Build a refusal from its catalog entry + concrete numbers. */
+AdmitRejection
+refusal(const char *id, util::SimErrorCode code, std::string detail)
+{
+    const analyze::DiagnosticInfo *info = analyze::findDiagnostic(id);
+    AURORA_ASSERT(info != nullptr, "admission refusal ", id,
+                  " is not in the diagnostic catalog");
+    AdmitRejection r;
+    r.id = id;
+    r.code = code;
+    r.message =
+        detail::concat(info->title, ": ", std::move(detail),
+                       " (hint: ", info->hint, ")");
+    return r;
+}
+
+} // namespace
+
+Scheduler::Scheduler(ServiceLimits limits) : limits_(limits)
+{
+    AURORA_ASSERT(limits_.grids_per_tenant > 0 &&
+                      limits_.jobs_per_tenant > 0 &&
+                      limits_.total_jobs > 0 &&
+                      limits_.jobs_per_grid > 0,
+                  "service limits must all be positive");
+}
+
+std::optional<AdmitRejection>
+Scheduler::admit(const std::string &tenant, std::size_t grid_jobs) const
+{
+    if (draining_)
+        return refusal("AUR204", util::SimErrorCode::Overloaded,
+                       detail::concat("daemon is draining; tenant '",
+                                      tenant,
+                                      "' must resubmit after restart"));
+    if (grid_jobs == 0)
+        return refusal("AUR205", util::SimErrorCode::BadConfig,
+                       "submission contains no jobs");
+    if (grid_jobs > limits_.jobs_per_grid)
+        return refusal(
+            "AUR205", util::SimErrorCode::BadConfig,
+            detail::concat("submission has ", grid_jobs,
+                           " jobs; the per-grid cap is ",
+                           limits_.jobs_per_grid));
+    const auto it = tenants_.find(tenant);
+    const std::size_t grids = it == tenants_.end() ? 0 : it->second.grids;
+    const std::size_t jobs = it == tenants_.end() ? 0 : it->second.jobs;
+    if (grids >= limits_.grids_per_tenant)
+        return refusal(
+            "AUR201", util::SimErrorCode::Overloaded,
+            detail::concat("tenant '", tenant, "' already has ", grids,
+                           " of ", limits_.grids_per_tenant,
+                           " resident grids"));
+    if (jobs + grid_jobs > limits_.jobs_per_tenant)
+        return refusal(
+            "AUR202", util::SimErrorCode::Overloaded,
+            detail::concat("tenant '", tenant, "' holds ", jobs,
+                           " jobs and asked for ", grid_jobs,
+                           " more; the quota is ",
+                           limits_.jobs_per_tenant));
+    if (total_jobs_ + grid_jobs > limits_.total_jobs)
+        return refusal(
+            "AUR203", util::SimErrorCode::Overloaded,
+            detail::concat("service holds ", total_jobs_,
+                           " jobs and the submission adds ", grid_jobs,
+                           "; the global cap is ", limits_.total_jobs));
+    return std::nullopt;
+}
+
+void
+Scheduler::admitGrid(const std::string &tenant, std::size_t pending_jobs)
+{
+    Tenant &t = tenants_[tenant];
+    t.grids += 1;
+    t.jobs += pending_jobs;
+    total_jobs_ += pending_jobs;
+}
+
+void
+Scheduler::enqueue(const std::string &tenant, const SchedUnit &unit)
+{
+    Tenant &t = tenants_[tenant];
+    t.queue.push_back(unit);
+    ++queued_;
+    if (!t.in_rotor) {
+        t.in_rotor = true;
+        rotor_.push_back(tenant);
+    }
+}
+
+std::optional<SchedUnit>
+Scheduler::take()
+{
+    while (!rotor_.empty()) {
+        const std::string tenant = rotor_.front();
+        rotor_.pop_front();
+        Tenant &t = tenants_[tenant];
+        if (t.queue.empty()) {
+            t.in_rotor = false;
+            continue;
+        }
+        const SchedUnit unit = t.queue.front();
+        t.queue.pop_front();
+        --queued_;
+        if (t.queue.empty())
+            t.in_rotor = false;
+        else
+            rotor_.push_back(tenant);
+        return unit;
+    }
+    return std::nullopt;
+}
+
+std::vector<SchedUnit>
+Scheduler::dropQueued(const std::string &tenant,
+                      std::uint64_t fingerprint)
+{
+    std::vector<SchedUnit> dropped;
+    const auto it = tenants_.find(tenant);
+    if (it == tenants_.end())
+        return dropped;
+    std::deque<SchedUnit> kept;
+    for (const SchedUnit &unit : it->second.queue) {
+        if (unit.fingerprint == fingerprint)
+            dropped.push_back(unit);
+        else
+            kept.push_back(unit);
+    }
+    it->second.queue.swap(kept);
+    queued_ -= dropped.size();
+    // in_rotor stays set: the rotor entry is still physically present
+    // and take() retires it (clearing the flag) when it comes around
+    // to the now-empty queue. Clearing it here would let a later
+    // enqueue() add a duplicate rotor entry — two turns per cycle.
+    return dropped;
+}
+
+void
+Scheduler::jobFinished(const std::string &tenant)
+{
+    const auto it = tenants_.find(tenant);
+    AURORA_ASSERT(it != tenants_.end() && it->second.jobs > 0,
+                  "job released for tenant '", tenant,
+                  "' with no jobs charged");
+    it->second.jobs -= 1;
+    AURORA_ASSERT(total_jobs_ > 0, "global job count underflow");
+    total_jobs_ -= 1;
+}
+
+void
+Scheduler::gridFinished(const std::string &tenant)
+{
+    const auto it = tenants_.find(tenant);
+    AURORA_ASSERT(it != tenants_.end() && it->second.grids > 0,
+                  "grid released for tenant '", tenant,
+                  "' with no grids charged");
+    it->second.grids -= 1;
+}
+
+std::size_t
+Scheduler::tenantJobs(const std::string &tenant) const
+{
+    const auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0 : it->second.jobs;
+}
+
+std::size_t
+Scheduler::tenantGrids(const std::string &tenant) const
+{
+    const auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0 : it->second.grids;
+}
+
+} // namespace aurora::serve

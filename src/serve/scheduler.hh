@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Admission control and fair job scheduling for aurora_serve.
+ *
+ * The daemon multiplexes one worker pool across many tenants, so two
+ * policies live here, both deterministic and both test-visible
+ * without any sockets:
+ *
+ *  - **Admission**: a submission is admitted only if the tenant is
+ *    under its grid and job quotas, the global queue has room, and
+ *    the daemon is not draining. Refusals carry stable AUR2xx
+ *    catalog IDs (analyze/diagnostic) so clients and CI assert on
+ *    IDs, never message text.
+ *
+ *  - **Dispatch**: queued jobs are released one per tenant per turn
+ *    of a round-robin rotor. A tenant that dumps 500 jobs cannot
+ *    starve a tenant that submitted 5: after k rotor turns every
+ *    active tenant has been offered k slots. The rotor advances in
+ *    tenant arrival order, so dispatch order is a pure function of
+ *    the submission sequence — no clocks, no randomness.
+ *
+ * The scheduler is a passive data structure: no threads, no locks.
+ * The server serializes access under its state mutex and owns the
+ * worker pool; tests drive the scheduler directly.
+ */
+
+#ifndef AURORA_SERVE_SCHEDULER_HH
+#define AURORA_SERVE_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/sim_error.hh"
+
+namespace aurora::serve
+{
+
+/** Quotas and capacity bounds enforced at admission. */
+struct ServiceLimits
+{
+    /** Unfinished grids one tenant may have resident (AUR201). */
+    std::size_t grids_per_tenant = 8;
+    /** Queued-or-running jobs one tenant may hold (AUR202). */
+    std::size_t jobs_per_tenant = 4096;
+    /** Global bound on queued-or-running jobs (AUR203) — the
+     *  backpressure valve that keeps the daemon's memory and the
+     *  spool bounded under overload. */
+    std::size_t total_jobs = 16384;
+    /** Jobs in a single submission (AUR205 when exceeded). */
+    std::size_t jobs_per_grid = 2048;
+};
+
+/** One dispatchable unit: a job index within a registered grid. */
+struct SchedUnit
+{
+    std::uint64_t fingerprint = 0;
+    std::size_t job_index = 0;
+};
+
+/** A structured admission refusal (maps to a Rejected message). */
+struct AdmitRejection
+{
+    /** Stable AUR2xx catalog ID. */
+    std::string id;
+    util::SimErrorCode code = util::SimErrorCode::Overloaded;
+    std::string message;
+};
+
+/**
+ * Tenant bookkeeping + round-robin dispatch rotor. All counters are
+ * maintained by the caller through admit()/enqueue()/take()/
+ * jobFinished()/gridFinished(); the scheduler never learns what a job
+ * *is* — only who owns it.
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(ServiceLimits limits = {});
+
+    const ServiceLimits &limits() const { return limits_; }
+
+    /**
+     * Would a @p grid_jobs -job submission from @p tenant be admitted
+     * right now? Returns the refusal (first matching rule in fixed
+     * order: draining, grid size, tenant grid quota, tenant job
+     * quota, global capacity) or std::nullopt when admissible. Pure —
+     * call admitGrid() to actually account the admission.
+     */
+    std::optional<AdmitRejection>
+    admit(const std::string &tenant, std::size_t grid_jobs) const;
+
+    /**
+     * Account an admitted (or resumed) grid against @p tenant:
+     * one resident grid plus @p pending_jobs queued jobs. Used for
+     * both fresh submissions and spool-resumed grids.
+     */
+    void admitGrid(const std::string &tenant, std::size_t pending_jobs);
+
+    /** Queue one job of @p tenant's grid for dispatch. */
+    void enqueue(const std::string &tenant, const SchedUnit &unit);
+
+    /** Any queued unit ready for dispatch? */
+    bool hasWork() const { return queued_ > 0; }
+
+    /**
+     * Pop the next unit, advancing the tenant rotor one turn. The
+     * rotor offers each tenant with queued work one unit per cycle,
+     * in tenant arrival order. std::nullopt when nothing is queued.
+     */
+    std::optional<SchedUnit> take();
+
+    /**
+     * Remove every queued unit of @p fingerprint (cancellation),
+     * returning the removed units in queue order. Running jobs are
+     * the caller's problem — the scheduler no longer holds them.
+     */
+    std::vector<SchedUnit> dropQueued(const std::string &tenant,
+                                      std::uint64_t fingerprint);
+
+    /** A dispatched or dropped job reached a terminal state: release
+     *  its slot in the tenant and global job counts. */
+    void jobFinished(const std::string &tenant);
+
+    /** A grid reached a terminal state: release its residency slot. */
+    void gridFinished(const std::string &tenant);
+
+    /** Refuse all new submissions from now on (AUR204). */
+    void beginDrain() { draining_ = true; }
+    bool draining() const { return draining_; }
+
+    /** Jobs queued but not yet dispatched. */
+    std::size_t queuedJobs() const { return queued_; }
+
+    /** Queued-or-running jobs charged to @p tenant (0 if unknown). */
+    std::size_t tenantJobs(const std::string &tenant) const;
+
+    /** Resident unfinished grids of @p tenant (0 if unknown). */
+    std::size_t tenantGrids(const std::string &tenant) const;
+
+  private:
+    struct Tenant
+    {
+        std::deque<SchedUnit> queue;
+        /** Queued + running jobs (admission accounting). */
+        std::size_t jobs = 0;
+        /** Resident unfinished grids. */
+        std::size_t grids = 0;
+        /** Present in the rotor? (set iff queue non-empty). */
+        bool in_rotor = false;
+    };
+
+    ServiceLimits limits_;
+    std::map<std::string, Tenant> tenants_;
+    /** Round-robin rotor over tenants with queued work. */
+    std::deque<std::string> rotor_;
+    /** Total queued (not yet dispatched) units. */
+    std::size_t queued_ = 0;
+    /** Total queued + running jobs (global capacity accounting). */
+    std::size_t total_jobs_ = 0;
+    bool draining_ = false;
+};
+
+} // namespace aurora::serve
+
+#endif // AURORA_SERVE_SCHEDULER_HH

@@ -1,0 +1,48 @@
+#include "session.hh"
+
+#include <algorithm>
+
+namespace aurora::serve
+{
+
+Session::Session(util::Fd fd) : fd_(std::move(fd))
+{
+    util::setNonBlocking(fd_.get());
+}
+
+void
+Session::queueFrame(const std::string &payload)
+{
+    // Reclaim the flushed prefix once it dominates the buffer, so a
+    // slow reader watching a long grid doesn't pin every frame ever
+    // sent to it.
+    if (out_pos_ > 4096 && out_pos_ * 2 > out_.size()) {
+        out_.erase(0, out_pos_);
+        out_pos_ = 0;
+    }
+    out_ += wire::frame(payload);
+}
+
+bool
+Session::flush()
+{
+    if (!wantsWrite())
+        return true;
+    return util::writeSome(fd_.get(), out_, out_pos_);
+}
+
+void
+Session::watch(std::uint64_t fingerprint)
+{
+    if (!isWatching(fingerprint))
+        watching_.push_back(fingerprint);
+}
+
+bool
+Session::isWatching(std::uint64_t fingerprint) const
+{
+    return std::find(watching_.begin(), watching_.end(), fingerprint) !=
+           watching_.end();
+}
+
+} // namespace aurora::serve

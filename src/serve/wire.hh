@@ -1,0 +1,323 @@
+/**
+ * @file
+ * aurora_serve wire protocol: CRC-framed messages over a local socket.
+ *
+ * Transport frames reuse the journal's record framing byte-for-byte
+ * (util/record_io layout) under a distinct magic:
+ *
+ *     [u32 magic 'AWP1'] [u32 payload_len] [u32 crc32(payload)] [payload]
+ *
+ * all little-endian. The CRC means a torn or bit-flipped frame is
+ * *detected*, never misparsed — the same guarantee the sweep journal
+ * gives on disk, extended to the socket. Payload byte 0 is the
+ * MsgType; the rest is a ByteWriter/ByteReader encoding, so doubles
+ * cross the wire bit-exactly.
+ *
+ * Conversation shape (client drives, server streams):
+ *
+ *   client                          server
+ *   Hello{version, tenant}    -->
+ *                             <--   Welcome{version, draining}
+ *   Submit{label, opts, jobs} -->
+ *                             <--   Accepted{fp, jobs, done} |
+ *                                   Rejected{AURxxx, code, msg}
+ *                             <--   Result{fp, record}*   (streamed)
+ *                             <--   Progress{fp, counts}* (cadenced)
+ *                             <--   GridDone{fp, tallies}
+ *   Attach{fp}                -->   (replays done Results, then live)
+ *   Cancel{fp}                -->
+ *                             <--   CancelOk{fp, cancelled}
+ *   Status{}                  -->
+ *                             <--   StatusReport{...}
+ *
+ * A Result's `record` field is exactly harness::encodeJournalRecord()
+ * of the job's journal record: what the client receives over the wire
+ * is bit-identical to what the daemon persisted, so re-attached and
+ * live clients cannot disagree.
+ */
+
+#ifndef AURORA_SERVE_WIRE_HH
+#define AURORA_SERVE_WIRE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/record_io.hh"
+#include "util/sim_error.hh"
+#include "util/socket.hh"
+
+namespace aurora::serve::wire
+{
+
+/** Frame magic ('AWP1', little-endian) — distinct from the journal's
+ *  'AJRN' so a journal file pushed down a socket is rejected. */
+inline constexpr std::uint32_t WIRE_MAGIC = 0x31505741u;
+
+/** Protocol version carried in Hello/Welcome; mismatch is AUR207. */
+inline constexpr std::uint32_t PROTOCOL_VERSION = 1;
+
+/** Payload byte 0. Client→server types are low, server→client high. */
+enum class MsgType : std::uint8_t
+{
+    Hello = 1,
+    Submit = 2,
+    Attach = 3,
+    Cancel = 4,
+    Status = 5,
+
+    Welcome = 64,
+    Accepted = 65,
+    Rejected = 66,
+    Progress = 67,
+    Result = 68,
+    GridDone = 69,
+    StatusReport = 70,
+    CancelOk = 71,
+    Draining = 72,
+};
+
+/** Display name ("Hello", "GridDone", ...) for logs and tests. */
+const char *msgTypeName(MsgType type);
+
+/** First byte of @p payload as a MsgType; BadWire when empty or not
+ *  a known type. */
+MsgType peekType(const std::string &payload);
+
+/** Wrap @p payload in a wire frame (magic + length + CRC). */
+std::string frame(const std::string &payload);
+
+/** What FrameDecoder::next() found. */
+enum class FrameStatus
+{
+    NeedMore, ///< buffer holds only a partial frame; feed more bytes
+    Ok,       ///< a complete, CRC-valid payload was extracted
+    Corrupt,  ///< bad magic, implausible length, or CRC mismatch
+};
+
+/**
+ * Incremental frame extractor for a non-blocking socket: feed() the
+ * bytes read() hands you, then drain complete payloads with next().
+ * Corrupt is terminal for the connection — after a framing error the
+ * stream offset is untrustworthy, so the caller must drop the peer
+ * (AUR207), exactly as a mid-file corrupt journal refuses to resume.
+ */
+class FrameDecoder
+{
+  public:
+    /** Append raw socket bytes to the decode buffer. */
+    void feed(const char *data, std::size_t len);
+    void feed(const std::string &bytes);
+
+    /** Extract the next complete payload, if any. */
+    FrameStatus next(std::string &payload);
+
+    /** True when no partial frame is pending — a peer that closes
+     *  here closed cleanly, not mid-message. */
+    bool atFrameBoundary() const { return pos_ == buf_.size(); }
+
+    /** Bytes buffered but not yet consumed (tests, caps). */
+    std::size_t pendingBytes() const { return buf_.size() - pos_; }
+
+  private:
+    std::string buf_;
+    std::size_t pos_ = 0;
+};
+
+/** Blocking send of one framed payload (client side). */
+void sendFrame(int fd, const std::string &payload);
+
+/**
+ * Blocking receive of the next framed payload (client side), reading
+ * through @p decoder. Returns std::nullopt on a clean peer close at a
+ * frame boundary; throws SimError(BadWire) on corruption, on a close
+ * mid-frame, or after @p timeout_ms with no complete frame.
+ */
+std::optional<std::string> recvFrame(int fd, FrameDecoder &decoder,
+                                     std::uint64_t timeout_ms = 0);
+
+/// @name Messages (client → server)
+/// @{
+
+struct HelloMsg
+{
+    std::uint32_t version = PROTOCOL_VERSION;
+    /** Tenant identity for quotas and fair scheduling; non-empty. */
+    std::string tenant;
+};
+
+/** One grid point of a submission, in portable textual form. */
+struct SubmitJob
+{
+    /** core::parseMachineSpec() input (round-trips describe()). */
+    std::string machine_spec;
+    /** trace::profileByName() benchmark name. */
+    std::string profile;
+    /** Instruction budget. */
+    std::uint64_t instructions = 0;
+};
+
+struct SubmitMsg
+{
+    /** Human label for status listings (not part of the identity). */
+    std::string label;
+    /** Cancel the grid if this connection drops before it finishes
+     *  (false = orphan-detach: the grid keeps running). */
+    bool cancel_on_disconnect = false;
+    /** SweepOptions::base_seed (has_base_seed gates base_seed). */
+    bool has_base_seed = false;
+    std::uint64_t base_seed = 0;
+    /** SweepOptions::deadline_ms (0 = unlimited). */
+    std::uint64_t deadline_ms = 0;
+    /** SweepOptions::retries. */
+    std::uint32_t retries = 0;
+    /** SweepOptions::backoff_ms. */
+    std::uint64_t backoff_ms = 0;
+    std::vector<SubmitJob> jobs;
+};
+
+struct AttachMsg
+{
+    std::uint64_t fingerprint = 0;
+};
+
+struct CancelMsg
+{
+    std::uint64_t fingerprint = 0;
+};
+
+struct StatusMsg
+{
+};
+
+/// @}
+/// @name Messages (server → client)
+/// @{
+
+struct WelcomeMsg
+{
+    std::uint32_t version = PROTOCOL_VERSION;
+    bool draining = false;
+};
+
+struct AcceptedMsg
+{
+    /** gridFingerprint() of the accepted grid — the durable handle a
+     *  client re-attaches by after either side restarts. */
+    std::uint64_t fingerprint = 0;
+    std::uint64_t jobs = 0;
+    /** Jobs already complete (0 on a fresh submission; > 0 when an
+     *  Attach lands on a grid in flight). */
+    std::uint64_t done = 0;
+    /** True when this Accepted answers an Attach, not a Submit. */
+    bool attached = false;
+};
+
+struct RejectedMsg
+{
+    /** Stable catalog ID (AUR2xx admission/protocol, or the AUR0xx
+     *  preflight lint that failed). */
+    std::string id;
+    util::SimErrorCode code = util::SimErrorCode::Internal;
+    std::string message;
+};
+
+/** Cadenced heartbeat for one grid (mirrors harness::SweepProgress,
+ *  plus the service's cancelled count). */
+struct ProgressMsg
+{
+    std::uint64_t fingerprint = 0;
+    std::uint64_t done = 0;
+    std::uint64_t total = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t timed_out = 0;
+    std::uint64_t cancelled = 0;
+    double elapsed_seconds = 0.0;
+};
+
+struct ResultMsg
+{
+    std::uint64_t fingerprint = 0;
+    /** harness::encodeJournalRecord() bytes of the completed job —
+     *  decode with harness::decodeJournalRecord(). */
+    std::string record;
+};
+
+struct GridDoneMsg
+{
+    std::uint64_t fingerprint = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t timed_out = 0;
+    std::uint64_t cancelled = 0;
+    /** Jobs replayed from the journal after a daemon restart. */
+    std::uint64_t resumed = 0;
+};
+
+struct StatusReportMsg
+{
+    bool draining = false;
+    std::uint64_t grids = 0;
+    std::uint64_t done_grids = 0;
+    std::uint64_t queued_jobs = 0;
+    std::uint64_t running_jobs = 0;
+    std::uint64_t done_jobs = 0;
+};
+
+struct CancelOkMsg
+{
+    std::uint64_t fingerprint = 0;
+    /** Queued jobs finalized as Cancelled by this request. */
+    std::uint64_t cancelled_jobs = 0;
+};
+
+/** Sent to every connected client when drain begins. */
+struct DrainingMsg
+{
+    std::string reason;
+};
+
+/// @}
+
+/// Encode one message to its payload bytes (type byte included).
+/// @{
+std::string encode(const HelloMsg &m);
+std::string encode(const SubmitMsg &m);
+std::string encode(const AttachMsg &m);
+std::string encode(const CancelMsg &m);
+std::string encode(const StatusMsg &m);
+std::string encode(const WelcomeMsg &m);
+std::string encode(const AcceptedMsg &m);
+std::string encode(const RejectedMsg &m);
+std::string encode(const ProgressMsg &m);
+std::string encode(const ResultMsg &m);
+std::string encode(const GridDoneMsg &m);
+std::string encode(const StatusReportMsg &m);
+std::string encode(const CancelOkMsg &m);
+std::string encode(const DrainingMsg &m);
+/// @}
+
+/// Decode one payload; throws SimError(BadWire) on a wrong type byte,
+/// an out-of-range field, or trailing bytes (format mismatch).
+/// @{
+HelloMsg decodeHello(const std::string &payload);
+SubmitMsg decodeSubmit(const std::string &payload);
+AttachMsg decodeAttach(const std::string &payload);
+CancelMsg decodeCancel(const std::string &payload);
+StatusMsg decodeStatus(const std::string &payload);
+WelcomeMsg decodeWelcome(const std::string &payload);
+AcceptedMsg decodeAccepted(const std::string &payload);
+RejectedMsg decodeRejected(const std::string &payload);
+ProgressMsg decodeProgress(const std::string &payload);
+ResultMsg decodeResult(const std::string &payload);
+GridDoneMsg decodeGridDone(const std::string &payload);
+StatusReportMsg decodeStatusReport(const std::string &payload);
+CancelOkMsg decodeCancelOk(const std::string &payload);
+DrainingMsg decodeDraining(const std::string &payload);
+/// @}
+
+} // namespace aurora::serve::wire
+
+#endif // AURORA_SERVE_WIRE_HH

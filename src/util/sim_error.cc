@@ -15,6 +15,9 @@ errorCodeName(SimErrorCode code)
       case SimErrorCode::Timeout: return "Timeout";
       case SimErrorCode::BadJournal: return "BadJournal";
       case SimErrorCode::Internal: return "Internal";
+      case SimErrorCode::Cancelled: return "Cancelled";
+      case SimErrorCode::Overloaded: return "Overloaded";
+      case SimErrorCode::BadWire: return "BadWire";
     }
     return "Unknown";
 }

@@ -42,6 +42,12 @@ enum class SimErrorCode
     BadJournal,
     /** Unclassified failure escaping a sweep job. */
     Internal,
+    /** Job cancelled before execution (client cancel / drain). */
+    Cancelled,
+    /** Service admission refused: quota or queue depth exhausted. */
+    Overloaded,
+    /** Socket transport or wire-protocol failure (aurora_serve). */
+    BadWire,
 };
 
 /** Stable display name of @p code ("BadConfig", ...). */

@@ -1,0 +1,223 @@
+#include "socket.hh"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "sim_error.hh"
+
+namespace aurora::util
+{
+
+namespace
+{
+
+[[noreturn]] void
+raiseErrno(const char *what, const std::string &detail)
+{
+    raiseError(SimErrorCode::BadWire, what, " '", detail,
+               "': ", std::strerror(errno));
+}
+
+/** Fill a sockaddr_un, rejecting paths the kernel cannot hold. */
+sockaddr_un
+unixAddress(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        raiseError(SimErrorCode::BadWire, "socket path '", path,
+                   "' is empty or longer than ",
+                   sizeof(addr.sun_path) - 1, " bytes");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+}
+
+Fd
+listenUnix(const std::string &path, int backlog)
+{
+    const sockaddr_un addr = unixAddress(path);
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        raiseErrno("cannot create socket for", path);
+    // A previous daemon that died (or was SIGKILLed) leaves its
+    // socket file behind; binding over it is the normal restart path.
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        raiseErrno("cannot bind socket", path);
+    if (::listen(fd.get(), backlog) != 0)
+        raiseErrno("cannot listen on socket", path);
+    setNonBlocking(fd.get());
+    return fd;
+}
+
+Fd
+connectUnix(const std::string &path)
+{
+    const sockaddr_un addr = unixAddress(path);
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        raiseErrno("cannot create socket for", path);
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        raiseError(SimErrorCode::BadWire, "cannot connect to '", path,
+                   "': ", std::strerror(errno),
+                   " (is aurora_serve running?)");
+    return fd;
+}
+
+Fd
+acceptConn(int listen_fd)
+{
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0)
+        return Fd();
+    Fd conn(fd);
+    setNonBlocking(conn.get());
+    return conn;
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        raiseError(SimErrorCode::BadWire,
+                   "cannot set O_NONBLOCK on fd ", fd, ": ",
+                   std::strerror(errno));
+}
+
+long
+readAvailable(int fd, std::string &buf)
+{
+    char chunk[16 * 1024];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+        buf.append(chunk, static_cast<std::size_t>(n));
+        return static_cast<long>(n);
+    }
+    if (n == 0)
+        return 0;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        return -1;
+    // ECONNRESET and friends: the peer is gone, same cleanup as a
+    // clean close.
+    return 0;
+}
+
+bool
+writeSome(int fd, const std::string &buf, std::size_t &pos)
+{
+    while (pos < buf.size()) {
+        const ssize_t n = ::send(fd, buf.data() + pos, buf.size() - pos,
+                                 MSG_NOSIGNAL);
+        if (n > 0) {
+            pos += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true; // short write; caller re-arms POLLOUT
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false; // EPIPE / reset: peer is gone
+    }
+    return true;
+}
+
+void
+writeAll(int fd, const std::string &bytes)
+{
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + pos,
+                                 bytes.size() - pos, MSG_NOSIGNAL);
+        if (n > 0) {
+            pos += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // Blocking caller on a non-blocking fd: wait for space.
+            pollfd pfd{fd, POLLOUT, 0};
+            ::poll(&pfd, 1, -1);
+            continue;
+        }
+        raiseError(SimErrorCode::BadWire, "write to fd ", fd,
+                   " failed: ", std::strerror(errno));
+    }
+}
+
+std::size_t
+readBlocking(int fd, std::string &buf, std::size_t max,
+             std::uint64_t timeout_ms)
+{
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(
+        &pfd, 1, timeout_ms ? static_cast<int>(timeout_ms) : -1);
+    if (rc == 0)
+        raiseError(SimErrorCode::BadWire, "timed out after ",
+                   timeout_ms, " ms waiting for the server");
+    if (rc < 0)
+        raiseError(SimErrorCode::BadWire,
+                   "poll failed: ", std::strerror(errno));
+    std::string chunk(max, '\0');
+    const ssize_t n = ::read(fd, chunk.data(), max);
+    if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+            return readBlocking(fd, buf, max, timeout_ms);
+        raiseError(SimErrorCode::BadWire,
+                   "read failed: ", std::strerror(errno));
+    }
+    buf.append(chunk.data(), static_cast<std::size_t>(n));
+    return static_cast<std::size_t>(n);
+}
+
+WakePipe::WakePipe()
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        raiseError(SimErrorCode::BadWire,
+                   "cannot create wake pipe: ", std::strerror(errno));
+    read_ = Fd(fds[0]);
+    write_ = Fd(fds[1]);
+    setNonBlocking(read_.get());
+    setNonBlocking(write_.get());
+}
+
+void
+WakePipe::notify() const
+{
+    const char byte = 1;
+    // Async-signal-safe; EAGAIN means a wake is already pending,
+    // which is exactly the coalescing we want.
+    [[maybe_unused]] const ssize_t n =
+        ::write(write_.get(), &byte, 1);
+}
+
+void
+WakePipe::drain() const
+{
+    char sink[64];
+    while (::read(read_.get(), sink, sizeof(sink)) > 0) {
+    }
+}
+
+} // namespace aurora::util

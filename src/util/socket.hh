@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unix-domain socket and poll-loop helpers (the aurora_serve
+ * transport substrate).
+ *
+ * The sweep service runs over a local SOCK_STREAM socket: one
+ * resident daemon, many short-lived clients on the same host. This
+ * module wraps the handful of POSIX calls the server and client need
+ * — bind/listen/accept, connect, non-blocking reads and buffered
+ * writes, and a self-pipe for waking a poll() loop from worker
+ * threads or signal handlers — behind RAII and structured SimError
+ * (BadWire) reporting, so the protocol layer (serve/wire) never
+ * touches errno.
+ *
+ * Everything here is transport only: no framing, no message types.
+ * Byte interpretation belongs to serve/wire.
+ */
+
+#ifndef AURORA_UTIL_SOCKET_HH
+#define AURORA_UTIL_SOCKET_HH
+
+#include <cstddef>
+#include <string>
+
+namespace aurora::util
+{
+
+/** Owning file descriptor: closes on destruction, move-only. */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+    Fd(Fd &&other) noexcept : fd_(other.release()) {}
+    Fd &
+    operator=(Fd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Give up ownership without closing. */
+    int
+    release()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    /** Close now (idempotent). */
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Create, bind, and listen on a Unix-domain stream socket at
+ * @p path. A stale socket file from a previous (possibly SIGKILLed)
+ * daemon is unlinked first — the spool journals, not the socket,
+ * carry the durable state. Throws SimError(BadWire) on failure.
+ */
+Fd listenUnix(const std::string &path, int backlog = 64);
+
+/**
+ * Connect to the Unix-domain socket at @p path (blocking). Throws
+ * SimError(BadWire) when the socket is absent or refuses — the
+ * caller's cue that no daemon is resident.
+ */
+Fd connectUnix(const std::string &path);
+
+/** Accept one pending connection; invalid Fd when none is ready. */
+Fd acceptConn(int listen_fd);
+
+/** Switch @p fd to non-blocking mode (throws BadWire on failure). */
+void setNonBlocking(int fd);
+
+/**
+ * Non-blocking read of whatever is available into @p buf (appended).
+ * Returns the byte count read, 0 when the peer closed, or -1 when
+ * the read would block. Transport errors (ECONNRESET, ...) report as
+ * peer-closed: to a server a reset client and a departed client need
+ * the same cleanup.
+ */
+long readAvailable(int fd, std::string &buf);
+
+/**
+ * Non-blocking write of bytes [pos, buf.size()) to @p fd, advancing
+ * @p pos past what was accepted. Returns false when the peer is gone
+ * (EPIPE/reset); true otherwise, including short writes — the caller
+ * re-arms POLLOUT while pos < buf.size().
+ */
+bool writeSome(int fd, const std::string &buf, std::size_t &pos);
+
+/** Blocking write of all of @p bytes; throws BadWire on failure. */
+void writeAll(int fd, const std::string &bytes);
+
+/**
+ * Blocking read of up to @p max bytes appended to @p buf, waiting at
+ * most @p timeout_ms (0 = forever). Returns bytes read; 0 means the
+ * peer closed. Throws SimError(BadWire) on transport errors and on
+ * timeout — a stalled daemon must not hang a client forever.
+ */
+std::size_t readBlocking(int fd, std::string &buf, std::size_t max,
+                         std::uint64_t timeout_ms);
+
+/**
+ * Self-pipe for waking a poll() loop: read end joins the poll set,
+ * writers (worker threads, signal handlers) call notify(). Both ends
+ * are non-blocking; notify() from a signal handler is async-safe
+ * (a bare write()).
+ */
+class WakePipe
+{
+  public:
+    WakePipe();
+
+    int readFd() const { return read_.get(); }
+
+    /** Wake the poller (coalesces; safe from signal handlers). */
+    void notify() const;
+
+    /** Drain pending wake bytes after poll() returns. */
+    void drain() const;
+
+  private:
+    Fd read_;
+    Fd write_;
+};
+
+} // namespace aurora::util
+
+#endif // AURORA_UTIL_SOCKET_HH

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Admission-control and fair-dispatch tests for the serve Scheduler:
+ * quota refusals carry stable AUR2xx IDs in a fixed evaluation order,
+ * and the round-robin rotor gives every tenant one job per turn in a
+ * dispatch order that is a pure function of the submission sequence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/scheduler.hh"
+#include "util/sim_error.hh"
+
+namespace
+{
+
+using namespace aurora::serve;
+using aurora::util::SimErrorCode;
+
+ServiceLimits
+tinyLimits()
+{
+    ServiceLimits limits;
+    limits.grids_per_tenant = 2;
+    limits.jobs_per_tenant = 6;
+    limits.total_jobs = 10;
+    limits.jobs_per_grid = 4;
+    return limits;
+}
+
+/** Admit + account a grid of @p jobs for @p tenant, queueing each. */
+void
+admitAndQueue(Scheduler &s, const std::string &tenant,
+              std::size_t jobs, std::uint64_t fingerprint)
+{
+    ASSERT_FALSE(s.admit(tenant, jobs).has_value());
+    s.admitGrid(tenant, jobs);
+    for (std::size_t i = 0; i < jobs; ++i)
+        s.enqueue(tenant, SchedUnit{fingerprint, i});
+}
+
+TEST(SchedulerAdmission, AdmitsWithinAllLimits)
+{
+    const Scheduler s(tinyLimits());
+    EXPECT_FALSE(s.admit("alice", 4).has_value());
+    EXPECT_FALSE(s.admit("alice", 1).has_value());
+}
+
+TEST(SchedulerAdmission, EmptyGridIsMalformed)
+{
+    const Scheduler s(tinyLimits());
+    const auto refusal = s.admit("alice", 0);
+    ASSERT_TRUE(refusal.has_value());
+    EXPECT_EQ(refusal->id, "AUR205");
+    EXPECT_EQ(refusal->code, SimErrorCode::BadConfig);
+}
+
+TEST(SchedulerAdmission, OversizeGridIsMalformed)
+{
+    const Scheduler s(tinyLimits());
+    const auto refusal = s.admit("alice", 5);
+    ASSERT_TRUE(refusal.has_value());
+    EXPECT_EQ(refusal->id, "AUR205");
+    EXPECT_EQ(refusal->code, SimErrorCode::BadConfig);
+}
+
+TEST(SchedulerAdmission, GridQuotaRefusesWithAur201)
+{
+    Scheduler s(tinyLimits());
+    admitAndQueue(s, "alice", 1, 0x100);
+    admitAndQueue(s, "alice", 1, 0x101);
+    const auto refusal = s.admit("alice", 1);
+    ASSERT_TRUE(refusal.has_value());
+    EXPECT_EQ(refusal->id, "AUR201");
+    EXPECT_EQ(refusal->code, SimErrorCode::Overloaded);
+    // Another tenant is unaffected by alice's quota.
+    EXPECT_FALSE(s.admit("bob", 1).has_value());
+}
+
+TEST(SchedulerAdmission, JobQuotaRefusesWithAur202)
+{
+    Scheduler s(tinyLimits());
+    admitAndQueue(s, "alice", 4, 0x100);
+    const auto refusal = s.admit("alice", 3); // 4 + 3 > 6
+    ASSERT_TRUE(refusal.has_value());
+    EXPECT_EQ(refusal->id, "AUR202");
+    EXPECT_EQ(refusal->code, SimErrorCode::Overloaded);
+    EXPECT_FALSE(s.admit("alice", 2).has_value()); // 4 + 2 == 6 fits
+}
+
+TEST(SchedulerAdmission, GlobalCapacityRefusesWithAur203)
+{
+    Scheduler s(tinyLimits());
+    admitAndQueue(s, "alice", 4, 0x100);
+    admitAndQueue(s, "bob", 4, 0x200);
+    // 8 of 10 slots used; a 3-job grid exceeds global capacity while
+    // satisfying carol's own quotas.
+    const auto refusal = s.admit("carol", 3);
+    ASSERT_TRUE(refusal.has_value());
+    EXPECT_EQ(refusal->id, "AUR203");
+    EXPECT_EQ(refusal->code, SimErrorCode::Overloaded);
+    EXPECT_FALSE(s.admit("carol", 2).has_value());
+}
+
+TEST(SchedulerAdmission, DrainRefusesEverythingWithAur204)
+{
+    Scheduler s(tinyLimits());
+    s.beginDrain();
+    const auto refusal = s.admit("alice", 1);
+    ASSERT_TRUE(refusal.has_value());
+    EXPECT_EQ(refusal->id, "AUR204");
+    EXPECT_EQ(refusal->code, SimErrorCode::Overloaded);
+    EXPECT_TRUE(s.draining());
+}
+
+TEST(SchedulerAdmission, AdmitIsPure)
+{
+    Scheduler s(tinyLimits());
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(s.admit("alice", 4).has_value());
+    EXPECT_EQ(s.tenantJobs("alice"), 0u);
+    EXPECT_EQ(s.tenantGrids("alice"), 0u);
+}
+
+TEST(SchedulerAdmission, FinishingReleasesQuota)
+{
+    Scheduler s(tinyLimits());
+    admitAndQueue(s, "alice", 1, 0x100);
+    admitAndQueue(s, "alice", 1, 0x101);
+    ASSERT_TRUE(s.admit("alice", 1).has_value());
+
+    // Run grid 0x100's only job to completion.
+    ASSERT_TRUE(s.take().has_value());
+    s.jobFinished("alice");
+    s.gridFinished("alice");
+
+    EXPECT_FALSE(s.admit("alice", 1).has_value());
+    EXPECT_EQ(s.tenantGrids("alice"), 1u);
+    EXPECT_EQ(s.tenantJobs("alice"), 1u);
+}
+
+TEST(SchedulerDispatch, RoundRobinOffersOneJobPerTenantPerTurn)
+{
+    Scheduler s(tinyLimits());
+    admitAndQueue(s, "alice", 4, 0xA);
+    admitAndQueue(s, "bob", 2, 0xB);
+    admitAndQueue(s, "carol", 1, 0xC);
+
+    // Arrival order alice, bob, carol; one unit each per rotor turn.
+    const std::vector<std::uint64_t> expected = {0xA, 0xB, 0xC,
+                                                 0xA, 0xB,
+                                                 0xA,
+                                                 0xA};
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        const auto unit = s.take();
+        ASSERT_TRUE(unit.has_value()) << "take " << i;
+        EXPECT_EQ(unit->fingerprint, expected[i]) << "take " << i;
+    }
+    EXPECT_FALSE(s.take().has_value());
+    EXPECT_FALSE(s.hasWork());
+}
+
+TEST(SchedulerDispatch, PerTenantOrderIsFifo)
+{
+    Scheduler s(tinyLimits());
+    admitAndQueue(s, "alice", 3, 0xA);
+    for (std::size_t i = 0; i < 3; ++i) {
+        const auto unit = s.take();
+        ASSERT_TRUE(unit.has_value());
+        EXPECT_EQ(unit->job_index, i);
+    }
+}
+
+TEST(SchedulerDispatch, LateArrivalJoinsTheRotorTail)
+{
+    Scheduler s(tinyLimits());
+    admitAndQueue(s, "alice", 2, 0xA);
+    ASSERT_EQ(s.take()->fingerprint, 0xAu);
+    // bob arrives after alice's first dispatch; alice keeps her rotor
+    // position, bob is offered next in arrival order.
+    admitAndQueue(s, "bob", 2, 0xB);
+    EXPECT_EQ(s.take()->fingerprint, 0xAu);
+    EXPECT_EQ(s.take()->fingerprint, 0xBu);
+    EXPECT_EQ(s.take()->fingerprint, 0xBu);
+    EXPECT_FALSE(s.take().has_value());
+}
+
+TEST(SchedulerDispatch, DropQueuedReturnsUnitsInQueueOrder)
+{
+    Scheduler s(tinyLimits());
+    admitAndQueue(s, "alice", 3, 0xA);
+    admitAndQueue(s, "bob", 1, 0xB);
+
+    const auto dropped = s.dropQueued("alice", 0xA);
+    ASSERT_EQ(dropped.size(), 3u);
+    for (std::size_t i = 0; i < dropped.size(); ++i) {
+        EXPECT_EQ(dropped[i].fingerprint, 0xAu);
+        EXPECT_EQ(dropped[i].job_index, i);
+    }
+    // bob's work is untouched; alice's queue is empty.
+    EXPECT_EQ(s.queuedJobs(), 1u);
+    const auto unit = s.take();
+    ASSERT_TRUE(unit.has_value());
+    EXPECT_EQ(unit->fingerprint, 0xBu);
+    EXPECT_FALSE(s.take().has_value());
+}
+
+TEST(SchedulerDispatch, DropQueuedOnlyTouchesTheNamedGrid)
+{
+    Scheduler s(tinyLimits());
+    admitAndQueue(s, "alice", 2, 0x100);
+    admitAndQueue(s, "alice", 2, 0x101);
+
+    const auto dropped = s.dropQueued("alice", 0x100);
+    ASSERT_EQ(dropped.size(), 2u);
+    EXPECT_EQ(s.queuedJobs(), 2u);
+    for (int i = 0; i < 2; ++i) {
+        const auto unit = s.take();
+        ASSERT_TRUE(unit.has_value());
+        EXPECT_EQ(unit->fingerprint, 0x101u);
+    }
+}
+
+TEST(SchedulerDispatch, RotorSurvivesDropAndRequeueWithoutDoubleTurns)
+{
+    // Regression shape: dropQueued() empties a tenant's queue while
+    // the tenant's name is still physically in the rotor. A following
+    // enqueue must NOT add a second rotor entry — that would grant the
+    // tenant two turns per cycle and break fairness.
+    Scheduler s(tinyLimits());
+    admitAndQueue(s, "alice", 2, 0xA);
+    ASSERT_EQ(s.dropQueued("alice", 0xA).size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i)
+        s.jobFinished("alice");
+    s.gridFinished("alice");
+
+    admitAndQueue(s, "alice", 2, 0xA2);
+    admitAndQueue(s, "bob", 2, 0xB);
+
+    // Strict alternation proves alice holds exactly one rotor slot.
+    EXPECT_EQ(s.take()->fingerprint, 0xA2u);
+    EXPECT_EQ(s.take()->fingerprint, 0xBu);
+    EXPECT_EQ(s.take()->fingerprint, 0xA2u);
+    EXPECT_EQ(s.take()->fingerprint, 0xBu);
+    EXPECT_FALSE(s.take().has_value());
+}
+
+TEST(SchedulerDispatch, DispatchOrderIsDeterministic)
+{
+    // Same submission sequence, same dispatch sequence — twice.
+    std::vector<std::uint64_t> first;
+    std::vector<std::uint64_t> second;
+    for (int round = 0; round < 2; ++round) {
+        Scheduler s(tinyLimits());
+        admitAndQueue(s, "t1", 3, 1);
+        admitAndQueue(s, "t2", 1, 2);
+        admitAndQueue(s, "t3", 2, 3);
+        auto &order = round == 0 ? first : second;
+        while (const auto unit = s.take())
+            order.push_back(unit->fingerprint);
+    }
+    EXPECT_EQ(first, second);
+    ASSERT_EQ(first.size(), 6u);
+}
+
+} // namespace
