@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <iomanip>
 #include <sstream>
@@ -617,8 +618,31 @@ Server::run()
         }
     }
     stopWorkers();
-    for (const auto &session : sessions_)
-        session->flush();
+    // Push queued tail frames (final Results, GridDone, the Draining
+    // notice) through full socket buffers: a bounded POLLOUT wait per
+    // session, so a stalled client delays exit but cannot hang it.
+    for (const auto &session : sessions_) {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(500);
+        while (!session->dead()) {
+            if (!session->flush()) {
+                session->markDead();
+                break;
+            }
+            if (!session->wantsWrite())
+                break;
+            const auto left = std::chrono::duration_cast<
+                                  std::chrono::milliseconds>(
+                                  deadline -
+                                  std::chrono::steady_clock::now())
+                                  .count();
+            if (left <= 0)
+                break;
+            pollfd pfd{session->fd(), POLLOUT, 0};
+            if (::poll(&pfd, 1, static_cast<int>(left)) <= 0)
+                break;
+        }
+    }
     sessions_.clear();
     session_count_.store(0);
     listener_.reset();
@@ -637,6 +661,9 @@ Server::pollCycle()
     if (listening)
         fds.push_back(pollfd{listener_.get(), POLLIN, 0});
     const std::size_t base = fds.size();
+    // Sessions accepted *after* this poll() have no pollfd slot; the
+    // read loop below must not index past this count.
+    const std::size_t polled = sessions_.size();
     for (const auto &session : sessions_) {
         short events = POLLIN;
         if (session->wantsWrite())
@@ -660,7 +687,7 @@ Server::pollCycle()
     drainCompletions();
     if (listening && (fds[1].revents & POLLIN) != 0)
         acceptPending();
-    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    for (std::size_t i = 0; i < polled; ++i) {
         Session &session = *sessions_[i];
         if (session.dead())
             continue;

@@ -1,5 +1,7 @@
 #include "wire.hh"
 
+#include <chrono>
+
 #include "util/logging.hh"
 
 namespace aurora::serve::wire
@@ -183,6 +185,11 @@ sendFrame(int fd, const std::string &payload)
 std::optional<std::string>
 recvFrame(int fd, FrameDecoder &decoder, std::uint64_t timeout_ms)
 {
+    // The timeout bounds the whole frame, not each read: a peer
+    // trickling one byte per poll must not keep a timed client
+    // blocked past its budget.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
     std::string payload;
     for (;;) {
         switch (decoder.next(payload)) {
@@ -195,9 +202,21 @@ recvFrame(int fd, FrameDecoder &decoder, std::uint64_t timeout_ms)
           case FrameStatus::NeedMore:
             break;
         }
+        std::uint64_t wait_ms = 0;
+        if (timeout_ms != 0) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (left <= 0)
+                util::raiseError(util::SimErrorCode::BadWire,
+                                 "timed out after ", timeout_ms,
+                                 " ms waiting for a complete frame");
+            wait_ms = static_cast<std::uint64_t>(left);
+        }
         std::string chunk;
         const std::size_t n =
-            util::readBlocking(fd, chunk, 64 * 1024, timeout_ms);
+            util::readBlocking(fd, chunk, 64 * 1024, wait_ms);
         if (n == 0) {
             if (decoder.atFrameBoundary())
                 return std::nullopt;
@@ -262,8 +281,11 @@ decodeSubmit(const std::string &payload)
     m.backoff_ms = rd.u64();
     const std::uint64_t jobs = rd.u64();
     // Cap before allocating: a hostile count must not reserve
-    // gigabytes. The CRC passed, so this is a format mismatch.
-    if (jobs > util::MAX_RECORD_BYTES)
+    // gigabytes (the CRC is not a secret, so a crafted frame passes
+    // it). Each encoded job takes at least two 4-byte string lengths
+    // plus a u64, so a count the payload cannot hold is a lie.
+    constexpr std::uint64_t MIN_JOB_BYTES = 4 + 4 + 8;
+    if (jobs > payload.size() / MIN_JOB_BYTES)
         util::raiseError(util::SimErrorCode::BadWire,
                          "implausible submission job count ", jobs);
     m.jobs.reserve(jobs);

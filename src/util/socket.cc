@@ -1,6 +1,7 @@
 #include "socket.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 
@@ -169,25 +170,47 @@ std::size_t
 readBlocking(int fd, std::string &buf, std::size_t max,
              std::uint64_t timeout_ms)
 {
-    pollfd pfd{fd, POLLIN, 0};
-    const int rc = ::poll(
-        &pfd, 1, timeout_ms ? static_cast<int>(timeout_ms) : -1);
-    if (rc == 0)
-        raiseError(SimErrorCode::BadWire, "timed out after ",
-                   timeout_ms, " ms waiting for the server");
-    if (rc < 0)
-        raiseError(SimErrorCode::BadWire,
-                   "poll failed: ", std::strerror(errno));
-    std::string chunk(max, '\0');
-    const ssize_t n = ::read(fd, chunk.data(), max);
-    if (n < 0) {
-        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
-            return readBlocking(fd, buf, max, timeout_ms);
-        raiseError(SimErrorCode::BadWire,
-                   "read failed: ", std::strerror(errno));
+    // One deadline for the whole call: EINTR/EAGAIN retries poll()
+    // with the time *remaining*, so a peer trickling bytes cannot
+    // stretch a timed read indefinitely.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        int wait = -1;
+        if (timeout_ms != 0) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (left <= 0)
+                raiseError(SimErrorCode::BadWire, "timed out after ",
+                           timeout_ms, " ms waiting for the server");
+            wait = static_cast<int>(left);
+        }
+        pollfd pfd{fd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, wait);
+        if (rc == 0)
+            raiseError(SimErrorCode::BadWire, "timed out after ",
+                       timeout_ms, " ms waiting for the server");
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            raiseError(SimErrorCode::BadWire,
+                       "poll failed: ", std::strerror(errno));
+        }
+        std::string chunk(max, '\0');
+        const ssize_t n = ::read(fd, chunk.data(), max);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            raiseError(SimErrorCode::BadWire,
+                       "read failed: ", std::strerror(errno));
+        }
+        buf.append(chunk.data(), static_cast<std::size_t>(n));
+        return static_cast<std::size_t>(n);
     }
-    buf.append(chunk.data(), static_cast<std::size_t>(n));
-    return static_cast<std::size_t>(n);
 }
 
 WakePipe::WakePipe()

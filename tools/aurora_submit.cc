@@ -159,6 +159,14 @@ struct Options
     std::uint64_t fingerprint = 0;
 };
 
+void
+printRejected(const wire::RejectedMsg &rejected)
+{
+    std::cerr << "aurora_submit: rejected (" << rejected.id << ", "
+              << util::errorCodeName(rejected.code)
+              << "): " << rejected.message << "\n";
+}
+
 /** Hello/Welcome handshake; returns the daemon's draining flag. */
 bool
 handshake(int fd, wire::FrameDecoder &decoder, const Options &opt)
@@ -171,6 +179,13 @@ handshake(int fd, wire::FrameDecoder &decoder, const Options &opt)
         util::raiseError(util::SimErrorCode::BadWire,
                          "daemon closed the connection during the "
                          "handshake");
+    if (wire::peekType(*reply) == wire::MsgType::Rejected) {
+        // Surface the daemon's diagnostic (e.g. AUR207 protocol
+        // skew) instead of a generic "expected Welcome" decode error.
+        printRejected(wire::decodeRejected(*reply));
+        util::raiseError(util::SimErrorCode::BadWire,
+                         "daemon rejected the handshake");
+    }
     const auto welcome = wire::decodeWelcome(*reply);
     if (welcome.version != wire::PROTOCOL_VERSION)
         util::raiseError(util::SimErrorCode::BadWire,
@@ -178,14 +193,6 @@ handshake(int fd, wire::FrameDecoder &decoder, const Options &opt)
                          welcome.version, ", this client speaks ",
                          wire::PROTOCOL_VERSION);
     return welcome.draining;
-}
-
-void
-printRejected(const wire::RejectedMsg &rejected)
-{
-    std::cerr << "aurora_submit: rejected (" << rejected.id << ", "
-              << util::errorCodeName(rejected.code)
-              << "): " << rejected.message << "\n";
 }
 
 /**
