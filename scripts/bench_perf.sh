@@ -1,28 +1,51 @@
 #!/usr/bin/env bash
-# Performance baseline: run the google-benchmark microbenchmarks and a
-# timed per-benchmark sweep of the full SPEC profile suite, then write
-# the combined numbers to BENCH_perf.json (ROADMAP item 1's perf
+# Performance baseline: run the google-benchmark microbenchmarks, a
+# timed per-benchmark sweep of the full SPEC profile suite, and a
+# 1/2/4-shard distributed sweep of the same grid, then write the
+# combined numbers to BENCH_perf.json (ROADMAP item 1's perf
 # trajectory baseline).
 #
 #   scripts/bench_perf.sh                 # writes ./BENCH_perf.json
+#   scripts/bench_perf.sh --append        # ...and appends one trend
+#                                         # line to BENCH_perf_trend.jsonl
 #   AURORA_BENCH_PERF_OUT=out.json \
 #   AURORA_BENCH_PERF_INSTS=50000 scripts/bench_perf.sh
 #
+# BENCH_perf.json is committed and diffed, so it must contain only
+# reproducible-run-to-run fields: the volatile google-benchmark
+# context (date, host_name) is stripped from the embedded microbench
+# JSON and recorded instead on the --append trend line, which is
+# where when/where belongs.
+#
 # The sweep section reports, per benchmark: simulated instructions,
 # simulated cycles, wall-clock seconds, and the derived simulator
-# throughput (insts/sec and cycles/sec of host time). The microbench
-# section embeds google-benchmark's own JSON verbatim so its schema
-# (items_per_second etc.) is preserved bit-for-bit.
+# throughput (insts/sec and cycles/sec of host time). The shard_sweep
+# section runs the identical grid through aurora_swarm with 1, 2, and
+# 4 fork-mode shard workers and reports the same throughput numbers
+# plus the speedup against the serial sweep — the scale-out
+# trajectory next to the single-process one.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${AURORA_BENCH_PERF_OUT:-BENCH_perf.json}"
+trend="${AURORA_BENCH_PERF_TREND:-BENCH_perf_trend.jsonl}"
 insts="${AURORA_BENCH_PERF_INSTS:-100000}"
+append=0
+for arg in "$@"; do
+    case "${arg}" in
+      --append) append=1 ;;
+      *)
+        echo "usage: $0 [--append]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 cmake --preset release
 cmake --build --preset release -j "$(nproc)" \
-    --target bench_perf_microbench aurora_sim
+    --target bench_perf_microbench aurora_sim aurora_swarm
 sim=build/tools/aurora_sim
+swarm=build/tools/aurora_swarm
 
 dir="$(mktemp -d)"
 trap 'rm -rf "${dir}"' EXIT
@@ -31,6 +54,11 @@ trap 'rm -rf "${dir}"' EXIT
 build/bench/bench_perf_microbench \
     --benchmark_out="${dir}/micro.json" \
     --benchmark_out_format=json > /dev/null
+# Drop the volatile context fields so the committed file diffs clean
+# between runs on the same toolchain (they re-appear on the trend
+# line below).
+sed -E '/^[[:space:]]*"(date|host_name)":/d' "${dir}/micro.json" \
+    > "${dir}/micro_stable.json"
 
 # ---- timed sweep, one run per profile -------------------------------
 # Times each benchmark individually so the JSON carries a per-bench
@@ -71,10 +99,42 @@ benches="espresso li eqntott compress sc gcc \
     printf '\n]'
 } > "${dir}/sweep.json"
 
+# ---- distributed sweep: the same grid across 1/2/4 shards -----------
+# Fork-mode aurora_swarm over the identical (machine x suite) grid;
+# bit-identity with the serial run is check.sh's job, throughput is
+# ours. The wall time includes fleet spawn, lease handshakes, and the
+# merge — the honest end-to-end cost of scale-out.
+{
+    first=1
+    printf '['
+    for shards in 1 2 4; do
+        start="$(date +%s%N)"
+        "${swarm}" --socket "${dir}/swarm.sock" \
+            --journal-dir "${dir}/swarm_journals" \
+            --shards "${shards}" --bench all --insts "${insts}" \
+            --csv > /dev/null
+        end="$(date +%s%N)"
+        rm -rf "${dir}/swarm_journals" "${dir}/swarm.sock"
+        ns=$((end - start))
+        [ "${first}" -eq 1 ] || printf ','
+        first=0
+        awk -v shards="${shards}" -v insts="${total_insts}" \
+            -v ns="${ns}" -v serial_ns="${total_ns}" 'BEGIN {
+            secs = ns / 1e9
+            printf "\n  {\"shards\": %d, ", shards
+            printf "\"instructions\": %d, ", insts
+            printf "\"wall_seconds\": %.6f, ", secs
+            printf "\"insts_per_sec\": %.1f, ", insts / secs
+            printf "\"speedup_vs_serial\": %.3f}", serial_ns / ns
+        }'
+    done
+    printf '\n]'
+} > "${dir}/shard_sweep.json"
+
 # ---- assemble -------------------------------------------------------
 {
     printf '{\n'
-    printf '"schema": "aurora.bench_perf.v1",\n'
+    printf '"schema": "aurora.bench_perf.v2",\n'
     printf '"insts_per_bench": %d,\n' "${insts}"
     awk -v insts="${total_insts}" -v cycles="${total_cycles}" \
         -v ns="${total_ns}" 'BEGIN {
@@ -87,14 +147,42 @@ benches="espresso li eqntott compress sc gcc \
     }'
     printf '"sweep": '
     cat "${dir}/sweep.json"
+    printf ',\n"shard_sweep": '
+    cat "${dir}/shard_sweep.json"
     printf ',\n"microbench": '
-    cat "${dir}/micro.json"
+    cat "${dir}/micro_stable.json"
     printf '\n}\n'
 } > "${out}"
 
 # Validate when a JSON tool is on the host; absence is a skip.
 if command -v jq > /dev/null 2>&1; then
-    jq -e '.schema == "aurora.bench_perf.v1"' "${out}" > /dev/null
+    jq -e '.schema == "aurora.bench_perf.v2"' "${out}" > /dev/null
+    jq -e '.microbench.context | has("date") or has("host_name") | not' \
+        "${out}" > /dev/null
     echo "bench_perf: ${out} validated"
+fi
+
+# ---- trend mode -----------------------------------------------------
+# One JSONL line per invocation: the volatile when/where context plus
+# the headline throughput numbers, so regressions are a `jq` over the
+# trend file away without ever dirtying the committed baseline.
+if [ "${append}" -eq 1 ]; then
+    {
+        printf '{"date": "%s", "host_name": "%s", ' \
+            "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(hostname)"
+        printf '"insts_per_bench": %d, ' "${insts}"
+        awk -v insts="${total_insts}" -v ns="${total_ns}" 'BEGIN {
+            printf "\"serial_insts_per_sec\": %.1f, ",
+                   insts / (ns / 1e9)
+        }'
+        printf '"shard_insts_per_sec": '
+        awk '/"shards"/ {
+            n = $0; gsub(/.*"insts_per_sec": /, "", n)
+            gsub(/,.*/, "", n)
+            s = $0; gsub(/.*"shards": /, "", s); gsub(/,.*/, "", s)
+            out = out (out == "" ? "" : ", ") "\"" s "\": " n
+        } END { printf "{%s}}\n", out }' "${dir}/shard_sweep.json"
+    } >> "${trend}"
+    echo "bench_perf: appended trend line to ${trend}"
 fi
 echo "bench_perf: wrote ${out}"

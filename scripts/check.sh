@@ -23,12 +23,19 @@
 #                               # aurora_sim run; also checks quota and
 #                               # preflight rejections and SIGTERM
 #                               # drain exit status
+#   scripts/check.sh shard      # distributed chaos drill: external
+#                               # 4-shard aurora_shardd fleet, SIGKILL
+#                               # two workers mid-grid plus one zombie
+#                               # shard attempting a post-fence append,
+#                               # then demand exactly-once completion
+#                               # (AURORA_AUDIT=1) and a merged CSV
+#                               # byte-identical to serial aurora_sim
 #   scripts/check.sh obs        # observability drill: exercise every
 #                               # exporter (--stats-json, --stats-csv,
 #                               # --trace-events, --sweep-trace, the
 #                               # fault-storm timeline artifact) and
 #                               # validate each with aurora_obs_check
-#   scripts/check.sh all        # all four presets, all three drills,
+#   scripts/check.sh all        # all four presets, all four drills,
 #                               # and the lint stage
 #
 # Every full-suite preset includes the fault-storm smoke test
@@ -281,6 +288,78 @@ run_serve_drill() {
     echo "serve drill: admission daemon drained, exited 0"
 }
 
+# Distributed chaos drill against the real binaries: an external-mode
+# coordinator (aurora_swarm --spawn external) with a four-worker
+# aurora_shardd fleet owned by this script. Two workers are SIGKILLed
+# mid-grid; a third runs the zombie-append sabotage (silent past its
+# lease, then one post-fence Result the coordinator must refuse with
+# AUR304). Every job must complete exactly once under AURORA_AUDIT=1
+# and the merged CSV must be byte-identical to a serial aurora_sim
+# run of the same grid.
+run_shard_drill() {
+    echo "==== check: shard ===="
+    cmake --preset release
+    cmake --build --preset release -j "$(nproc)" \
+        --target aurora_swarm aurora_shardd aurora_sim
+    local swarm=build/tools/aurora_swarm
+    local shardd=build/tools/aurora_shardd
+    local sim=build/tools/aurora_sim
+    local dir
+    dir="$(mktemp -d)"
+    trap 'rm -rf "${dir}"' RETURN
+    local sock="${dir}/swarm.sock"
+    local jdir="${dir}/journals"
+    local insts="${AURORA_CHECK_SHARD_INSTS:-600000}"
+
+    AURORA_AUDIT=1 "${sim}" --bench all --insts "${insts}" --csv \
+        > "${dir}/serial.csv"
+
+    AURORA_AUDIT=1 "${swarm}" --socket "${sock}" \
+        --journal-dir "${jdir}" --shards 4 --spawn external \
+        --bench all --insts "${insts}" --csv --lease-ms 800 \
+        --stats > "${dir}/merged.csv" 2> "${dir}/swarm.log" &
+    local coord=$!
+    while [ ! -S "${sock}" ] && kill -0 "${coord}" 2>/dev/null; do
+        sleep 0.02
+    done
+
+    local w
+    local wpids=()
+    for w in 1 2 3; do
+        "${shardd}" --socket "${sock}" --journal-dir "${jdir}" &
+        wpids+=("$!")
+    done
+    # The fourth worker is the zombie: it goes silent after one job,
+    # outlives its fence, then attempts one late append + Result.
+    AURORA_SHARD_FAULT="zombie-append:1" \
+        "${shardd}" --socket "${sock}" --journal-dir "${jdir}" &
+    wpids+=("$!")
+
+    sleep 0.4
+    kill -9 "${wpids[0]}" "${wpids[1]}" 2>/dev/null || true
+    echo "shard drill: SIGKILLed two of four shards mid-grid"
+
+    local status=0
+    wait "${coord}" || status=$?
+    if [ "${status}" -ne 0 ]; then
+        echo "shard drill: coordinator failed (${status})" >&2
+        cat "${dir}/swarm.log" >&2
+        exit 1
+    fi
+    local pid
+    for pid in "${wpids[@]}"; do
+        wait "${pid}" 2>/dev/null || true
+    done
+
+    cmp "${dir}/serial.csv" "${dir}/merged.csv"
+    echo "shard drill: merged CSV byte-identical to serial (audit on)"
+    grep -q "AUR302" "${dir}/swarm.log"
+    grep -q "AUR304" "${dir}/swarm.log"
+    grep "swarm stats:" "${dir}/swarm.log"
+    echo "shard drill: kills fenced (AUR302) and the zombie append" \
+         "was refused behind the fence (AUR304)"
+}
+
 # Static analysis. The determinism lint is pure grep and always runs.
 # clang-tidy consumes the compile_commands.json the release preset
 # exports (CMAKE_EXPORT_COMPILE_COMMANDS in the top-level
@@ -314,6 +393,7 @@ case "${1:-release}" in
     run_preset tsan
     run_resume_drill
     run_serve_drill
+    run_shard_drill
     run_obs
     run_lint
     ;;
@@ -326,6 +406,9 @@ case "${1:-release}" in
   serve)
     run_serve_drill
     ;;
+  shard)
+    run_shard_drill
+    ;;
   obs)
     run_obs
     ;;
@@ -333,7 +416,7 @@ case "${1:-release}" in
     run_lint
     ;;
   *)
-    echo "usage: $0 [release|asan|ubsan|tsan|resume|serve|obs|lint|all]" >&2
+    echo "usage: $0 [release|asan|ubsan|tsan|resume|serve|shard|obs|lint|all]" >&2
     exit 2
     ;;
 esac

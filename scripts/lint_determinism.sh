@@ -23,8 +23,13 @@ cd "$(dirname "$0")/.."
 # bit-identically: the daemon may time things with steady_clock, but
 # nothing in the service layer may consult wall clocks, randomness, or
 # raw environment state when producing results.
+# src/shard is covered for the same reason with a bigger blast
+# radius: the distributed merge is only provably bit-identical to the
+# serial run if no shard or coordinator decision depends on wall
+# clocks, randomness, or raw env reads (leases use steady_clock;
+# sabotage plans arrive via util/env).
 DIRS=(src/core src/ipu src/fpu src/mem src/trace src/telemetry
-      src/serve)
+      src/serve src/shard)
 STATUS=0
 
 # pattern -> human explanation. Word boundaries keep e.g.

@@ -271,6 +271,44 @@ catalog()
          "— mistyped, or the grid belongs to a different spool "
          "directory.",
          "list active grids with aurora_submit --status"},
+
+        // ---- distributed shard supervision (aurora_swarm) ----
+        {"AUR301", Severity::Error, "shard lease expired",
+         "A shard missed its heartbeat deadline — wedged, paused, or "
+         "partitioned. The coordinator fences the shard's epoch and "
+         "migrates its unfinished jobs to live shards; nothing is "
+         "lost and nothing runs twice.",
+         "check the shard's log; raise --lease-ms if jobs outrun it"},
+        {"AUR302", Severity::Error, "shard process exited unexpectedly",
+         "A shard's connection dropped mid-grid (crash, SIGKILL, or "
+         "OOM kill). Its committed jobs are already durable in the "
+         "coordinator's journal; its unfinished jobs migrate to the "
+         "remaining shards.",
+         "inspect the shard's exit status; the sweep completes anyway"},
+        {"AUR303", Severity::Error, "shard heartbeats lost (partition)",
+         "A shard kept working but its heartbeats stopped arriving — "
+         "the one-way-partition failure. The coordinator cannot tell "
+         "a silent shard from a dead one, so the lease fences it and "
+         "any results it later offers are refused as stale.",
+         "restore connectivity; the shard exits when it sees the fence"},
+        {"AUR304", Severity::Warning, "fenced zombie append rejected",
+         "A shard whose lease already expired tried to commit a "
+         "result under its stale epoch. The fence refused it — the "
+         "job either committed elsewhere or will — so the at-most-"
+         "once guarantee held. Expected during failover; a flood "
+         "means the lease is too short.",
+         "none needed; raise --lease-ms if frequent"},
+        {"AUR305", Severity::Error, "shard wire protocol violation",
+         "A shard connection sent a corrupt frame, an unknown message "
+         "type, a bad protocol version, or a result for a job it was "
+         "never assigned. The connection is fenced and dropped.",
+         "rebuild shard and coordinator from the same revision"},
+        {"AUR306", Severity::Error, "shard journal unusable",
+         "At merge time a shard's local journal was missing a "
+         "committed record, held bytes that disagree with what the "
+         "coordinator committed, or failed its CRC mid-file. The "
+         "merge refuses to fabricate results.",
+         "rerun with --resume; the commit journal replays the grid"},
     };
     return entries;
 }

@@ -14,6 +14,7 @@
  *   AUR0xx  machine-configuration lints (lintConfig, checkPipelineGraph)
  *   AUR1xx  trace-file lints (verifyTrace)
  *   AUR2xx  sweep-service admission and protocol rejections
+ *   AUR3xx  distributed shard supervision (lease, fence, merge)
  *           (aurora_serve; see docs/service.md)
  */
 

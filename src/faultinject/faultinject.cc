@@ -306,6 +306,86 @@ corruptWireFrame(const std::string &frame, WireFault fault,
     AURORA_PANIC("unknown WireFault ", static_cast<int>(fault));
 }
 
+const char *
+shardFaultName(ShardFault fault)
+{
+    switch (fault) {
+      case ShardFault::KillShard:
+        return "kill-shard";
+      case ShardFault::HangShard:
+        return "hang-shard";
+      case ShardFault::DropHeartbeats:
+        return "drop-heartbeats";
+      case ShardFault::ZombieAppend:
+        return "zombie-append";
+    }
+    AURORA_PANIC("unknown ShardFault ", static_cast<int>(fault));
+}
+
+ShardFault
+anyShardFault(std::uint64_t seed)
+{
+    return static_cast<ShardFault>(mix64(seed) % NUM_SHARD_FAULTS);
+}
+
+const char *
+shardFaultDiagnosticId(ShardFault fault)
+{
+    switch (fault) {
+      case ShardFault::KillShard:
+        return "AUR302";
+      case ShardFault::HangShard:
+        return "AUR301";
+      case ShardFault::DropHeartbeats:
+        return "AUR303";
+      case ShardFault::ZombieAppend:
+        return "AUR304";
+    }
+    AURORA_PANIC("unknown ShardFault ", static_cast<int>(fault));
+}
+
+std::string
+formatShardFaultPlan(const ShardFaultPlan &plan)
+{
+    return std::string(shardFaultName(plan.fault)) + ":" +
+           std::to_string(plan.after_jobs);
+}
+
+std::optional<ShardFaultPlan>
+parseShardFaultPlan(const std::string &text)
+{
+    const std::size_t colon = text.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= text.size())
+        return std::nullopt;
+    const std::string name = text.substr(0, colon);
+    const std::string count = text.substr(colon + 1);
+
+    ShardFaultPlan plan;
+    bool known = false;
+    for (std::size_t i = 0; i < NUM_SHARD_FAULTS; ++i) {
+        const auto fault = static_cast<ShardFault>(i);
+        if (name == shardFaultName(fault)) {
+            plan.fault = fault;
+            known = true;
+            break;
+        }
+    }
+    if (!known)
+        return std::nullopt;
+
+    std::uint64_t after = 0;
+    for (const char c : count) {
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        after = after * 10 + static_cast<std::uint64_t>(c - '0');
+        if (after > 0xffffffffull)
+            return std::nullopt;
+    }
+    plan.after_jobs = static_cast<std::uint32_t>(after);
+    return plan;
+}
+
 void
 miscountStall(core::RunResult &result, std::uint64_t seed)
 {

@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "core/machine_config.hh"
@@ -178,6 +179,59 @@ const char *wireFaultDiagnosticId(WireFault fault);
  */
 std::string corruptWireFrame(const std::string &frame, WireFault fault,
                              std::uint64_t seed = 0);
+
+/** Process-level shard failure modes the swarm coordinator's
+ *  lease-fenced supervision must absorb (see docs/distributed.md). */
+enum class ShardFault
+{
+    /** _exit() mid-grid without warning — the SIGKILL shape. The
+     *  coordinator sees EOF, fences the epoch, migrates. AUR302. */
+    KillShard,
+    /** Stop executing, heartbeating, and reading: a wedged process
+     *  that holds its socket open. Only lease expiry catches it.
+     *  AUR301. */
+    HangShard,
+    /** Keep working but silently stop heartbeating — the one-way
+     *  partition shape. The shard is fenced while healthy and its
+     *  late results are refused. AUR303. */
+    DropHeartbeats,
+    /** Go silent past the lease, then append to the local journal
+     *  and offer the result under the now-stale epoch — the zombie
+     *  the fence exists for. AUR304. */
+    ZombieAppend,
+};
+
+inline constexpr std::size_t NUM_SHARD_FAULTS = 4;
+
+/** Short display name ("kill-shard", "zombie-append", ...). */
+const char *shardFaultName(ShardFault fault);
+
+/** Seed-driven fault choice, uniform over all ShardFaults. */
+ShardFault anyShardFault(std::uint64_t seed);
+
+/** Catalog diagnostic the coordinator raises for @p fault
+ *  ("AUR301".."AUR304"). */
+const char *shardFaultDiagnosticId(ShardFault fault);
+
+/**
+ * One shard's scripted failure: arm @p fault after the shard has
+ * completed @p after_jobs jobs. Carried to in-process shard workers
+ * directly and to exec'd `aurora_shardd` processes through the
+ * AURORA_SHARD_FAULT environment variable.
+ */
+struct ShardFaultPlan
+{
+    ShardFault fault = ShardFault::KillShard;
+    std::uint32_t after_jobs = 0;
+};
+
+/** Render @p plan as "<name>:<after_jobs>" (env-var form). */
+std::string formatShardFaultPlan(const ShardFaultPlan &plan);
+
+/** Parse the env-var form; nullopt on anything malformed — a shard
+ *  must never misread its sabotage orders into different sabotage. */
+std::optional<ShardFaultPlan>
+parseShardFaultPlan(const std::string &text);
 
 /**
  * Break one conservation invariant of @p result: bump a seed-chosen

@@ -165,9 +165,6 @@ SweepRunner::preflightEnabled() const
     return envFlag("AURORA_PREFLIGHT", true);
 }
 
-namespace
-{
-
 /**
  * Lint every machine in @p grid before any worker launches. Errors
  * (not warnings) abort the launch: one BadConfig naming every bad
@@ -207,6 +204,9 @@ preflightGrid(const std::vector<SweepJob> &grid)
         "describes each diagnostic; AURORA_PREFLIGHT=0 disables the "
         "check):", lines);
 }
+
+namespace
+{
 
 /**
  * Turn a job grid into closures, resolving the seed-derivation and

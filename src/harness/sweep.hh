@@ -393,6 +393,15 @@ std::uint64_t deriveJobSeed(std::uint64_t base_seed,
                             std::uint64_t machine_hash,
                             const std::string &profile_name);
 
+/**
+ * Lint every machine in @p grid (analyze::lintConfig); lint *errors*
+ * raise one BadConfig naming every bad job and its diagnostic IDs.
+ * The preflight gate SweepRunner applies before launching workers,
+ * exported so other grid admitters (aurora_serve, aurora_swarm)
+ * reject with identical semantics.
+ */
+void preflightGrid(const std::vector<SweepJob> &grid);
+
 /** Build the (machine × suite) row of a grid. */
 std::vector<SweepJob>
 suiteJobs(const core::MachineConfig &machine,

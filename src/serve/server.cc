@@ -15,6 +15,7 @@
 #include "core/simulator.hh"
 #include "harness/journal.hh"
 #include "harness/sweep.hh"
+#include "shard/swarm.hh"
 #include "trace/spec_profiles.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -243,6 +244,10 @@ Server::Server(ServerConfig config) : config_(std::move(config))
     AURORA_ASSERT(!config_.socket_path.empty() &&
                       !config_.spool_dir.empty(),
                   "aurora_serve needs a socket path and a spool dir");
+    if (config_.shards > 0 && config_.shardd_path.empty())
+        util::raiseError(util::SimErrorCode::BadConfig,
+                         "the shard backend needs the aurora_shardd "
+                         "binary path (--shardd) when --shards > 0");
     scheduler_ = Scheduler(config_.limits);
     fs::create_directories(config_.spool_dir);
     loadSpool();
@@ -560,8 +565,135 @@ Server::workerMain()
 }
 
 void
+Server::shardMain()
+{
+    // One dispatcher thread owns one Swarm and deals whole grids to
+    // the shard fleet. The Swarm is built lazily and rebuilt after an
+    // unrecoverable fleet failure, so one lost fleet cannot wedge the
+    // daemon.
+    std::unique_ptr<shard::Swarm> swarm;
+    const std::string socket = config_.spool_dir + "/swarm.sock";
+    const std::string journal_dir = config_.spool_dir + "/swarm.jd";
+    const auto fleet = [&]() -> shard::Swarm & {
+        if (!swarm) {
+            std::error_code ec;
+            fs::remove(socket, ec);
+            shard::SwarmConfig sc;
+            sc.socket_path = socket;
+            sc.journal_dir = journal_dir;
+            sc.shards = config_.shards;
+            sc.spawn = shard::SpawnMode::Exec;
+            sc.shardd_path = config_.shardd_path;
+            if (config_.shard_lease_ms != 0)
+                sc.lease_ms = config_.shard_lease_ms;
+            sc.verbose = config_.verbose;
+            swarm = std::make_unique<shard::Swarm>(std::move(sc));
+        }
+        return *swarm;
+    };
+
+    for (;;) {
+        Grid *grid = nullptr;
+        std::vector<std::size_t> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] {
+                return workers_stop_ || scheduler_.hasWork();
+            });
+            if (workers_stop_)
+                return;
+            const std::optional<SchedUnit> next = scheduler_.take();
+            if (!next)
+                continue;
+            grid = grids_.at(next->fingerprint).get();
+            batch.push_back(next->job_index);
+            // The fleet wants whole grids, so the rotor's pick also
+            // claims the rest of that grid's queued jobs: fairness
+            // rotates per grid instead of per job.
+            for (const SchedUnit &unit : scheduler_.dropQueued(
+                     grid->tenant, next->fingerprint))
+                batch.push_back(unit.job_index);
+            for (const std::size_t index : batch)
+                grid->state[index] = Grid::JobState::Running;
+            running_jobs_ += batch.size();
+        }
+
+        std::vector<harness::SweepJob> jobs;
+        jobs.reserve(batch.size());
+        for (const std::size_t index : batch)
+            jobs.push_back(grid->jobs[index]);
+
+        // Job seeds derive from (base_seed, machine hash, profile
+        // name) — position-independent — so a sub-grid of pending
+        // jobs reproduces the full grid's per-job seeds exactly.
+        shard::GridOptions options;
+        options.base_seed = grid->base_seed;
+        options.retries = grid->retries;
+        options.deadline_ms = grid->deadline_ms;
+        options.backoff_ms = grid->backoff_ms;
+        options.preflight = false; // linted once at admission
+
+        std::vector<harness::SweepOutcome> outcomes;
+        try {
+            outcomes = fleet().runGrid(jobs, options);
+        } catch (const util::SimError &e) {
+            // Unrecoverable fleet failure (fleet lost, merge
+            // violation): the batch fails terminally — the service
+            // journals outcomes after the retry budget, so every
+            // journaled record is final. The next batch gets a
+            // fresh fleet.
+            warn(detail::concat("shard fleet failed: ", e.what()));
+            swarm.reset();
+            outcomes.clear();
+            outcomes.resize(batch.size());
+            for (harness::SweepOutcome &out : outcomes) {
+                out.ok = false;
+                out.code = e.code();
+                out.error = e.what();
+                out.attempts = 1;
+            }
+        }
+
+        // Durable before visible, batch-wise: every record is
+        // journaled before any completion is posted.
+        std::vector<harness::JournalRecord> records;
+        records.reserve(batch.size());
+        for (std::size_t k = 0; k < batch.size(); ++k) {
+            harness::JournalRecord rec;
+            rec.job_index = batch[k];
+            rec.machine_hash =
+                harness::machineHash(grid->jobs[batch[k]].machine);
+            rec.seed = gridSeed(*grid, batch[k]);
+            rec.outcome = std::move(outcomes[k]);
+            grid->journal->append(rec);
+            records.push_back(std::move(rec));
+        }
+
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            const std::size_t n = records.size();
+            for (harness::JournalRecord &rec : records) {
+                const std::size_t index = rec.job_index;
+                applyRecord(*grid, std::move(rec),
+                            /*from_journal=*/false);
+                scheduler_.jobFinished(grid->tenant);
+                completions_.emplace_back(grid->fingerprint, index);
+            }
+            running_jobs_ -= n;
+        }
+        wake_.notify();
+    }
+}
+
+void
 Server::startWorkers()
 {
+    if (config_.shards > 0) {
+        // The shard backend replaces the in-process pool with a
+        // single fleet dispatcher.
+        workers_.emplace_back([this] { shardMain(); });
+        return;
+    }
     unsigned count = config_.workers != 0 ? config_.workers
                                           : defaultWorkers();
     count = std::max(1u, count);

@@ -71,6 +71,20 @@ struct ServerConfig
     std::size_t progress_every = 0;
     /** Log lifecycle lines (accepts, drains, resumes) via inform(). */
     bool verbose = false;
+    /** Horizontal-scale backend: 0 (default) executes jobs on the
+     *  in-process worker pool; N > 0 replaces the pool with one
+     *  dispatcher thread that deals each grid to a fleet of N
+     *  `aurora_shardd` processes under lease-fenced supervision
+     *  (shard::Swarm, Exec spawn mode — fork-without-exec is unsafe
+     *  in this multithreaded host). Fairness then rotates per grid
+     *  rather than per job, and cancellation of dealt jobs takes
+     *  effect at grid boundaries. */
+    unsigned shards = 0;
+    /** Path to the aurora_shardd binary (required when shards > 0). */
+    std::string shardd_path;
+    /** Shard lease in milliseconds (0 = shard::SwarmConfig default).
+     *  Must exceed the worst-case single-job wall time. */
+    std::uint64_t shard_lease_ms = 0;
 };
 
 /** Locked snapshot of daemon state (Status requests, tests). */
@@ -139,6 +153,7 @@ class Server
     void startWorkers();
     void stopWorkers();
     void workerMain();
+    void shardMain();
     void beginDrain();
     void pollCycle();
     void acceptPending();

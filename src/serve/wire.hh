@@ -2,8 +2,8 @@
  * @file
  * aurora_serve wire protocol: CRC-framed messages over a local socket.
  *
- * Transport frames reuse the journal's record framing byte-for-byte
- * (util/record_io layout) under a distinct magic:
+ * Transport frames are util/frame's CRC framing under the 'AWP1'
+ * magic:
  *
  *     [u32 magic 'AWP1'] [u32 payload_len] [u32 crc32(payload)] [payload]
  *
@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "util/frame.hh"
 #include "util/record_io.hh"
 #include "util/sim_error.hh"
 #include "util/socket.hh"
@@ -88,41 +89,15 @@ MsgType peekType(const std::string &payload);
 /** Wrap @p payload in a wire frame (magic + length + CRC). */
 std::string frame(const std::string &payload);
 
-/** What FrameDecoder::next() found. */
-enum class FrameStatus
-{
-    NeedMore, ///< buffer holds only a partial frame; feed more bytes
-    Ok,       ///< a complete, CRC-valid payload was extracted
-    Corrupt,  ///< bad magic, implausible length, or CRC mismatch
-};
+/** Shared frame-extraction status (see util/frame.hh). Corrupt is
+ *  terminal for the connection — the peer is dropped (AUR207). */
+using util::FrameStatus;
 
-/**
- * Incremental frame extractor for a non-blocking socket: feed() the
- * bytes read() hands you, then drain complete payloads with next().
- * Corrupt is terminal for the connection — after a framing error the
- * stream offset is untrustworthy, so the caller must drop the peer
- * (AUR207), exactly as a mid-file corrupt journal refuses to resume.
- */
-class FrameDecoder
+/** util::FrameDecoder fixed to the serve protocol's magic. */
+class FrameDecoder : public util::FrameDecoder
 {
   public:
-    /** Append raw socket bytes to the decode buffer. */
-    void feed(const char *data, std::size_t len);
-    void feed(const std::string &bytes);
-
-    /** Extract the next complete payload, if any. */
-    FrameStatus next(std::string &payload);
-
-    /** True when no partial frame is pending — a peer that closes
-     *  here closed cleanly, not mid-message. */
-    bool atFrameBoundary() const { return pos_ == buf_.size(); }
-
-    /** Bytes buffered but not yet consumed (tests, caps). */
-    std::size_t pendingBytes() const { return buf_.size() - pos_; }
-
-  private:
-    std::string buf_;
-    std::size_t pos_ = 0;
+    FrameDecoder() : util::FrameDecoder(WIRE_MAGIC) {}
 };
 
 /** Blocking send of one framed payload (client side). */

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Shard fabric wire protocol: coordinator <-> shard worker messages.
+ *
+ * Frames are util/frame's CRC framing under the 'ASW1' magic —
+ * distinct from serve's 'AWP1' and the journal's 'AJRN', so a client
+ * that dials the wrong socket is refused at its first frame. Payload
+ * byte 0 is the MsgType; the rest is a ByteWriter/ByteReader
+ * encoding, so seeds and doubles cross the wire bit-exactly.
+ *
+ * Conversation shape (coordinator supervises, shard pulls):
+ *
+ *   shard                          coordinator
+ *   Hello{version, pid}       -->
+ *                             <--  Welcome{slot, epoch, lease_ms,
+ *                                          beat_ms}
+ *                             <--  Assign{epoch, jobs}*   (chunked)
+ *   Beat{slot, epoch, done}   -->  (renews the lease)
+ *   Result{slot, epoch,
+ *          ticket, record}    -->  (one per completed job)
+ *                             <--  Fenced{epoch}  (lease lost: exit)
+ *                             <--  Shutdown{}     (grid done: exit)
+ *
+ * The epoch is the fencing token (docs/distributed.md): the
+ * coordinator stamps each lease grant with a fresh epoch, and every
+ * shard->coordinator message carries the epoch the shard believes it
+ * holds. A Result under any epoch other than the slot's current one
+ * is refused — that is the entire zombie-append defence, so the
+ * check lives in one place (Swarm::handleResult) and this header
+ * keeps the token in every message shape.
+ *
+ * A Result's `record` field is exactly harness::encodeJournalRecord()
+ * of the job's journal record, and the shard appends those same bytes
+ * to its local journal *before* sending — what the coordinator
+ * commits is bit-identical to what the shard persisted, which is what
+ * makes the final merge's byte-equality cross-check possible.
+ */
+
+#ifndef AURORA_SHARD_SHARD_WIRE_HH
+#define AURORA_SHARD_SHARD_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/frame.hh"
+
+namespace aurora::shard::wire
+{
+
+/** Frame magic ('ASW1', little-endian). */
+inline constexpr std::uint32_t SHARD_MAGIC = 0x31575341u;
+
+/** Protocol version carried in Hello/Welcome; mismatch is AUR305. */
+inline constexpr std::uint32_t SHARD_PROTOCOL_VERSION = 1;
+
+/** Payload byte 0. Shard→coordinator types are low, replies high. */
+enum class MsgType : std::uint8_t
+{
+    Hello = 1,
+    Beat = 2,
+    Result = 3,
+
+    Welcome = 64,
+    Assign = 65,
+    Fenced = 66,
+    Shutdown = 67,
+};
+
+/** Display name ("Hello", "Fenced", ...) for logs and tests. */
+const char *msgTypeName(MsgType type);
+
+/** First byte of @p payload as a MsgType; BadWire when empty or not
+ *  a known type. */
+MsgType peekType(const std::string &payload);
+
+/** util::FrameDecoder fixed to the shard fabric's magic. */
+class FrameDecoder : public util::FrameDecoder
+{
+  public:
+    FrameDecoder() : util::FrameDecoder(SHARD_MAGIC) {}
+};
+
+/** Wrap @p payload in a shard wire frame. */
+std::string frame(const std::string &payload);
+
+/** Blocking send of one framed payload. */
+void sendFrame(int fd, const std::string &payload);
+
+/// @name Messages (shard → coordinator)
+/// @{
+
+struct HelloMsg
+{
+    std::uint32_t version = SHARD_PROTOCOL_VERSION;
+    /** Shard's pid, for the coordinator's logs and kill drills. */
+    std::uint64_t pid = 0;
+};
+
+/** Lease renewal. Sent between jobs and while idle; a shard deep in
+ *  one long simulation cannot beat, so the lease must exceed the
+ *  worst-case job time (docs/distributed.md). */
+struct BeatMsg
+{
+    std::uint32_t slot = 0;
+    std::uint64_t epoch = 0;
+    /** Jobs this incarnation has completed (monotone; logs only). */
+    std::uint64_t done = 0;
+};
+
+struct ResultMsg
+{
+    std::uint32_t slot = 0;
+    /** Epoch the shard holds — the fencing token. */
+    std::uint64_t epoch = 0;
+    /** Coordinator-issued job ticket this result answers. */
+    std::uint64_t ticket = 0;
+    /** harness::encodeJournalRecord() bytes, already durable in the
+     *  shard's local journal. */
+    std::string record;
+};
+
+/// @}
+/// @name Messages (coordinator → shard)
+/// @{
+
+struct WelcomeMsg
+{
+    std::uint32_t version = SHARD_PROTOCOL_VERSION;
+    /** Stable slot index [0, shards) this connection now serves. */
+    std::uint32_t slot = 0;
+    /** Freshly-granted lease epoch; stamp every message with it. */
+    std::uint64_t epoch = 0;
+    /** Miss a beat for this long and the lease is fenced. */
+    std::uint64_t lease_ms = 0;
+    /** Target cadence for Beat messages (lease_ms / 4 or better). */
+    std::uint64_t beat_ms = 0;
+};
+
+/** One grid point, in the portable form the shard re-hydrates with
+ *  core::parseMachineSpec() + trace::profileByName() (the profile's
+ *  seed is then overwritten with profile_seed, so a caller-tweaked
+ *  seed survives the wire; mix fractions are canonical-by-name,
+ *  exactly as aurora_serve assumes). */
+struct JobSpec
+{
+    /** Coordinator-issued commit ticket (unique per assignment). */
+    std::uint64_t ticket = 0;
+    /** Submission-order index in the original grid. */
+    std::uint64_t job_index = 0;
+    std::string machine_spec;
+    std::string profile_name;
+    std::uint64_t profile_seed = 0;
+    std::uint64_t instructions = 0;
+    /** SweepOptions mirror (per job so mixed grids can share a
+     *  fabric in service mode). */
+    bool has_base_seed = false;
+    std::uint64_t base_seed = 0;
+    std::uint64_t deadline_ms = 0;
+    std::uint32_t retries = 0;
+    std::uint64_t backoff_ms = 0;
+};
+
+struct AssignMsg
+{
+    /** Epoch these assignments are valid under. */
+    std::uint64_t epoch = 0;
+    std::vector<JobSpec> jobs;
+};
+
+/** The slot's lease was revoked; the named epoch is dead and every
+ *  result sent under it will be refused. The shard must exit. */
+struct FencedMsg
+{
+    std::uint64_t epoch = 0;
+};
+
+/** Clean end-of-grid: drain and exit 0. */
+struct ShutdownMsg
+{
+};
+
+/// @}
+
+/// Encode one message to its payload bytes (type byte included).
+/// @{
+std::string encode(const HelloMsg &m);
+std::string encode(const BeatMsg &m);
+std::string encode(const ResultMsg &m);
+std::string encode(const WelcomeMsg &m);
+std::string encode(const AssignMsg &m);
+std::string encode(const FencedMsg &m);
+std::string encode(const ShutdownMsg &m);
+/// @}
+
+/// Decode one payload; throws SimError(BadWire) on a wrong type byte,
+/// an out-of-range field, or trailing bytes (format mismatch).
+/// @{
+HelloMsg decodeHello(const std::string &payload);
+BeatMsg decodeBeat(const std::string &payload);
+ResultMsg decodeResult(const std::string &payload);
+WelcomeMsg decodeWelcome(const std::string &payload);
+AssignMsg decodeAssign(const std::string &payload);
+FencedMsg decodeFenced(const std::string &payload);
+ShutdownMsg decodeShutdown(const std::string &payload);
+/// @}
+
+} // namespace aurora::shard::wire
+
+#endif // AURORA_SHARD_SHARD_WIRE_HH

@@ -1,0 +1,852 @@
+#include "swarm.hh"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <utility>
+
+#include "core/audit.hh"
+#include "core/config_io.hh"
+#include "shardd.hh"
+#include "util/logging.hh"
+#include "util/sim_error.hh"
+
+namespace aurora::shard
+{
+
+namespace
+{
+
+std::uint64_t
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+/** Close every inherited descriptor above stderr in a fork()ed
+ *  worker-to-be. The child must not hold the coordinator's listener
+ *  or its siblings' connections: a dead sibling's EOF would otherwise
+ *  go undetected for as long as any child keeps the fd alive. */
+void
+closeInheritedFds()
+{
+    for (int fd = 3; fd < 1024; ++fd)
+        ::close(fd);
+}
+
+} // namespace
+
+Swarm::Swarm(SwarmConfig config) : config_(std::move(config))
+{
+    if (config_.shards == 0)
+        util::raiseError(util::SimErrorCode::BadConfig,
+                         "swarm: shard count must be at least 1");
+    if (config_.spawn == SpawnMode::Exec && config_.shardd_path.empty())
+        util::raiseError(util::SimErrorCode::BadConfig,
+                         "swarm: exec spawn mode needs the "
+                         "aurora_shardd binary path");
+    if (config_.beat_ms == 0)
+        config_.beat_ms = std::max<std::uint64_t>(1, config_.lease_ms / 4);
+    config_.fault_plans.resize(config_.shards);
+    std::filesystem::create_directories(config_.journal_dir);
+    listener_ = util::listenUnix(config_.socket_path);
+    slots_.resize(config_.shards);
+}
+
+Swarm::~Swarm()
+{
+    // Best-effort teardown for the error path; the normal path has
+    // already drained via shutdownFleet().
+    for (const long pid : children_)
+        ::kill(static_cast<pid_t>(pid), SIGKILL);
+    for (const long pid : children_)
+        ::waitpid(static_cast<pid_t>(pid), nullptr, 0);
+}
+
+void
+Swarm::spawnWorker(const std::optional<faultinject::ShardFaultPlan> &fault)
+{
+    ShardWorkerConfig worker;
+    worker.socket_path = config_.socket_path;
+    worker.journal_dir = config_.journal_dir;
+    worker.fault = fault;
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        util::raiseError(util::SimErrorCode::Internal,
+                         "swarm: fork() failed spawning a shard worker");
+    if (pid == 0) {
+        closeInheritedFds();
+        if (config_.spawn == SpawnMode::Exec) {
+            if (fault)
+                ::setenv(SHARD_FAULT_ENV,
+                         faultinject::formatShardFaultPlan(*fault)
+                             .c_str(),
+                         1);
+            ::execl(config_.shardd_path.c_str(), "aurora_shardd",
+                    "--socket", config_.socket_path.c_str(),
+                    "--journal-dir", config_.journal_dir.c_str(),
+                    static_cast<char *>(nullptr));
+            ::_exit(127); // exec failed; the parent sees the reap
+        }
+        ::_exit(runShardWorker(worker));
+    }
+    children_.push_back(pid);
+    last_spawn_ = Clock::now();
+}
+
+void
+Swarm::grantLease(Loner &&dialer, std::uint64_t pid)
+{
+    std::uint32_t index = config_.shards;
+    for (std::uint32_t i = 0; i < config_.shards; ++i)
+        if (!slots_[i].fd.valid()) {
+            index = i;
+            break;
+        }
+    if (draining_ || index == config_.shards) {
+        // A full fleet (or a draining one) needs no extra hands:
+        // dismiss the surplus worker cleanly rather than leaving it
+        // waiting forever.
+        queueLonerFrame(dialer, wire::encode(wire::ShutdownMsg{}));
+        dialer.fd.reset();
+        return;
+    }
+
+    Slot &slot = slots_[index];
+    slot.fd = std::move(dialer.fd);
+    slot.decoder = std::move(dialer.decoder);
+    slot.epoch = ++next_epoch_;
+    slot.last_beat = slot.last_msg = Clock::now();
+    slot.assigned.clear();
+    slot.outbuf = std::move(dialer.outbuf);
+    slot.outpos = dialer.outpos;
+    slot.pid = static_cast<long>(pid);
+    ++stats_.granted_leases;
+
+    journal_refs_.push_back(
+        {slot.epoch, index,
+         shardJournalPath(config_.journal_dir, slot.epoch)});
+
+    if (config_.verbose)
+        inform(detail::concat("swarm: slot ", index, " leased epoch ",
+                              slot.epoch, " to pid ", pid));
+    queueFrame(index,
+               wire::encode(wire::WelcomeMsg{
+                   wire::SHARD_PROTOCOL_VERSION, index, slot.epoch,
+                   config_.lease_ms, config_.beat_ms}));
+}
+
+void
+Swarm::migrateAssigned(Slot &slot)
+{
+    // Reverse push_front keeps submission order at the queue head, so
+    // migrated work still completes (and journals) lowest-index first.
+    for (auto it = slot.assigned.rbegin(); it != slot.assigned.rend();
+         ++it)
+        pending_.push_front(*it);
+    stats_.migrated_jobs += slot.assigned.size();
+    if (config_.verbose && !slot.assigned.empty())
+        inform(detail::concat("swarm: migrated ", slot.assigned.size(),
+                              " job(s) off fenced epoch ", slot.epoch));
+    slot.assigned.clear();
+}
+
+void
+Swarm::fenceSlot(std::uint32_t slot_index, const char *diagnostic,
+                 bool keep_connection)
+{
+    Slot &slot = slots_[slot_index];
+    if (slot.epoch == 0)
+        return;
+    fenced_epochs_.insert(slot.epoch);
+    warn(detail::concat("swarm: ", diagnostic, ": fencing slot ",
+                        slot_index, " epoch ", slot.epoch,
+                        " (pid ", slot.pid, ")"));
+    migrateAssigned(slot);
+
+    if (keep_connection && slot.fd.valid()) {
+        // Keep the dead incarnation's connection open as a zombie
+        // observer: its late Results must be *refused*, not merely
+        // unread — AUR304 counts each refusal.
+        Loner zombie;
+        zombie.fd = std::move(slot.fd);
+        zombie.decoder = std::move(slot.decoder);
+        zombie.epoch = slot.epoch;
+        zombie.outbuf = std::move(slot.outbuf);
+        zombie.outpos = slot.outpos;
+        zombie.opened = Clock::now();
+        queueLonerFrame(zombie, wire::encode(wire::FencedMsg{
+                                    zombie.epoch}));
+        if (zombie.fd.valid())
+            loners_.push_back(std::move(zombie));
+    }
+    slot.fd.reset();
+    slot.decoder = wire::FrameDecoder{};
+    slot.epoch = 0;
+    slot.outbuf.clear();
+    slot.outpos = 0;
+    slot.pid = -1;
+}
+
+void
+Swarm::assignPending()
+{
+    // Round-robin one ticket at a time so a refilled fleet shares the
+    // backlog instead of the first slot swallowing it.
+    bool progress = true;
+    while (!pending_.empty() && progress) {
+        progress = false;
+        for (std::uint32_t i = 0;
+             i < config_.shards && !pending_.empty(); ++i) {
+            Slot &slot = slots_[i];
+            if (!slot.fd.valid() ||
+                slot.assigned.size() >= config_.chunk)
+                continue;
+            const std::uint64_t ticket = pending_.front();
+            pending_.pop_front();
+            slot.assigned.push_back(ticket);
+            wire::AssignMsg assign;
+            assign.epoch = slot.epoch;
+            assign.jobs.push_back(tickets_.at(ticket).spec);
+            queueFrame(i, wire::encode(assign));
+            progress = true;
+        }
+    }
+}
+
+void
+Swarm::queueFrame(std::uint32_t slot_index, const std::string &payload)
+{
+    Slot &slot = slots_[slot_index];
+    if (!slot.fd.valid())
+        return;
+    if (!payload.empty()) // empty = flush-only (POLLOUT service)
+        slot.outbuf.append(wire::frame(payload));
+    // Opportunistic flush; leftovers wait for POLLOUT. Never a
+    // blocking write: a wedged shard that stopped reading must not
+    // wedge the coordinator with it.
+    if (!util::writeSome(slot.fd.get(), slot.outbuf, slot.outpos)) {
+        ++stats_.shard_exits;
+        fenceSlot(slot_index, "AUR302: shard connection dropped",
+                  /*keep_connection=*/false);
+        return;
+    }
+    if (slot.outpos == slot.outbuf.size()) {
+        slot.outbuf.clear();
+        slot.outpos = 0;
+    }
+}
+
+void
+Swarm::queueLonerFrame(Loner &loner, const std::string &payload)
+{
+    if (!loner.fd.valid())
+        return;
+    if (!payload.empty()) // empty = flush-only (POLLOUT service)
+        loner.outbuf.append(wire::frame(payload));
+    if (!util::writeSome(loner.fd.get(), loner.outbuf, loner.outpos)) {
+        loner.fd.reset();
+        return;
+    }
+    if (loner.outpos == loner.outbuf.size()) {
+        loner.outbuf.clear();
+        loner.outpos = 0;
+    }
+}
+
+void
+Swarm::handleSlotMessage(std::uint32_t slot_index,
+                         const std::string &payload)
+{
+    Slot &slot = slots_[slot_index];
+    slot.last_msg = Clock::now();
+    const wire::MsgType type = wire::peekType(payload);
+    switch (type) {
+      case wire::MsgType::Beat: {
+        const wire::BeatMsg beat = wire::decodeBeat(payload);
+        if (beat.slot != slot_index || beat.epoch != slot.epoch) {
+            ++stats_.protocol_errors;
+            fenceSlot(slot_index,
+                      "AUR305: beat carries a foreign slot/epoch",
+                      /*keep_connection=*/true);
+            return;
+        }
+        slot.last_beat = Clock::now();
+        return;
+      }
+      case wire::MsgType::Result: {
+        wire::ResultMsg result = wire::decodeResult(payload);
+        if (result.slot != slot_index || result.epoch != slot.epoch) {
+            ++stats_.protocol_errors;
+            fenceSlot(slot_index,
+                      "AUR305: result carries a foreign slot/epoch",
+                      /*keep_connection=*/true);
+            return;
+        }
+        const auto it = tickets_.find(result.ticket);
+        const auto assigned_at =
+            std::find(slot.assigned.begin(), slot.assigned.end(),
+                      result.ticket);
+        if (it == tickets_.end() || it->second.committed ||
+            assigned_at == slot.assigned.end()) {
+            ++stats_.protocol_errors;
+            fenceSlot(slot_index,
+                      "AUR305: result for a ticket this incarnation "
+                      "does not hold",
+                      /*keep_connection=*/true);
+            return;
+        }
+        Ticket &ticket = it->second;
+        harness::JournalRecord record;
+        try {
+            record = harness::decodeJournalRecord(result.record);
+        } catch (const util::SimError &) {
+            ++stats_.protocol_errors;
+            fenceSlot(slot_index,
+                      "AUR305: result record bytes do not decode",
+                      /*keep_connection=*/true);
+            return;
+        }
+        if (record.job_index != ticket.spec.job_index) {
+            ++stats_.protocol_errors;
+            fenceSlot(slot_index,
+                      "AUR305: result names the wrong grid index",
+                      /*keep_connection=*/true);
+            return;
+        }
+        // Commit point: exactly-once is decided here and only here.
+        ticket.committed = true;
+        ticket.commit = CommitRef{ticket.spec.job_index, slot_index,
+                                  slot.epoch, result.ticket,
+                                  std::move(result.record)};
+        slot.assigned.erase(assigned_at);
+        --open_tickets_;
+        ++stats_.committed;
+        if (commit_journal_)
+            commit_journal_->append(record);
+        return;
+      }
+      default:
+        ++stats_.protocol_errors;
+        fenceSlot(slot_index,
+                  "AUR305: unexpected message from a leased shard",
+                  /*keep_connection=*/true);
+        return;
+    }
+}
+
+bool
+Swarm::handleLonerMessage(Loner &loner, const std::string &payload)
+{
+    const wire::MsgType type = wire::peekType(payload);
+    if (loner.epoch == 0) {
+        // Not yet welcomed: the only legal opening move is Hello.
+        if (type != wire::MsgType::Hello)
+            return false;
+        const wire::HelloMsg hello = wire::decodeHello(payload);
+        if (hello.version != wire::SHARD_PROTOCOL_VERSION) {
+            warn(detail::concat("swarm: AUR305: dialer speaks "
+                                "protocol v", hello.version,
+                                "; refusing"));
+            ++stats_.protocol_errors;
+            return false;
+        }
+        grantLease(std::move(loner), hello.pid);
+        return false; // fd moved into the slot (or closed)
+    }
+    // Fenced zombie traffic. A late Result is the whole point of
+    // keeping the connection: refuse it explicitly.
+    if (type == wire::MsgType::Result) {
+        const wire::ResultMsg result = wire::decodeResult(payload);
+        ++stats_.fenced_results;
+        warn(detail::concat("swarm: AUR304: refused result for ticket ",
+                            result.ticket, " under fenced epoch ",
+                            result.epoch));
+        queueLonerFrame(loner, wire::encode(wire::FencedMsg{
+                                   loner.epoch}));
+        return loner.fd.valid();
+    }
+    // Beats and anything else from behind the fence are noise.
+    return true;
+}
+
+void
+Swarm::pollOnce(int timeout_ms)
+{
+    struct Entry
+    {
+        enum Kind
+        {
+            Listener,
+            SlotFd,
+            LonerFd
+        } kind;
+        std::size_t index;
+    };
+    std::vector<struct pollfd> pfds;
+    std::vector<Entry> entries;
+    pfds.push_back({listener_.get(), POLLIN, 0});
+    entries.push_back({Entry::Listener, 0});
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (!slots_[i].fd.valid())
+            continue;
+        short events = POLLIN;
+        if (slots_[i].outpos < slots_[i].outbuf.size())
+            events |= POLLOUT;
+        pfds.push_back({slots_[i].fd.get(), events, 0});
+        entries.push_back({Entry::SlotFd, i});
+    }
+    const std::size_t loner_count = loners_.size();
+    for (std::size_t i = 0; i < loner_count; ++i) {
+        if (!loners_[i].fd.valid())
+            continue;
+        short events = POLLIN;
+        if (loners_[i].outpos < loners_[i].outbuf.size())
+            events |= POLLOUT;
+        pfds.push_back({loners_[i].fd.get(), events, 0});
+        entries.push_back({Entry::LonerFd, i});
+    }
+
+    if (::poll(pfds.data(), pfds.size(), timeout_ms) < 0)
+        return; // EINTR: the main loop re-evaluates and re-polls
+
+    bool accept_ready = false;
+    for (std::size_t p = 0; p < pfds.size(); ++p) {
+        if (pfds[p].revents == 0)
+            continue;
+        const Entry entry = entries[p];
+        switch (entry.kind) {
+          case Entry::Listener:
+            accept_ready = true;
+            break;
+          case Entry::SlotFd: {
+            const auto i = static_cast<std::uint32_t>(entry.index);
+            Slot &slot = slots_[i];
+            if (!slot.fd.valid())
+                break; // fenced earlier this same cycle
+            if ((pfds[p].revents & POLLOUT) != 0)
+                queueFrame(i, std::string()); // flush-only
+            if (!slot.fd.valid())
+                break;
+            if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) ==
+                0)
+                break;
+            std::string chunk;
+            const long n = util::readAvailable(slot.fd.get(), chunk);
+            if (n > 0)
+                slot.decoder.feed(chunk);
+            std::string payload;
+            for (;;) {
+                if (!slot.fd.valid())
+                    break;
+                const util::FrameStatus status =
+                    slot.decoder.next(payload);
+                if (status == util::FrameStatus::NeedMore)
+                    break;
+                if (status == util::FrameStatus::Corrupt) {
+                    ++stats_.protocol_errors;
+                    fenceSlot(i, "AUR305: corrupt frame from shard",
+                              /*keep_connection=*/false);
+                    break;
+                }
+                try {
+                    handleSlotMessage(i, payload);
+                } catch (const util::SimError &e) {
+                    ++stats_.protocol_errors;
+                    warn(detail::concat("swarm: AUR305: ", e.what()));
+                    fenceSlot(i, "AUR305: undecodable message",
+                              /*keep_connection=*/false);
+                }
+            }
+            if (n == 0 && slot.fd.valid()) {
+                if (draining_) {
+                    // Expected: the worker honoured Shutdown and hung
+                    // up. Not a fence — its epoch stays clean.
+                    slot.fd.reset();
+                    slot.epoch = 0;
+                    slot.pid = -1;
+                } else {
+                    // EOF with a live lease: the shard process is
+                    // gone (SIGKILL, crash, or clean exit without
+                    // Shutdown).
+                    ++stats_.shard_exits;
+                    fenceSlot(i, "AUR302: shard connection closed",
+                              /*keep_connection=*/false);
+                }
+            }
+            break;
+          }
+          case Entry::LonerFd: {
+            Loner &loner = loners_[entry.index];
+            if (!loner.fd.valid())
+                break;
+            if ((pfds[p].revents & POLLOUT) != 0)
+                queueLonerFrame(loner, std::string());
+            if (!loner.fd.valid())
+                break;
+            if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) ==
+                0)
+                break;
+            std::string chunk;
+            const long n = util::readAvailable(loner.fd.get(), chunk);
+            if (n > 0)
+                loner.decoder.feed(chunk);
+            std::string payload;
+            bool keep = true;
+            for (;;) {
+                if (!loner.fd.valid())
+                    break;
+                const util::FrameStatus status =
+                    loner.decoder.next(payload);
+                if (status == util::FrameStatus::NeedMore)
+                    break;
+                if (status == util::FrameStatus::Corrupt) {
+                    keep = false;
+                    break;
+                }
+                try {
+                    keep = handleLonerMessage(loner, payload);
+                } catch (const util::SimError &) {
+                    keep = false;
+                }
+                if (!keep)
+                    break;
+            }
+            if (n == 0)
+                keep = false;
+            if (!keep)
+                loner.fd.reset();
+            break;
+          }
+        }
+    }
+
+    // Compact departed loners, then admit new dialers (push_back
+    // last — indices captured above must stay stable).
+    loners_.erase(std::remove_if(loners_.begin(), loners_.end(),
+                                 [](const Loner &l) {
+                                     return !l.fd.valid();
+                                 }),
+                  loners_.end());
+    if (accept_ready) {
+        for (;;) {
+            util::Fd conn = util::acceptConn(listener_.get());
+            if (!conn.valid())
+                break;
+            util::setNonBlocking(conn.get());
+            Loner dialer;
+            dialer.fd = std::move(conn);
+            dialer.opened = Clock::now();
+            loners_.push_back(std::move(dialer));
+            last_live_ = Clock::now();
+        }
+    }
+}
+
+void
+Swarm::checkLeases()
+{
+    for (std::uint32_t i = 0; i < config_.shards; ++i) {
+        Slot &slot = slots_[i];
+        if (!slot.fd.valid())
+            continue;
+        if (msSince(slot.last_beat) <= config_.lease_ms)
+            continue;
+        ++stats_.lease_expiries;
+        // Recent non-beat traffic with no beats is the partition /
+        // dropped-heartbeat signature; total silence is a wedge.
+        const bool partitioned =
+            msSince(slot.last_msg) <= config_.lease_ms;
+        fenceSlot(i,
+                  partitioned
+                      ? "AUR303: heartbeats lost while results flowed"
+                      : "AUR301: lease expired (no heartbeat)",
+                  /*keep_connection=*/true);
+    }
+}
+
+void
+Swarm::reapChildren()
+{
+    for (auto it = children_.begin(); it != children_.end();) {
+        int status = 0;
+        const pid_t r =
+            ::waitpid(static_cast<pid_t>(*it), &status, WNOHANG);
+        if (r > 0)
+            it = children_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+Swarm::shutdownFleet()
+{
+    draining_ = true;
+    for (std::uint32_t i = 0; i < config_.shards; ++i)
+        if (slots_[i].fd.valid())
+            queueFrame(i, wire::encode(wire::ShutdownMsg{}));
+    // Give spawned workers a moment to exit on their own; then the
+    // fence becomes literal. Wedged zombies (HangShard) only ever go
+    // this way. The drain keeps *polling*: a ZombieAppend shard that
+    // wakes during the grace window still gets its late Result
+    // refused over the wire (AUR304) instead of dying unheard — the
+    // refusal is part of the fencing contract, not best-effort.
+    const Clock::time_point t0 = Clock::now();
+    // External mode has no children to reap, but a fenced zombie's
+    // kept-open connection (a Loner with a granted epoch) deserves
+    // the same grace: keep polling until it exits or sends the late
+    // Result we owe a refusal.
+    const auto fencedLonerOpen = [this] {
+        for (const Loner &loner : loners_)
+            if (loner.fd.valid() && loner.epoch != 0)
+                return true;
+        return false;
+    };
+    while ((!children_.empty() || fencedLonerOpen()) &&
+           msSince(t0) < 2000) {
+        pollOnce(20);
+        reapChildren();
+    }
+    // One last service pass: a zombie reaped just above sent its final
+    // frame *before* exiting (send happens-before exit), so the bytes
+    // are already in our socket buffer — the refusal must not be lost
+    // to the poll/reap race.
+    pollOnce(0);
+    for (const long pid : children_)
+        ::kill(static_cast<pid_t>(pid), SIGKILL);
+    for (const long pid : children_)
+        ::waitpid(static_cast<pid_t>(pid), nullptr, 0);
+    children_.clear();
+    for (Slot &slot : slots_) {
+        slot.fd.reset();
+        slot.epoch = 0;
+        slot.assigned.clear();
+        slot.outbuf.clear();
+        slot.outpos = 0;
+    }
+    loners_.clear();
+}
+
+std::vector<harness::SweepOutcome>
+Swarm::runGrid(const std::vector<harness::SweepJob> &grid,
+               const GridOptions &options)
+{
+    if (options.preflight)
+        harness::preflightGrid(grid);
+    draining_ = false;
+
+    const std::size_t n = grid.size();
+    std::vector<harness::SweepOutcome> outcomes(n);
+    std::vector<char> replayed(n, 0);
+
+    // Commit journal: the coordinator's own durable record, in the
+    // standard harness journal format so `--resume` and every existing
+    // journal tool read it unchanged.
+    const std::uint64_t fingerprint =
+        harness::gridFingerprint(grid, options.base_seed);
+    std::unique_ptr<harness::JournalWriter> writer;
+    if (!options.journal.empty()) {
+        const bool resuming = options.resume && [&] {
+            return std::ifstream(options.journal).good();
+        }();
+        if (resuming) {
+            harness::LoadedJournal loaded =
+                harness::loadJournal(options.journal);
+            if (loaded.fingerprint != fingerprint || loaded.jobs != n)
+                util::raiseError(
+                    util::SimErrorCode::BadJournal, "journal '",
+                    options.journal,
+                    "' was written by a different grid — it cannot "
+                    "replay results for this sweep");
+            for (harness::JournalRecord &rec : loaded.records) {
+                if (!rec.outcome.ok)
+                    continue; // failed jobs get a fresh attempt
+                const auto i = static_cast<std::size_t>(rec.job_index);
+                outcomes[i] = std::move(rec.outcome);
+                outcomes[i].resumed = true;
+                replayed[i] = 1;
+                ++stats_.resumed;
+            }
+            if (core::auditEnabled())
+                for (std::size_t i = 0; i < n; ++i)
+                    if (replayed[i])
+                        core::auditRun(outcomes[i].result);
+            if (loaded.dropped_tail)
+                std::filesystem::resize_file(options.journal,
+                                             loaded.valid_bytes);
+            writer = std::make_unique<harness::JournalWriter>(
+                options.journal);
+        } else {
+            writer = std::make_unique<harness::JournalWriter>(
+                options.journal, fingerprint, n);
+        }
+    }
+    commit_journal_ = writer.get();
+    struct ClearJournal
+    {
+        Swarm *swarm;
+        ~ClearJournal() { swarm->commit_journal_ = nullptr; }
+    } clear_journal{this};
+
+    // Issue tickets in submission order for every job not replayed.
+    const std::uint64_t first_ticket = next_ticket_ + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (replayed[i])
+            continue;
+        const harness::SweepJob &job = grid[i];
+        wire::JobSpec spec;
+        spec.ticket = ++next_ticket_;
+        spec.job_index = i;
+        spec.machine_spec = core::describe(job.machine);
+        spec.profile_name = job.profile.name;
+        spec.profile_seed = job.profile.seed;
+        spec.instructions = job.instructions;
+        spec.has_base_seed = options.base_seed.has_value();
+        spec.base_seed = options.base_seed.value_or(0);
+        spec.deadline_ms = options.deadline_ms;
+        spec.retries = options.retries;
+        spec.backoff_ms = options.backoff_ms;
+        tickets_.emplace(spec.ticket, Ticket{spec, false, {}});
+        pending_.push_back(spec.ticket);
+    }
+    open_tickets_ = pending_.size();
+
+    // A fully-resumed grid needs no fleet at all.
+    if (open_tickets_ > 0 && config_.spawn != SpawnMode::External)
+        for (std::uint32_t i = 0; i < config_.shards; ++i)
+            spawnWorker(config_.fault_plans[i]);
+    last_live_ = Clock::now();
+
+    while (open_tickets_ > 0) {
+        assignPending();
+        pollOnce(20);
+        checkLeases();
+        if (config_.spawn != SpawnMode::External)
+            reapChildren();
+
+        const bool any_live =
+            std::any_of(slots_.begin(), slots_.end(),
+                        [](const Slot &s) { return s.fd.valid(); });
+        const bool any_dialer =
+            std::any_of(loners_.begin(), loners_.end(),
+                        [](const Loner &l) { return l.epoch == 0; });
+        if (any_live || any_dialer)
+            last_live_ = Clock::now();
+
+        if (config_.spawn != SpawnMode::External) {
+            const bool need = !any_live || !pending_.empty();
+            if (need && !any_dialer &&
+                stats_.respawns < config_.max_respawns &&
+                msSince(last_spawn_) >= 250) {
+                std::uint32_t vacant = 0;
+                for (const Slot &slot : slots_)
+                    if (!slot.fd.valid())
+                        ++vacant;
+                if (vacant > 0) {
+                    ++stats_.respawns;
+                    spawnWorker(std::nullopt);
+                    if (config_.verbose)
+                        inform(detail::concat(
+                            "swarm: respawned a worker (",
+                            stats_.respawns, "/",
+                            config_.max_respawns, " used)"));
+                }
+            }
+            if (!any_live && !any_dialer && children_.empty() &&
+                stats_.respawns >= config_.max_respawns)
+                util::raiseError(
+                    util::SimErrorCode::Internal,
+                    "swarm: shard fleet lost with ", open_tickets_,
+                    " job(s) open and the respawn budget (",
+                    config_.max_respawns, ") exhausted");
+        } else if (!any_live && !any_dialer &&
+                   msSince(last_live_) > config_.idle_timeout_ms) {
+            util::raiseError(
+                util::SimErrorCode::Internal,
+                "swarm: no shard worker for ",
+                config_.idle_timeout_ms, " ms with ", open_tickets_,
+                " job(s) open — fleet lost");
+        }
+    }
+
+    shutdownFleet();
+
+    // The merge only sees journal files that exist: an incarnation
+    // fenced before it even opened its journal left nothing behind,
+    // which is fine exactly when nothing committed under its epoch.
+    std::vector<ShardJournalRef> journals;
+    journals.reserve(journal_refs_.size());
+    std::vector<CommitRef> commits;
+    commits.reserve(tickets_.size());
+    for (std::uint64_t t = first_ticket; t <= next_ticket_; ++t) {
+        const auto it = tickets_.find(t);
+        if (it != tickets_.end() && it->second.committed)
+            commits.push_back(it->second.commit);
+    }
+    for (const ShardJournalRef &ref : journal_refs_) {
+        if (std::filesystem::exists(ref.path)) {
+            journals.push_back(ref);
+            continue;
+        }
+        const bool committed_under =
+            std::any_of(commits.begin(), commits.end(),
+                        [&](const CommitRef &c) {
+                            return c.epoch == ref.epoch;
+                        });
+        if (committed_under)
+            util::raiseError(
+                util::SimErrorCode::BadJournal,
+                "shard journal merge: AUR306: epoch ", ref.epoch,
+                " committed results but its journal ", ref.path,
+                " does not exist");
+    }
+    std::vector<harness::JournalRecord> merged =
+        mergeShardJournals(journals, commits, fenced_epochs_);
+
+    // Cross-check each record against the grid itself: the hash and
+    // seed a serial SweepRunner would have journaled for this index.
+    for (std::size_t k = 0; k < merged.size(); ++k) {
+        harness::JournalRecord &rec = merged[k];
+        const auto i = static_cast<std::size_t>(rec.job_index);
+        const harness::SweepJob &job = grid[i];
+        const std::uint64_t mh = harness::machineHash(job.machine);
+        const std::uint64_t seed =
+            options.base_seed
+                ? harness::deriveJobSeed(*options.base_seed, mh,
+                                         job.profile.name)
+                : job.profile.seed;
+        if (rec.machine_hash != mh || rec.seed != seed)
+            util::raiseError(
+                util::SimErrorCode::BadJournal,
+                "shard journal merge: AUR306: job ", i,
+                " ran with machine hash ", rec.machine_hash,
+                " seed ", rec.seed, " but the grid demands hash ", mh,
+                " seed ", seed);
+        if (core::auditEnabled() && rec.outcome.ok)
+            core::auditRun(rec.outcome.result);
+        outcomes[i] = std::move(rec.outcome);
+    }
+
+    if (config_.verbose)
+        inform(detail::concat(
+            "swarm: grid done: ", stats_.committed, " committed, ",
+            stats_.resumed, " resumed, ", stats_.migrated_jobs,
+            " migrated, ", stats_.fenced_results,
+            " zombie result(s) refused, ", fenced_epochs_.size(),
+            " epoch(s) fenced"));
+    return outcomes;
+}
+
+} // namespace aurora::shard

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Swarm coordinator: lease-fenced supervision of a shard fleet.
+ *
+ * The coordinator owns a sweep grid end to end: it partitions the
+ * grid into coordinator-issued **tickets**, leases work to N shard
+ * worker processes over the 'ASW1' wire protocol, and is the single
+ * commit point — a job is done exactly when the coordinator accepts
+ * its Result, and it can be accepted at most once.
+ *
+ * Supervision model (docs/distributed.md has the failure matrix):
+ *
+ *  - **Lease**: every shard incarnation holds an epoch-numbered
+ *    lease, renewed by Beat messages. Epochs come from one global
+ *    counter, so an epoch identifies an incarnation uniquely.
+ *  - **Fencing**: a missed lease (no Beat within lease_ms), a
+ *    dropped connection, or a protocol violation revokes the lease:
+ *    the epoch joins the fenced set, and from that instant every
+ *    message stamped with it — however delayed — is refused. A
+ *    fenced shard's connection is *kept open* when possible, so a
+ *    zombie's late Result can be observed, counted (AUR304), and
+ *    answered with Fenced rather than silently ignored.
+ *  - **Migration**: tickets in flight on a fenced incarnation return
+ *    to the front of the pending queue, in submission order, and
+ *    reassign to live shards. Determinism makes this safe: a job's
+ *    result depends only on the job, so running it on a different
+ *    shard — or twice, once behind the fence — cannot change what
+ *    commits.
+ *  - **Respawn**: in Fork/Exec spawn modes a fenced slot is refilled
+ *    with a fresh process (bounded by max_respawns); in External
+ *    mode the coordinator simply keeps going on the surviving
+ *    shards, and a newly-dialled worker may claim the vacant slot.
+ *
+ * The final step of runGrid() is the deterministic merge
+ * (shard_journal.hh): every commit is cross-checked byte-for-byte
+ * against the per-epoch shard journals and every uncommitted journal
+ * entry must sit behind the fence. The returned outcomes are in
+ * submission order and bit-identical to a single-process
+ * SweepRunner::runOutcomes() of the same grid (test_shard_merge
+ * proves this across shard counts × kill schedules).
+ */
+
+#ifndef AURORA_SHARD_SWARM_HH
+#define AURORA_SHARD_SWARM_HH
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "faultinject/faultinject.hh"
+#include "harness/journal.hh"
+#include "harness/sweep.hh"
+#include "shard_journal.hh"
+#include "shard_wire.hh"
+#include "util/socket.hh"
+
+namespace aurora::shard
+{
+
+/** How the coordinator obtains its shard worker processes. */
+enum class SpawnMode
+{
+    /** fork() children that run runShardWorker() in-process — the
+     *  default for the CLI and tests (no exec, no binary path). */
+    Fork,
+    /** fork()+exec() the `aurora_shardd` binary named by
+     *  SwarmConfig::shardd_path — required inside multithreaded
+     *  hosts (aurora_serve), where fork-without-exec is unsafe. */
+    Exec,
+    /** Workers are started externally (the chaos drill's mode: the
+     *  script owns the pids so it can SIGKILL them mid-grid). The
+     *  coordinator only accepts connections. */
+    External,
+};
+
+struct SwarmConfig
+{
+    /** Unix socket the coordinator listens on. */
+    std::string socket_path;
+    /** Directory for per-epoch shard journals; shared with every
+     *  worker (shardJournalPath()). */
+    std::string journal_dir;
+    /** Shard slots (target fleet size). */
+    std::uint32_t shards = 2;
+    SpawnMode spawn = SpawnMode::Fork;
+    /** aurora_shardd binary (Exec mode). */
+    std::string shardd_path;
+    /** Miss Beats for this long and the lease is fenced. Must exceed
+     *  the worst-case single-job wall time: a shard deep in one
+     *  simulation cannot beat. */
+    std::uint64_t lease_ms = 10'000;
+    /** Beat cadence granted to shards (0 = lease_ms / 4). */
+    std::uint64_t beat_ms = 0;
+    /** Target in-flight tickets per shard. Two keeps a shard busy
+     *  while its next assignment is in transit; the tail of the grid
+     *  naturally drains to one. */
+    std::uint32_t chunk = 2;
+    /** Replacement processes per run across all slots (Fork/Exec). */
+    std::uint32_t max_respawns = 8;
+    /** External mode: give up when the fleet is empty and no worker
+     *  has dialled in for this long. */
+    std::uint64_t idle_timeout_ms = 30'000;
+    /** Scripted sabotage per initial slot (Fork/Exec spawns only;
+     *  respawned replacements are always healthy). */
+    std::vector<std::optional<faultinject::ShardFaultPlan>> fault_plans;
+    /** Log supervision events (fences, migrations, respawns). */
+    bool verbose = false;
+};
+
+/** Per-grid execution policy (the SweepOptions subset that crosses
+ *  the wire, plus the coordinator's own durability knobs). */
+struct GridOptions
+{
+    std::optional<std::uint64_t> base_seed;
+    std::uint32_t retries = 0;
+    std::uint64_t deadline_ms = 0;
+    std::uint64_t backoff_ms = 0;
+    /** Commit journal path (standard harness journal format,
+     *  readable by loadJournal and resumable); empty = none. */
+    std::string journal;
+    /** Replay ok outcomes from an existing commit journal; only
+     *  missing/failed jobs are dealt to shards. */
+    bool resume = false;
+    /** Lint the grid before dealing any work (preflightGrid()). */
+    bool preflight = true;
+};
+
+/** Supervision counters (asserted by tests, printed by the CLI). */
+struct SwarmStats
+{
+    std::uint64_t granted_leases = 0;
+    /** Leases fenced for missed beats (AUR301/AUR303). */
+    std::uint64_t lease_expiries = 0;
+    /** Leases fenced because the connection dropped (AUR302). */
+    std::uint64_t shard_exits = 0;
+    /** Stale-epoch Results refused behind the fence (AUR304). */
+    std::uint64_t fenced_results = 0;
+    /** Protocol violations (AUR305). */
+    std::uint64_t protocol_errors = 0;
+    /** Tickets migrated off fenced incarnations. */
+    std::uint64_t migrated_jobs = 0;
+    /** Replacement workers spawned (Fork/Exec). */
+    std::uint64_t respawns = 0;
+    /** Results committed (exactly-once; excludes resumed). */
+    std::uint64_t committed = 0;
+    /** Ok outcomes replayed from the commit journal. */
+    std::uint64_t resumed = 0;
+};
+
+/**
+ * The coordinator. Construction binds the socket; runGrid() runs one
+ * grid to completion in the calling thread (single-threaded poll
+ * loop — fork()-spawning is safe because the coordinator never holds
+ * locks across fork()). A Swarm may run several grids in sequence;
+ * stats accumulate.
+ */
+class Swarm
+{
+  public:
+    explicit Swarm(SwarmConfig config);
+    ~Swarm();
+
+    Swarm(const Swarm &) = delete;
+    Swarm &operator=(const Swarm &) = delete;
+
+    /**
+     * Execute @p grid across the shard fleet and return submission-
+     * order outcomes bit-identical to a single-process
+     * SweepRunner::runOutcomes() of the same grid. Spawns workers
+     * (Fork/Exec) or awaits them (External), supervises leases,
+     * migrates work off fenced shards, then merge-verifies the
+     * per-epoch shard journals before returning. Throws SimError on
+     * unrecoverable failure (merge violation, fleet lost and
+     * unrecoverable, preflight rejection, bad resume journal).
+     */
+    std::vector<harness::SweepOutcome>
+    runGrid(const std::vector<harness::SweepJob> &grid,
+            const GridOptions &options);
+
+    const SwarmStats &stats() const { return stats_; }
+
+    /** Epochs revoked so far (tests inspect the fence set). */
+    const std::set<std::uint64_t> &fencedEpochs() const
+    {
+        return fenced_epochs_;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One shard slot (current incarnation, if any). */
+    struct Slot
+    {
+        util::Fd fd; ///< invalid = vacant
+        wire::FrameDecoder decoder;
+        std::uint64_t epoch = 0;
+        Clock::time_point last_beat{};
+        Clock::time_point last_msg{};
+        /** Tickets in flight on this incarnation, oldest first. */
+        std::deque<std::uint64_t> assigned;
+        /** Buffered unsent frames (a wedged shard must not block
+         *  the coordinator in a blocking send). */
+        std::string outbuf;
+        std::size_t outpos = 0;
+        /** Spawned child pid (Fork/Exec; -1 otherwise). */
+        long pid = -1;
+    };
+
+    /** A connection whose epoch is fenced, kept open to observe and
+     *  refuse zombie traffic (plus not-yet-welcomed dialers at
+     *  epoch 0). */
+    struct Loner
+    {
+        util::Fd fd;
+        wire::FrameDecoder decoder;
+        std::uint64_t epoch = 0; ///< 0 = awaiting Hello
+        std::string outbuf;
+        std::size_t outpos = 0;
+        Clock::time_point opened{};
+    };
+
+    /** One grid job's coordination state. */
+    struct Ticket
+    {
+        wire::JobSpec spec; ///< spec.ticket is the id
+        bool committed = false;
+        CommitRef commit; ///< valid when committed
+    };
+
+    void spawnWorker(
+        const std::optional<faultinject::ShardFaultPlan> &fault);
+    void grantLease(Loner &&dialer, std::uint64_t pid);
+    void fenceSlot(std::uint32_t slot_index, const char *diagnostic,
+                   bool keep_connection);
+    void migrateAssigned(Slot &slot);
+    void assignPending();
+    void queueFrame(std::uint32_t slot_index,
+                    const std::string &payload);
+    void queueLonerFrame(Loner &loner, const std::string &payload);
+    void pollOnce(int timeout_ms);
+    void handleSlotMessage(std::uint32_t slot_index,
+                           const std::string &payload);
+    /** Returns whether the loner's connection should stay open. */
+    bool handleLonerMessage(Loner &loner, const std::string &payload);
+    void checkLeases();
+    void reapChildren();
+    void shutdownFleet();
+
+    SwarmConfig config_;
+    util::Fd listener_;
+    std::vector<Slot> slots_;
+    std::vector<Loner> loners_;
+    /** Unreaped pids of every spawned worker (Fork/Exec). */
+    std::vector<long> children_;
+    std::uint64_t next_epoch_ = 0;
+    std::uint64_t next_ticket_ = 0;
+    std::map<std::uint64_t, Ticket> tickets_;
+    std::deque<std::uint64_t> pending_;
+    std::uint64_t open_tickets_ = 0;
+    std::set<std::uint64_t> fenced_epochs_;
+    std::vector<ShardJournalRef> journal_refs_;
+    harness::JournalWriter *commit_journal_ = nullptr; // runGrid-local
+    Clock::time_point last_live_{};
+    Clock::time_point last_spawn_{};
+    /** Set while shutdownFleet() drains: slot EOFs are clean exits
+     *  (not AUR302) and late dialers get Shutdown, not a lease. */
+    bool draining_ = false;
+    SwarmStats stats_;
+};
+
+} // namespace aurora::shard
+
+#endif // AURORA_SHARD_SWARM_HH

@@ -73,4 +73,13 @@ envFlag(const char *name, bool fallback)
     return fallback;
 }
 
+std::optional<std::string>
+envString(const char *name)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr || raw[0] == '\0')
+        return std::nullopt;
+    return std::string(raw);
+}
+
 } // namespace aurora

@@ -47,6 +47,13 @@ Count envCount(const char *name, Count fallback, Count min = 1);
  */
 bool envFlag(const char *name, bool fallback);
 
+/**
+ * Read environment variable @p name as a string. Unset or empty
+ * returns nullopt — an empty value cannot be distinguished from a
+ * forgotten `VAR=` in a launcher script, so both are "absent".
+ */
+std::optional<std::string> envString(const char *name);
+
 } // namespace aurora
 
 #endif // AURORA_UTIL_ENV_HH

@@ -238,4 +238,62 @@ TEST(FaultInject, OpClassCorruptionPicksVictimBySeed)
     std::remove(b.c_str());
 }
 
+TEST(ShardFaults, NamesAndDiagnosticIdsAreStable)
+{
+    // These strings are wire/env/catalog contracts: drills script
+    // them ("--fault 0:kill-shard:1") and `aurora_lint explain`
+    // documents them. Renaming is a protocol change, not a refactor.
+    using SF = fi::ShardFault;
+    EXPECT_STREQ(fi::shardFaultName(SF::KillShard), "kill-shard");
+    EXPECT_STREQ(fi::shardFaultName(SF::HangShard), "hang-shard");
+    EXPECT_STREQ(fi::shardFaultName(SF::DropHeartbeats),
+                 "drop-heartbeats");
+    EXPECT_STREQ(fi::shardFaultName(SF::ZombieAppend),
+                 "zombie-append");
+    EXPECT_STREQ(fi::shardFaultDiagnosticId(SF::HangShard), "AUR301");
+    EXPECT_STREQ(fi::shardFaultDiagnosticId(SF::KillShard), "AUR302");
+    EXPECT_STREQ(fi::shardFaultDiagnosticId(SF::DropHeartbeats),
+                 "AUR303");
+    EXPECT_STREQ(fi::shardFaultDiagnosticId(SF::ZombieAppend),
+                 "AUR304");
+}
+
+TEST(ShardFaults, PlanFormatParsesBackExactly)
+{
+    for (std::size_t i = 0; i < fi::NUM_SHARD_FAULTS; ++i) {
+        const auto fault = static_cast<fi::ShardFault>(i);
+        const fi::ShardFaultPlan plan{fault,
+                                      static_cast<std::uint32_t>(3 * i)};
+        const auto back =
+            fi::parseShardFaultPlan(fi::formatShardFaultPlan(plan));
+        ASSERT_TRUE(back.has_value())
+            << fi::formatShardFaultPlan(plan);
+        EXPECT_EQ(back->fault, plan.fault);
+        EXPECT_EQ(back->after_jobs, plan.after_jobs);
+    }
+}
+
+TEST(ShardFaults, MalformedPlansAreRejectedNotMisread)
+{
+    // A drill must never silently run the wrong sabotage.
+    for (const char *bad :
+         {"", "kill-shard", "kill-shard:", "kill-shard:x",
+          "kill-shard:1:2", "unknown-fault:1", "KILL-SHARD:1",
+          ":1", "kill-shard:-1"})
+        EXPECT_FALSE(fi::parseShardFaultPlan(bad).has_value()) << bad;
+}
+
+TEST(ShardFaults, AnyShardFaultIsSeedDeterministicAndCoversAll)
+{
+    bool seen[fi::NUM_SHARD_FAULTS] = {};
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        const fi::ShardFault a = fi::anyShardFault(seed);
+        EXPECT_EQ(a, fi::anyShardFault(seed));
+        seen[static_cast<std::size_t>(a)] = true;
+    }
+    for (std::size_t i = 0; i < fi::NUM_SHARD_FAULTS; ++i)
+        EXPECT_TRUE(seen[i])
+            << fi::shardFaultName(static_cast<fi::ShardFault>(i));
+}
+
 } // namespace

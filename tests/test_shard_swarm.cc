@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Coordinator supervision tests: lease fencing and migration under
+ * each scripted ShardFault, the zombie-append refusal (AUR304), the
+ * commit journal's resume path, configuration rejection, and the
+ * external-fleet loss timeout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/config_io.hh"
+#include "faultinject/faultinject.hh"
+#include "harness/journal.hh"
+#include "harness/sweep.hh"
+#include "shard/swarm.hh"
+#include "trace/spec_profiles.hh"
+#include "util/sim_error.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using namespace aurora;
+using aurora::util::SimError;
+using aurora::util::SimErrorCode;
+using faultinject::ShardFault;
+using faultinject::ShardFaultPlan;
+
+std::string
+tempPath(const std::string &name)
+{
+    return (fs::path(::testing::TempDir()) / name).string();
+}
+
+std::vector<harness::SweepJob>
+testGrid(Count insts = 2000)
+{
+    const core::MachineConfig machine =
+        core::parseMachineSpec("model=small");
+    return harness::suiteJobs(machine, trace::integerSuite(), insts);
+}
+
+shard::SwarmConfig
+baseConfig(const std::string &tag)
+{
+    shard::SwarmConfig config;
+    config.socket_path = tempPath("swarm-" + tag + ".sock");
+    config.journal_dir = tempPath("swarm-" + tag + ".jd");
+    fs::remove(config.socket_path);
+    fs::remove_all(config.journal_dir);
+    config.shards = 2;
+    config.lease_ms = 400;
+    return config;
+}
+
+void
+expectAllOk(const std::vector<harness::SweepOutcome> &outcomes,
+            std::size_t n)
+{
+    ASSERT_EQ(outcomes.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    }
+}
+
+TEST(SwarmSupervision, KillShardFencesMigratesAndRecovers)
+{
+    shard::SwarmConfig config = baseConfig("kill");
+    config.fault_plans = {ShardFaultPlan{ShardFault::KillShard, 1},
+                          std::nullopt};
+    shard::Swarm swarm(config);
+    // Jobs long enough that the backlog outlives the respawn
+    // throttle — the replacement worker must actually be needed.
+    const auto grid = testGrid(600'000);
+    expectAllOk(swarm.runGrid(grid, {}), grid.size());
+
+    const shard::SwarmStats &stats = swarm.stats();
+    EXPECT_GE(stats.shard_exits, 1u);
+    EXPECT_GE(stats.migrated_jobs, 1u);
+    EXPECT_GE(stats.respawns, 1u);
+    EXPECT_EQ(stats.committed, grid.size());
+    EXPECT_FALSE(swarm.fencedEpochs().empty());
+}
+
+TEST(SwarmSupervision, ZombieAppendIsFencedAndRefused)
+{
+    shard::SwarmConfig config = baseConfig("zombie");
+    config.fault_plans = {
+        ShardFaultPlan{ShardFault::ZombieAppend, 1}, std::nullopt};
+    shard::Swarm swarm(config);
+    const auto grid = testGrid();
+    expectAllOk(swarm.runGrid(grid, {}), grid.size());
+
+    const shard::SwarmStats &stats = swarm.stats();
+    // The zombie's lease expired (it went silent past the lease)...
+    EXPECT_GE(stats.lease_expiries, 1u);
+    // ...its unfinished work moved to live shards...
+    EXPECT_GE(stats.migrated_jobs, 1u);
+    // ...and its post-fence Result was refused over the wire, not
+    // merely ignored: exactly-once held by *refusal*, not luck.
+    EXPECT_GE(stats.fenced_results, 1u);
+    EXPECT_EQ(stats.committed, grid.size());
+    EXPECT_FALSE(swarm.fencedEpochs().empty());
+}
+
+TEST(SwarmSupervision, DropHeartbeatsIsFencedWhileResultsFlow)
+{
+    // A one-way partition: the shard keeps producing but stops
+    // beating. Results do NOT renew the lease, so the fence must
+    // fire even though traffic is flowing.
+    shard::SwarmConfig config = baseConfig("partition");
+    config.fault_plans = {
+        ShardFaultPlan{ShardFault::DropHeartbeats, 0}, std::nullopt};
+    shard::Swarm swarm(config);
+    // Jobs long enough that the silent shard cannot drain the whole
+    // grid inside one lease — the fence must catch it mid-flight.
+    const auto grid = testGrid(600'000);
+    expectAllOk(swarm.runGrid(grid, {}), grid.size());
+    EXPECT_GE(swarm.stats().lease_expiries, 1u);
+    EXPECT_EQ(swarm.stats().committed, grid.size());
+}
+
+TEST(SwarmSupervision, CommitJournalResumeReplaysWithoutShards)
+{
+    const auto grid = testGrid();
+    const std::string journal = tempPath("swarm-resume.ajrn");
+    fs::remove(journal);
+
+    shard::GridOptions options;
+    options.journal = journal;
+    {
+        shard::Swarm swarm(baseConfig("resume1"));
+        expectAllOk(swarm.runGrid(grid, options), grid.size());
+    }
+
+    // Second run resumes: every job replays from the commit journal,
+    // no shard ever executes anything.
+    options.resume = true;
+    shard::Swarm swarm(baseConfig("resume2"));
+    const auto outcomes = swarm.runGrid(grid, options);
+    expectAllOk(outcomes, grid.size());
+    EXPECT_EQ(swarm.stats().resumed, grid.size());
+    EXPECT_EQ(swarm.stats().committed, 0u);
+    EXPECT_EQ(swarm.stats().granted_leases, 0u);
+    for (const harness::SweepOutcome &out : outcomes)
+        EXPECT_TRUE(out.resumed);
+}
+
+TEST(SwarmSupervision, ZeroShardsIsBadConfig)
+{
+    shard::SwarmConfig config = baseConfig("zero");
+    config.shards = 0;
+    try {
+        shard::Swarm swarm(config);
+        FAIL() << "shards=0 accepted";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), SimErrorCode::BadConfig);
+    }
+}
+
+TEST(SwarmSupervision, ExecModeWithoutBinaryIsBadConfig)
+{
+    shard::SwarmConfig config = baseConfig("nobin");
+    config.spawn = shard::SpawnMode::Exec;
+    try {
+        shard::Swarm swarm(config);
+        FAIL() << "exec mode without --shardd accepted";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), SimErrorCode::BadConfig);
+    }
+}
+
+TEST(SwarmSupervision, ExternalFleetThatNeverDialsIsLost)
+{
+    shard::SwarmConfig config = baseConfig("ghost");
+    config.spawn = shard::SpawnMode::External;
+    config.idle_timeout_ms = 300;
+    shard::Swarm swarm(config);
+    try {
+        (void)swarm.runGrid(testGrid(), {});
+        FAIL() << "grid completed with no workers";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("fleet lost"),
+                  std::string::npos);
+    }
+}
+
+} // namespace

@@ -16,6 +16,12 @@
  *   --queue-depth N     global queued+running job cap (default 16384)
  *   --grid-jobs N       max jobs in one submission (default 2048)
  *   --progress-every N  heartbeat cadence in jobs (default: grid/4)
+ *   --shards N          horizontal-scale backend: deal each grid to
+ *                       N aurora_shardd processes under lease-fenced
+ *                       supervision instead of in-process workers
+ *   --shardd PATH       aurora_shardd binary (required with --shards)
+ *   --shard-lease-ms N  shard lease; must exceed the worst-case
+ *                       single-job wall time (default 10000)
  *   --quiet             suppress lifecycle log lines
  *
  * Lifecycle: runs until SIGTERM/SIGINT, then drains — running jobs
@@ -46,7 +52,8 @@ usage()
         << "                    [--workers N] [--quota-grids N]\n"
         << "                    [--quota-jobs N] [--queue-depth N]\n"
         << "                    [--grid-jobs N] [--progress-every N]\n"
-        << "                    [--quiet]\n";
+        << "                    [--shards N --shardd PATH]\n"
+        << "                    [--shard-lease-ms N] [--quiet]\n";
     std::exit(2);
 }
 
@@ -90,6 +97,13 @@ run(int argc, char **argv)
                 numericOption(arg, argv[++i]);
         } else if (arg == "--progress-every" && i + 1 < argc) {
             config.progress_every = numericOption(arg, argv[++i]);
+        } else if (arg == "--shards" && i + 1 < argc) {
+            config.shards =
+                static_cast<unsigned>(numericOption(arg, argv[++i]));
+        } else if (arg == "--shardd" && i + 1 < argc) {
+            config.shardd_path = argv[++i];
+        } else if (arg == "--shard-lease-ms" && i + 1 < argc) {
+            config.shard_lease_ms = numericOption(arg, argv[++i]);
         } else if (arg == "--quiet") {
             config.verbose = false;
         } else if (arg == "--help" || arg == "-h") {

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * aurora_swarm — distributed sweep coordinator CLI.
+ *
+ *   aurora_swarm --socket PATH --journal-dir DIR [--shards N]
+ *                [--spawn fork|exec|external] [--shardd PATH]
+ *                [--bench NAME|int|fp|all] [--insts N] [--csv]
+ *                [--seed N] [--lease-ms N] [--beat-ms N] [--chunk N]
+ *                [--max-respawns N] [--idle-timeout-ms N]
+ *                [--journal FILE] [--resume] [--retries N]
+ *                [--deadline-ms N] [--backoff-ms N]
+ *                [--fault SLOT:NAME:AFTER] [--verbose] [--stats]
+ *                [key=value ...]
+ *
+ * Runs the same (machine × suite) grids as `aurora_sim --bench X`,
+ * but partitioned across N shard worker processes under lease-fenced
+ * supervision (docs/distributed.md). The merged output is
+ * bit-identical to the serial run — `aurora_swarm --bench int --csv`
+ * and `aurora_sim --bench int --csv` must diff clean even when shards
+ * are SIGKILLed mid-grid, which is exactly what
+ * `scripts/check.sh shard` does.
+ *
+ * Spawn modes: `fork` (default) forks in-process workers; `exec`
+ * launches the aurora_shardd binary named by --shardd; `external`
+ * only listens — the caller starts (and may kill) the workers, the
+ * chaos-drill shape.
+ *
+ * --fault scripts sabotage into a spawned slot, e.g.
+ * `--fault 1:kill-shard:2` SIGKILL-shapes slot 1's initial worker
+ * after two jobs (see `aurora_lint explain AUR302`).
+ */
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config_io.hh"
+#include "core/report.hh"
+#include "core/simulator.hh"
+#include "harness/sweep.hh"
+#include "shard/swarm.hh"
+#include "trace/spec_profiles.hh"
+#include "util/env.hh"
+#include "util/sim_error.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::core;
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: aurora_swarm --socket PATH --journal-dir DIR\n"
+        << "                    [--shards N] [--spawn fork|exec|"
+           "external]\n"
+        << "                    [--shardd PATH] [--bench NAME|int|fp|"
+           "all]\n"
+        << "                    [--insts N] [--csv] [--seed N]\n"
+        << "                    [--lease-ms N] [--beat-ms N] "
+           "[--chunk N]\n"
+        << "                    [--max-respawns N] "
+           "[--idle-timeout-ms N]\n"
+        << "                    [--journal FILE] [--resume]\n"
+        << "                    [--retries N] [--deadline-ms N]\n"
+        << "                    [--backoff-ms N]\n"
+        << "                    [--fault SLOT:NAME:AFTER] [--verbose]\n"
+        << "                    [--stats] [key=value ...]\n";
+    std::exit(2);
+}
+
+std::uint64_t
+numericOption(const std::string &option, const std::string &value)
+{
+    const auto parsed = parseCount(value);
+    if (!parsed)
+        util::raiseError(util::SimErrorCode::BadConfig, "option ",
+                         option, ": bad numeric value '", value, "'");
+    return *parsed;
+}
+
+int
+run(int argc, char **argv)
+{
+    shard::SwarmConfig config;
+    shard::GridOptions grid_options;
+    std::string bench = "int";
+    Count insts = 400'000;
+    bool csv = false;
+    bool stats = false;
+    std::string spec;
+    std::vector<std::pair<std::uint32_t, faultinject::ShardFaultPlan>>
+        faults;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket" && i + 1 < argc) {
+            config.socket_path = argv[++i];
+        } else if (arg == "--journal-dir" && i + 1 < argc) {
+            config.journal_dir = argv[++i];
+        } else if (arg == "--shards" && i + 1 < argc) {
+            config.shards = static_cast<std::uint32_t>(
+                numericOption(arg, argv[++i]));
+        } else if (arg == "--spawn" && i + 1 < argc) {
+            const std::string mode = argv[++i];
+            if (mode == "fork")
+                config.spawn = shard::SpawnMode::Fork;
+            else if (mode == "exec")
+                config.spawn = shard::SpawnMode::Exec;
+            else if (mode == "external")
+                config.spawn = shard::SpawnMode::External;
+            else
+                util::raiseError(util::SimErrorCode::BadConfig,
+                                 "--spawn: unknown mode '", mode,
+                                 "' (accepted: fork, exec, external)");
+        } else if (arg == "--shardd" && i + 1 < argc) {
+            config.shardd_path = argv[++i];
+        } else if (arg == "--bench" && i + 1 < argc) {
+            bench = argv[++i];
+        } else if (arg == "--insts" && i + 1 < argc) {
+            insts = numericOption(arg, argv[++i]);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            grid_options.base_seed = numericOption(arg, argv[++i]);
+        } else if (arg == "--lease-ms" && i + 1 < argc) {
+            config.lease_ms = numericOption(arg, argv[++i]);
+        } else if (arg == "--beat-ms" && i + 1 < argc) {
+            config.beat_ms = numericOption(arg, argv[++i]);
+        } else if (arg == "--chunk" && i + 1 < argc) {
+            config.chunk = static_cast<std::uint32_t>(
+                numericOption(arg, argv[++i]));
+        } else if (arg == "--max-respawns" && i + 1 < argc) {
+            config.max_respawns = static_cast<std::uint32_t>(
+                numericOption(arg, argv[++i]));
+        } else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
+            config.idle_timeout_ms = numericOption(arg, argv[++i]);
+        } else if (arg == "--journal" && i + 1 < argc) {
+            grid_options.journal = argv[++i];
+        } else if (arg == "--resume") {
+            grid_options.resume = true;
+        } else if (arg == "--retries" && i + 1 < argc) {
+            grid_options.retries = static_cast<std::uint32_t>(
+                numericOption(arg, argv[++i]));
+        } else if (arg == "--deadline-ms" && i + 1 < argc) {
+            grid_options.deadline_ms = numericOption(arg, argv[++i]);
+        } else if (arg == "--backoff-ms" && i + 1 < argc) {
+            grid_options.backoff_ms = numericOption(arg, argv[++i]);
+        } else if (arg == "--fault" && i + 1 < argc) {
+            const std::string value = argv[++i];
+            const std::size_t colon = value.find(':');
+            if (colon == std::string::npos)
+                util::raiseError(util::SimErrorCode::BadConfig,
+                                 "--fault: expected "
+                                 "SLOT:NAME:AFTER, got '",
+                                 value, "'");
+            const auto slot = static_cast<std::uint32_t>(
+                numericOption(arg, value.substr(0, colon)));
+            const auto plan = faultinject::parseShardFaultPlan(
+                value.substr(colon + 1));
+            if (!plan)
+                util::raiseError(util::SimErrorCode::BadConfig,
+                                 "--fault: malformed plan '",
+                                 value.substr(colon + 1),
+                                 "' (expected <fault-name>:<after-"
+                                 "jobs>)");
+            faults.emplace_back(slot, *plan);
+        } else if (arg == "--verbose") {
+            config.verbose = true;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+        } else if (arg.find('=') != std::string::npos) {
+            spec += arg + " ";
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            usage();
+        }
+    }
+    if (config.socket_path.empty() || config.journal_dir.empty())
+        usage();
+
+    config.fault_plans.resize(config.shards);
+    for (const auto &[slot, plan] : faults) {
+        if (slot >= config.shards)
+            util::raiseError(util::SimErrorCode::BadConfig,
+                             "--fault: slot ", slot,
+                             " out of range (", config.shards,
+                             " shards)");
+        config.fault_plans[slot] = plan;
+    }
+
+    const MachineConfig machine = parseMachineSpec(spec);
+    std::vector<trace::WorkloadProfile> suite;
+    if (bench == "int") {
+        suite = trace::integerSuite();
+    } else if (bench == "fp") {
+        suite = trace::floatSuite();
+    } else if (bench == "all") {
+        suite = trace::integerSuite();
+        const auto fp = trace::floatSuite();
+        suite.insert(suite.end(), fp.begin(), fp.end());
+    } else {
+        suite.push_back(trace::profileByName(bench));
+    }
+
+    shard::Swarm swarm(config);
+    const std::vector<harness::SweepOutcome> outcomes =
+        swarm.runGrid(harness::suiteJobs(machine, suite, insts),
+                      grid_options);
+
+    SuiteResult res;
+    res.machine = machine;
+    bool any_failed = false;
+    for (const harness::SweepOutcome &out : outcomes) {
+        if (out.ok) {
+            res.runs.push_back(out.result);
+        } else {
+            any_failed = true;
+            std::cerr << "aurora_swarm: job failed ("
+                      << util::errorCodeName(out.code)
+                      << "): " << out.error << "\n";
+        }
+    }
+    if (stats) {
+        const shard::SwarmStats &s = swarm.stats();
+        std::cerr << "swarm stats: leases=" << s.granted_leases
+                  << " expiries=" << s.lease_expiries
+                  << " exits=" << s.shard_exits
+                  << " fenced_results=" << s.fenced_results
+                  << " protocol_errors=" << s.protocol_errors
+                  << " migrated=" << s.migrated_jobs
+                  << " respawns=" << s.respawns
+                  << " committed=" << s.committed
+                  << " resumed=" << s.resumed << "\n";
+    }
+    if (any_failed)
+        return 1;
+
+    if (csv) {
+        std::cout << suiteTable(res).csv();
+    } else {
+        suiteTable(res).print(std::cout,
+                              "machine: " + describe(machine));
+        stallTable(res).print(std::cout, "stall breakdown (CPI)");
+        std::cout << "suite average CPI: "
+                  << formatFixed(res.avgCpi(), 3) << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const util::SimError &e) {
+        std::cerr << "aurora_swarm: " << e.what() << "\n";
+        return 1;
+    }
+}
