@@ -23,7 +23,9 @@
 # section runs the identical grid through aurora_swarm with 1, 2, and
 # 4 fork-mode shard workers and reports the same throughput numbers
 # plus the speedup against the serial sweep — the scale-out
-# trajectory next to the single-process one.
+# trajectory next to the single-process one. The model section tracks
+# the analytic bound's calibration gap against measured IPC and the
+# wall-clock cost of pruning a 1000-point analyze-grid cross product.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,9 +45,10 @@ done
 
 cmake --preset release
 cmake --build --preset release -j "$(nproc)" \
-    --target bench_perf_microbench aurora_sim aurora_swarm
+    --target bench_perf_microbench aurora_sim aurora_swarm aurora_lint
 sim=build/tools/aurora_sim
 swarm=build/tools/aurora_swarm
+lint=build/tools/aurora_lint
 
 dir="$(mktemp -d)"
 trap 'rm -rf "${dir}"' EXIT
@@ -131,10 +134,37 @@ benches="espresso li eqntott compress sc gcc \
     printf '\n]'
 } > "${dir}/shard_sweep.json"
 
+# ---- analytic model: calibration gap + grid-pruning throughput ------
+# The calibration harness reruns the fig4/fig9 study grids and reports
+# how tight the static bound is against measured IPC (soundness is its
+# exit status; the distribution lands here). The throughput half times
+# a 1000-point `analyze-grid` cross product — the "prune before you
+# simulate" workflow the model exists for.
+AURORA_MODEL_INSTS="${insts}" AURORA_MODEL_OUT="${dir}/model_cal.json" \
+    scripts/model_calibration.sh > /dev/null
+grid_start="$(date +%s%N)"
+"${lint}" analyze-grid model=baseline \
+    --vary mshr=1,2,3,4,5 --vary rob=2,4,6,8,10 \
+    --vary wc_lines=1,2,4,8 --vary pf_buffers=2,4,6,8,10 \
+    --vary fp_instq=3,6 --profile int --csv > "${dir}/grid.csv"
+grid_end="$(date +%s%N)"
+grid_points=$(($(wc -l < "${dir}/grid.csv") - 1))
+{
+    printf '{\n"calibration": '
+    cat "${dir}/model_cal.json"
+    awk -v points="${grid_points}" \
+        -v ns="$((grid_end - grid_start))" 'BEGIN {
+        secs = ns / 1e9
+        printf ",\n\"grid_points\": %d,\n", points
+        printf "\"grid_wall_seconds\": %.6f,\n", secs
+        printf "\"grid_points_per_sec\": %.1f\n}", points / secs
+    }'
+} > "${dir}/model.json"
+
 # ---- assemble -------------------------------------------------------
 {
     printf '{\n'
-    printf '"schema": "aurora.bench_perf.v2",\n'
+    printf '"schema": "aurora.bench_perf.v3",\n'
     printf '"insts_per_bench": %d,\n' "${insts}"
     awk -v insts="${total_insts}" -v cycles="${total_cycles}" \
         -v ns="${total_ns}" 'BEGIN {
@@ -149,6 +179,8 @@ benches="espresso li eqntott compress sc gcc \
     cat "${dir}/sweep.json"
     printf ',\n"shard_sweep": '
     cat "${dir}/shard_sweep.json"
+    printf ',\n"model": '
+    cat "${dir}/model.json"
     printf ',\n"microbench": '
     cat "${dir}/micro_stable.json"
     printf '\n}\n'
@@ -156,7 +188,8 @@ benches="espresso li eqntott compress sc gcc \
 
 # Validate when a JSON tool is on the host; absence is a skip.
 if command -v jq > /dev/null 2>&1; then
-    jq -e '.schema == "aurora.bench_perf.v2"' "${out}" > /dev/null
+    jq -e '.schema == "aurora.bench_perf.v3"' "${out}" > /dev/null
+    jq -e '.model.calibration.violations == 0' "${out}" > /dev/null
     jq -e '.microbench.context | has("date") or has("host_name") | not' \
         "${out}" > /dev/null
     echo "bench_perf: ${out} validated"
@@ -175,6 +208,16 @@ if [ "${append}" -eq 1 ]; then
             printf "\"serial_insts_per_sec\": %.1f, ",
                    insts / (ns / 1e9)
         }'
+        awk -v points="${grid_points}" \
+            -v ns="$((grid_end - grid_start))" '
+            /"gap_mean"/ {
+                g = $0; gsub(/.*: /, "", g); gsub(/,.*/, "", g)
+                printf "\"model_gap_mean\": %s, ", g
+            }
+            END {
+                printf "\"model_grid_points_per_sec\": %.1f, ",
+                       points / (ns / 1e9)
+            }' "${dir}/model_cal.json"
         printf '"shard_insts_per_sec": '
         awk '/"shards"/ {
             n = $0; gsub(/.*"insts_per_sec": /, "", n)

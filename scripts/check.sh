@@ -30,6 +30,13 @@
 #                               # then demand exactly-once completion
 #                               # (AURORA_AUDIT=1) and a merged CSV
 #                               # byte-identical to serial aurora_sim
+#   scripts/check.sh model      # analytic-model calibration: run the
+#                               # fig4/fig9 study grids through both
+#                               # the simulator and `aurora_lint
+#                               # analyze-config`, and require the
+#                               # predicted bound to dominate measured
+#                               # IPC on every job with a useful mean
+#                               # gap (scripts/model_calibration.sh)
 #   scripts/check.sh obs        # observability drill: exercise every
 #                               # exporter (--stats-json, --stats-csv,
 #                               # --trace-events, --sweep-trace, the
@@ -360,6 +367,18 @@ run_shard_drill() {
          "was refused behind the fence (AUR304)"
 }
 
+# Analytic-model calibration drill: predicted bounds must dominate
+# measured IPC across the paper's study grids (soundness) while
+# staying close enough to rank designs (usefulness). The real
+# assertions live in scripts/model_calibration.sh.
+run_model_drill() {
+    echo "==== check: model ===="
+    cmake --preset release
+    cmake --build --preset release -j "$(nproc)" \
+        --target aurora_sim aurora_lint
+    scripts/model_calibration.sh
+}
+
 # Static analysis. The determinism lint is pure grep and always runs.
 # clang-tidy consumes the compile_commands.json the release preset
 # exports (CMAKE_EXPORT_COMPILE_COMMANDS in the top-level
@@ -395,6 +414,7 @@ case "${1:-release}" in
     run_serve_drill
     run_shard_drill
     run_obs
+    run_model_drill
     run_lint
     ;;
   release|asan|ubsan|tsan)
@@ -402,6 +422,9 @@ case "${1:-release}" in
     ;;
   resume)
     run_resume_drill
+    ;;
+  model)
+    run_model_drill
     ;;
   serve)
     run_serve_drill
@@ -416,7 +439,7 @@ case "${1:-release}" in
     run_lint
     ;;
   *)
-    echo "usage: $0 [release|asan|ubsan|tsan|resume|serve|shard|obs|lint|all]" >&2
+    echo "usage: $0 [release|asan|ubsan|tsan|resume|serve|shard|obs|model|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -28,8 +28,12 @@ cd "$(dirname "$0")/.."
 # serial run if no shard or coordinator decision depends on wall
 # clocks, randomness, or raw env reads (leases use steady_clock;
 # sabotage plans arrive via util/env).
+# src/analyze and src/cost are covered because the analytic model and
+# the RBE pricer feed golden-checked predictions (tests/golden/
+# model_bounds.txt) and grid pruning decisions: a clock, random, or
+# raw-env read there would silently re-rank every explored grid.
 DIRS=(src/core src/ipu src/fpu src/mem src/trace src/telemetry
-      src/serve src/shard)
+      src/serve src/shard src/analyze src/cost)
 STATUS=0
 
 # pattern -> human explanation. Word boundaries keep e.g.

@@ -1,7 +1,9 @@
 #include "diagnostic.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <utility>
 
 #include "util/logging.hh"
 
@@ -19,6 +21,8 @@ Diagnostic::toString() const
 {
     std::ostringstream out;
     out << id << ' ' << severityName(severity);
+    if (job >= 0)
+        out << " [job " << job << ']';
     if (!field.empty()) {
         out << ' ' << field;
         if (!value.empty())
@@ -173,6 +177,40 @@ catalog()
          "budget may not survive implementation.",
          "leave headroom or confirm the area estimate"},
 
+        // ---- analytic-model advisories (model.cc / explore.cc) ----
+        // All Warning by design: the bound model predicts, the
+        // simulator decides. An advisory must never fail a lint run
+        // or a sweep launch.
+        {"AUR040", Severity::Warning, "predicted binding bottleneck",
+         "The Little's-law bottleneck model (docs/model.md) computed "
+         "each resource's service demand under the named workload "
+         "profile; the resource in `field` attains the minimum "
+         "capacity/demand ratio and therefore caps IPC at the value "
+         "shown. Spending area anywhere else cannot raise the bound.",
+         "enlarge the named resource (or accept the bound)"},
+        {"AUR041", Severity::Warning, "over-provisioned structure",
+         "A priced structure whose bound exceeds the machine's "
+         "overall IPC bound by >= 2x on every profile examined is "
+         "area the bottleneck analysis says cannot pay for itself: "
+         "Table 2 RBE spent where no workload can use it (the §5 "
+         "resource-allocation argument, run in reverse).",
+         "shrink the structure and spend the RBE on the binding one"},
+        {"AUR042", Severity::Warning, "predicted IPC below the requested floor",
+         "The mean bottleneck bound over the profiles examined falls "
+         "below the --min-ipc floor. The bound is optimistic by "
+         "construction, so the simulator can only do worse — the "
+         "configuration cannot meet the target and simulating it "
+         "would spend cycles to learn a foregone conclusion.",
+         "enlarge the binding resource or lower --min-ipc"},
+        {"AUR043", Severity::Warning, "dominated grid point",
+         "Another configuration in the same grid costs no more RBE "
+         "and has a strictly higher (or equal-cost higher) predicted "
+         "bound: on the model's evidence this point cannot sit on "
+         "the IPC-vs-area Pareto frontier, and a guided search "
+         "(ROADMAP item 4) should simulate the dominating point "
+         "instead.",
+         "drop the point, or keep it to validate the model's ranking"},
+
         // ---- trace-file errors ----
         {"AUR101", Severity::Error, "trace header unreadable or bad magic",
          "Aurora traces open with the 16-byte \"AUR3\" header; a file "
@@ -322,6 +360,74 @@ findDiagnostic(std::string_view id)
     return nullptr;
 }
 
+namespace
+{
+
+/** AURnnn -> nnn; -1 when @p id is not of that shape. */
+int
+idNumber(std::string_view id)
+{
+    if (id.size() < 4 || id.substr(0, 3) != "AUR")
+        return -1;
+    int n = 0;
+    for (const char c : id.substr(3)) {
+        if (c < '0' || c > '9')
+            return -1;
+        n = n * 10 + (c - '0');
+    }
+    return n;
+}
+
+/** Classic O(len^2) edit distance — the catalog is tiny. */
+std::size_t
+editDistance(std::string_view a, std::string_view b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t up = row[j];
+            const std::size_t sub = diag + (a[i - 1] != b[j - 1]);
+            row[j] = std::min({row[j - 1] + 1, up + 1, sub});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
+
+std::vector<std::string>
+nearestDiagnosticIds(std::string_view id, std::size_t count)
+{
+    // Distance is numeric when the ID is well-formed ("AUR044" ->
+    // AUR043 before AUR030), textual otherwise ("AUR04x", "aur10").
+    const int number = idNumber(id);
+    std::vector<std::pair<std::size_t, std::string>> scored;
+    for (const DiagnosticInfo &info : catalog()) {
+        std::size_t distance;
+        if (number >= 0) {
+            const int entry = idNumber(info.id);
+            distance = static_cast<std::size_t>(
+                entry > number ? entry - number : number - entry);
+        } else {
+            distance = editDistance(id, info.id);
+        }
+        scored.emplace_back(distance, info.id);
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < scored.size() && i < count; ++i)
+        out.push_back(scored[i].second);
+    return out;
+}
+
 Diagnostic
 makeDiagnostic(std::string_view id, std::string field, std::string value,
                std::string detail)
@@ -367,6 +473,22 @@ formatDiagnostics(const std::vector<Diagnostic> &diagnostics)
         out += '\n';
     }
     return out;
+}
+
+void
+sortDiagnostics(std::vector<Diagnostic> &diagnostics)
+{
+    std::stable_sort(
+        diagnostics.begin(), diagnostics.end(),
+        [](const Diagnostic &a, const Diagnostic &b) {
+            if (a.id != b.id)
+                return a.id < b.id;
+            if (a.job != b.job)
+                return a.job < b.job;
+            if (a.field != b.field)
+                return a.field < b.field;
+            return a.value < b.value;
+        });
 }
 
 namespace
@@ -418,7 +540,10 @@ toJson(const std::vector<Diagnostic> &diagnostics)
         if (i > 0)
             out << ",";
         out << "\n  {\"id\": \"" << d.id << "\", \"severity\": \""
-            << severityName(d.severity) << "\", \"field\": \""
+            << severityName(d.severity) << "\", ";
+        if (d.job >= 0)
+            out << "\"job\": " << d.job << ", ";
+        out << "\"field\": \""
             << jsonEscape(d.field) << "\", \"value\": \""
             << jsonEscape(d.value) << "\", \"message\": \""
             << jsonEscape(d.message) << "\", \"hint\": \""

@@ -12,6 +12,8 @@
  *
  * ID ranges:
  *   AUR0xx  machine-configuration lints (lintConfig, checkPipelineGraph)
+ *   AUR04x  analytic-model advisories (predictBound, exploreGrid —
+ *           always Warning: the model advises, it never gates)
  *   AUR1xx  trace-file lints (verifyTrace)
  *   AUR2xx  sweep-service admission and protocol rejections
  *   AUR3xx  distributed shard supervision (lease, fence, merge)
@@ -57,6 +59,14 @@ struct Diagnostic
     std::string message;
     /** Actionable fix hint from the catalog. */
     std::string hint;
+    /**
+     * Grid-job / profile index the finding refers to, when the
+     * analyzer examined a list of jobs (analyze-grid points, multi-
+     * profile analyze-config, sweep preflight). -1 = the finding is
+     * about the artifact as a whole. Serialized in JSON only when
+     * set, and part of the stable sort order (ID, then job).
+     */
+    int job = -1;
 
     /** "AUR012 error fpu.rob_entries=4: <message> (hint: ...)". */
     std::string toString() const;
@@ -83,6 +93,15 @@ const std::vector<DiagnosticInfo> &catalog();
 const DiagnosticInfo *findDiagnostic(std::string_view id);
 
 /**
+ * The @p count catalog IDs closest to the (unknown) @p id — numeric
+ * distance when @p id parses as AURnnn, edit distance otherwise.
+ * Ties break in catalog order, so the suggestion list behind
+ * `aurora_lint explain <typo>` is deterministic.
+ */
+std::vector<std::string> nearestDiagnosticIds(std::string_view id,
+                                              std::size_t count = 3);
+
+/**
  * Build a Diagnostic from its catalog entry. @p id must exist in the
  * catalog (AURORA_PANIC otherwise — an unknown ID is an analyzer bug,
  * not a user error). @p detail extends the catalog title with the
@@ -99,6 +118,15 @@ std::size_t errorCount(const std::vector<Diagnostic> &diagnostics);
 
 /** One line per finding; empty string for a clean report. */
 std::string formatDiagnostics(const std::vector<Diagnostic> &diagnostics);
+
+/**
+ * Stable presentation order for reports: by ID, then job index, then
+ * field, then value. Emission order stays meaningful inside an
+ * analyzer, but anything diffed or golden-compared (aurora_lint
+ * --json in particular) sorts first so byte-stability survives
+ * analyzer refactors.
+ */
+void sortDiagnostics(std::vector<Diagnostic> &diagnostics);
 
 /** JSON array of findings for CI consumption (aurora_lint --json). */
 std::string toJson(const std::vector<Diagnostic> &diagnostics);

@@ -1,0 +1,117 @@
+#include "explore.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace aurora::analyze
+{
+
+namespace
+{
+
+/**
+ * Strict Pareto dominance on (cost down, bound up): @p a dominates
+ * @p b when it is no worse on both axes and strictly better on at
+ * least one. Equal points never dominate each other, so pruning can
+ * never empty an equivalence class off the frontier.
+ */
+bool
+dominates(const GridPointModel &a, const GridPointModel &b)
+{
+    return a.rbe <= b.rbe && a.bound >= b.bound &&
+           (a.rbe < b.rbe || a.bound > b.bound);
+}
+
+} // namespace
+
+ExploreResult
+exploreGrid(const std::vector<core::MachineConfig> &machines,
+            const std::vector<trace::WorkloadProfile> &profiles,
+            const ExploreOptions &options)
+{
+    ExploreResult result;
+    result.points.reserve(machines.size());
+
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        GridPointModel point;
+        point.index = i;
+        point.rbe = pricedRbe(machines[i]);
+        double sum = 0.0;
+        double worst = UNBOUNDED_IPC;
+        for (const trace::WorkloadProfile &profile : profiles) {
+            const ModelResult r = predictBound(machines[i], profile);
+            sum += r.ipc_bound;
+            if (r.ipc_bound < worst) {
+                worst = r.ipc_bound;
+                point.binding = r.binding;
+            }
+        }
+        point.bound =
+            profiles.empty() ? 0.0 : sum / double(profiles.size());
+        result.points.push_back(point);
+    }
+
+    // O(n^2) dominance scan; the dominating witness recorded is the
+    // cheapest dominator (then lowest index) so reports stay stable
+    // under grid reordering of equal points.
+    for (GridPointModel &p : result.points) {
+        for (const GridPointModel &q : result.points) {
+            if (p.index == q.index || !dominates(q, p))
+                continue;
+            if (!p.dominated ||
+                q.rbe < result.points[p.dominated_by].rbe) {
+                p.dominated = true;
+                p.dominated_by = q.index;
+            }
+        }
+    }
+
+    for (const GridPointModel &p : result.points)
+        if (!p.dominated)
+            result.frontier.push_back(p.index);
+    std::stable_sort(result.frontier.begin(), result.frontier.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         if (result.points[a].rbe !=
+                             result.points[b].rbe)
+                             return result.points[a].rbe <
+                                    result.points[b].rbe;
+                         return a < b;
+                     });
+
+    for (const GridPointModel &p : result.points) {
+        char value[64];
+        if (p.dominated) {
+            const GridPointModel &by = result.points[p.dominated_by];
+            std::snprintf(value, sizeof(value), "%.3f", p.bound);
+            char by_bound[32];
+            std::snprintf(by_bound, sizeof(by_bound), "%.3f",
+                          by.bound);
+            Diagnostic d = makeDiagnostic(
+                "AUR043", "rbe", value,
+                detail::concat(
+                    "bound ", value, " IPC at ",
+                    static_cast<long long>(p.rbe),
+                    " RBE is dominated by grid point ",
+                    static_cast<unsigned long long>(by.index),
+                    " (bound ", by_bound, " IPC at ",
+                    static_cast<long long>(by.rbe), " RBE)"));
+            d.job = static_cast<int>(p.index);
+            result.diagnostics.push_back(std::move(d));
+        }
+        if (options.min_ipc > 0.0 && p.bound < options.min_ipc) {
+            std::snprintf(value, sizeof(value), "%.3f", p.bound);
+            Diagnostic d = makeDiagnostic(
+                "AUR042", "ipc_bound", value,
+                detail::concat("grid point bound ", value,
+                               " IPC is below the requested floor"));
+            d.job = static_cast<int>(p.index);
+            result.diagnostics.push_back(std::move(d));
+        }
+    }
+    sortDiagnostics(result.diagnostics);
+    return result;
+}
+
+} // namespace aurora::analyze

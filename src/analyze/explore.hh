@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Static grid ranking and dominance pruning.
+ *
+ * A design-space sweep is a list of MachineConfigs crossed with a
+ * workload suite. Before burning simulator cycles on every point,
+ * the analytic model (model.hh) can rank the grid: each point gets a
+ * mean predicted IPC bound and a Table 2 RBE price, and any point
+ * that costs at least as much as another while predicting no more
+ * performance — and is strictly worse on at least one axis — is
+ * *dominated*: on the model's evidence it cannot sit on the
+ * IPC-vs-area Pareto frontier the paper's §5 analysis (and ROADMAP
+ * item 4's guided search) is after.
+ *
+ * Pruning is advisory and conservative: dominance is strict, so two
+ * points with identical (RBE, bound) never prune each other, and the
+ * true frontier of the *predicted* values is always preserved
+ * (test_analyze_explore holds this as a property). Whether the
+ * prediction ranks the same as the simulator is the calibration
+ * harness's question, which is why AUR043 is a warning, not a gate.
+ */
+
+#ifndef AURORA_ANALYZE_EXPLORE_HH
+#define AURORA_ANALYZE_EXPLORE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "diagnostic.hh"
+#include "model.hh"
+#include "trace/workload_profile.hh"
+
+namespace aurora::analyze
+{
+
+/** Explorer knobs. */
+struct ExploreOptions
+{
+    /** AUR042 floor on each point's mean bound; 0 disables. */
+    double min_ipc = 0.0;
+};
+
+/** Sentinel for GridPointModel::dominated_by on frontier points. */
+inline constexpr std::size_t NOT_DOMINATED = ~std::size_t{0};
+
+/** The model's verdict for one grid point. */
+struct GridPointModel
+{
+    /** Index into the grid handed to exploreGrid(). */
+    std::size_t index = 0;
+    /** Priced area (analyze::pricedRbe). */
+    double rbe = 0.0;
+    /** Mean ipc_bound over the profiles. */
+    double bound = 0.0;
+    /** Binding resource of the lowest-bound profile. */
+    Resource binding = Resource::IssueWidth;
+    /** Dominated by some cheaper-or-equal, better point? */
+    bool dominated = false;
+    /**
+     * Index of the dominating point (cheapest such, then lowest
+     * index — deterministic); NOT_DOMINATED for frontier points.
+     */
+    std::size_t dominated_by = NOT_DOMINATED;
+};
+
+/** The ranked grid. */
+struct ExploreResult
+{
+    /** One entry per grid point, in grid order. */
+    std::vector<GridPointModel> points;
+    /**
+     * Non-dominated points, sorted by RBE ascending then grid index
+     * — the predicted Pareto frontier, cheapest first.
+     */
+    std::vector<std::size_t> frontier;
+    /**
+     * AUR043 per dominated point and AUR042 per below-floor point
+     * (Diagnostic::job = grid index), already sorted.
+     */
+    std::vector<Diagnostic> diagnostics;
+};
+
+/**
+ * Rank @p machines under @p profiles. Pure and total like
+ * predictBound(): degenerate configurations get a 0 bound (and are
+ * naturally dominated by any working point of equal or lower cost)
+ * rather than throwing. Deterministic: identical inputs produce
+ * byte-identical results.
+ */
+ExploreResult
+exploreGrid(const std::vector<core::MachineConfig> &machines,
+            const std::vector<trace::WorkloadProfile> &profiles,
+            const ExploreOptions &options = {});
+
+} // namespace aurora::analyze
+
+#endif // AURORA_ANALYZE_EXPLORE_HH

@@ -1,0 +1,412 @@
+#include "model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "cost/rbe.hh"
+#include "util/logging.hh"
+
+namespace aurora::analyze
+{
+
+namespace
+{
+
+/**
+ * Global optimism factor applied to every miss-rate estimate. The
+ * footprint arguments below already ignore conflict misses and
+ * cross-region interference; halving them again keeps each traffic
+ * term safely *below* what the simulator generates, which is what
+ * makes the minimum over stations a genuine upper bound on IPC.
+ * Raising this tightens the bound but risks crossing the measured
+ * IPC — check.sh model is the regression gate for that contract.
+ */
+constexpr double OPTIMISM = 0.5;
+
+double
+clamp01(double v)
+{
+    return std::min(1.0, std::max(0.0, v));
+}
+
+/** c/d with the UNBOUNDED_IPC clamp; 0-capacity stations bound at 0. */
+double
+stationBound(double capacity, double demand)
+{
+    if (capacity <= 0.0)
+        return 0.0;
+    if (demand <= 0.0)
+        return UNBOUNDED_IPC;
+    return std::min(UNBOUNDED_IPC, capacity / demand);
+}
+
+/** Interpolated unit price with latencies clamped into the published
+ *  range instead of asserting (cost::unitCost is strict). */
+double
+clampedUnitRbe(double fast, double slow, Cycle lo, Cycle hi,
+               Cycle latency, bool pipelined, bool depipeline_saves)
+{
+    const double l =
+        std::min<double>(hi, std::max<double>(lo, latency));
+    const double t = (hi == lo) ? 0.0 : (l - lo) / double(hi - lo);
+    double rbe = fast + t * (slow - fast);
+    if (depipeline_saves && !pipelined)
+        rbe *= 1.0 - cost::FP_PIPELINE_LATCH_FRACTION;
+    return rbe;
+}
+
+/** Mix-derived rates, all optimistic (see OPTIMISM). */
+MixEstimates
+estimateMix(const core::MachineConfig &m,
+            const trace::WorkloadProfile &p)
+{
+    MixEstimates e;
+    e.f_load = clamp01(p.frac_load) + clamp01(p.frac_fp_load);
+    e.f_store = clamp01(p.frac_store) + clamp01(p.frac_fp_store);
+    e.f_mem = e.f_load + e.f_store;
+    e.f_fp = clamp01(p.frac_fp_arith);
+
+    // I-cache misses per instruction: the hot loops re-walk a
+    // footprint of hot_code_bytes; the fraction that fits the cache
+    // never misses in steady state (fully-associative, conflict-free
+    // assumption = optimistic), the spill re-streams once per pass at
+    // one miss per line. Cold code misses on first touch except when
+    // a control transfer reuses a recent target.
+    const double line = std::max<double>(4.0, m.ifu.line_bytes);
+    const double insts_per_line = line / 4.0;
+    const double hot_code = std::max<double>(1.0, p.hot_code_bytes);
+    const double hot_spill =
+        std::max(0.0, 1.0 - double(m.ifu.icache_bytes) / hot_code);
+    const double m_hot = hot_spill / insts_per_line;
+    const double m_cold =
+        (1.0 - clamp01(p.cold_target_reuse)) / insts_per_line;
+    const double hot_frac = clamp01(p.hot_fraction);
+    e.icache_mpi =
+        OPTIMISM * (hot_frac * m_hot + (1.0 - hot_frac) * m_cold);
+
+    // D-cache misses per data reference: stack/global references hit
+    // a region far smaller than any modeled D-cache; sequential
+    // streams miss once per line; pointer chases miss only on their
+    // cold strikes, scaled by how much of the heap exceeds the cache.
+    const double dline = std::max<double>(4.0, m.lsu.line_bytes);
+    const double access = p.double_word_mem ? 8.0 : 4.0;
+    const double heap = 1.0 - clamp01(p.stack_fraction);
+    const double m_seq = clamp01(p.seq_fraction) * access / dline;
+    const double heap_spill = std::max(
+        0.0, 1.0 - double(m.lsu.dcache_bytes) /
+                       std::max<double>(1.0, p.total_data_bytes));
+    const double m_chase = clamp01(p.chase_fraction) *
+                           (1.0 - clamp01(p.chase_hot_frac)) *
+                           heap_spill;
+    e.dcache_mpr = OPTIMISM * heap * (m_seq + m_chase);
+
+    // Write-cache evictions per store: rewrites of a live line and
+    // burst continuations coalesce; what coalescing a one-line cache
+    // can deliver scales down. Optimistic again — the real cache also
+    // evicts on capacity pressure the model ignores.
+    const double coalesce = std::min(
+        0.95, clamp01(p.store_rewrite_frac) +
+                  0.5 * clamp01(p.store_burst_frac));
+    const double lines_scale =
+        std::min(1.0, m.write_cache.lines / 2.0);
+    e.wc_evict = OPTIMISM * (1.0 - coalesce * lines_scale);
+
+    // Mix-weighted mean FP latency for occupancy terms.
+    const double wsum = std::max(
+        1e-9, p.fp_add_w + p.fp_mul_w + p.fp_div_w + p.fp_cvt_w);
+    e.fp_mean_lat = (p.fp_add_w * m.fpu.add.latency +
+                     p.fp_mul_w * m.fpu.mul.latency +
+                     p.fp_div_w * m.fpu.div.latency +
+                     p.fp_cvt_w * m.fpu.cvt.latency) /
+                    wsum;
+    return e;
+}
+
+} // namespace
+
+const char *
+resourceName(Resource resource)
+{
+    switch (resource) {
+      case Resource::IssueWidth:
+        return "issue";
+      case Resource::FetchBw:
+        return "fetch";
+      case Resource::RetireWidth:
+        return "retire";
+      case Resource::RobOccupancy:
+        return "rob";
+      case Resource::MemPort:
+        return "mem_port";
+      case Resource::MshrPool:
+        return "mshr";
+      case Resource::WriteCache:
+        return "write_cache";
+      case Resource::BiuBandwidth:
+        return "biu_bw";
+      case Resource::BiuQueue:
+        return "biu_queue";
+      case Resource::FpTransfer:
+        return "fp_transfer";
+      case Resource::FpInstQueue:
+        return "fp_instq";
+      case Resource::FpLoadQueue:
+        return "fp_loadq";
+      case Resource::FpStoreQueue:
+        return "fp_storeq";
+      case Resource::FpRob:
+        return "fp_rob";
+      case Resource::FpResultBus:
+        return "fp_buses";
+      case Resource::FpAddUnit:
+        return "fp_add";
+      case Resource::FpMulUnit:
+        return "fp_mul";
+      case Resource::FpDivUnit:
+        return "fp_div";
+      case Resource::FpCvtUnit:
+        return "fp_cvt";
+    }
+    return "unknown";
+}
+
+double
+pricedRbe(const core::MachineConfig &machine)
+{
+    const fpu::FpuConfig &f = machine.fpu;
+    double fp = cost::RBE_FPU_DATA_BLOCK;
+    fp += f.inst_queue * cost::RBE_FP_INST_QUEUE_ENTRY;
+    fp += (f.load_queue + f.store_queue) *
+          cost::RBE_FP_DATA_QUEUE_ENTRY;
+    fp += f.rob_entries * cost::RBE_ROB_ENTRY;
+    fp += clampedUnitRbe(cost::RBE_FP_ADD_FAST, cost::RBE_FP_ADD_SLOW,
+                         1, 5, f.add.latency, f.add.pipelined, true);
+    fp += clampedUnitRbe(cost::RBE_FP_MUL_FAST, cost::RBE_FP_MUL_SLOW,
+                         1, 5, f.mul.latency, f.mul.pipelined, true);
+    fp += clampedUnitRbe(cost::RBE_FP_DIV_FAST, cost::RBE_FP_DIV_SLOW,
+                         10, 30, f.div.latency, false, false);
+    fp += clampedUnitRbe(cost::RBE_FP_CVT_FAST, cost::RBE_FP_CVT_SLOW,
+                         1, 5, f.cvt.latency, f.cvt.pipelined, false);
+    return machine.rbeCost() + fp;
+}
+
+ModelResult
+predictBound(const core::MachineConfig &m,
+             const trace::WorkloadProfile &p)
+{
+    ModelResult r;
+    r.mix = estimateMix(m, p);
+    const MixEstimates &e = r.mix;
+
+    // Miss traffic reaching the BIU, in line transfers per
+    // instruction: demand I-misses, demand D-misses (loads only —
+    // stores go through the write cache), and write-cache evictions.
+    const double biu_lines = e.icache_mpi + e.f_load * e.dcache_mpr +
+                             e.f_store * e.wc_evict;
+
+    // I-miss service time charged to the fetch port. With stream
+    // buffers the (optimistic) assumption is every miss hits a
+    // buffer and costs only the transfer handshake; without them the
+    // front end eats the full secondary latency.
+    const bool pf_covered =
+        m.prefetch.enabled && m.prefetch.num_buffers > 0;
+    const double imiss_penalty =
+        pf_covered ? 2.0 : double(m.biu.latency);
+
+    auto set = [&r](Resource res, double demand, double capacity,
+                    double rbe) {
+        ResourceDemand &d =
+            r.resources[static_cast<std::size_t>(res)];
+        d.resource = res;
+        d.demand = demand;
+        d.capacity = capacity;
+        d.ipc_bound = stationBound(capacity, demand);
+        d.rbe = rbe;
+    };
+
+    const cost::IpuResources ipu = m.ipuResources();
+    set(Resource::IssueWidth, 1.0, m.issue_width,
+        cost::pipelineRbe(ipu.pipelines));
+    set(Resource::FetchBw,
+        1.0 / std::max(1u, m.ifu.fetch_width) +
+            e.icache_mpi * imiss_penalty,
+        1.0, cost::icacheRbe(m.ifu.icache_bytes));
+    set(Resource::RetireWidth, 1.0, m.retire_width, 0.0);
+    // Loads hold their ROB entry for the pipelined hit latency (minus
+    // the cycle every instruction holds anyway); misses extend the
+    // residency by the secondary latency.
+    set(Resource::RobOccupancy,
+        1.0 + e.f_load * (std::max<double>(1.0, m.lsu.dcache_latency) -
+                          1.0 +
+                          e.dcache_mpr * m.biu.latency),
+        m.rob_entries, cost::robRbe(m.rob_entries));
+    set(Resource::MemPort,
+        e.f_mem + e.f_load * e.dcache_mpr * m.lsu.fill_port_cycles,
+        1.0, 0.0);
+    // An MSHR is held for the full pipelined access on a hit and
+    // (optimistically: half the misses overlap perfectly) for the
+    // secondary latency on a miss; stores occupy one for their cache
+    // access slot.
+    set(Resource::MshrPool,
+        e.f_load * (m.lsu.dcache_latency +
+                    e.dcache_mpr * 0.5 * m.biu.latency) +
+            e.f_store * m.lsu.store_occupancy,
+        m.lsu.mshr_entries, cost::mshrRbe(m.lsu.mshr_entries));
+    set(Resource::WriteCache, e.f_store * (1.0 + e.wc_evict), 1.0,
+        cost::writeCacheRbe(m.write_cache.lines));
+    set(Resource::BiuBandwidth, biu_lines * m.biu.line_occupancy, 1.0,
+        0.0);
+    set(Resource::BiuQueue, biu_lines * m.biu.latency,
+        m.biu.queue_depth, 0.0);
+
+    // FPU stations. The transfer station models the §3 issue policy:
+    // in-order-complete serializes the IPU behind every FP latency,
+    // the out-of-order policies stream one (or two) per cycle.
+    const fpu::FpuConfig &f = m.fpu;
+    double transfer_demand = e.f_fp;
+    double transfer_cap = 1.0;
+    switch (f.policy) {
+      case fpu::IssuePolicy::InOrderComplete:
+        transfer_demand = e.f_fp * e.fp_mean_lat;
+        break;
+      case fpu::IssuePolicy::OutOfOrderSingle:
+        break;
+      case fpu::IssuePolicy::OutOfOrderDual:
+        transfer_cap = 2.0;
+        break;
+    }
+    set(Resource::FpTransfer, transfer_demand, transfer_cap, 0.0);
+    set(Resource::FpInstQueue, e.f_fp, f.inst_queue,
+        f.inst_queue * cost::RBE_FP_INST_QUEUE_ENTRY);
+    set(Resource::FpLoadQueue,
+        clamp01(p.frac_fp_load) * (p.double_word_mem ? 1.0 : 2.0),
+        f.load_queue, f.load_queue * cost::RBE_FP_DATA_QUEUE_ENTRY);
+    set(Resource::FpStoreQueue, clamp01(p.frac_fp_store),
+        f.store_queue, f.store_queue * cost::RBE_FP_DATA_QUEUE_ENTRY);
+    set(Resource::FpRob, e.f_fp * e.fp_mean_lat, f.rob_entries,
+        f.rob_entries * cost::RBE_ROB_ENTRY);
+    set(Resource::FpResultBus, e.f_fp, f.result_buses, 0.0);
+
+    const double wsum = std::max(
+        1e-9, p.fp_add_w + p.fp_mul_w + p.fp_div_w + p.fp_cvt_w);
+    auto unit = [&](Resource res, double weight,
+                    const fpu::FpUnitConfig &u, double fast,
+                    double slow, Cycle lo, Cycle hi, bool saves) {
+        const double f_unit = e.f_fp * weight / wsum;
+        set(res, f_unit * (u.pipelined ? 1.0 : double(u.latency)),
+            1.0,
+            clampedUnitRbe(fast, slow, lo, hi, u.latency, u.pipelined,
+                           saves));
+    };
+    unit(Resource::FpAddUnit, p.fp_add_w, f.add, cost::RBE_FP_ADD_FAST,
+         cost::RBE_FP_ADD_SLOW, 1, 5, true);
+    unit(Resource::FpMulUnit, p.fp_mul_w, f.mul, cost::RBE_FP_MUL_FAST,
+         cost::RBE_FP_MUL_SLOW, 1, 5, true);
+    unit(Resource::FpDivUnit, p.fp_div_w,
+         fpu::FpUnitConfig{f.div.latency, false}, cost::RBE_FP_DIV_FAST,
+         cost::RBE_FP_DIV_SLOW, 10, 30, false);
+    unit(Resource::FpCvtUnit, p.fp_cvt_w, f.cvt, cost::RBE_FP_CVT_FAST,
+         cost::RBE_FP_CVT_SLOW, 1, 5, false);
+
+    // The bottleneck: minimum station bound, first-in-enum-order on
+    // ties so reports are deterministic.
+    r.ipc_bound = UNBOUNDED_IPC;
+    for (const ResourceDemand &d : r.resources) {
+        if (d.ipc_bound < r.ipc_bound) {
+            r.ipc_bound = d.ipc_bound;
+            r.binding = d.resource;
+        }
+    }
+    for (ResourceDemand &d : r.resources)
+        d.slack = r.ipc_bound > 0.0
+                      ? std::min(UNBOUNDED_IPC,
+                                 d.ipc_bound / r.ipc_bound)
+                      : UNBOUNDED_IPC;
+    r.cpi_bound = r.ipc_bound > 0.0
+                      ? std::min(UNBOUNDED_IPC, 1.0 / r.ipc_bound)
+                      : UNBOUNDED_IPC;
+    r.rbe_total = pricedRbe(m);
+    return r;
+}
+
+std::string
+ModelResult::summary() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "bound %.3f IPC (%.3f CPI), binding resource %s",
+                  ipc_bound, cpi_bound, resourceName(binding));
+    return buf;
+}
+
+std::vector<Diagnostic>
+adviseModel(const core::MachineConfig &machine,
+            const std::vector<trace::WorkloadProfile> &profiles,
+            const AdviseOptions &options)
+{
+    std::vector<Diagnostic> out;
+    if (profiles.empty())
+        return out;
+
+    std::array<double, NUM_RESOURCES> min_slack{};
+    min_slack.fill(UNBOUNDED_IPC);
+    std::array<double, NUM_RESOURCES> max_demand{};
+    std::array<double, NUM_RESOURCES> rbe{};
+    double bound_sum = 0.0;
+
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const ModelResult r = predictBound(machine, profiles[i]);
+        bound_sum += r.ipc_bound;
+        for (std::size_t s = 0; s < NUM_RESOURCES; ++s) {
+            min_slack[s] = std::min(min_slack[s],
+                                    r.resources[s].slack);
+            max_demand[s] = std::max(max_demand[s],
+                                     r.resources[s].demand);
+            rbe[s] = r.resources[s].rbe;
+        }
+        char value[32];
+        std::snprintf(value, sizeof(value), "%.3f", r.ipc_bound);
+        Diagnostic d = makeDiagnostic(
+            "AUR040", resourceName(r.binding), value,
+            detail::concat("profile ", profiles[i].name, ": ",
+                           r.summary()));
+        if (profiles.size() > 1)
+            d.job = static_cast<int>(i);
+        out.push_back(std::move(d));
+    }
+
+    for (std::size_t s = 0; s < NUM_RESOURCES; ++s) {
+        // A station no profile ever exercises (zero demand) is not
+        // over-provisioned — it is out of scope for this workload
+        // selection, and flagging it would tell the user to delete
+        // the FPU whenever they analyze an integer suite.
+        if (rbe[s] < options.min_rbe || max_demand[s] <= 0.0 ||
+            min_slack[s] < options.slack_factor)
+            continue;
+        const Resource res = static_cast<Resource>(s);
+        char value[32];
+        std::snprintf(value, sizeof(value), "%.1fx",
+                      std::min(min_slack[s], 999.9));
+        out.push_back(makeDiagnostic(
+            "AUR041", resourceName(res), value,
+            detail::concat(resourceName(res), " has >= ", value,
+                           " slack over every profile at ",
+                           static_cast<long long>(rbe[s]),
+                           " RBE — area better spent on the binding "
+                           "resource")));
+    }
+
+    const double mean_bound = bound_sum / double(profiles.size());
+    if (options.min_ipc > 0.0 && mean_bound < options.min_ipc) {
+        char value[64];
+        std::snprintf(value, sizeof(value), "%.3f", mean_bound);
+        out.push_back(makeDiagnostic(
+            "AUR042", "ipc_bound", value,
+            detail::concat("mean predicted bound ", value,
+                           " IPC is below the requested floor")));
+    }
+    return out;
+}
+
+} // namespace aurora::analyze

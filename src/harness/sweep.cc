@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "analyze/lint_config.hh"
+#include "analyze/model.hh"
 #include "core/audit.hh"
 #include "core/config_io.hh"
 #include "journal.hh"
@@ -165,6 +166,14 @@ SweepRunner::preflightEnabled() const
     return envFlag("AURORA_PREFLIGHT", true);
 }
 
+bool
+SweepRunner::modelAdviceEnabled() const
+{
+    if (options_.model_advice)
+        return *options_.model_advice;
+    return envFlag("AURORA_PREFLIGHT_MODEL", false);
+}
+
 /**
  * Lint every machine in @p grid before any worker launches. Errors
  * (not warnings) abort the launch: one BadConfig naming every bad
@@ -203,6 +212,51 @@ preflightGrid(const std::vector<SweepJob> &grid)
         " jobs before any worker started (aurora_lint explain <ID> "
         "describes each diagnostic; AURORA_PREFLIGHT=0 disables the "
         "check):", lines);
+}
+
+void
+adviseGrid(const std::vector<SweepJob> &grid,
+           const core::WatchdogConfig &watchdog)
+{
+    // Pure observation over an already-admitted grid: computes the
+    // analytic bound per job and logs it. No exception is ever
+    // raised and no job state is touched — the inertness contract
+    // the docs promise and test_harness_outcomes enforces.
+    constexpr std::size_t MAX_LINES = 32;
+    std::size_t over_budget = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const analyze::ModelResult r =
+            analyze::predictBound(grid[i].machine, grid[i].profile);
+        const bool budgeted =
+            watchdog.cycle_budget > 0 && r.ipc_bound > 0.0;
+        const double min_cycles =
+            budgeted ? double(grid[i].instructions) / r.ipc_bound
+                     : 0.0;
+        const bool cannot_finish =
+            budgeted && min_cycles > double(watchdog.cycle_budget);
+        if (cannot_finish)
+            ++over_budget;
+        if (i >= MAX_LINES)
+            continue;
+        std::string line = detail::concat(
+            "model advice: job ", i, " (", grid[i].profile.name, "@",
+            grid[i].machine.name, "): ", r.summary());
+        if (cannot_finish)
+            line += detail::concat(
+                " — needs >= ",
+                static_cast<std::uint64_t>(min_cycles),
+                " cycles, over the ", watchdog.cycle_budget,
+                "-cycle watchdog budget");
+        inform(line);
+    }
+    if (grid.size() > MAX_LINES)
+        inform(detail::concat("model advice: ... and ",
+                              grid.size() - MAX_LINES, " more jobs"));
+    if (over_budget > 0)
+        inform(detail::concat(
+            "model advice: ", over_budget, " of ", grid.size(),
+            " jobs cannot finish within the watchdog cycle budget "
+            "even at their analytic IPC bound"));
 }
 
 namespace
@@ -360,6 +414,10 @@ SweepRunner::run(const std::vector<SweepJob> &grid)
 {
     if (preflightEnabled())
         preflightGrid(grid);
+    if (modelAdviceEnabled())
+        adviseGrid(grid, options_.watchdog
+                             ? *options_.watchdog
+                             : core::defaultWatchdog());
     return runTasks(gridTasks(grid, options_, deadlineMs()));
 }
 
@@ -368,6 +426,10 @@ SweepRunner::runOutcomes(const std::vector<SweepJob> &grid)
 {
     if (preflightEnabled())
         preflightGrid(grid);
+    if (modelAdviceEnabled())
+        adviseGrid(grid, options_.watchdog
+                             ? *options_.watchdog
+                             : core::defaultWatchdog());
     if (options_.journal.empty()) {
         WallTimer wall;
         std::vector<SweepOutcome> outcomes = executeOutcomes(

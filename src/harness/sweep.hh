@@ -171,6 +171,21 @@ struct SweepOptions
     std::optional<bool> preflight;
 
     /**
+     * Opt-in preflight advisor: after the lint preflight admits the
+     * grid, run the analytic bottleneck model (analyze::predictBound)
+     * over every job and log each predicted IPC bound, binding
+     * resource, and — when the effective watchdog carries a cycle
+     * budget — whether the job can even finish inside it (a job
+     * needs at least instructions/bound cycles; docs/model.md).
+     * Log-only and provably inert: admission, seeds, scheduling, and
+     * results are bit-identical with the advisor on or off
+     * (test_harness_outcomes holds this). Unset reads
+     * AURORA_PREFLIGHT_MODEL (default off — a 10k-point grid does
+     * not want 10k log lines unasked).
+     */
+    std::optional<bool> model_advice;
+
+    /**
      * Called after each job completes (journaled runs only), with
      * (jobs done so far, grid size). Invoked from worker threads
      * under the journal lock — keep it cheap. The fault-storm bench
@@ -350,6 +365,9 @@ class SweepRunner
     /** Resolved preflight policy (options override, else env). */
     bool preflightEnabled() const;
 
+    /** Resolved model-advisor policy (options override, else env). */
+    bool modelAdviceEnabled() const;
+
   private:
     /**
      * Shared executor behind the outcome entry points: runs @p tasks
@@ -401,6 +419,15 @@ std::uint64_t deriveJobSeed(std::uint64_t base_seed,
  * reject with identical semantics.
  */
 void preflightGrid(const std::vector<SweepJob> &grid);
+
+/**
+ * Log the analytic model's advice for @p grid under @p watchdog (see
+ * SweepOptions::model_advice). Pure observation — reads the grid,
+ * writes the log, touches nothing else. Capped at 32 job lines plus
+ * a summary so huge grids stay readable.
+ */
+void adviseGrid(const std::vector<SweepJob> &grid,
+                const core::WatchdogConfig &watchdog);
 
 /** Build the (machine × suite) row of a grid. */
 std::vector<SweepJob>

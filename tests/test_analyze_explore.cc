@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for static grid ranking and dominance pruning.
+ *
+ * The explorer's safety property is that pruning is conservative:
+ * the set of non-dominated points it reports is *exactly* the Pareto
+ * frontier of the predicted (RBE, bound) values — nothing on the
+ * true frontier is ever flagged AUR043. A pinned 3×3 grid checks
+ * this against a brute-force frontier computed straight from the
+ * definition, and a randomized sweep holds the property on arbitrary
+ * grids (duplicate points included — strict dominance must never
+ * prune an equivalence class).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "analyze/explore.hh"
+#include "analyze/model.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::analyze;
+
+/** The definitionally-true frontier of the explorer's own values. */
+std::vector<std::size_t>
+bruteForceFrontier(const std::vector<GridPointModel> &points)
+{
+    std::vector<std::size_t> frontier;
+    for (const auto &p : points) {
+        bool dominated = false;
+        for (const auto &q : points) {
+            if (q.index == p.index)
+                continue;
+            if (q.rbe <= p.rbe && q.bound >= p.bound &&
+                (q.rbe < p.rbe || q.bound > p.bound))
+                dominated = true;
+        }
+        if (!dominated)
+            frontier.push_back(p.index);
+    }
+    return frontier;
+}
+
+/** 3×3 pinned grid: mshr × rob on the baseline. */
+std::vector<core::MachineConfig>
+pinnedGrid()
+{
+    std::vector<core::MachineConfig> grid;
+    for (unsigned mshr : {1u, 2u, 4u})
+        for (unsigned rob : {2u, 6u, 12u}) {
+            core::MachineConfig m = core::baselineModel();
+            m.lsu.mshr_entries = mshr;
+            m.rob_entries = rob;
+            grid.push_back(m);
+        }
+    return grid;
+}
+
+std::vector<trace::WorkloadProfile>
+pinnedProfiles()
+{
+    return {trace::espresso(), trace::nasa7()};
+}
+
+TEST(AnalyzeExplore, PinnedGridPreservesTrueParetoFrontier)
+{
+    const ExploreResult r =
+        exploreGrid(pinnedGrid(), pinnedProfiles(), {});
+    ASSERT_EQ(r.points.size(), 9u);
+
+    std::vector<std::size_t> expected = bruteForceFrontier(r.points);
+    std::vector<std::size_t> got = r.frontier;
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected)
+        << "explorer frontier disagrees with the dominance "
+           "definition";
+
+    // The grid must actually exercise pruning: a bigger ROB at the
+    // same 1-MSHR serialization bound costs RBE for nothing.
+    EXPECT_LT(r.frontier.size(), r.points.size());
+}
+
+TEST(AnalyzeExplore, DominatedPointsCarryValidWitness)
+{
+    const ExploreResult r =
+        exploreGrid(pinnedGrid(), pinnedProfiles(), {});
+    std::size_t dominated = 0;
+    for (const auto &p : r.points) {
+        if (!p.dominated) {
+            EXPECT_EQ(p.dominated_by, NOT_DOMINATED);
+            continue;
+        }
+        ++dominated;
+        ASSERT_LT(p.dominated_by, r.points.size());
+        const GridPointModel &by = r.points[p.dominated_by];
+        EXPECT_LE(by.rbe, p.rbe);
+        EXPECT_GE(by.bound, p.bound);
+        EXPECT_TRUE(by.rbe < p.rbe || by.bound > p.bound)
+            << "witness does not strictly dominate";
+        EXPECT_FALSE(by.dominated && by.dominated_by == p.index)
+            << "mutual domination is impossible under strictness";
+    }
+    // One AUR043 per dominated point, tagged with its grid index.
+    std::vector<int> jobs;
+    for (const auto &d : r.diagnostics)
+        if (d.id == "AUR043") {
+            EXPECT_EQ(d.severity, Severity::Warning);
+            jobs.push_back(d.job);
+        }
+    EXPECT_EQ(jobs.size(), dominated);
+    for (const int job : jobs) {
+        ASSERT_GE(job, 0);
+        ASSERT_LT(std::size_t(job), r.points.size());
+        EXPECT_TRUE(r.points[job].dominated);
+    }
+}
+
+TEST(AnalyzeExplore, EqualPointsNeverPruneEachOther)
+{
+    // Three byte-identical machines: none strictly dominates, all
+    // stay on the frontier.
+    std::vector<core::MachineConfig> grid(3, core::baselineModel());
+    const ExploreResult r =
+        exploreGrid(grid, pinnedProfiles(), {});
+    EXPECT_EQ(r.frontier.size(), 3u);
+    for (const auto &p : r.points)
+        EXPECT_FALSE(p.dominated);
+    for (const auto &d : r.diagnostics)
+        EXPECT_NE(d.id, "AUR043");
+}
+
+TEST(AnalyzeExplore, MinIpcFloorTagsPointsBelow)
+{
+    ExploreOptions opts;
+    opts.min_ipc = 1.6; // between the 1-MSHR bound and the rest
+    const ExploreResult r =
+        exploreGrid(pinnedGrid(), {trace::espresso()}, opts);
+    for (const auto &p : r.points) {
+        bool flagged = false;
+        for (const auto &d : r.diagnostics)
+            if (d.id == "AUR042" && d.job == int(p.index))
+                flagged = true;
+        EXPECT_EQ(flagged, p.bound < opts.min_ipc)
+            << "point " << p.index;
+    }
+}
+
+TEST(AnalyzeExplore, DeterministicAndOrdered)
+{
+    const ExploreResult a =
+        exploreGrid(pinnedGrid(), pinnedProfiles(), {});
+    const ExploreResult b =
+        exploreGrid(pinnedGrid(), pinnedProfiles(), {});
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        EXPECT_EQ(a.points[i].rbe, b.points[i].rbe);
+        EXPECT_EQ(a.points[i].bound, b.points[i].bound);
+        EXPECT_EQ(a.points[i].dominated, b.points[i].dominated);
+        EXPECT_EQ(a.points[i].dominated_by, b.points[i].dominated_by);
+    }
+    EXPECT_EQ(a.frontier, b.frontier);
+    // Frontier is sorted cheapest-first.
+    for (std::size_t i = 1; i < a.frontier.size(); ++i)
+        EXPECT_LE(a.points[a.frontier[i - 1]].rbe,
+                  a.points[a.frontier[i]].rbe);
+}
+
+TEST(AnalyzeExplore, RandomGridsKeepFrontierExact)
+{
+    std::mt19937 rng(99);
+    const auto profiles = pinnedProfiles();
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<core::MachineConfig> grid;
+        const std::size_t n = 4 + rng() % 12;
+        for (std::size_t i = 0; i < n; ++i) {
+            core::MachineConfig m = core::baselineModel();
+            m.lsu.mshr_entries = 1 + rng() % 6;
+            m.rob_entries = 2 + rng() % 12;
+            m.write_cache.lines = 1 + rng() % 8;
+            m.fpu.inst_queue = 1 + rng() % 7;
+            grid.push_back(m);
+        }
+        const ExploreResult r = exploreGrid(grid, profiles, {});
+        std::vector<std::size_t> expected =
+            bruteForceFrontier(r.points);
+        std::vector<std::size_t> got = r.frontier;
+        std::sort(got.begin(), got.end());
+        std::sort(expected.begin(), expected.end());
+        EXPECT_EQ(got, expected) << "trial " << trial;
+    }
+}
+
+} // namespace

@@ -292,4 +292,91 @@ TEST(LintCatalog, JsonOutputIsWellFormedEnoughForCi)
         << json;
 }
 
+TEST(LintCatalog, JsonEndsWithExactlyOneNewline)
+{
+    // CI pipes concatenate these reports; a missing or doubled
+    // trailing newline breaks line-oriented consumers byte-for-byte.
+    MachineConfig m = baselineModel();
+    m.rob_entries = 0;
+    m.lsu.mshr_entries = 0;
+    for (const auto &findings :
+         {lintConfig(m), std::vector<Diagnostic>{}}) {
+        const std::string json = analyze::toJson(findings);
+        ASSERT_GE(json.size(), 2u);
+        EXPECT_EQ(json.back(), '\n');
+        EXPECT_NE(json[json.size() - 2], '\n')
+            << "doubled trailing newline";
+    }
+}
+
+TEST(LintCatalog, SortDiagnosticsOrdersByIdThenJobThenField)
+{
+    auto mk = [](const char *id, int job, const char *field) {
+        Diagnostic d;
+        d.id = id;
+        d.job = job;
+        d.field = field;
+        return d;
+    };
+    std::vector<Diagnostic> diags = {
+        mk("AUR043", 2, "grid"),  mk("AUR040", 1, "mshr"),
+        mk("AUR040", -1, "rob"),  mk("AUR043", 0, "grid"),
+        mk("AUR040", 1, "fetch"), mk("AUR001", 5, "rob"),
+    };
+    analyze::sortDiagnostics(diags);
+    ASSERT_EQ(diags.size(), 6u);
+    EXPECT_EQ(diags[0].id, "AUR001");
+    EXPECT_EQ(diags[1].id, "AUR040");
+    EXPECT_EQ(diags[1].job, -1); // whole-artifact before job-indexed
+    EXPECT_EQ(diags[2].field, "fetch"); // same (id, job): field order
+    EXPECT_EQ(diags[3].field, "mshr");
+    EXPECT_EQ(diags[4].job, 0);
+    EXPECT_EQ(diags[5].job, 2);
+
+    // Sorting is the byte-stability guarantee: repeat is identical.
+    std::vector<Diagnostic> again = diags;
+    analyze::sortDiagnostics(again);
+    EXPECT_EQ(analyze::toJson(again), analyze::toJson(diags));
+}
+
+TEST(LintCatalog, JobIndexRendersInTextAndJson)
+{
+    Diagnostic d =
+        analyze::makeDiagnostic("AUR043", "grid", "7", "dominated");
+    d.job = 7;
+    EXPECT_NE(d.toString().find("[job 7]"), std::string::npos)
+        << d.toString();
+    const std::string json = analyze::toJson({d});
+    EXPECT_NE(json.find("\"job\": 7"), std::string::npos) << json;
+
+    // Unset job stays out of both renderings entirely.
+    Diagnostic plain =
+        analyze::makeDiagnostic("AUR001", "rob", "0", "empty");
+    EXPECT_EQ(plain.toString().find("[job"), std::string::npos);
+    EXPECT_EQ(analyze::toJson({plain}).find("\"job\""),
+              std::string::npos);
+}
+
+TEST(LintCatalog, NearestIdsRankNumericNeighboursFirst)
+{
+    // AUR044 doesn't exist; its numeric neighbours are the model
+    // advisories right below it.
+    const auto near = analyze::nearestDiagnosticIds("AUR044", 3);
+    ASSERT_EQ(near.size(), 3u);
+    EXPECT_EQ(near[0], "AUR043");
+    EXPECT_EQ(near[1], "AUR042");
+    EXPECT_EQ(near[2], "AUR041");
+
+    // Non-numeric garbage falls back to edit distance but still
+    // returns a deterministic, catalog-sized-capped list.
+    const auto typo = analyze::nearestDiagnosticIds("AUX001", 3);
+    ASSERT_EQ(typo.size(), 3u);
+    EXPECT_EQ(typo[0], "AUR001");
+    EXPECT_EQ(typo, analyze::nearestDiagnosticIds("AUX001", 3));
+
+    // Never suggests more than the catalog holds.
+    EXPECT_LE(analyze::nearestDiagnosticIds("zzz", 500).size(),
+              analyze::catalog().size());
+}
+
 } // namespace

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Property tests for the analytic bound-and-bottleneck model.
+ *
+ * The model's whole value is its contract, so the tests state it
+ * directly: on any *valid* configuration the predicted bound is
+ * finite and positive, bit-identically deterministic, monotone
+ * non-decreasing when any single resource is enlarged, and — the
+ * load-bearing property — an upper bound on the IPC the simulator
+ * actually achieves. The pinned model×profile grid is additionally
+ * golden-checked (tests/golden/model_bounds.txt) so a formula change
+ * shows up as a reviewable diff, not a silent re-ranking of every
+ * grid the explorer prunes.
+ *
+ * Regenerate the snapshot intentionally with:
+ *
+ *     AURORA_UPDATE_GOLDEN=1 ./test_analyze_model
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/lint_config.hh"
+#include "analyze/model.hh"
+#include "core/simulator.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace aurora;
+using namespace aurora::analyze;
+
+std::vector<trace::WorkloadProfile>
+allProfiles()
+{
+    auto profiles = trace::integerSuite();
+    for (const auto &p : trace::floatSuite())
+        profiles.push_back(p);
+    return profiles;
+}
+
+/**
+ * A random configuration that passes validate()/lintConfig errors:
+ * every knob inside its legal range, cross-field constraints (fetch
+ * = issue, retire >= issue, shared line size) respected.
+ */
+core::MachineConfig
+randomValidConfig(std::mt19937 &rng)
+{
+    auto pick = [&rng](unsigned lo, unsigned hi) {
+        return lo + rng() % (hi - lo + 1);
+    };
+    core::MachineConfig m = core::baselineModel();
+    m.name = "random";
+    m.issue_width = pick(1, 2);
+    m.ifu.fetch_width = m.issue_width;
+    m.retire_width = pick(m.issue_width, 4);
+    m.rob_entries = pick(1, 16);
+    m.ifu.icache_bytes = 1024u << pick(0, 3);
+    m.lsu.dcache_bytes = 16384u << pick(0, 2);
+    m.lsu.mshr_entries = pick(1, 8);
+    m.lsu.dcache_latency = pick(1, 4);
+    m.write_cache.lines = pick(1, 8);
+    m.prefetch.enabled = pick(0, 1) != 0;
+    m.prefetch.num_buffers = pick(1, 8);
+    m.prefetch.depth = pick(1, 2);
+    m.biu.latency = pick(10, 40);
+    m.biu.queue_depth = pick(4, 16);
+    m.fpu.policy = static_cast<fpu::IssuePolicy>(pick(0, 2));
+    m.fpu.inst_queue = pick(1, 8);
+    m.fpu.load_queue = pick(1, 4);
+    m.fpu.store_queue = pick(1, 4);
+    m.fpu.rob_entries = pick(1, 12);
+    m.fpu.result_buses = pick(1, 3);
+    m.fpu.add = {pick(1, 5), pick(0, 1) != 0};
+    m.fpu.mul = {pick(1, 8), pick(0, 1) != 0};
+    m.fpu.div = {pick(10, 40), false};
+    m.fpu.cvt = {pick(1, 5), pick(0, 1) != 0};
+    return m;
+}
+
+TEST(AnalyzeModel, FinitePositiveAndDeterministic)
+{
+    std::mt19937 rng(20260807);
+    const auto profiles = allProfiles();
+    for (int trial = 0; trial < 40; ++trial) {
+        const core::MachineConfig m = randomValidConfig(rng);
+        ASSERT_FALSE(hasErrors(lintConfig(m)))
+            << "test generator produced an invalid config";
+        for (const auto &p : profiles) {
+            const ModelResult a = predictBound(m, p);
+            EXPECT_GT(a.ipc_bound, 0.0) << p.name;
+            EXPECT_LE(a.ipc_bound, m.issue_width) << p.name;
+            EXPECT_GT(a.cpi_bound, 0.0) << p.name;
+            EXPECT_LT(a.rbe_total, 1e7) << p.name;
+
+            // Bit-identical on repeat — the determinism contract.
+            const ModelResult b = predictBound(m, p);
+            EXPECT_EQ(a.ipc_bound, b.ipc_bound) << p.name;
+            EXPECT_EQ(a.binding, b.binding) << p.name;
+            for (std::size_t s = 0; s < NUM_RESOURCES; ++s) {
+                EXPECT_EQ(a.resources[s].demand,
+                          b.resources[s].demand);
+                EXPECT_EQ(a.resources[s].ipc_bound,
+                          b.resources[s].ipc_bound);
+            }
+        }
+    }
+}
+
+/** Every single-knob enlargement the monotonicity contract covers. */
+std::vector<core::MachineConfig>
+enlargements(const core::MachineConfig &m)
+{
+    std::vector<core::MachineConfig> out;
+    auto with = [&](auto mutate) {
+        core::MachineConfig grown = m;
+        mutate(grown);
+        out.push_back(grown);
+    };
+    with([](auto &c) { c.rob_entries += 4; });
+    with([](auto &c) { c.retire_width += 1; });
+    with([](auto &c) { c.ifu.icache_bytes *= 2; });
+    with([](auto &c) { c.lsu.dcache_bytes *= 2; });
+    with([](auto &c) { c.lsu.mshr_entries += 2; });
+    with([](auto &c) { c.write_cache.lines += 2; });
+    with([](auto &c) { c.prefetch.num_buffers += 2; });
+    with([](auto &c) { c.biu.queue_depth += 4; });
+    with([](auto &c) { c.fpu.inst_queue += 3; });
+    with([](auto &c) { c.fpu.load_queue += 2; });
+    with([](auto &c) { c.fpu.store_queue += 2; });
+    with([](auto &c) { c.fpu.rob_entries += 4; });
+    with([](auto &c) { c.fpu.result_buses += 1; });
+    with([](auto &c) {
+        if (c.issue_width == 1) {
+            c.issue_width = 2;
+            c.ifu.fetch_width = 2;
+            c.retire_width = std::max(c.retire_width, 2u);
+        }
+    });
+    return out;
+}
+
+TEST(AnalyzeModel, MonotoneUnderSingleResourceEnlargement)
+{
+    std::mt19937 rng(7);
+    const auto profiles = allProfiles();
+    std::vector<core::MachineConfig> bases = {
+        core::smallModel(), core::baselineModel(), core::largeModel()};
+    for (int trial = 0; trial < 15; ++trial)
+        bases.push_back(randomValidConfig(rng));
+
+    for (const auto &base : bases) {
+        for (const auto &p : profiles) {
+            const double before = predictBound(base, p).ipc_bound;
+            for (const auto &grown : enlargements(base)) {
+                const double after = predictBound(grown, p).ipc_bound;
+                EXPECT_GE(after, before)
+                    << p.name << " @ " << base.name
+                    << ": enlarging a resource lowered the bound";
+            }
+        }
+    }
+}
+
+/** The pinned (model × profile) calibration grid. */
+std::vector<std::pair<core::MachineConfig, trace::WorkloadProfile>>
+pinnedGrid()
+{
+    std::vector<std::pair<core::MachineConfig, trace::WorkloadProfile>>
+        grid;
+    for (const auto &machine : core::studyModels())
+        for (const auto &profile :
+             {trace::espresso(), trace::li(), trace::nasa7(),
+              trace::ora()})
+            grid.emplace_back(machine, profile);
+    return grid;
+}
+
+constexpr Count PINNED_INSTS = 30000;
+
+std::string
+goldenPath()
+{
+    return std::string(AURORA_GOLDEN_DIR) + "/model_bounds.txt";
+}
+
+std::vector<std::string>
+computeLines()
+{
+    std::vector<std::string> lines;
+    for (const auto &[machine, profile] : pinnedGrid()) {
+        const ModelResult r = predictBound(machine, profile);
+        std::ostringstream os;
+        char bound[32];
+        std::snprintf(bound, sizeof(bound), "%.6f", r.ipc_bound);
+        os << "model=" << machine.name << " bench=" << profile.name
+           << " ipc_bound=" << bound
+           << " binding=" << resourceName(r.binding);
+        lines.push_back(os.str());
+    }
+    return lines;
+}
+
+TEST(AnalyzeModel, BoundDominatesSimulatedIpcOnPinnedGrid)
+{
+    for (const auto &[machine, profile] : pinnedGrid()) {
+        const ModelResult r = predictBound(machine, profile);
+        const core::RunResult run =
+            core::simulate(machine, profile, PINNED_INSTS);
+        const double measured =
+            double(run.instructions) / double(run.cycles);
+        EXPECT_GE(r.ipc_bound, measured)
+            << machine.name << " × " << profile.name
+            << ": the 'bound' is below what the simulator achieved "
+               "— an estimate stopped being optimistic";
+    }
+}
+
+TEST(AnalyzeModel, PinnedGridMatchesGoldenSnapshot)
+{
+    const auto lines = computeLines();
+
+    if (const char *update = std::getenv("AURORA_UPDATE_GOLDEN");
+        update && std::string(update) == "1") {
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << "# analytic IPC bounds: 3 Table 1 models x 4-profile "
+               "mini-suite\n"
+            << "# regenerate: AURORA_UPDATE_GOLDEN=1 "
+               "./test_analyze_model\n";
+        for (const auto &line : lines)
+            out << line << "\n";
+        GTEST_SKIP() << "golden snapshot regenerated at "
+                     << goldenPath();
+    }
+
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in) << "missing golden snapshot " << goldenPath()
+                    << " — run with AURORA_UPDATE_GOLDEN=1 to create";
+    std::vector<std::string> golden;
+    for (std::string line; std::getline(in, line);)
+        if (!line.empty() && line[0] != '#')
+            golden.push_back(line);
+
+    ASSERT_EQ(golden.size(), lines.size());
+    for (std::size_t i = 0; i < lines.size(); ++i)
+        EXPECT_EQ(lines[i], golden[i])
+            << "model prediction changed at grid point " << i
+            << " — if intentional, regenerate with "
+               "AURORA_UPDATE_GOLDEN=1 and justify in the PR";
+}
+
+TEST(AnalyzeModel, AdviceNamesBindingResourcePerProfile)
+{
+    const auto profiles = allProfiles();
+    const auto diags =
+        adviseModel(core::baselineModel(), profiles, {});
+    std::size_t aur040 = 0;
+    for (const auto &d : diags) {
+        EXPECT_EQ(d.severity, Severity::Warning)
+            << d.id << ": model advisories must never gate";
+        if (d.id == "AUR040")
+            ++aur040;
+    }
+    EXPECT_EQ(aur040, profiles.size());
+    EXPECT_FALSE(hasErrors(diags));
+}
+
+TEST(AnalyzeModel, MinIpcFloorEmitsAur042)
+{
+    const std::vector<trace::WorkloadProfile> one = {
+        trace::espresso()};
+    AdviseOptions opts;
+    opts.min_ipc = 10.0; // far above any achievable bound
+    const auto diags =
+        adviseModel(core::smallModel(), one, opts);
+    bool found = false;
+    for (const auto &d : diags)
+        found = found || d.id == "AUR042";
+    EXPECT_TRUE(found);
+
+    opts.min_ipc = 0.0;
+    for (const auto &d :
+         adviseModel(core::smallModel(), one, opts))
+        EXPECT_NE(d.id, "AUR042") << "floor disabled but AUR042 fired";
+}
+
+TEST(AnalyzeModel, OverProvisionedStructureEmitsAur041)
+{
+    // A grotesquely oversized IPU ROB on the small machine: its
+    // station bound dwarfs the machine's overall bound on every
+    // profile, and at 200 RBE/entry it is well past the price floor.
+    core::MachineConfig m = core::smallModel();
+    m.rob_entries = 64;
+    bool found = false;
+    for (const auto &d : adviseModel(m, allProfiles(), {}))
+        found = found || (d.id == "AUR041" && d.field == "rob");
+    EXPECT_TRUE(found);
+}
+
+TEST(AnalyzeModel, PricedRbeClampsExtremeLatencies)
+{
+    // Valid latencies outside Table 2's published price range must
+    // price at the clamped endpoint, not assert (cost::fpuRbe would).
+    core::MachineConfig m = core::baselineModel();
+    m.fpu.mul = {200, true};
+    m.fpu.div = {200, false};
+    const double rbe = pricedRbe(m);
+    EXPECT_GT(rbe, 0.0);
+
+    // Clamped extreme latency prices exactly like the slow endpoint.
+    core::MachineConfig slow = core::baselineModel();
+    slow.fpu.mul = {5, true};
+    slow.fpu.div = {30, false};
+    EXPECT_EQ(rbe, pricedRbe(slow));
+}
+
+} // namespace

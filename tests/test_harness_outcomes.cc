@@ -439,6 +439,73 @@ TEST(SweepPreflight, EnvironmentVariableDisablesIt)
     EXPECT_TRUE(fresh.preflightEnabled());
 }
 
+TEST(SweepPreflight, ModelAdvisorIsProvablyInert)
+{
+    // The analytic preflight advisor is log-only. With it on, every
+    // outcome must be bit-identical to the advisor-off run — same
+    // cycles, same occupancy stats, same report — or "advisory"
+    // would be a lie.
+    std::vector<SweepJob> grid;
+    for (const auto &name : {"espresso", "li", "nasa7", "ora"})
+        grid.push_back(
+            {baselineModel(), trace::profileByName(name), 5000});
+
+    SweepOptions off;
+    off.workers = 2;
+    off.base_seed = 0xfeedface;
+    off.model_advice = false;
+    SweepRunner quiet(off);
+    const auto baseline = quiet.runOutcomes(grid);
+
+    SweepOptions on = off;
+    on.model_advice = true;
+    SweepRunner advised(on);
+    ASSERT_TRUE(advised.modelAdviceEnabled());
+    const auto outcomes = advised.runOutcomes(grid);
+
+    ASSERT_EQ(outcomes.size(), baseline.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        ASSERT_TRUE(outcomes[i].ok) << outcomes[i].error;
+        expectRunEq(outcomes[i].result, baseline[i].result);
+    }
+    EXPECT_EQ(advised.report().ok_jobs, quiet.report().ok_jobs);
+
+    // Under a starved cycle budget the advisor predicts the doom up
+    // front (its budget-warning branch) — but the *outcome* is the
+    // watchdog's call either way, advisor on or off.
+    SweepOptions tight_off = off;
+    tight_off.watchdog = WatchdogConfig{0, 100};
+    SweepOptions tight_on = tight_off;
+    tight_on.model_advice = true;
+    SweepRunner doomed_quiet(tight_off);
+    SweepRunner doomed_advised(tight_on);
+    const auto doomed_a = doomed_quiet.runOutcomes(grid);
+    const auto doomed_b = doomed_advised.runOutcomes(grid);
+    ASSERT_EQ(doomed_a.size(), doomed_b.size());
+    for (std::size_t i = 0; i < doomed_a.size(); ++i) {
+        SCOPED_TRACE("budget-limited job " + std::to_string(i));
+        EXPECT_EQ(doomed_a[i].ok, doomed_b[i].ok);
+        EXPECT_EQ(doomed_a[i].code, doomed_b[i].code);
+    }
+}
+
+TEST(SweepPreflight, ModelAdvisorDefaultsOffAndEnvEnablesIt)
+{
+    SweepRunner fresh;
+    EXPECT_FALSE(fresh.modelAdviceEnabled());
+
+    ASSERT_EQ(setenv("AURORA_PREFLIGHT_MODEL", "1", 1), 0);
+    SweepRunner env_on;
+    EXPECT_TRUE(env_on.modelAdviceEnabled());
+    // An explicit option always beats the environment.
+    SweepOptions opts;
+    opts.model_advice = false;
+    SweepRunner opt_off(opts);
+    EXPECT_FALSE(opt_off.modelAdviceEnabled());
+    ASSERT_EQ(unsetenv("AURORA_PREFLIGHT_MODEL"), 0);
+}
+
 TEST(SweepOutcomes, RetryBackoffDelaysTheSecondAttempt)
 {
     std::atomic<unsigned> calls{0};
