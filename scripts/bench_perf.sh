@@ -23,7 +23,10 @@
 # section runs the identical grid through aurora_swarm with 1, 2, and
 # 4 fork-mode shard workers and reports the same throughput numbers
 # plus the speedup against the serial sweep — the scale-out
-# trajectory next to the single-process one. The model section tracks
+# trajectory next to the single-process one. The serve_latency
+# section runs a burst of grids through a live aurora_serve daemon
+# and records submit→first-Result and submit→GridDone percentiles
+# from the daemon's own metrics exposition. The model section tracks
 # the analytic bound's calibration gap against measured IPC and the
 # wall-clock cost of pruning a 1000-point analyze-grid cross product.
 set -euo pipefail
@@ -45,10 +48,14 @@ done
 
 cmake --preset release
 cmake --build --preset release -j "$(nproc)" \
-    --target bench_perf_microbench aurora_sim aurora_swarm aurora_lint
+    --target bench_perf_microbench aurora_sim aurora_swarm aurora_lint \
+             aurora_serve aurora_submit aurora_top
 sim=build/tools/aurora_sim
 swarm=build/tools/aurora_swarm
 lint=build/tools/aurora_lint
+serve=build/tools/aurora_serve
+submit=build/tools/aurora_submit
+top=build/tools/aurora_top
 
 dir="$(mktemp -d)"
 trap 'rm -rf "${dir}"' EXIT
@@ -134,6 +141,59 @@ benches="espresso li eqntott compress sc gcc \
     printf '\n]'
 } > "${dir}/shard_sweep.json"
 
+# ---- serve-path latency ---------------------------------------------
+# Submit→first-Result and submit→GridDone percentiles for a burst of
+# small single-bench grids, as measured by the daemon's own latency
+# histograms and scraped through the Metrics wire request — the same
+# numbers aurora_top shows live, so the baseline and the console can
+# never disagree about what "latency" means.
+serve_grids="${AURORA_BENCH_PERF_SERVE_GRIDS:-12}"
+rm -rf "${dir}/serve_spool" "${dir}/serve.sock"
+"${serve}" --socket "${dir}/serve.sock" --spool "${dir}/serve_spool" \
+    --workers 2 --quiet &
+serve_pid=$!
+i=0
+while [ ! -S "${dir}/serve.sock" ] && [ "${i}" -lt 100 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+for g in $(seq 1 "${serve_grids}"); do
+    # Distinct base seeds keep the fingerprints unique, so every
+    # submission is a fresh grid, not an attach to the previous one.
+    "${submit}" --socket "${dir}/serve.sock" --tenant bench \
+        --bench espresso --insts "${insts}" --base-seed "${g}" \
+        --quiet --timeout-ms 120000 > /dev/null
+done
+"${top}" --socket "${dir}/serve.sock" --raw prom \
+    --timeout-ms 120000 > "${dir}/serve_prom.txt"
+kill -TERM "${serve_pid}"
+wait "${serve_pid}"
+quantile() { # metric quantile -> value
+    awk -v m="aurora_serve_$1" -v q="$2" \
+        '$1 == m "{quantile=\"" q "\"}" { print $2; found = 1 }
+         END { if (!found) print 0 }' "${dir}/serve_prom.txt"
+}
+metric_count() {
+    awk -v m="aurora_serve_$1_count" \
+        '$1 == m { print $2; found = 1 } END { if (!found) print 0 }' \
+        "${dir}/serve_prom.txt"
+}
+{
+    printf '{\n  "grids": %d,\n' "${serve_grids}"
+    printf '  "submit_to_first_result_ms": '
+    printf '{"p50": %s, "p90": %s, "p99": %s, "count": %s},\n' \
+        "$(quantile submit_to_first_result_ms 0.5)" \
+        "$(quantile submit_to_first_result_ms 0.9)" \
+        "$(quantile submit_to_first_result_ms 0.99)" \
+        "$(metric_count submit_to_first_result_ms)"
+    printf '  "submit_to_grid_done_ms": '
+    printf '{"p50": %s, "p90": %s, "p99": %s, "count": %s}\n}' \
+        "$(quantile submit_to_grid_done_ms 0.5)" \
+        "$(quantile submit_to_grid_done_ms 0.9)" \
+        "$(quantile submit_to_grid_done_ms 0.99)" \
+        "$(metric_count submit_to_grid_done_ms)"
+} > "${dir}/serve_latency.json"
+
 # ---- analytic model: calibration gap + grid-pruning throughput ------
 # The calibration harness reruns the fig4/fig9 study grids and reports
 # how tight the static bound is against measured IPC (soundness is its
@@ -164,7 +224,7 @@ grid_points=$(($(wc -l < "${dir}/grid.csv") - 1))
 # ---- assemble -------------------------------------------------------
 {
     printf '{\n'
-    printf '"schema": "aurora.bench_perf.v3",\n'
+    printf '"schema": "aurora.bench_perf.v4",\n'
     printf '"insts_per_bench": %d,\n' "${insts}"
     awk -v insts="${total_insts}" -v cycles="${total_cycles}" \
         -v ns="${total_ns}" 'BEGIN {
@@ -179,6 +239,8 @@ grid_points=$(($(wc -l < "${dir}/grid.csv") - 1))
     cat "${dir}/sweep.json"
     printf ',\n"shard_sweep": '
     cat "${dir}/shard_sweep.json"
+    printf ',\n"serve_latency": '
+    cat "${dir}/serve_latency.json"
     printf ',\n"model": '
     cat "${dir}/model.json"
     printf ',\n"microbench": '
@@ -188,8 +250,10 @@ grid_points=$(($(wc -l < "${dir}/grid.csv") - 1))
 
 # Validate when a JSON tool is on the host; absence is a skip.
 if command -v jq > /dev/null 2>&1; then
-    jq -e '.schema == "aurora.bench_perf.v3"' "${out}" > /dev/null
+    jq -e '.schema == "aurora.bench_perf.v4"' "${out}" > /dev/null
     jq -e '.model.calibration.violations == 0' "${out}" > /dev/null
+    jq -e '.serve_latency.submit_to_grid_done_ms.count ==
+           .serve_latency.grids' "${out}" > /dev/null
     jq -e '.microbench.context | has("date") or has("host_name") | not' \
         "${out}" > /dev/null
     echo "bench_perf: ${out} validated"
@@ -200,6 +264,12 @@ fi
 # the headline throughput numbers, so regressions are a `jq` over the
 # trend file away without ever dirtying the committed baseline.
 if [ "${append}" -eq 1 ]; then
+    # First --append on a fresh checkout: the trend file (or the
+    # directory an AURORA_BENCH_PERF_TREND override points into) may
+    # not exist yet — create it instead of failing, so trend
+    # collection can start from commit one.
+    mkdir -p "$(dirname "${trend}")"
+    touch "${trend}"
     {
         printf '{"date": "%s", "host_name": "%s", ' \
             "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(hostname)"
@@ -218,6 +288,8 @@ if [ "${append}" -eq 1 ]; then
                 printf "\"model_grid_points_per_sec\": %.1f, ",
                        points / (ns / 1e9)
             }' "${dir}/model_cal.json"
+        printf '"serve_grid_done_p50_ms": %s, ' \
+            "$(quantile submit_to_grid_done_ms 0.5)"
         printf '"shard_insts_per_sec": '
         awk '/"shards"/ {
             n = $0; gsub(/.*"insts_per_sec": /, "", n)

@@ -147,7 +147,44 @@ run_obs() {
         AURORA_TIMELINE_OUT="${dir}/fault_storm.json" \
         build/bench/bench_ext_fault_storm > /dev/null
     "${check}" trace "${dir}/fault_storm.json"
-    echo "obs drill: every exporter validated"
+
+    # Fleet chaos drill: a two-shard swarm grid with one shard
+    # SIGKILLed mid-grid, causal tracing and the flight recorder on.
+    # The dead worker leaves a write-through flight file that must
+    # validate, the coordinator's fence record must name the epoch
+    # that actually welcomed that worker, the merged trace must close
+    # its parentage, and the CSV must stay byte-identical to serial —
+    # observability on, chaos on, results unchanged.
+    cmake --build --preset release -j "$(nproc)" \
+        --target aurora_swarm
+    local swarm=build/tools/aurora_swarm
+    local obsdir="${dir}/swarm_jd/obs"
+    "${swarm}" --socket "${dir}/swarm.sock" \
+        --journal-dir "${dir}/swarm_jd" --shards 2 --bench int \
+        --insts "${insts}" --fault 0:kill-shard:1 --stats \
+        --trace-out "${dir}/fleet.json" --csv \
+        > "${dir}/fleet.csv" 2> "${dir}/fleet.log"
+    "${sim}" --bench int --insts "${insts}" --csv \
+        > "${dir}/fleet_serial.csv"
+    cmp "${dir}/fleet.csv" "${dir}/fleet_serial.csv"
+    grep -q 'migrated=[1-9]' "${dir}/fleet.log"
+    "${check}" trace "${dir}/fleet.json" | grep -q 'parentage closed'
+    "${check}" flight "${obsdir}/swarm.flight"
+    local flight epoch
+    for flight in "${obsdir}"/shard-e*.flight; do
+        "${check}" flight "${flight}"
+    done
+    # The fence record's epoch must match a worker that actually
+    # welcomed under that epoch — the postmortem join the flight
+    # recorder exists for.
+    epoch="$(grep '"event": "lease.fence"' "${obsdir}/swarm.flight" \
+        | head -n 1 | grep -o '"detail": "epoch=[0-9]*' \
+        | grep -o '[0-9]*$')"
+    [ -n "${epoch}" ]
+    grep -q "\"event\": \"welcome\".*epoch=${epoch} " \
+        "${obsdir}/shard-e${epoch}.flight"
+    "${check}" postmortem "${obsdir}" 6 | grep -q 'fence @'
+    echo "obs drill: every exporter validated, fleet chaos traced"
 }
 
 # Service load drill against the real daemon and client binaries.

@@ -32,8 +32,12 @@ cd "$(dirname "$0")/.."
 # the RBE pricer feed golden-checked predictions (tests/golden/
 # model_bounds.txt) and grid pruning decisions: a clock, random, or
 # raw-env read there would silently re-rank every explored grid.
+# src/obs is covered because the tracing/metrics plane must be
+# provably inert: span ids are pure functions of the trace id, and
+# flight/span timestamps come from steady clocks only — a wall-clock
+# or random read there could leak back into golden-checked output.
 DIRS=(src/core src/ipu src/fpu src/mem src/trace src/telemetry
-      src/serve src/shard src/analyze src/cost)
+      src/serve src/shard src/analyze src/cost src/obs)
 STATUS=0
 
 # pattern -> human explanation. Word boundaries keep e.g.

@@ -497,7 +497,7 @@ SweepRunner::runOutcomes(const std::vector<SweepJob> &grid)
             if (!replayed[i])
                 continue;
             TimelineSpan span;
-            span.job = i;
+            span.job = options_.timeline_job_base + i;
             span.label = grid[i].profile.name + "@" +
                          grid[i].machine.name;
             span.attempt = 0;
@@ -657,7 +657,9 @@ SweepRunner::executeOutcomes(
     const std::atomic<bool> *cancel = options_.cancel;
     parallelFor(n, pool, [&](std::size_t i) {
         SweepOutcome &out = outcomes[i];
-        const std::size_t job = grid_indices ? (*grid_indices)[i] : i;
+        const std::size_t job =
+            options_.timeline_job_base +
+            (grid_indices ? (*grid_indices)[i] : i);
         WallTimer job_timer;
         for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
             // Cooperative cancellation: refuse to *start* an attempt

@@ -219,6 +219,15 @@ struct SweepOptions
     SweepTimeline *timeline = nullptr;
 
     /**
+     * Offset added to every timeline span's job index. The service
+     * and shard paths execute one-job sub-grids through a shared
+     * grid-wide timeline; the base maps the sub-grid's job 0 back to
+     * its true grid index so the merged trace parents attempts under
+     * the right job span. Ignored when no timeline is attached.
+     */
+    std::size_t timeline_job_base = 0;
+
+    /**
      * Cooperative cancellation for the outcome entry points: checked
      * before every job attempt. Once the flag reads true, jobs not
      * yet started (and pending retries) complete immediately as

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/ids.hh"
 #include "telemetry/trace_event.hh"
 #include "util/logging.hh"
 
@@ -35,9 +36,25 @@ SweepTimeline::workerId()
 }
 
 void
+SweepTimeline::setTrace(std::uint64_t trace_id)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    traceId_ = trace_id;
+}
+
+std::uint64_t
+SweepTimeline::traceId() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return traceId_;
+}
+
+void
 SweepTimeline::record(TimelineSpan span)
 {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (span.trace_id == 0)
+        span.trace_id = traceId_;
     spans_.push_back(std::move(span));
 }
 
@@ -84,6 +101,23 @@ writeTimelineTrace(std::ostream &os, const SweepTimeline &timeline,
         const double ts = span.start_ms * 1e3;
         const double dur = (span.end_ms - span.start_ms) * 1e3;
         std::vector<telemetry::TraceArg> args;
+        if (span.trace_id != 0) {
+            // u64 ids only survive JSON as strings; the derived span
+            // identity matches the fleet trace (obs/ids.hh) so a
+            // standalone timeline export and a merged fleet trace
+            // name the same attempt identically.
+            args.push_back(telemetry::traceArg(
+                "trace_id",
+                std::string_view(obs::hexId(span.trace_id))));
+            args.push_back(telemetry::traceArg(
+                "span_id",
+                std::string_view(obs::hexId(obs::attemptSpanId(
+                    span.trace_id, span.job, span.attempt)))));
+            args.push_back(telemetry::traceArg(
+                "parent_id",
+                std::string_view(obs::hexId(
+                    obs::jobSpanId(span.trace_id, span.job)))));
+        }
         args.push_back(telemetry::traceArg(
             "job", static_cast<std::uint64_t>(span.job)));
         args.push_back(telemetry::traceArg(

@@ -47,6 +47,10 @@ std::string_view spanKindName(SpanKind kind);
 /** One job attempt on the sweep timeline. */
 struct TimelineSpan
 {
+    /** Causal trace id of the owning grid (0 = untraced). Stamped by
+     *  SweepTimeline::record() from setTrace(); obs::spansFromTimeline
+     *  derives parented span ids from (trace, job, attempt). */
+    std::uint64_t trace_id = 0;
     /** Grid index of the job. */
     std::size_t job = 0;
     /** "benchmark@model" when known, else "job <index>". */
@@ -77,7 +81,12 @@ class SweepTimeline
     /** Dense id for the calling thread (first call assigns it). */
     std::uint32_t workerId();
 
-    /** Append one span. */
+    /** Grid trace id stamped onto every span recorded from now on
+     *  (0 = untraced, the default). */
+    void setTrace(std::uint64_t trace_id);
+    std::uint64_t traceId() const;
+
+    /** Append one span (trace_id filled from setTrace when unset). */
     void record(TimelineSpan span);
 
     /** Snapshot of every span recorded so far. */
@@ -88,6 +97,7 @@ class SweepTimeline
   private:
     mutable std::mutex mutex_;
     WallTimer timer_;
+    std::uint64_t traceId_ = 0;
     std::map<std::thread::id, std::uint32_t> workerIds_;
     std::vector<TimelineSpan> spans_;
 };

@@ -6,7 +6,9 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <iomanip>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -15,6 +17,10 @@
 #include "core/simulator.hh"
 #include "harness/journal.hh"
 #include "harness/sweep.hh"
+#include "harness/sweep_trace.hh"
+#include "obs/ids.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "shard/swarm.hh"
 #include "trace/spec_profiles.hh"
 #include "util/logging.hh"
@@ -171,15 +177,23 @@ buildJobs(const std::vector<wire::SubmitJob> &specs)
  *  installSignalHandlers); the handler only touches these. */
 volatile std::sig_atomic_t *g_drain_flag = nullptr;
 const util::WakePipe *g_drain_wake = nullptr;
+obs::FlightRecorder *g_flight = nullptr;
 
 extern "C" void
 auroraServeDrainSignal(int)
 {
+    if (g_flight != nullptr)
+        g_flight->dump("signal"); // async-signal-safe (write() only)
     if (g_drain_flag != nullptr)
         *g_drain_flag = 1;
     if (g_drain_wake != nullptr)
         g_drain_wake->notify();
 }
+
+/** Latency histograms: unit-width millisecond buckets; samples past
+ *  the last bucket land in the overflow (percentile() then reports
+ *  the max sample, which is the honest answer for a tail). */
+constexpr std::size_t LATENCY_BUCKETS_MS = 512;
 
 } // namespace
 
@@ -222,12 +236,24 @@ struct Server::Grid
      *  it would overtake the tail of the result stream. */
     std::size_t streamed = 0;
     bool done_notified = false;
+    /** submit→first-Result latency recorded (once per residency). */
+    bool first_result_recorded = false;
     /** MAN_CANCEL already appended to the manifest. */
     bool cancel_marked = false;
     std::atomic<bool> cancelled{false};
     std::unique_ptr<harness::JournalWriter> journal;
     WallTimer timer;
     std::size_t cadence = 1;
+
+    /** Causal trace id: client-supplied or minted from the
+     *  fingerprint, so a restarted daemon re-mints identically. */
+    std::uint64_t trace_id = 0;
+    /** Worker-path attempt spans (internally locked; observation
+     *  only — never feeds back into outcomes). */
+    harness::SweepTimeline timeline;
+    /** Service + fabric spans (admission, swarm supervision, folded
+     *  shard attempts); drained into the Chrome trace at completion. */
+    obs::SpanLog span_log;
 
     bool complete() const { return done == jobs.size(); }
 
@@ -250,6 +276,10 @@ Server::Server(ServerConfig config) : config_(std::move(config))
                          "binary path (--shardd) when --shards > 0");
     scheduler_ = Scheduler(config_.limits);
     fs::create_directories(config_.spool_dir);
+    flight_.spoolTo(config_.spool_dir + "/serve.flight");
+    flight_.note("startup", {},
+                 detail::concat("shards=", config_.shards,
+                                " workers=", config_.workers));
     loadSpool();
     listener_ = util::listenUnix(config_.socket_path);
 }
@@ -259,6 +289,7 @@ Server::~Server()
     if (g_drain_flag == &signal_drain_) {
         g_drain_flag = nullptr;
         g_drain_wake = nullptr;
+        g_flight = nullptr;
     }
     if (listener_.valid()) {
         listener_.reset();
@@ -276,6 +307,7 @@ Server::installSignalHandlers()
                   "handlers");
     g_drain_flag = &signal_drain_;
     g_drain_wake = &wake_;
+    g_flight = &flight_;
     struct sigaction sa = {};
     sa.sa_handler = auroraServeDrainSignal;
     sigemptyset(&sa.sa_mask);
@@ -397,6 +429,11 @@ Server::loadSpool()
                 config_.progress_every != 0
                     ? config_.progress_every
                     : std::max<std::size_t>(1, g->jobs.size() / 4);
+            // The trace id is a pure function of the fingerprint, so
+            // a restarted daemon re-mints the same id and the spans
+            // it emits land in the same trace as the first life's.
+            g->trace_id = obs::traceIdForGrid(g->fingerprint);
+            g->timeline.setTrace(g->trace_id);
             return g;
         };
 
@@ -480,6 +517,9 @@ Server::loadSpool()
         }
 
         ++resumed_grids_;
+        flight_.note("grid.resume", {},
+                     detail::concat("fp=", fp, " done=", grid->done,
+                                    "/", grid->jobs.size()));
         // Everything terminal at load time is delivered by attach
         // replay, never by streamOutcome().
         grid->streamed = grid->done;
@@ -513,6 +553,8 @@ Server::executeJob(Grid &grid, std::size_t index)
     options.backoff_ms = grid.backoff_ms;
     options.preflight = false; // linted once at admission
     options.cancel = &grid.cancelled;
+    options.timeline = &grid.timeline;
+    options.timeline_job_base = index;
     harness::SweepRunner runner(std::move(options));
     std::vector<harness::SweepOutcome> outcomes =
         runner.runOutcomes({grid.jobs[index]});
@@ -574,6 +616,10 @@ Server::shardMain()
     std::unique_ptr<shard::Swarm> swarm;
     const std::string socket = config_.spool_dir + "/swarm.sock";
     const std::string journal_dir = config_.spool_dir + "/swarm.jd";
+    // Fleet counters accumulate across grids inside the Swarm; the
+    // registry wants per-batch deltas, so remember the last snapshot
+    // (zeroed whenever the swarm is rebuilt).
+    shard::SwarmStats prev_stats;
     const auto fleet = [&]() -> shard::Swarm & {
         if (!swarm) {
             std::error_code ec;
@@ -581,6 +627,7 @@ Server::shardMain()
             shard::SwarmConfig sc;
             sc.socket_path = socket;
             sc.journal_dir = journal_dir;
+            sc.flight_dir = config_.spool_dir + "/swarm.obs";
             sc.shards = config_.shards;
             sc.spawn = shard::SpawnMode::Exec;
             sc.shardd_path = config_.shardd_path;
@@ -632,10 +679,53 @@ Server::shardMain()
         options.deadline_ms = grid->deadline_ms;
         options.backoff_ms = grid->backoff_ms;
         options.preflight = false; // linted once at admission
+        options.trace_id = grid->trace_id;
+        options.span_log = &grid->span_log;
 
         std::vector<harness::SweepOutcome> outcomes;
         try {
             outcomes = fleet().runGrid(jobs, options);
+            const shard::SwarmStats now = fleet().stats();
+            {
+                const std::lock_guard<std::mutex> mlock(
+                    metrics_mutex_);
+                const auto bump = [&](const char *name,
+                                      const char *desc,
+                                      std::uint64_t cur,
+                                      std::uint64_t before) {
+                    metrics_.counter(name, desc).add(cur - before);
+                };
+                bump("fleet.leases_granted", "shard leases granted",
+                     now.granted_leases, prev_stats.granted_leases);
+                bump("fleet.lease_expiries",
+                     "leases fenced for missed beats",
+                     now.lease_expiries, prev_stats.lease_expiries);
+                bump("fleet.shard_exits",
+                     "leases fenced for dropped connections",
+                     now.shard_exits, prev_stats.shard_exits);
+                bump("fleet.fenced_results",
+                     "stale-epoch results refused behind the fence",
+                     now.fenced_results, prev_stats.fenced_results);
+                bump("fleet.protocol_errors",
+                     "shard protocol violations", now.protocol_errors,
+                     prev_stats.protocol_errors);
+                bump("fleet.migrated_jobs",
+                     "tickets migrated off fenced incarnations",
+                     now.migrated_jobs, prev_stats.migrated_jobs);
+                bump("fleet.respawns",
+                     "replacement shard workers spawned",
+                     now.respawns, prev_stats.respawns);
+                bump("fleet.committed",
+                     "results committed exactly-once", now.committed,
+                     prev_stats.committed);
+                bump("fleet.resumed",
+                     "outcomes replayed from the commit journal",
+                     now.resumed, prev_stats.resumed);
+                bump("fleet.lease_ms_total",
+                     "summed lifetime of closed leases (ms)",
+                     now.lease_ms_total, prev_stats.lease_ms_total);
+            }
+            prev_stats = now;
         } catch (const util::SimError &e) {
             // Unrecoverable fleet failure (fleet lost, merge
             // violation): the batch fails terminally — the service
@@ -643,7 +733,9 @@ Server::shardMain()
             // journaled record is final. The next batch gets a
             // fresh fleet.
             warn(detail::concat("shard fleet failed: ", e.what()));
+            flight_.note("fleet.failed", {}, e.what());
             swarm.reset();
+            prev_stats = shard::SwarmStats{};
             outcomes.clear();
             outcomes.resize(batch.size());
             for (harness::SweepOutcome &out : outcomes) {
@@ -727,6 +819,7 @@ Server::beginDrain()
         workers_stop_ = true;
     }
     cv_.notify_all();
+    flight_.note("drain", "AUR204", "drain requested");
     const std::string notice = wire::encode(wire::DrainingMsg{
         "daemon draining: running jobs are finishing; queued jobs "
         "are persisted in the spool and resume on restart"});
@@ -897,6 +990,9 @@ Server::handlePayload(Session &session, const std::string &payload)
           case wire::MsgType::Status:
             handleStatus(session);
             return;
+          case wire::MsgType::Metrics:
+            handleMetrics(session, payload);
+            return;
           default:
             reject(session, "AUR207", util::SimErrorCode::BadWire,
                    detail::concat(
@@ -916,10 +1012,12 @@ void
 Server::handleHello(Session &session, const std::string &payload)
 {
     const wire::HelloMsg hello = wire::decodeHello(payload);
-    if (hello.version != wire::PROTOCOL_VERSION) {
+    if (hello.version < wire::MIN_PROTOCOL_VERSION ||
+        hello.version > wire::PROTOCOL_VERSION) {
         reject(session, "AUR207", util::SimErrorCode::BadWire,
                detail::concat("client speaks protocol version ",
                               hello.version, "; this daemon speaks ",
+                              wire::MIN_PROTOCOL_VERSION, "..",
                               wire::PROTOCOL_VERSION),
                /*fatal=*/true);
         return;
@@ -932,8 +1030,11 @@ Server::handleHello(Session &session, const std::string &payload)
         return;
     }
     session.setTenant(hello.tenant);
+    // The negotiated version (== the client's, since ours is the
+    // ceiling) gates every v2-only field sent on this session.
+    session.setVersion(hello.version);
     session.queueFrame(wire::encode(
-        wire::WelcomeMsg{wire::PROTOCOL_VERSION, draining_}));
+        wire::WelcomeMsg{session.version(), draining_}));
 }
 
 void
@@ -945,6 +1046,11 @@ Server::handleSubmit(Session &session, const std::string &payload)
         return;
     }
     const wire::SubmitMsg msg = wire::decodeSubmit(payload);
+    {
+        const std::lock_guard<std::mutex> mlock(metrics_mutex_);
+        metrics_.counter("serve.submits", "Submit frames received")
+            .add();
+    }
 
     std::vector<harness::SweepJob> jobs;
     try {
@@ -1016,6 +1122,13 @@ Server::handleSubmit(Session &session, const std::string &payload)
         config_.progress_every != 0
             ? config_.progress_every
             : std::max<std::size_t>(1, grid->jobs.size() / 4);
+    // Causal trace id: the client's if it sent one, else minted from
+    // the fingerprint. (A restart re-mints from the fingerprint, so a
+    // client-supplied id does not survive resume — the manifest
+    // format predates tracing and stays byte-stable.)
+    grid->trace_id = msg.trace_id != 0 ? msg.trace_id
+                                       : obs::traceIdForGrid(fp);
+    grid->timeline.setTrace(grid->trace_id);
 
     // Durability point: manifest first (flushed), then the journal
     // header. Only after both exist is the client told Accepted —
@@ -1044,6 +1157,21 @@ Server::handleSubmit(Session &session, const std::string &payload)
     }
 
     const std::size_t total = grid->jobs.size();
+    const std::uint64_t trace = grid->trace_id;
+    // The admission stage span: decode through durability point, on
+    // the serve track, parented to the grid root.
+    {
+        obs::Span adm;
+        adm.trace_id = trace;
+        adm.span_id = obs::stageSpanId(trace, "admission");
+        adm.parent_id = obs::rootSpanId(trace);
+        adm.name = "admission";
+        adm.cat = "admission";
+        adm.pid = 0;
+        adm.ts_us = 0.0;
+        adm.dur_us = grid->timer.seconds() * 1e6;
+        grid->span_log.add(std::move(adm));
+    }
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         scheduler_.admitGrid(grid->tenant, total);
@@ -1052,11 +1180,16 @@ Server::handleSubmit(Session &session, const std::string &payload)
         grids_[fp] = std::move(grid);
     }
     cv_.notify_all();
+    flight_.note("grid.accept", {},
+                 detail::concat("fp=", fp, " jobs=", total,
+                                " tenant=", session.tenant()));
 
     session.watch(fp);
     session.submitted().push_back(fp);
-    session.queueFrame(wire::encode(wire::AcceptedMsg{
-        fp, total, 0, /*attached=*/false}));
+    wire::AcceptedMsg accepted{fp, total, 0, /*attached=*/false};
+    if (session.version() >= 2)
+        accepted.trace_id = trace;
+    session.queueFrame(wire::encode(accepted));
     if (config_.verbose)
         inform(detail::concat("aurora_serve: accepted grid ",
                               spoolFile(fp, ""), " (", total,
@@ -1085,9 +1218,11 @@ Server::handleAttach(Session &session, const std::string &payload)
     }
     Grid &grid = *it->second;
     session.watch(grid.fingerprint);
-    session.queueFrame(wire::encode(
-        wire::AcceptedMsg{grid.fingerprint, grid.jobs.size(),
-                          grid.done, /*attached=*/true}));
+    wire::AcceptedMsg accepted{grid.fingerprint, grid.jobs.size(),
+                               grid.done, /*attached=*/true};
+    if (session.version() >= 2)
+        accepted.trace_id = grid.trace_id;
+    session.queueFrame(wire::encode(accepted));
     // Replay every terminal outcome in job order — byte-identical to
     // what a continuously-connected client received.
     for (std::size_t i = 0; i < grid.jobs.size(); ++i)
@@ -1145,10 +1280,76 @@ Server::handleStatus(Session &session)
 }
 
 void
+Server::handleMetrics(Session &session, const std::string &payload)
+{
+    if (!session.greeted()) {
+        reject(session, "AUR207", util::SimErrorCode::BadWire,
+               "Metrics before Hello", /*fatal=*/true);
+        return;
+    }
+    const wire::MetricsMsg msg = wire::decodeMetrics(payload);
+    wire::MetricsReportMsg report;
+    report.format = msg.format;
+    report.body = renderMetrics(msg.format);
+    session.queueFrame(wire::encode(report));
+}
+
+std::string
+Server::renderMetrics(wire::MetricsFormat format)
+{
+    std::vector<obs::Gauge> gauges;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        gauges.push_back(obs::gauge(
+            "serve.queued_jobs", "jobs waiting in the scheduler",
+            static_cast<double>(scheduler_.queuedJobs())));
+        gauges.push_back(obs::gauge(
+            "serve.running_jobs", "jobs executing right now",
+            static_cast<double>(running_jobs_)));
+        gauges.push_back(obs::gauge(
+            "serve.grids_resident", "grids resident in memory",
+            static_cast<double>(grids_.size())));
+        gauges.push_back(obs::gauge(
+            "serve.sessions", "connected client sessions",
+            static_cast<double>(session_count_.load())));
+        gauges.push_back(obs::gauge("serve.draining",
+                                    "1 while the daemon is draining",
+                                    draining_ ? 1.0 : 0.0));
+        obs::Gauge tenants_gauge;
+        tenants_gauge.name = "serve.tenant_inflight";
+        tenants_gauge.description =
+            "admitted-but-unfinished jobs per tenant";
+        tenants_gauge.label_key = "tenant";
+        std::set<std::string> tenants;
+        for (const auto &[fp, grid] : grids_)
+            tenants.insert(grid->tenant);
+        for (const std::string &tenant : tenants)
+            tenants_gauge.values.push_back(obs::GaugeValue{
+                tenant,
+                static_cast<double>(scheduler_.tenantJobs(tenant))});
+        gauges.push_back(std::move(tenants_gauge));
+    }
+    const std::lock_guard<std::mutex> mlock(metrics_mutex_);
+    return format == wire::MetricsFormat::Json
+               ? obs::renderMetricsJson(metrics_, gauges)
+               : obs::renderPrometheus(metrics_, gauges);
+}
+
+void
 Server::reject(Session &session, const std::string &id,
                util::SimErrorCode code, const std::string &message,
                bool fatal)
 {
+    {
+        // metrics_mutex_ is a leaf lock, so this is safe from both
+        // the locked (AUR206, admission) and unlocked (preflight,
+        // protocol) reject sites.
+        const std::lock_guard<std::mutex> mlock(metrics_mutex_);
+        metrics_.counter(detail::concat("serve.admission.", id),
+                         "rejections by AURxxx verdict")
+            .add();
+    }
+    flight_.note("reject", id, message);
     session.queueFrame(
         wire::encode(wire::RejectedMsg{id, code, message}));
     if (fatal)
@@ -1174,6 +1375,26 @@ void
 Server::streamOutcome(Grid &grid, std::size_t index)
 {
     ++grid.streamed;
+    {
+        const std::lock_guard<std::mutex> mlock(metrics_mutex_);
+        metrics_
+            .counter("serve.results_streamed",
+                     "Result frames broadcast to watchers")
+            .add();
+        if (!grid.first_result_recorded) {
+            // Latency is measured from this residency's Grid
+            // construction: submit time for live grids, resume time
+            // for spool-reloaded ones.
+            grid.first_result_recorded = true;
+            metrics_
+                .histogram("serve.submit_to_first_result_ms",
+                           "submit (or resume) to first streamed "
+                           "Result, ms",
+                           LATENCY_BUCKETS_MS)
+                .add(static_cast<std::uint64_t>(
+                    grid.timer.seconds() * 1e3));
+        }
+    }
     broadcast(grid.fingerprint,
               wire::encode(wire::ResultMsg{
                   grid.fingerprint,
@@ -1189,6 +1410,113 @@ Server::streamOutcome(Grid &grid, std::size_t index)
         gridCompleted(grid);
 }
 
+/**
+ * Fold the grid's spans — the serve-side root + admission, the
+ * worker-pool timeline, and everything the swarm and its shards
+ * contributed via the span log — into one Chrome trace next to the
+ * grid's spool pair. Diagnostics must never fail the grid, so every
+ * failure path warns and returns. mutex_ held.
+ */
+void
+Server::writeGridTrace(Grid &grid)
+{
+    if (grid.trace_id == 0)
+        return;
+    const std::uint64_t trace = grid.trace_id;
+    std::vector<obs::Span> spans;
+
+    obs::Span root;
+    root.trace_id = trace;
+    root.span_id = obs::rootSpanId(trace);
+    root.name = grid.label.empty()
+                    ? detail::concat("grid ", obs::hexId(trace))
+                    : grid.label;
+    root.cat = "grid";
+    root.pid = 0;
+    root.ts_us = 0.0;
+    root.dur_us = grid.timer.seconds() * 1e6;
+    spans.push_back(std::move(root));
+
+    // Worker-pool path: one "job" span per job spanning its attempts
+    // (the attempts' derived parent), then the attempts themselves.
+    struct JobExtent
+    {
+        double start_us = 0.0;
+        double end_us = 0.0;
+        std::uint32_t tid = 0;
+        std::string label;
+    };
+    std::map<std::uint64_t, JobExtent> extents;
+    for (const harness::TimelineSpan &t : grid.timeline.spans()) {
+        const auto [it, fresh] = extents.try_emplace(t.job);
+        JobExtent &ext = it->second;
+        if (fresh) {
+            ext.start_us = t.start_ms * 1000.0;
+            ext.end_us = t.end_ms * 1000.0;
+            ext.tid = t.worker;
+            ext.label = t.label;
+        } else {
+            ext.start_us = std::min(ext.start_us, t.start_ms * 1000.0);
+            ext.end_us = std::max(ext.end_us, t.end_ms * 1000.0);
+        }
+    }
+    for (const auto &[job, ext] : extents) {
+        obs::Span js;
+        js.trace_id = trace;
+        js.span_id = obs::jobSpanId(trace, job);
+        js.parent_id = obs::rootSpanId(trace);
+        js.name = ext.label;
+        js.cat = "job";
+        js.pid = 0;
+        js.tid = ext.tid;
+        js.ts_us = ext.start_us;
+        js.dur_us = ext.end_us - ext.start_us;
+        js.job = job;
+        js.has_job = true;
+        spans.push_back(std::move(js));
+    }
+    const std::vector<obs::Span> attempts = obs::spansFromTimeline(
+        grid.timeline, trace, /*pid=*/0, /*epoch=*/0);
+    spans.insert(spans.end(), attempts.begin(), attempts.end());
+
+    // Service + fabric spans (admission; on the shard backend the
+    // swarm/lease/dispatch/merge spans and folded shard attempts).
+    const std::vector<obs::Span> logged = grid.span_log.spans();
+    spans.insert(spans.end(), logged.begin(), logged.end());
+
+    std::vector<obs::ProcessName> processes;
+    std::set<std::uint32_t> pids;
+    for (const obs::Span &s : spans)
+        pids.insert(s.pid);
+    for (const std::uint32_t pid : pids) {
+        if (pid == 0)
+            processes.push_back({pid, "aurora_serve"});
+        else if (pid == 1)
+            processes.push_back({pid, "swarm coordinator"});
+        else
+            processes.push_back(
+                {pid, detail::concat("aurora_shardd e", pid - 100)});
+    }
+
+    const std::string path =
+        spoolFile(grid.fingerprint, ".trace.json");
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        warn(detail::concat("cannot write grid trace ", path));
+        return;
+    }
+    obs::writeChromeTrace(os, spans, processes);
+    os.flush();
+    if (!os.good()) {
+        warn(detail::concat("short write on grid trace ", path));
+        return;
+    }
+    flight_.note("trace.write", {}, path);
+    if (config_.verbose)
+        inform(detail::concat("aurora_serve: wrote trace ", path,
+                              " (", spans.size(), " spans)"));
+}
+
 /** Grid reached its terminal state; mutex_ held. */
 void
 Server::gridCompleted(Grid &grid)
@@ -1196,6 +1524,25 @@ Server::gridCompleted(Grid &grid)
     grid.done_notified = true;
     scheduler_.gridFinished(grid.tenant);
     ++done_grids_;
+    {
+        const std::lock_guard<std::mutex> mlock(metrics_mutex_);
+        metrics_
+            .counter("serve.grids_done",
+                     "grids run to their terminal state")
+            .add();
+        metrics_
+            .histogram("serve.submit_to_grid_done_ms",
+                       "submit (or resume) to GridDone, ms",
+                       LATENCY_BUCKETS_MS)
+            .add(static_cast<std::uint64_t>(grid.timer.seconds() *
+                                            1e3));
+    }
+    flight_.note("grid.done", {},
+                 detail::concat("fp=", grid.fingerprint, " ok=",
+                                grid.ok, " failed=", grid.failed,
+                                " timeout=", grid.timed_out,
+                                " cancelled=", grid.cancelled_jobs));
+    writeGridTrace(grid);
     broadcast(grid.fingerprint,
               wire::encode(wire::GridDoneMsg{
                   grid.fingerprint, grid.ok, grid.failed,

@@ -47,8 +47,10 @@
 #include <vector>
 
 #include "harness/journal.hh"
+#include "obs/flight.hh"
 #include "scheduler.hh"
 #include "session.hh"
+#include "telemetry/registry.hh"
 #include "util/socket.hh"
 
 namespace aurora::serve
@@ -164,6 +166,14 @@ class Server
     void handleAttach(Session &session, const std::string &payload);
     void handleCancel(Session &session, const std::string &payload);
     void handleStatus(Session &session);
+    void handleMetrics(Session &session, const std::string &payload);
+    /** Render one metrics exposition (Prometheus or JSON). Takes its
+     *  own locks (mutex_ for the gauge snapshot, then
+     *  metrics_mutex_); call with neither held. */
+    std::string renderMetrics(wire::MetricsFormat format);
+    /** Write the grid's merged Chrome trace next to its spool pair;
+     *  mutex_ held (once per grid, at completion). */
+    void writeGridTrace(Grid &grid);
     void reject(Session &session, const std::string &id,
                 util::SimErrorCode code, const std::string &message,
                 bool fatal = false);
@@ -194,6 +204,16 @@ class Server
     std::mutex mutex_;
     std::condition_variable cv_;
     Scheduler scheduler_;
+    /** Service metrics (counters + latency histograms), exposed via
+     *  the wire Metrics request. Guarded by metrics_mutex_ — a leaf
+     *  lock (mutex_ may be held when taking it, never the reverse),
+     *  because reject() runs both with and without mutex_ held. */
+    std::mutex metrics_mutex_;
+    telemetry::Registry metrics_;
+    /** Crash-durable event ring, spooled to spool_dir/serve.flight;
+     *  internally synchronized (note() is lock-cheap, dump() is
+     *  async-signal-safe). */
+    obs::FlightRecorder flight_;
     std::map<std::uint64_t, std::unique_ptr<Grid>> grids_;
     /** (fingerprint, job index) pairs finished by workers, awaiting
      *  streaming by the poll loop. */

@@ -58,6 +58,7 @@ msgTypeName(MsgType type)
       case MsgType::Attach: return "Attach";
       case MsgType::Cancel: return "Cancel";
       case MsgType::Status: return "Status";
+      case MsgType::Metrics: return "Metrics";
       case MsgType::Welcome: return "Welcome";
       case MsgType::Accepted: return "Accepted";
       case MsgType::Rejected: return "Rejected";
@@ -67,6 +68,7 @@ msgTypeName(MsgType type)
       case MsgType::StatusReport: return "StatusReport";
       case MsgType::CancelOk: return "CancelOk";
       case MsgType::Draining: return "Draining";
+      case MsgType::MetricsReport: return "MetricsReport";
     }
     return "?";
 }
@@ -85,6 +87,7 @@ peekType(const std::string &payload)
       case MsgType::Attach:
       case MsgType::Cancel:
       case MsgType::Status:
+      case MsgType::Metrics:
       case MsgType::Welcome:
       case MsgType::Accepted:
       case MsgType::Rejected:
@@ -94,6 +97,7 @@ peekType(const std::string &payload)
       case MsgType::StatusReport:
       case MsgType::CancelOk:
       case MsgType::Draining:
+      case MsgType::MetricsReport:
         return type;
     }
     util::raiseError(util::SimErrorCode::BadWire,
@@ -156,6 +160,10 @@ encode(const SubmitMsg &m)
         w.str(job.profile);
         w.u64(job.instructions);
     }
+    // v2 optional trailing field: absent bytes decode as 0, and a
+    // frame without it is exactly a v1 frame.
+    if (m.trace_id != 0)
+        w.u64(m.trace_id);
     return w.bytes();
 }
 
@@ -188,6 +196,8 @@ decodeSubmit(const std::string &payload)
         job.instructions = rd.u64();
         m.jobs.push_back(std::move(job));
     }
+    if (!rd.exhausted())
+        m.trace_id = rd.u64();
     close(rd, MsgType::Submit);
     return m;
 }
@@ -270,6 +280,8 @@ encode(const AcceptedMsg &m)
     w.u64(m.jobs);
     w.u64(m.done);
     w.u8(m.attached ? 1 : 0);
+    if (m.trace_id != 0)
+        w.u64(m.trace_id);
     return w.bytes();
 }
 
@@ -282,6 +294,8 @@ decodeAccepted(const std::string &payload)
     m.jobs = rd.u64();
     m.done = rd.u64();
     m.attached = rd.u8() != 0;
+    if (!rd.exhausted())
+        m.trace_id = rd.u64();
     close(rd, MsgType::Accepted);
     return m;
 }
@@ -457,6 +471,60 @@ decodeDraining(const std::string &payload)
     DrainingMsg m;
     m.reason = rd.str();
     close(rd, MsgType::Draining);
+    return m;
+}
+
+namespace
+{
+
+MetricsFormat
+checkedFormat(std::uint8_t raw, MsgType type)
+{
+    if (raw > static_cast<std::uint8_t>(MetricsFormat::Json))
+        util::raiseError(util::SimErrorCode::BadWire,
+                         "unknown metrics format ",
+                         static_cast<unsigned>(raw), " in a ",
+                         msgTypeName(type), " message");
+    return static_cast<MetricsFormat>(raw);
+}
+
+} // namespace
+
+std::string
+encode(const MetricsMsg &m)
+{
+    ByteWriter w = begin(MsgType::Metrics);
+    w.u8(static_cast<std::uint8_t>(m.format));
+    return w.bytes();
+}
+
+MetricsMsg
+decodeMetrics(const std::string &payload)
+{
+    ByteReader rd = open(payload, MsgType::Metrics);
+    MetricsMsg m;
+    m.format = checkedFormat(rd.u8(), MsgType::Metrics);
+    close(rd, MsgType::Metrics);
+    return m;
+}
+
+std::string
+encode(const MetricsReportMsg &m)
+{
+    ByteWriter w = begin(MsgType::MetricsReport);
+    w.u8(static_cast<std::uint8_t>(m.format));
+    w.str(m.body);
+    return w.bytes();
+}
+
+MetricsReportMsg
+decodeMetricsReport(const std::string &payload)
+{
+    ByteReader rd = open(payload, MsgType::MetricsReport);
+    MetricsReportMsg m;
+    m.format = checkedFormat(rd.u8(), MsgType::MetricsReport);
+    m.body = rd.str();
+    close(rd, MsgType::MetricsReport);
     return m;
 }
 

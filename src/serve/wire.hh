@@ -56,8 +56,18 @@ namespace aurora::serve::wire
  *  'AJRN' so a journal file pushed down a socket is rejected. */
 inline constexpr std::uint32_t WIRE_MAGIC = 0x31505741u;
 
-/** Protocol version carried in Hello/Welcome; mismatch is AUR207. */
-inline constexpr std::uint32_t PROTOCOL_VERSION = 1;
+/**
+ * Protocol version carried in Hello/Welcome. The server accepts any
+ * version in [MIN_PROTOCOL_VERSION, PROTOCOL_VERSION] and echoes the
+ * negotiated minimum in Welcome; anything else is AUR207.
+ *
+ * v2 adds the observability plane: an optional trailing trace id on
+ * Submit/Accepted (written only when nonzero, read only when bytes
+ * remain — a v1 peer's frames decode unchanged, and a v1 session is
+ * never sent the new field) and the Metrics/MetricsReport pair.
+ */
+inline constexpr std::uint32_t PROTOCOL_VERSION = 2;
+inline constexpr std::uint32_t MIN_PROTOCOL_VERSION = 1;
 
 /** Payload byte 0. Client→server types are low, server→client high. */
 enum class MsgType : std::uint8_t
@@ -67,6 +77,7 @@ enum class MsgType : std::uint8_t
     Attach = 3,
     Cancel = 4,
     Status = 5,
+    Metrics = 6,
 
     Welcome = 64,
     Accepted = 65,
@@ -77,6 +88,7 @@ enum class MsgType : std::uint8_t
     StatusReport = 70,
     CancelOk = 71,
     Draining = 72,
+    MetricsReport = 73,
 };
 
 /** Display name ("Hello", "GridDone", ...) for logs and tests. */
@@ -150,6 +162,12 @@ struct SubmitMsg
     /** SweepOptions::backoff_ms. */
     std::uint64_t backoff_ms = 0;
     std::vector<SubmitJob> jobs;
+    /**
+     * v2: caller-supplied causal trace id (0 = let the server mint
+     * one from the grid fingerprint). Optional trailing field —
+     * encoded only when nonzero, absent on v1 frames.
+     */
+    std::uint64_t trace_id = 0;
 };
 
 struct AttachMsg
@@ -164,6 +182,19 @@ struct CancelMsg
 
 struct StatusMsg
 {
+};
+
+/** Exposition format of a Metrics request / report. */
+enum class MetricsFormat : std::uint8_t
+{
+    Prometheus = 0,
+    Json = 1,
+};
+
+/** v2: ask for a metrics exposition (aurora_top's poll). */
+struct MetricsMsg
+{
+    MetricsFormat format = MetricsFormat::Prometheus;
 };
 
 /// @}
@@ -187,6 +218,11 @@ struct AcceptedMsg
     std::uint64_t done = 0;
     /** True when this Accepted answers an Attach, not a Submit. */
     bool attached = false;
+    /**
+     * v2: the grid's causal trace id. Optional trailing field — the
+     * server includes it only on v2 sessions (0 = not conveyed).
+     */
+    std::uint64_t trace_id = 0;
 };
 
 struct RejectedMsg
@@ -254,6 +290,13 @@ struct DrainingMsg
     std::string reason;
 };
 
+/** v2: one metrics exposition (obs::renderPrometheus / renderMetricsJson). */
+struct MetricsReportMsg
+{
+    MetricsFormat format = MetricsFormat::Prometheus;
+    std::string body;
+};
+
 /// @}
 
 /// Encode one message to its payload bytes (type byte included).
@@ -263,6 +306,7 @@ std::string encode(const SubmitMsg &m);
 std::string encode(const AttachMsg &m);
 std::string encode(const CancelMsg &m);
 std::string encode(const StatusMsg &m);
+std::string encode(const MetricsMsg &m);
 std::string encode(const WelcomeMsg &m);
 std::string encode(const AcceptedMsg &m);
 std::string encode(const RejectedMsg &m);
@@ -272,6 +316,7 @@ std::string encode(const GridDoneMsg &m);
 std::string encode(const StatusReportMsg &m);
 std::string encode(const CancelOkMsg &m);
 std::string encode(const DrainingMsg &m);
+std::string encode(const MetricsReportMsg &m);
 /// @}
 
 /// Decode one payload; throws SimError(BadWire) on a wrong type byte,
@@ -282,6 +327,7 @@ SubmitMsg decodeSubmit(const std::string &payload);
 AttachMsg decodeAttach(const std::string &payload);
 CancelMsg decodeCancel(const std::string &payload);
 StatusMsg decodeStatus(const std::string &payload);
+MetricsMsg decodeMetrics(const std::string &payload);
 WelcomeMsg decodeWelcome(const std::string &payload);
 AcceptedMsg decodeAccepted(const std::string &payload);
 RejectedMsg decodeRejected(const std::string &payload);
@@ -291,6 +337,7 @@ GridDoneMsg decodeGridDone(const std::string &payload);
 StatusReportMsg decodeStatusReport(const std::string &payload);
 CancelOkMsg decodeCancelOk(const std::string &payload);
 DrainingMsg decodeDraining(const std::string &payload);
+MetricsReportMsg decodeMetricsReport(const std::string &payload);
 /// @}
 
 } // namespace aurora::serve::wire

@@ -209,6 +209,10 @@ encode(const AssignMsg &m)
         w.u32(job.retries);
         w.u64(job.backoff_ms);
     }
+    // v2 optional trailing field: absent bytes decode as 0, and a
+    // frame without it is exactly a v1 frame.
+    if (m.trace_id != 0)
+        w.u64(m.trace_id);
     return w.bytes();
 }
 
@@ -242,6 +246,8 @@ decodeAssign(const std::string &payload)
         job.backoff_ms = rd.u64();
         m.jobs.push_back(std::move(job));
     }
+    if (!rd.exhausted())
+        m.trace_id = rd.u64();
     close(rd, MsgType::Assign);
     return m;
 }

@@ -5,12 +5,18 @@
 
 #include <chrono>
 #include <deque>
+#include <filesystem>
+#include <memory>
 #include <thread>
 #include <utility>
 
 #include "core/config_io.hh"
 #include "harness/journal.hh"
 #include "harness/sweep.hh"
+#include "harness/sweep_trace.hh"
+#include "obs/flight.hh"
+#include "obs/ids.hh"
+#include "obs/trace.hh"
 #include "shard_journal.hh"
 #include "shard_wire.hh"
 #include "trace/spec_profiles.hh"
@@ -55,7 +61,8 @@ buildJob(const wire::JobSpec &spec)
  * would write for this index.
  */
 harness::JournalRecord
-runAssignedJob(const wire::JobSpec &spec)
+runAssignedJob(const wire::JobSpec &spec,
+               harness::SweepTimeline *timeline = nullptr)
 {
     const harness::SweepJob job = buildJob(spec);
     const std::uint64_t mh = harness::machineHash(job.machine);
@@ -68,6 +75,11 @@ runAssignedJob(const wire::JobSpec &spec)
     options.deadline_ms = spec.deadline_ms;
     options.backoff_ms = spec.backoff_ms;
     options.preflight = false; // the coordinator linted at admission
+    // Observation only: the timeline records attempts, it never
+    // steers them — the journal record stays bit-identical.
+    options.timeline = timeline;
+    options.timeline_job_base =
+        static_cast<std::size_t>(spec.job_index);
     harness::SweepRunner runner(std::move(options));
     std::vector<harness::SweepOutcome> outcomes =
         runner.runOutcomes({job});
@@ -146,13 +158,38 @@ runShardWorker(const ShardWorkerConfig &config)
                             e.what()));
         return SHARD_EXIT_ERROR;
     }
-    if (welcome.version != wire::SHARD_PROTOCOL_VERSION) {
+    if (welcome.version < wire::MIN_SHARD_PROTOCOL_VERSION ||
+        welcome.version > wire::SHARD_PROTOCOL_VERSION) {
         warn(detail::concat("shard worker: coordinator speaks "
                             "protocol v", welcome.version,
                             ", this worker v",
                             wire::SHARD_PROTOCOL_VERSION));
         return SHARD_EXIT_ERROR;
     }
+
+    // Observability sinks, keyed by this incarnation's epoch. The
+    // flight file is write-through (one write() per event), so a
+    // SIGKILL mid-grid still leaves every prior event durable for the
+    // coordinator-side postmortem reader.
+    obs::FlightRecorder flight;
+    std::unique_ptr<obs::SpanFileWriter> spans;
+    if (!config.flight_dir.empty()) {
+        try {
+            std::filesystem::create_directories(config.flight_dir);
+            const std::string stem = config.flight_dir + "/shard-e" +
+                                     std::to_string(welcome.epoch);
+            flight.spoolTo(stem + ".flight");
+            spans = std::make_unique<obs::SpanFileWriter>(stem +
+                                                          ".spans");
+        } catch (const util::SimError &e) {
+            warn(detail::concat("shard worker: cannot open flight "
+                                "files: ", e.what()));
+            return SHARD_EXIT_ERROR;
+        }
+    }
+    flight.note("welcome", {},
+                detail::concat("slot=", welcome.slot, " epoch=",
+                               welcome.epoch, " v", welcome.version));
 
     // Local durability first: every completed job lands here before
     // its Result frame leaves the process.
@@ -169,6 +206,7 @@ runShardWorker(const ShardWorkerConfig &config)
 
     std::deque<wire::JobSpec> queue;
     std::uint64_t done = 0;
+    std::uint64_t trace_id = 0; // from Assign (v2 coordinators only)
     bool beats_enabled = true;
     bool fault_armed = config.fault.has_value();
     Clock::time_point last_beat = Clock::now();
@@ -187,14 +225,35 @@ runShardWorker(const ShardWorkerConfig &config)
     const auto runFrontJob = [&] {
         const wire::JobSpec spec = queue.front();
         queue.pop_front();
-        const harness::JournalRecord rec = runAssignedJob(spec);
+        harness::SweepTimeline timeline;
+        timeline.setTrace(trace_id);
+        const bool tracing = spans != nullptr && trace_id != 0;
+        const harness::JournalRecord rec =
+            runAssignedJob(spec, tracing ? &timeline : nullptr);
         const std::string bytes = harness::encodeJournalRecord(rec);
         journal->append({welcome.epoch, spec.ticket, bytes});
+        if (tracing) {
+            // Attempt spans parent to the coordinator's dispatch span
+            // for this ticket — both sides derive the same id from
+            // (trace, ticket, epoch), so no ids cross the wire.
+            const std::vector<std::pair<std::uint64_t, std::uint64_t>>
+                parents = {{spec.job_index,
+                            obs::dispatchSpanId(trace_id, spec.ticket,
+                                                welcome.epoch)}};
+            for (const obs::Span &span : obs::spansFromTimeline(
+                     timeline, trace_id,
+                     static_cast<std::uint32_t>(100 + welcome.epoch),
+                     welcome.epoch, &parents))
+                spans->append(span);
+        }
         wire::sendFrame(fd.get(),
                         wire::encode(wire::ResultMsg{
                             welcome.slot, welcome.epoch, spec.ticket,
                             bytes}));
         ++done;
+        flight.note("job.done", {},
+                    detail::concat("ticket=", spec.ticket, " job=",
+                                   spec.job_index));
     };
 
     try {
@@ -239,13 +298,23 @@ runShardWorker(const ShardWorkerConfig &config)
                         wire::decodeAssign(payload);
                     if (assign.epoch != welcome.epoch)
                         return SHARD_EXIT_ERROR;
+                    if (assign.trace_id != 0)
+                        trace_id = assign.trace_id;
                     for (wire::JobSpec &job : assign.jobs)
                         queue.push_back(std::move(job));
                     break;
                   }
                   case wire::MsgType::Fenced:
+                    // The precise AUR30x reason lives in the
+                    // coordinator's flight file; this side only knows
+                    // its lease died.
+                    flight.note("fenced", {},
+                                detail::concat("epoch=",
+                                               welcome.epoch));
                     return SHARD_EXIT_FENCED;
                   case wire::MsgType::Shutdown:
+                    flight.note("shutdown", {},
+                                detail::concat("done=", done));
                     return SHARD_EXIT_OK;
                   default:
                     warn(detail::concat(
@@ -260,10 +329,16 @@ runShardWorker(const ShardWorkerConfig &config)
             // completions (see faultinject::ShardFault).
             if (fault_armed && done >= config.fault->after_jobs) {
                 fault_armed = false;
+                flight.note("fault",
+                            {},
+                            faultinject::formatShardFaultPlan(
+                                *config.fault));
                 switch (config.fault->fault) {
                   case ShardFault::KillShard:
                     // The SIGKILL shape: no unwind, no flush beyond
-                    // what append() already pushed to the OS.
+                    // what append() already pushed to the OS. The
+                    // flight note above is already durable — every
+                    // note() is its own write().
                     ::_exit(SHARD_EXIT_KILLED);
                   case ShardFault::HangShard:
                     // Wedge: no beats, no reads, no work. Bounded so
@@ -323,6 +398,7 @@ runShardWorker(const ShardWorkerConfig &config)
         warn(detail::concat("shard worker (slot ", welcome.slot,
                             ", epoch ", welcome.epoch, "): ",
                             e.what()));
+        flight.note("error", {}, e.what());
         return SHARD_EXIT_ERROR;
     }
 }

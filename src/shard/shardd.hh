@@ -63,6 +63,14 @@ struct ShardWorkerConfig
     std::uint64_t connect_timeout_ms = 5000;
     /** Scripted failure, if any. */
     std::optional<faultinject::ShardFaultPlan> fault;
+    /**
+     * Observability directory (normally the coordinator's): when
+     * non-empty this incarnation writes `shard-e<epoch>.flight`
+     * (write-through flight recorder — survives SIGKILL) and
+     * `shard-e<epoch>.spans` (crash-durable attempt spans the
+     * coordinator folds into the grid trace) there.
+     */
+    std::string flight_dir;
 };
 
 /** Journal path convention shared by worker and coordinator: one

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -14,6 +15,8 @@
 
 #include "core/audit.hh"
 #include "core/config_io.hh"
+#include "obs/ids.hh"
+#include "obs/trace.hh"
 #include "shardd.hh"
 #include "util/logging.hh"
 #include "util/sim_error.hh"
@@ -59,6 +62,10 @@ Swarm::Swarm(SwarmConfig config) : config_(std::move(config))
         config_.beat_ms = std::max<std::uint64_t>(1, config_.lease_ms / 4);
     config_.fault_plans.resize(config_.shards);
     std::filesystem::create_directories(config_.journal_dir);
+    if (!config_.flight_dir.empty()) {
+        std::filesystem::create_directories(config_.flight_dir);
+        flight_.spoolTo(config_.flight_dir + "/swarm.flight");
+    }
     listener_ = util::listenUnix(config_.socket_path);
     slots_.resize(config_.shards);
 }
@@ -80,6 +87,7 @@ Swarm::spawnWorker(const std::optional<faultinject::ShardFaultPlan> &fault)
     worker.socket_path = config_.socket_path;
     worker.journal_dir = config_.journal_dir;
     worker.fault = fault;
+    worker.flight_dir = config_.flight_dir;
 
     const pid_t pid = ::fork();
     if (pid < 0)
@@ -93,16 +101,24 @@ Swarm::spawnWorker(const std::optional<faultinject::ShardFaultPlan> &fault)
                          faultinject::formatShardFaultPlan(*fault)
                              .c_str(),
                          1);
-            ::execl(config_.shardd_path.c_str(), "aurora_shardd",
-                    "--socket", config_.socket_path.c_str(),
-                    "--journal-dir", config_.journal_dir.c_str(),
-                    static_cast<char *>(nullptr));
+            if (config_.flight_dir.empty())
+                ::execl(config_.shardd_path.c_str(), "aurora_shardd",
+                        "--socket", config_.socket_path.c_str(),
+                        "--journal-dir", config_.journal_dir.c_str(),
+                        static_cast<char *>(nullptr));
+            else
+                ::execl(config_.shardd_path.c_str(), "aurora_shardd",
+                        "--socket", config_.socket_path.c_str(),
+                        "--journal-dir", config_.journal_dir.c_str(),
+                        "--flight-dir", config_.flight_dir.c_str(),
+                        static_cast<char *>(nullptr));
             ::_exit(127); // exec failed; the parent sees the reap
         }
         ::_exit(runShardWorker(worker));
     }
     children_.push_back(pid);
     last_spawn_ = Clock::now();
+    flight_.note("shard.spawn", {}, detail::concat("pid=", pid));
 }
 
 void
@@ -132,6 +148,8 @@ Swarm::grantLease(Loner &&dialer, std::uint64_t pid)
     slot.outbuf = std::move(dialer.outbuf);
     slot.outpos = dialer.outpos;
     slot.pid = static_cast<long>(pid);
+    slot.version = dialer.version;
+    slot.lease_start_us = obsNowUs();
     ++stats_.granted_leases;
 
     journal_refs_.push_back(
@@ -141,15 +159,23 @@ Swarm::grantLease(Loner &&dialer, std::uint64_t pid)
     if (config_.verbose)
         inform(detail::concat("swarm: slot ", index, " leased epoch ",
                               slot.epoch, " to pid ", pid));
+    flight_.note("lease.grant", {},
+                 detail::concat("slot=", index, " epoch=", slot.epoch,
+                                " pid=", pid, " v", slot.version));
     queueFrame(index,
                wire::encode(wire::WelcomeMsg{
-                   wire::SHARD_PROTOCOL_VERSION, index, slot.epoch,
+                   slot.version, index, slot.epoch,
                    config_.lease_ms, config_.beat_ms}));
 }
 
 void
 Swarm::migrateAssigned(Slot &slot)
 {
+    for (const std::uint64_t t : slot.assigned) {
+        const auto it = tickets_.find(t);
+        if (it != tickets_.end())
+            obsDispatchEnd(it->second, /*committed=*/false, "migrated");
+    }
     // Reverse push_front keeps submission order at the queue head, so
     // migrated work still completes (and journals) lowest-index first.
     for (auto it = slot.assigned.rbegin(); it != slot.assigned.rend();
@@ -173,6 +199,7 @@ Swarm::fenceSlot(std::uint32_t slot_index, const char *diagnostic,
     warn(detail::concat("swarm: ", diagnostic, ": fencing slot ",
                         slot_index, " epoch ", slot.epoch,
                         " (pid ", slot.pid, ")"));
+    obsLeaseEnd(slot, "fence", diagnostic);
     migrateAssigned(slot);
 
     if (keep_connection && slot.fd.valid()) {
@@ -216,9 +243,16 @@ Swarm::assignPending()
             const std::uint64_t ticket = pending_.front();
             pending_.pop_front();
             slot.assigned.push_back(ticket);
+            Ticket &state = tickets_.at(ticket);
+            state.assigned_us = obsNowUs();
+            state.assigned_epoch = slot.epoch;
             wire::AssignMsg assign;
             assign.epoch = slot.epoch;
-            assign.jobs.push_back(tickets_.at(ticket).spec);
+            assign.jobs.push_back(state.spec);
+            // The trace id rides only to v2 workers: a v1 decoder
+            // treats any trailing bytes as a format mismatch.
+            if (slot.version >= 2)
+                assign.trace_id = trace_id_;
             queueFrame(i, wire::encode(assign));
             progress = true;
         }
@@ -330,6 +364,7 @@ Swarm::handleSlotMessage(std::uint32_t slot_index,
         ticket.commit = CommitRef{ticket.spec.job_index, slot_index,
                                   slot.epoch, result.ticket,
                                   std::move(result.record)};
+        obsDispatchEnd(ticket, /*committed=*/true, nullptr);
         slot.assigned.erase(assigned_at);
         --open_tickets_;
         ++stats_.committed;
@@ -355,13 +390,15 @@ Swarm::handleLonerMessage(Loner &loner, const std::string &payload)
         if (type != wire::MsgType::Hello)
             return false;
         const wire::HelloMsg hello = wire::decodeHello(payload);
-        if (hello.version != wire::SHARD_PROTOCOL_VERSION) {
+        if (hello.version < wire::MIN_SHARD_PROTOCOL_VERSION ||
+            hello.version > wire::SHARD_PROTOCOL_VERSION) {
             warn(detail::concat("swarm: AUR305: dialer speaks "
                                 "protocol v", hello.version,
                                 "; refusing"));
             ++stats_.protocol_errors;
             return false;
         }
+        loner.version = hello.version;
         grantLease(std::move(loner), hello.pid);
         return false; // fd moved into the slot (or closed)
     }
@@ -373,6 +410,9 @@ Swarm::handleLonerMessage(Loner &loner, const std::string &payload)
         warn(detail::concat("swarm: AUR304: refused result for ticket ",
                             result.ticket, " under fenced epoch ",
                             result.epoch));
+        flight_.note("result.refused", "AUR304",
+                     detail::concat("ticket=", result.ticket,
+                                    " epoch=", result.epoch));
         queueLonerFrame(loner, wire::encode(wire::FencedMsg{
                                    loner.epoch}));
         return loner.fd.valid();
@@ -473,6 +513,7 @@ Swarm::pollOnce(int timeout_ms)
                 if (draining_) {
                     // Expected: the worker honoured Shutdown and hung
                     // up. Not a fence — its epoch stays clean.
+                    obsLeaseEnd(slot, "drain", nullptr);
                     slot.fd.reset();
                     slot.epoch = 0;
                     slot.pid = -1;
@@ -630,6 +671,7 @@ Swarm::shutdownFleet()
         ::waitpid(static_cast<pid_t>(pid), nullptr, 0);
     children_.clear();
     for (Slot &slot : slots_) {
+        obsLeaseEnd(slot, "shutdown", nullptr);
         slot.fd.reset();
         slot.epoch = 0;
         slot.assigned.clear();
@@ -639,6 +681,79 @@ Swarm::shutdownFleet()
     loners_.clear();
 }
 
+void
+Swarm::obsSpan(std::uint64_t span_id, std::uint64_t parent_id,
+               std::string name, std::string cat, double ts_us,
+               double dur_us, bool instant, std::string error)
+{
+    if (span_log_ == nullptr || trace_id_ == 0)
+        return;
+    obs::Span span;
+    span.trace_id = trace_id_;
+    span.span_id = span_id;
+    span.parent_id = parent_id;
+    span.name = std::move(name);
+    span.cat = std::move(cat);
+    span.pid = 1; // coordinator track
+    span.ts_us = ts_us;
+    span.dur_us = dur_us;
+    span.instant = instant;
+    span.error = std::move(error);
+    span_log_->add(std::move(span));
+}
+
+void
+Swarm::obsLeaseEnd(const Slot &slot, const char *how,
+                   const char *diagnostic)
+{
+    if (slot.epoch == 0)
+        return;
+    std::string code;
+    if (diagnostic != nullptr &&
+        std::strncmp(diagnostic, "AUR", 3) == 0 &&
+        std::strlen(diagnostic) >= 6)
+        code.assign(diagnostic, 6);
+    flight_.note(detail::concat("lease.", how), code,
+                 detail::concat("epoch=", slot.epoch,
+                                " pid=", slot.pid));
+    stats_.lease_ms_total += static_cast<std::uint64_t>(
+        (obsNowUs() - slot.lease_start_us) / 1000.0);
+    obsSpan(obs::leaseSpanId(trace_id_, slot.epoch),
+            obs::stageSpanId(trace_id_, "swarm"),
+            detail::concat("lease e", slot.epoch), "lease",
+            slot.lease_start_us, obsNowUs() - slot.lease_start_us,
+            /*instant=*/false,
+            diagnostic != nullptr ? std::string(diagnostic)
+                                  : std::string());
+}
+
+void
+Swarm::obsDispatchEnd(Ticket &ticket, bool committed, const char *error)
+{
+    if (ticket.assigned_us <= 0.0)
+        return;
+    if (span_log_ != nullptr && trace_id_ != 0) {
+        obs::Span span;
+        span.trace_id = trace_id_;
+        span.span_id = obs::dispatchSpanId(trace_id_, ticket.spec.ticket,
+                                           ticket.assigned_epoch);
+        span.parent_id =
+            obs::leaseSpanId(trace_id_, ticket.assigned_epoch);
+        span.name = detail::concat("dispatch t", ticket.spec.ticket);
+        span.cat = "dispatch";
+        span.pid = 1;
+        span.ts_us = ticket.assigned_us;
+        span.dur_us = obsNowUs() - ticket.assigned_us;
+        span.job = ticket.spec.job_index;
+        span.has_job = true;
+        if (!committed)
+            span.error = error != nullptr ? error : "abandoned";
+        span_log_->add(std::move(span));
+    }
+    ticket.assigned_us = 0.0;
+    ticket.assigned_epoch = 0;
+}
+
 std::vector<harness::SweepOutcome>
 Swarm::runGrid(const std::vector<harness::SweepJob> &grid,
                const GridOptions &options)
@@ -646,6 +761,9 @@ Swarm::runGrid(const std::vector<harness::SweepJob> &grid,
     if (options.preflight)
         harness::preflightGrid(grid);
     draining_ = false;
+    trace_id_ = options.trace_id;
+    span_log_ = options.span_log;
+    const double grid_start_us = obsNowUs();
 
     const std::size_t n = grid.size();
     std::vector<harness::SweepOutcome> outcomes(n);
@@ -694,11 +812,19 @@ Swarm::runGrid(const std::vector<harness::SweepJob> &grid,
         }
     }
     commit_journal_ = writer.get();
-    struct ClearJournal
+    struct ClearGridState
     {
         Swarm *swarm;
-        ~ClearJournal() { swarm->commit_journal_ = nullptr; }
-    } clear_journal{this};
+        ~ClearGridState()
+        {
+            swarm->commit_journal_ = nullptr;
+            swarm->trace_id_ = 0;
+            swarm->span_log_ = nullptr;
+        }
+    } clear_grid_state{this};
+    flight_.note("grid.start", {},
+                 detail::concat("fingerprint=", fingerprint,
+                                " jobs=", n));
 
     // Issue tickets in submission order for every job not replayed.
     const std::uint64_t first_ticket = next_ticket_ + 1;
@@ -756,6 +882,9 @@ Swarm::runGrid(const std::vector<harness::SweepJob> &grid,
                         ++vacant;
                 if (vacant > 0) {
                     ++stats_.respawns;
+                    flight_.note("shard.respawn", {},
+                                 detail::concat(stats_.respawns, "/",
+                                                config_.max_respawns));
                     spawnWorker(std::nullopt);
                     if (config_.verbose)
                         inform(detail::concat(
@@ -783,6 +912,7 @@ Swarm::runGrid(const std::vector<harness::SweepJob> &grid,
 
     shutdownFleet();
 
+    const double merge_start_us = obsNowUs();
     // The merge only sees journal files that exist: an incarnation
     // fenced before it even opened its journal left nothing behind,
     // which is fine exactly when nothing committed under its epoch.
@@ -838,6 +968,55 @@ Swarm::runGrid(const std::vector<harness::SweepJob> &grid,
             core::auditRun(rec.outcome.result);
         outcomes[i] = std::move(rec.outcome);
     }
+
+    obsSpan(obs::stageSpanId(trace_id_, "merge"),
+            obs::stageSpanId(trace_id_, "swarm"), "merge", "merge",
+            merge_start_us, obsNowUs() - merge_start_us);
+    flight_.note("merge", {},
+                 detail::concat("records=", merged.size(), " journals=",
+                                journals.size(), " fenced=",
+                                fenced_epochs_.size()));
+
+    // Fold each incarnation's crash-durable span file into the grid's
+    // log: parentage is by derived ids, so this is pure concatenation.
+    // A SIGKILLed shard's torn tail is dropped by loadSpanFile; a file
+    // corrupted beyond that is reported, not fatal — spans are
+    // diagnostics, never part of the result path.
+    if (span_log_ != nullptr && trace_id_ != 0 &&
+        !config_.flight_dir.empty()) {
+        for (const ShardJournalRef &ref : journal_refs_) {
+            const std::string spans_path =
+                config_.flight_dir + "/shard-e" +
+                std::to_string(ref.epoch) + ".spans";
+            if (!std::filesystem::exists(spans_path))
+                continue;
+            try {
+                // A reused fabric's flight dir accumulates span files
+                // across grids; only this grid's trace folds in.
+                std::vector<obs::Span> spans =
+                    obs::loadSpanFile(spans_path).spans;
+                spans.erase(std::remove_if(
+                                spans.begin(), spans.end(),
+                                [&](const obs::Span &s) {
+                                    return s.trace_id != trace_id_;
+                                }),
+                            spans.end());
+                span_log_->addAll(spans);
+            } catch (const util::SimError &e) {
+                warn(detail::concat("swarm: ignoring bad span file '",
+                                    spans_path, "': ", e.what()));
+            }
+        }
+    }
+    // The fabric's own span: the grid-root span belongs to whoever
+    // minted the trace (aurora_serve or the aurora_swarm CLI).
+    obsSpan(obs::stageSpanId(trace_id_, "swarm"),
+            obs::rootSpanId(trace_id_), "swarm", "swarm",
+            grid_start_us, obsNowUs() - grid_start_us);
+    flight_.note("grid.done", {},
+                 detail::concat("committed=", stats_.committed,
+                                " migrated=", stats_.migrated_jobs,
+                                " refused=", stats_.fenced_results));
 
     if (config_.verbose)
         inform(detail::concat(

@@ -56,9 +56,16 @@
 #include "faultinject/faultinject.hh"
 #include "harness/journal.hh"
 #include "harness/sweep.hh"
+#include "obs/flight.hh"
 #include "shard_journal.hh"
 #include "shard_wire.hh"
 #include "util/socket.hh"
+#include "util/stats.hh"
+
+namespace aurora::obs
+{
+class SpanLog;
+}
 
 namespace aurora::shard
 {
@@ -111,6 +118,14 @@ struct SwarmConfig
     std::vector<std::optional<faultinject::ShardFaultPlan>> fault_plans;
     /** Log supervision events (fences, migrations, respawns). */
     bool verbose = false;
+    /**
+     * Observability directory: the coordinator spools its flight
+     * recorder to `<dir>/swarm.flight`, and every worker it spawns
+     * (any mode via ShardWorkerConfig / --flight-dir) writes
+     * `<dir>/shard-e<epoch>.flight` + `.spans` there. Empty = no
+     * flight recording and no shard span files.
+     */
+    std::string flight_dir;
 };
 
 /** Per-grid execution policy (the SweepOptions subset that crosses
@@ -129,6 +144,18 @@ struct GridOptions
     bool resume = false;
     /** Lint the grid before dealing any work (preflightGrid()). */
     bool preflight = true;
+    /**
+     * Causal trace id of the grid (0 = untraced). Carried to v2
+     * shards in Assign so the whole fabric derives one span family.
+     */
+    std::uint64_t trace_id = 0;
+    /**
+     * Sink for the coordinator's supervision spans (lease grants,
+     * dispatches, migrations, merge) plus the shard attempt spans
+     * folded in from flight_dir at merge time. Must outlive runGrid.
+     * nullptr = no span collection.
+     */
+    obs::SpanLog *span_log = nullptr;
 };
 
 /** Supervision counters (asserted by tests, printed by the CLI). */
@@ -151,6 +178,9 @@ struct SwarmStats
     std::uint64_t committed = 0;
     /** Ok outcomes replayed from the commit journal. */
     std::uint64_t resumed = 0;
+    /** Summed lifetime of closed leases, in ms (grant → fence/drain/
+     *  shutdown); mean lease age = lease_ms_total / granted_leases. */
+    std::uint64_t lease_ms_total = 0;
 };
 
 /**
@@ -210,6 +240,11 @@ class Swarm
         std::size_t outpos = 0;
         /** Spawned child pid (Fork/Exec; -1 otherwise). */
         long pid = -1;
+        /** Negotiated wire version (min of ours and the Hello's);
+         *  Assign carries the trace id only at v2+. */
+        std::uint32_t version = wire::MIN_SHARD_PROTOCOL_VERSION;
+        /** Lease-grant timestamp on the obs clock (lease span start). */
+        double lease_start_us = 0.0;
     };
 
     /** A connection whose epoch is fenced, kept open to observe and
@@ -223,6 +258,8 @@ class Swarm
         std::string outbuf;
         std::size_t outpos = 0;
         Clock::time_point opened{};
+        /** Version from the dialer's Hello (set before grantLease). */
+        std::uint32_t version = wire::MIN_SHARD_PROTOCOL_VERSION;
     };
 
     /** One grid job's coordination state. */
@@ -231,6 +268,11 @@ class Swarm
         wire::JobSpec spec; ///< spec.ticket is the id
         bool committed = false;
         CommitRef commit; ///< valid when committed
+        /** Obs-clock timestamp of the live assignment (dispatch span
+         *  start; 0 = not currently assigned). */
+        double assigned_us = 0.0;
+        /** Epoch of the live assignment. */
+        std::uint64_t assigned_epoch = 0;
     };
 
     void spawnWorker(
@@ -252,6 +294,20 @@ class Swarm
     void reapChildren();
     void shutdownFleet();
 
+    /** Microseconds on the coordinator's obs clock. */
+    double obsNowUs() const { return obs_timer_.seconds() * 1e6; }
+    /** Record a coordinator span (no-op when span_log_ is unset). */
+    void obsSpan(std::uint64_t span_id, std::uint64_t parent_id,
+                 std::string name, std::string cat, double ts_us,
+                 double dur_us, bool instant = false,
+                 std::string error = {});
+    /** Close the lease span + flight-note a fence/drain of @p slot. */
+    void obsLeaseEnd(const Slot &slot, const char *how,
+                     const char *diagnostic);
+    /** Close the dispatch span of @p ticket (commit or migration). */
+    void obsDispatchEnd(Ticket &ticket, bool committed,
+                        const char *error);
+
     SwarmConfig config_;
     util::Fd listener_;
     std::vector<Slot> slots_;
@@ -272,6 +328,13 @@ class Swarm
      *  (not AUR302) and late dialers get Shutdown, not a lease. */
     bool draining_ = false;
     SwarmStats stats_;
+    /** Obs clock epoch (span timestamps). */
+    WallTimer obs_timer_;
+    /** Coordinator flight recorder (spooled when flight_dir set). */
+    obs::FlightRecorder flight_;
+    /** runGrid-local trace context (mirrors commit_journal_). */
+    std::uint64_t trace_id_ = 0;
+    obs::SpanLog *span_log_ = nullptr;
 };
 
 } // namespace aurora::shard

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Metrics-exposition tests: Prometheus name mangling, deterministic
+ * byte-identical renders, histogram summaries, labeled gauges, and
+ * the JSON exposition's schema tag.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hh"
+#include "telemetry/registry.hh"
+
+namespace
+{
+
+using namespace aurora;
+
+TEST(PrometheusName, ManglesDotsAndKeepsWordChars)
+{
+    EXPECT_EQ(obs::prometheusName("serve.queued_jobs"),
+              "aurora_serve_queued_jobs");
+    EXPECT_EQ(obs::prometheusName("serve.admission.AUR201"),
+              "aurora_serve_admission_AUR201");
+    EXPECT_EQ(obs::prometheusName("weird-name with spaces"),
+              "aurora_weird_name_with_spaces");
+}
+
+telemetry::Registry
+sampleRegistry()
+{
+    telemetry::Registry registry;
+    registry.counter("serve.submits", "grids submitted").add(3);
+    registry.counter("fleet.respawns", "shard respawns").add();
+    auto &h = registry.histogram("serve.submit_to_grid_done_ms",
+                                 "submit to GridDone latency", 64);
+    h.add(5);
+    h.add(10);
+    h.add(10);
+    return registry;
+}
+
+TEST(RenderPrometheus, EmitsCountersHistogramsAndGauges)
+{
+    const auto registry = sampleRegistry();
+    std::vector<obs::Gauge> gauges;
+    gauges.push_back(
+        obs::gauge("serve.queued_jobs", "jobs waiting", 7));
+    obs::Gauge tenants;
+    tenants.name = "serve.tenant_inflight";
+    tenants.description = "inflight jobs per tenant";
+    tenants.label_key = "tenant";
+    tenants.values.push_back({"alice", 2});
+    tenants.values.push_back({"bo\"b", 1});
+    gauges.push_back(tenants);
+
+    const std::string text = obs::renderPrometheus(registry, gauges);
+    EXPECT_NE(text.find("# TYPE aurora_serve_submits counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("aurora_serve_submits 3"), std::string::npos);
+    EXPECT_NE(text.find("aurora_fleet_respawns 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE aurora_serve_submit_to_grid_done_ms "
+                        "summary"),
+              std::string::npos);
+    EXPECT_NE(text.find("aurora_serve_submit_to_grid_done_ms_count 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("aurora_serve_submit_to_grid_done_ms_sum 25"),
+              std::string::npos);
+    EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+    EXPECT_NE(text.find("aurora_serve_queued_jobs 7"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("aurora_serve_tenant_inflight{tenant=\"alice\"} 2"),
+        std::string::npos);
+    // Label escaping: the quote inside the tenant name is escaped.
+    EXPECT_NE(
+        text.find("aurora_serve_tenant_inflight{tenant=\"bo\\\"b\"} 1"),
+        std::string::npos);
+}
+
+TEST(RenderPrometheus, TwoScrapesOfIdleStateAreByteIdentical)
+{
+    const auto registry = sampleRegistry();
+    const std::vector<obs::Gauge> gauges{
+        obs::gauge("serve.sessions", "connected sessions", 0)};
+    EXPECT_EQ(obs::renderPrometheus(registry, gauges),
+              obs::renderPrometheus(registry, gauges));
+    EXPECT_EQ(obs::renderMetricsJson(registry, gauges),
+              obs::renderMetricsJson(registry, gauges));
+}
+
+TEST(RenderMetricsJson, CarriesSchemaTagAndValues)
+{
+    const auto registry = sampleRegistry();
+    const std::string json = obs::renderMetricsJson(
+        registry, {obs::gauge("serve.queued_jobs", "queue", 4)});
+    EXPECT_NE(json.find("\"aurora.metrics.v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"serve.submits\""), std::string::npos);
+    EXPECT_NE(json.find("\"serve.queued_jobs\""), std::string::npos);
+    // Dotted names survive in JSON (only Prometheus mangles).
+    EXPECT_EQ(json.find("aurora_serve_submits"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Causal-span tests: id-derivation invariants (nonzero, domain
+ * separation, cross-process agreement), the span file's torn-tail /
+ * corruption-offset contract, timeline→span conversion with both
+ * parent schemes (worker-pool job parents, shard dispatch parents),
+ * and Chrome-trace rendering with hex id args.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "harness/sweep_trace.hh"
+#include "obs/ids.hh"
+#include "obs/trace.hh"
+#include "util/sim_error.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using namespace aurora;
+using aurora::util::SimError;
+
+std::string
+tempPath(const std::string &name)
+{
+    return (fs::path(::testing::TempDir()) / name).string();
+}
+
+TEST(ObsIds, AllDerivedIdsAreNonzeroAndDistinct)
+{
+    const std::uint64_t trace = obs::traceIdForGrid(0x1234);
+    ASSERT_NE(trace, 0u);
+    std::set<std::uint64_t> ids;
+    ids.insert(obs::rootSpanId(trace));
+    ids.insert(obs::stageSpanId(trace, "admission"));
+    ids.insert(obs::stageSpanId(trace, "swarm"));
+    ids.insert(obs::stageSpanId(trace, "merge"));
+    for (std::uint64_t j = 0; j < 8; ++j) {
+        ids.insert(obs::jobSpanId(trace, j));
+        ids.insert(obs::attemptSpanId(trace, j, 1));
+        ids.insert(obs::attemptSpanId(trace, j, 2));
+        ids.insert(obs::attemptSpanId(trace, j, 1, /*epoch=*/3));
+        ids.insert(obs::leaseSpanId(trace, j));
+        ids.insert(obs::dispatchSpanId(trace, j, 1));
+    }
+    // Domain separation: job 5, lease epoch 5, dispatch ticket 5 all
+    // hash apart; every id is distinct and none is the 0 sentinel.
+    EXPECT_EQ(ids.size(), 4u + 8u * 6u);
+    EXPECT_EQ(ids.count(0), 0u);
+}
+
+TEST(ObsIds, DerivationIsPureAcrossProcesses)
+{
+    // The whole protocol: a coordinator and a shard that share only
+    // the trace id must compute identical span ids.
+    const std::uint64_t fp = 0xfeedfacecafebeefull;
+    EXPECT_EQ(obs::traceIdForGrid(fp), obs::traceIdForGrid(fp));
+    const std::uint64_t trace = obs::traceIdForGrid(fp);
+    EXPECT_EQ(obs::dispatchSpanId(trace, 7, 2),
+              obs::dispatchSpanId(trace, 7, 2));
+    EXPECT_NE(obs::dispatchSpanId(trace, 7, 2),
+              obs::dispatchSpanId(trace, 7, 3));
+    EXPECT_NE(obs::traceIdForGrid(fp), obs::traceIdForGrid(fp + 1));
+}
+
+TEST(ObsIds, HexIdRendersFixedWidth)
+{
+    EXPECT_EQ(obs::hexId(0), "0x0000000000000000");
+    EXPECT_EQ(obs::hexId(0x1a2b), "0x0000000000001a2b");
+    EXPECT_EQ(obs::hexId(0xffffffffffffffffull),
+              "0xffffffffffffffff");
+}
+
+obs::Span
+sampleSpan(std::uint64_t trace, std::uint64_t job)
+{
+    obs::Span s;
+    s.trace_id = trace;
+    s.span_id = obs::jobSpanId(trace, job);
+    s.parent_id = obs::rootSpanId(trace);
+    s.name = "espresso@baseline";
+    s.cat = "attempt";
+    s.pid = 101;
+    s.tid = 2;
+    s.ts_us = 1500.0;
+    s.dur_us = 250.0;
+    s.job = job;
+    s.has_job = true;
+    s.attempt = 1;
+    return s;
+}
+
+TEST(SpanFile, RoundTripsThroughWriterAndLoader)
+{
+    const std::string path = tempPath("spans_roundtrip.ndjson");
+    const std::uint64_t trace = obs::traceIdForGrid(42);
+    {
+        obs::SpanFileWriter writer(path);
+        for (std::uint64_t j = 0; j < 3; ++j)
+            writer.append(sampleSpan(trace, j));
+    }
+    const auto loaded = obs::loadSpanFile(path);
+    EXPECT_FALSE(loaded.dropped_tail);
+    ASSERT_EQ(loaded.spans.size(), 3u);
+    EXPECT_EQ(loaded.spans[0].trace_id, trace);
+    EXPECT_EQ(loaded.spans[1].span_id, obs::jobSpanId(trace, 1));
+    EXPECT_EQ(loaded.spans[2].parent_id, obs::rootSpanId(trace));
+    EXPECT_EQ(loaded.spans[0].name, "espresso@baseline");
+    EXPECT_EQ(loaded.spans[0].pid, 101u);
+    EXPECT_TRUE(loaded.spans[0].has_job);
+    EXPECT_DOUBLE_EQ(loaded.spans[0].ts_us, 1500.0);
+}
+
+TEST(SpanFile, TornTailDroppedButMidFileCorruptionRaises)
+{
+    const std::string path = tempPath("spans_torn.ndjson");
+    const std::uint64_t trace = obs::traceIdForGrid(7);
+    {
+        obs::SpanFileWriter writer(path);
+        writer.append(sampleSpan(trace, 0));
+        writer.append(sampleSpan(trace, 1));
+    }
+    // Crash mid-append: half a line at EOF is dropped, not fatal.
+    const auto size = fs::file_size(path);
+    fs::resize_file(path, size - 7);
+    const auto loaded = obs::loadSpanFile(path);
+    EXPECT_TRUE(loaded.dropped_tail);
+    ASSERT_EQ(loaded.spans.size(), 1u);
+
+    // The same bytes *followed by a valid line* are corruption, and
+    // the error names the byte offset.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "\n" << obs::spanJsonLine(sampleSpan(trace, 2)) << "\n";
+    }
+    try {
+        obs::loadSpanFile(path);
+        FAIL() << "mid-file corruption must raise";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("byte"),
+                  std::string::npos);
+    }
+}
+
+TEST(SpanFile, MissingFileRaises)
+{
+    EXPECT_THROW(obs::loadSpanFile(tempPath("no_such.spans")),
+                 SimError);
+}
+
+void
+fillTimeline(harness::SweepTimeline &timeline, std::uint64_t trace)
+{
+    timeline.setTrace(trace);
+    harness::TimelineSpan a;
+    a.job = 0;
+    a.label = "espresso@small";
+    a.attempt = 1;
+    a.start_ms = 1.0;
+    a.end_ms = 2.5;
+    timeline.record(a);
+    harness::TimelineSpan b;
+    b.job = 1;
+    b.label = "li@small";
+    b.attempt = 2;
+    b.start_ms = 2.0;
+    b.end_ms = 4.0;
+    b.kind = harness::SpanKind::Failed;
+    b.error = "boom";
+    timeline.record(b);
+    harness::TimelineSpan c;
+    c.job = 2;
+    c.label = "replayed";
+    c.attempt = 0;
+    c.kind = harness::SpanKind::Resumed;
+    timeline.record(c);
+}
+
+TEST(SpansFromTimeline, WorkerPoolAttemptsParentToJobSpans)
+{
+    const std::uint64_t trace = obs::traceIdForGrid(99);
+    harness::SweepTimeline timeline;
+    fillTimeline(timeline, trace);
+    const auto spans =
+        obs::spansFromTimeline(timeline, trace, /*pid=*/0,
+                               /*epoch=*/0);
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0].span_id, obs::attemptSpanId(trace, 0, 1));
+    EXPECT_EQ(spans[0].parent_id, obs::jobSpanId(trace, 0));
+    EXPECT_EQ(spans[1].parent_id, obs::jobSpanId(trace, 1));
+    EXPECT_EQ(spans[1].error, "boom");
+    EXPECT_TRUE(spans[2].instant); // resumed replay = instant
+    // 1 wall ms = 1000 trace µs.
+    EXPECT_DOUBLE_EQ(spans[0].ts_us, 1000.0);
+    EXPECT_DOUBLE_EQ(spans[0].dur_us, 1500.0);
+}
+
+TEST(SpansFromTimeline, ShardAttemptsParentToDispatchSpans)
+{
+    const std::uint64_t trace = obs::traceIdForGrid(99);
+    const std::uint64_t epoch = 2;
+    harness::SweepTimeline timeline;
+    fillTimeline(timeline, trace);
+    // The shard path: the coordinator's dispatch spans are the
+    // parents, keyed by job index.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> parents = {
+        {0, obs::dispatchSpanId(trace, 10, epoch)},
+        {1, obs::dispatchSpanId(trace, 11, epoch)},
+        {2, obs::dispatchSpanId(trace, 12, epoch)},
+    };
+    const auto spans = obs::spansFromTimeline(timeline, trace,
+                                              /*pid=*/102, epoch,
+                                              &parents);
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0].parent_id,
+              obs::dispatchSpanId(trace, 10, epoch));
+    // Epoch-qualified attempt ids: the same job+attempt on another
+    // incarnation is a distinct span.
+    EXPECT_EQ(spans[0].span_id,
+              obs::attemptSpanId(trace, 0, 1, epoch));
+    EXPECT_NE(spans[0].span_id, obs::attemptSpanId(trace, 0, 1));
+    EXPECT_EQ(spans[0].pid, 102u);
+}
+
+TEST(ChromeTrace, RendersHexIdArgsAndProcessNames)
+{
+    const std::uint64_t trace = obs::traceIdForGrid(5);
+    obs::Span root;
+    root.trace_id = trace;
+    root.span_id = obs::rootSpanId(trace);
+    root.name = "grid";
+    root.cat = "grid";
+    root.pid = 1;
+    root.dur_us = 5000.0;
+    std::vector<obs::Span> spans{root, sampleSpan(trace, 0)};
+    spans[1].pid = 101;
+
+    std::ostringstream os;
+    obs::writeChromeTrace(os, spans,
+                          {{1, "aurora_swarm"},
+                           {101, "aurora_shardd e1"}});
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find(obs::hexId(trace)), std::string::npos);
+    EXPECT_NE(doc.find("\"parent_id\":\"" + obs::hexId(trace) + "\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("aurora_shardd e1"), std::string::npos);
+    // The root's parent renders as the zero sentinel, not omitted.
+    EXPECT_NE(doc.find("0x0000000000000000"), std::string::npos);
+}
+
+TEST(SpanLog, CollectsConcurrentlyAndSnapshots)
+{
+    const std::uint64_t trace = obs::traceIdForGrid(3);
+    obs::SpanLog log;
+    log.add(sampleSpan(trace, 0));
+    log.addAll({sampleSpan(trace, 1), sampleSpan(trace, 2)});
+    EXPECT_EQ(log.size(), 3u);
+    const auto spans = log.spans();
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[2].span_id, obs::jobSpanId(trace, 2));
+}
+
+} // namespace

@@ -135,6 +135,53 @@ TEST(WireCodec, ServerMessagesRoundTrip)
     EXPECT_EQ(draining.reason, "SIGTERM");
 }
 
+TEST(WireCodec, V2TraceIdRoundTripsOnSubmitAndAccepted)
+{
+    SubmitMsg submit = sampleSubmit();
+    submit.trace_id = 0xdeadbeefcafe1234ull;
+    EXPECT_EQ(decodeSubmit(encode(submit)).trace_id,
+              0xdeadbeefcafe1234ull);
+
+    AcceptedMsg accepted{0xabcdefull, 12, 3, true};
+    accepted.trace_id = 0x1122334455667788ull;
+    EXPECT_EQ(decodeAccepted(encode(accepted)).trace_id,
+              0x1122334455667788ull);
+}
+
+TEST(WireCodec, V1FramesWithoutTraceIdStillDecode)
+{
+    // A v1 peer never writes the trailing trace id, and a v2 encoder
+    // with trace_id == 0 emits the identical v1 bytes — both must
+    // decode with the 0 "untraced" sentinel, not raise.
+    const SubmitMsg submit = sampleSubmit(); // trace_id defaults to 0
+    const auto v1_bytes = encode(submit);
+    EXPECT_EQ(decodeSubmit(v1_bytes).trace_id, 0u);
+
+    const auto accepted =
+        decodeAccepted(encode(AcceptedMsg{0xabcdefull, 12, 3, false}));
+    EXPECT_EQ(accepted.trace_id, 0u);
+}
+
+TEST(WireCodec, MetricsRoundTripsBothFormats)
+{
+    MetricsMsg prom;
+    prom.format = MetricsFormat::Prometheus;
+    EXPECT_EQ(peekType(encode(prom)), MsgType::Metrics);
+    EXPECT_EQ(decodeMetrics(encode(prom)).format,
+              MetricsFormat::Prometheus);
+    MetricsMsg json;
+    json.format = MetricsFormat::Json;
+    EXPECT_EQ(decodeMetrics(encode(json)).format,
+              MetricsFormat::Json);
+
+    MetricsReportMsg report;
+    report.format = MetricsFormat::Json;
+    report.body = "{\"schema\": \"aurora.metrics.v1\"}";
+    const auto back = decodeMetricsReport(encode(report));
+    EXPECT_EQ(back.format, MetricsFormat::Json);
+    EXPECT_EQ(back.body, report.body);
+}
+
 TEST(WireCodec, WrongTypeByteThrowsBadWire)
 {
     const auto payload = encode(HelloMsg{PROTOCOL_VERSION, "bob"});

@@ -120,6 +120,25 @@ TEST(ShardWire, AssignRoundTripsEveryJobField)
     }
 }
 
+TEST(ShardWire, V2AssignTraceIdRoundTripsAndV1BytesDecodeAsZero)
+{
+    AssignMsg m;
+    m.epoch = 4;
+    m.jobs.push_back(sampleJob(1));
+    m.trace_id = 0xfeedface12345678ull;
+    EXPECT_EQ(decodeAssign(encode(m)).trace_id,
+              0xfeedface12345678ull);
+
+    // trace_id == 0 encodes as the v1 layout (no trailing field), so
+    // an old coordinator's bytes decode with the untraced sentinel.
+    AssignMsg v1;
+    v1.epoch = 4;
+    v1.jobs.push_back(sampleJob(1));
+    const AssignMsg back = decodeAssign(encode(v1));
+    EXPECT_EQ(back.trace_id, 0u);
+    EXPECT_EQ(back.epoch, 4u);
+}
+
 TEST(ShardWire, FencedAndShutdownRoundTrip)
 {
     EXPECT_EQ(decodeFenced(encode(FencedMsg{23})).epoch, 23u);

@@ -3,7 +3,7 @@
  * aurora_shardd — one shard worker process of a distributed sweep.
  *
  *   aurora_shardd --socket PATH --journal-dir DIR
- *                 [--connect-timeout-ms N]
+ *                 [--connect-timeout-ms N] [--flight-dir DIR]
  *
  * Dials the aurora_swarm coordinator at PATH, receives a lease, and
  * executes assigned jobs until Shutdown or Fenced (see
@@ -34,7 +34,8 @@ usage()
 {
     std::cerr << "usage: aurora_shardd --socket PATH "
                  "--journal-dir DIR\n"
-                 "                     [--connect-timeout-ms N]\n";
+                 "                     [--connect-timeout-ms N] "
+                 "[--flight-dir DIR]\n";
     std::exit(2);
 }
 
@@ -53,6 +54,8 @@ main(int argc, char **argv)
         } else if (arg == "--connect-timeout-ms" && i + 1 < argc) {
             config.connect_timeout_ms =
                 std::stoull(std::string(argv[++i]));
+        } else if (arg == "--flight-dir" && i + 1 < argc) {
+            config.flight_dir = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             usage();
         } else {

@@ -187,10 +187,15 @@ handshake(int fd, wire::FrameDecoder &decoder, const Options &opt)
                          "daemon rejected the handshake");
     }
     const auto welcome = wire::decodeWelcome(*reply);
-    if (welcome.version != wire::PROTOCOL_VERSION)
+    // The daemon echoes the negotiated version: ours, or lower when
+    // it is an older build. Anything in the supported range works —
+    // v2-only fields simply stay absent on a v1 daemon.
+    if (welcome.version < wire::MIN_PROTOCOL_VERSION ||
+        welcome.version > wire::PROTOCOL_VERSION)
         util::raiseError(util::SimErrorCode::BadWire,
-                         "daemon speaks protocol version ",
+                         "daemon negotiated protocol version ",
                          welcome.version, ", this client speaks ",
+                         wire::MIN_PROTOCOL_VERSION, "..",
                          wire::PROTOCOL_VERSION);
     return welcome.draining;
 }
@@ -336,7 +341,10 @@ doSubmit(int fd, wire::FrameDecoder &decoder, const Options &opt)
     }
     const auto accepted = wire::decodeAccepted(*reply);
     std::cout << "accepted " << fpHex(accepted.fingerprint) << " ("
-              << accepted.jobs << " jobs)\n";
+              << accepted.jobs << " jobs)";
+    if (accepted.trace_id != 0)
+        std::cout << " trace " << fpHex(accepted.trace_id);
+    std::cout << "\n";
     if (opt.no_wait)
         return 0;
     return streamGrid(fd, decoder, opt, accepted.fingerprint,

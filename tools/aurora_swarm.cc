@@ -10,6 +10,7 @@
  *                [--journal FILE] [--resume] [--retries N]
  *                [--deadline-ms N] [--backoff-ms N]
  *                [--fault SLOT:NAME:AFTER] [--verbose] [--stats]
+ *                [--trace-out FILE] [--flight-dir DIR]
  *                [key=value ...]
  *
  * Runs the same (machine × suite) grids as `aurora_sim --bench X`,
@@ -28,17 +29,32 @@
  * --fault scripts sabotage into a spawned slot, e.g.
  * `--fault 1:kill-shard:2` SIGKILL-shapes slot 1's initial worker
  * after two jobs (see `aurora_lint explain AUR302`).
+ *
+ * --trace-out mints a causal trace id for the grid and writes the
+ * merged Chrome trace — coordinator lease/dispatch/merge spans plus
+ * every shard's attempt spans, all parented under one grid root — to
+ * FILE (validate with `aurora_obs_check trace`). --flight-dir names
+ * the directory for the crash-durable flight recorders (the
+ * coordinator's swarm.flight and each incarnation's
+ * shard-e<epoch>.flight/.spans); it defaults to
+ * <journal-dir>/obs when --trace-out is given.
  */
 
+#include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/config_io.hh"
 #include "core/report.hh"
 #include "core/simulator.hh"
+#include "harness/journal.hh"
 #include "harness/sweep.hh"
+#include "obs/ids.hh"
+#include "obs/trace.hh"
 #include "shard/swarm.hh"
 #include "trace/spec_profiles.hh"
 #include "util/env.hh"
@@ -68,7 +84,8 @@ usage()
         << "                    [--retries N] [--deadline-ms N]\n"
         << "                    [--backoff-ms N]\n"
         << "                    [--fault SLOT:NAME:AFTER] [--verbose]\n"
-        << "                    [--stats] [key=value ...]\n";
+        << "                    [--stats] [--trace-out FILE]\n"
+        << "                    [--flight-dir DIR] [key=value ...]\n";
     std::exit(2);
 }
 
@@ -91,6 +108,7 @@ run(int argc, char **argv)
     Count insts = 400'000;
     bool csv = false;
     bool stats = false;
+    std::string trace_out;
     std::string spec;
     std::vector<std::pair<std::uint32_t, faultinject::ShardFaultPlan>>
         faults;
@@ -166,6 +184,10 @@ run(int argc, char **argv)
                                  "' (expected <fault-name>:<after-"
                                  "jobs>)");
             faults.emplace_back(slot, *plan);
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            trace_out = argv[++i];
+        } else if (arg == "--flight-dir" && i + 1 < argc) {
+            config.flight_dir = argv[++i];
         } else if (arg == "--verbose") {
             config.verbose = true;
         } else if (arg == "--stats") {
@@ -208,10 +230,57 @@ run(int argc, char **argv)
         suite.push_back(trace::profileByName(bench));
     }
 
+    const std::vector<harness::SweepJob> jobs =
+        harness::suiteJobs(machine, suite, insts);
+
+    obs::SpanLog span_log;
+    if (!trace_out.empty()) {
+        // Shard span files land in the flight dir; without one the
+        // trace would hold only the coordinator's half.
+        if (config.flight_dir.empty())
+            config.flight_dir = config.journal_dir + "/obs";
+        grid_options.trace_id = obs::traceIdForGrid(
+            harness::gridFingerprint(jobs, grid_options.base_seed));
+        grid_options.span_log = &span_log;
+    }
+
     shard::Swarm swarm(config);
     const std::vector<harness::SweepOutcome> outcomes =
-        swarm.runGrid(harness::suiteJobs(machine, suite, insts),
-                      grid_options);
+        swarm.runGrid(jobs, grid_options);
+
+    if (!trace_out.empty()) {
+        // This CLI minted the trace, so it owns the grid root: one
+        // span covering everything the fabric recorded.
+        std::vector<obs::Span> spans = span_log.spans();
+        double end_us = 0.0;
+        for (const obs::Span &s : spans)
+            end_us = std::max(end_us, s.ts_us + s.dur_us);
+        obs::Span root;
+        root.trace_id = grid_options.trace_id;
+        root.span_id = obs::rootSpanId(grid_options.trace_id);
+        root.name = "grid " + obs::hexId(grid_options.trace_id);
+        root.cat = "grid";
+        root.pid = 1;
+        root.dur_us = end_us;
+        spans.push_back(std::move(root));
+
+        std::vector<obs::ProcessName> processes;
+        std::set<std::uint32_t> pids;
+        for (const obs::Span &s : spans)
+            pids.insert(s.pid);
+        for (const std::uint32_t pid : pids)
+            processes.push_back(
+                {pid, pid == 1 ? std::string("aurora_swarm")
+                               : "aurora_shardd e" +
+                                     std::to_string(pid - 100)});
+
+        std::ofstream os(trace_out, std::ios::binary);
+        if (!os)
+            util::raiseError(util::SimErrorCode::BadTrace,
+                             "cannot open --trace-out file '",
+                             trace_out, "'");
+        obs::writeChromeTrace(os, spans, processes);
+    }
 
     SuiteResult res;
     res.machine = machine;
